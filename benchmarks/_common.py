@@ -1,0 +1,162 @@
+"""Shared sweep definitions and caches for the figure benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.loss import HeatmapLoss, HistogramLoss, MeanLoss, RegressionLoss
+from repro.core.loss.base import LossFunction
+from repro.core.tabula import InitializationReport, Tabula, TabulaConfig
+from repro.engine.table import Table
+
+#: θ sweeps per loss function, scaled to the synthetic dataset (see
+#: EXPERIMENTS.md for the map to the paper's units: the heat-map loss is
+#: normalized distance — the paper's 0.25 km ≈ 0.004 — the mean loss is
+#: relative error, regression is degrees, histogram is dollars).
+THETA_SWEEPS: Dict[str, Tuple[float, ...]] = {
+    "heatmap": (0.016, 0.008, 0.006),
+    "mean": (0.20, 0.10, 0.05, 0.025),
+    "regression": (4.0, 2.0, 1.0, 0.5),
+    "histogram": (0.04, 0.02, 0.01, 0.005),
+}
+
+LOSS_UNITS = {
+    "heatmap": "normalized distance",
+    "mean": "relative error",
+    "regression": "degrees",
+    "histogram": "dollars",
+}
+
+
+def make_loss(kind: str) -> LossFunction:
+    """Instantiate a loss by sweep key."""
+    factories = {
+        "heatmap": lambda: HeatmapLoss("pickup_x", "pickup_y"),
+        "mean": lambda: MeanLoss("fare_amount"),
+        "regression": lambda: RegressionLoss("fare_amount", "tip_amount"),
+        "histogram": lambda: HistogramLoss("fare_amount"),
+    }
+    return factories[kind]()
+
+
+@dataclass
+class InitResult:
+    """One cached Tabula initialization and its measurements."""
+
+    report: InitializationReport
+    global_sample_bytes: int
+    cube_table_bytes: int
+    sample_table_bytes: int
+    tabula: Tabula
+
+    @property
+    def total_bytes(self) -> int:
+        return self.global_sample_bytes + self.cube_table_bytes + self.sample_table_bytes
+
+
+def compare_approaches(
+    table: Table,
+    workload,
+    loss_kind: str,
+    thetas,
+    approach_factories,
+    measure_loss: bool = True,
+):
+    """Run the shared workload through every approach at every θ.
+
+    Args:
+        approach_factories: ``(name, factory(loss, theta) -> Approach)``
+            pairs; a fresh approach is built per θ (as the paper does).
+
+    Returns:
+        ``{theta: {name: WorkloadMetrics}}``.
+    """
+    from repro.bench.runner import run_workload
+
+    results = {}
+    for theta in thetas:
+        per_theta = {}
+        for name, factory in approach_factories:
+            loss = make_loss(loss_kind)
+            approach = factory(loss, theta)
+            per_theta[name] = run_workload(
+                approach, table, list(workload), loss, measure_loss=measure_loss
+            )
+        results[theta] = per_theta
+    return results
+
+
+def print_time_and_loss(title_prefix, thetas, results, unit):
+    """Print the (a) data-system time and (b) actual-loss panels."""
+    from repro.bench.metrics import format_seconds
+    from repro.bench.reporting import print_series
+
+    names = list(next(iter(results.values())).keys())
+    print_series(
+        f"{title_prefix}a: data-system time per query (θ in {unit})",
+        "θ",
+        thetas,
+        {
+            name: [format_seconds(results[t][name].data_system.mean) for t in thetas]
+            for name in names
+        },
+    )
+    print_series(
+        f"{title_prefix}b: actual accuracy loss, min/avg/max (θ in {unit})",
+        "θ",
+        thetas,
+        {
+            name: [
+                _loss_bar(results[t][name].actual_loss) for t in thetas
+            ]
+            for name in names
+        },
+    )
+
+
+def _loss_bar(summary) -> str:
+    if summary.count == 0:
+        return "-"
+    maximum = "inf" if summary.infinite_count else f"{summary.maximum:.4f}"
+    return f"{summary.minimum:.4f}/{summary.mean:.4f}/{maximum}"
+
+
+class InitializationCache:
+    """Builds each (loss, θ, variant, attrs) Tabula at most once per session."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._cache: Dict[Tuple, InitResult] = {}
+
+    def get(
+        self,
+        loss_kind: str,
+        theta: float,
+        attrs: Tuple[str, ...],
+        sample_selection: bool = True,
+        seed: int = 0,
+    ) -> InitResult:
+        key = (loss_kind, theta, attrs, sample_selection, seed)
+        if key not in self._cache:
+            tabula = Tabula(
+                self.table,
+                TabulaConfig(
+                    cubed_attrs=attrs,
+                    threshold=theta,
+                    loss=make_loss(loss_kind),
+                    sample_selection=sample_selection,
+                    seed=seed,
+                ),
+            )
+            report = tabula.initialize()
+            memory = tabula.memory_breakdown()
+            self._cache[key] = InitResult(
+                report=report,
+                global_sample_bytes=memory.global_sample_bytes,
+                cube_table_bytes=memory.cube_table_bytes,
+                sample_table_bytes=memory.sample_table_bytes,
+                tabula=tabula,
+            )
+        return self._cache[key]

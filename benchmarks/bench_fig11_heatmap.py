@@ -1,0 +1,78 @@
+"""Figure 11 — geospatial heat-map-aware loss: data-system time & loss.
+
+Paper findings to reproduce (shape):
+- (11a) SampleFirst is flat and fast (it only filters its pre-built
+  sample); SampleOnTheFly and POIsam pay a full scan + online sampling
+  every query (paper: 20× and 10× slower than Tabula); Tabula answers
+  from the materialized cube in microseconds–milliseconds;
+- (11b) Tabula / SamFly never exceed θ; POIsam's average sits a few
+  percent above SamFly and can cross θ; SampleFirst is omitted in the
+  paper because its loss is ~20× everyone else's (we print it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import (
+    THETA_SWEEPS,
+    compare_approaches,
+    print_time_and_loss,
+)
+from benchmarks.conftest import DEFAULT_ATTRS
+from repro.baselines import POIsam, SampleFirst, SampleOnTheFly, TabulaApproach
+
+THETAS = THETA_SWEEPS["heatmap"]
+
+
+def _factories(table):
+    return [
+        (
+            "SamFirst-100MB",
+            lambda loss, theta: SampleFirst(
+                table, loss, theta, fraction=0.002, label="SamFirst-100MB", seed=0
+            ),
+        ),
+        (
+            "SamFirst-1GB",
+            lambda loss, theta: SampleFirst(
+                table, loss, theta, fraction=0.02, label="SamFirst-1GB", seed=0
+            ),
+        ),
+        ("SamFly", lambda loss, theta: SampleOnTheFly(table, loss, theta, seed=0)),
+        ("POIsam", lambda loss, theta: POIsam(table, loss, theta, seed=0)),
+        (
+            "Tabula",
+            lambda loss, theta: TabulaApproach(table, loss, theta, DEFAULT_ATTRS, seed=0),
+        ),
+        (
+            "Tabula*",
+            lambda loss, theta: TabulaApproach(
+                table, loss, theta, DEFAULT_ATTRS, sample_selection=False, seed=0
+            ),
+        ),
+    ]
+
+
+def test_fig11_heatmap_loss(benchmark, bench_rides, heatmap_workload):
+    results = benchmark.pedantic(
+        lambda: compare_approaches(
+            bench_rides, heatmap_workload, "heatmap", THETAS, _factories(bench_rides)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_time_and_loss("Figure 11", THETAS, results, "normalized distance")
+    for theta in THETAS:
+        # Deterministic-guarantee approaches never exceed θ.
+        for name in ("SamFly", "Tabula", "Tabula*"):
+            assert results[theta][name].actual_loss.maximum <= theta + 1e-9
+        # Tabula's data-system time beats the online approaches.
+        assert (
+            results[theta]["Tabula"].data_system.mean
+            < results[theta]["SamFly"].data_system.mean
+        )
+        assert (
+            results[theta]["Tabula"].data_system.mean
+            < results[theta]["POIsam"].data_system.mean
+        )

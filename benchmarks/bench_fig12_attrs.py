@@ -1,0 +1,91 @@
+"""Figure 12 — impact of the number of cubed attributes (histogram loss).
+
+Paper findings to reproduce (shape):
+- (12a) SamFirst and SamFly/POIsam have flat data-system time (they
+  always scan the same pre-built sample / raw table); Tabula's grows
+  slightly with larger cube and sample tables;
+- (12b) the visual-analysis time of SampleFirst drops with more
+  attributes (more predicates ⇒ smaller results) while Tabula's
+  shrinks slightly (more queries answered by small local samples).
+The actual accuracy loss is unaffected by the attribute count.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import POIsam, SampleFirst, SampleOnTheFly, TabulaApproach
+from repro.bench.metrics import format_seconds
+from repro.bench.reporting import print_series
+from repro.bench.runner import run_workload
+from repro.core.loss import HistogramLoss
+from repro.data import generate_workload
+from repro.data.nyctaxi import CUBE_ATTRIBUTES
+from repro.viz.dashboard import Dashboard
+
+THETA = 0.05  # dollars — the paper uses $0.5 on city-scale fares
+ATTR_COUNTS = (4, 5, 6, 7)
+
+
+def test_fig12_attribute_count(benchmark, attr_rides, attr_init_cache):
+    def run():
+        per_count = {}
+        for n in ATTR_COUNTS:
+            attrs = CUBE_ATTRIBUTES[:n]
+            workload = generate_workload(attr_rides, attrs, num_queries=25, seed=9)
+            dashboard = Dashboard("histogram", ("fare_amount",))
+            approaches = [
+                SampleFirst(attr_rides, HistogramLoss("fare_amount"), THETA,
+                            fraction=0.02, label="SamFirst-1GB", seed=0),
+                SampleOnTheFly(attr_rides, HistogramLoss("fare_amount"), THETA, seed=0),
+                POIsam(attr_rides, HistogramLoss("fare_amount"), THETA, seed=0),
+                TabulaApproach(
+                    attr_rides, HistogramLoss("fare_amount"), THETA, attrs, seed=0,
+                    tabula=attr_init_cache.get("histogram", THETA, attrs).tabula,
+                ),
+            ]
+            per_count[n] = {
+                ap.name: run_workload(
+                    ap, attr_rides, list(workload), HistogramLoss("fare_amount"),
+                    dashboard=dashboard,
+                )
+                for ap in approaches
+            }
+        return per_count
+
+    per_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    names = list(next(iter(per_count.values())).keys())
+    print_series(
+        "Figure 12a: data-system time vs number of attributes (histogram loss, θ = $0.05)",
+        "attrs",
+        ATTR_COUNTS,
+        {
+            name: [format_seconds(per_count[n][name].data_system.mean) for n in ATTR_COUNTS]
+            for name in names
+        },
+    )
+    print_series(
+        "Figure 12b: visual-analysis time vs number of attributes",
+        "attrs",
+        ATTR_COUNTS,
+        {
+            name: [
+                format_seconds(per_count[n][name].visualization.mean)
+                for n in ATTR_COUNTS
+            ]
+            for name in names
+        },
+    )
+    print_series(
+        "Figure 12 (check): max actual loss — unaffected by attribute count",
+        "attrs",
+        ATTR_COUNTS,
+        {
+            name: [f"{per_count[n][name].actual_loss.maximum:.4f}" for n in ATTR_COUNTS]
+            for name in ("SamFly", "Tabula")
+        },
+    )
+    for n in ATTR_COUNTS:
+        assert per_count[n]["Tabula"].actual_loss.maximum <= THETA + 1e-9
+        assert (
+            per_count[n]["Tabula"].data_system.mean
+            < per_count[n]["SamFly"].data_system.mean
+        )

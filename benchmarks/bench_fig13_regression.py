@@ -1,0 +1,63 @@
+"""Figure 13 — linear-regression loss: data-system time & actual loss.
+
+Paper findings to reproduce (shape): the same ordering as Figure 11 —
+SampleFirst flat, SamFly slow with a hard guarantee, Tabula fast with
+the same guarantee; decreasing θ decreases everyone's actual loss.
+(POIsam only supports 1-D and geospatial losses, so it is absent here,
+matching the paper.)
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import (
+    THETA_SWEEPS,
+    compare_approaches,
+    print_time_and_loss,
+)
+from benchmarks.conftest import DEFAULT_ATTRS
+from repro.baselines import SampleFirst, SampleOnTheFly, TabulaApproach
+
+THETAS = THETA_SWEEPS["regression"]
+
+
+def test_fig13_regression_loss(benchmark, bench_rides, bench_workload):
+    factories = [
+        (
+            "SamFirst-100MB",
+            lambda loss, theta: SampleFirst(
+                bench_rides, loss, theta, fraction=0.002, label="SamFirst-100MB", seed=0
+            ),
+        ),
+        (
+            "SamFirst-1GB",
+            lambda loss, theta: SampleFirst(
+                bench_rides, loss, theta, fraction=0.02, label="SamFirst-1GB", seed=0
+            ),
+        ),
+        ("SamFly", lambda loss, theta: SampleOnTheFly(bench_rides, loss, theta, seed=0)),
+        (
+            "Tabula",
+            lambda loss, theta: TabulaApproach(bench_rides, loss, theta, DEFAULT_ATTRS, seed=0),
+        ),
+        (
+            "Tabula*",
+            lambda loss, theta: TabulaApproach(
+                bench_rides, loss, theta, DEFAULT_ATTRS, sample_selection=False, seed=0
+            ),
+        ),
+    ]
+    results = benchmark.pedantic(
+        lambda: compare_approaches(
+            bench_rides, bench_workload, "regression", THETAS, factories
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_time_and_loss("Figure 13", THETAS, results, "degrees")
+    for theta in THETAS:
+        for name in ("SamFly", "Tabula", "Tabula*"):
+            assert results[theta][name].actual_loss.maximum <= theta + 1e-9
+        assert (
+            results[theta]["Tabula"].data_system.mean
+            < results[theta]["SamFly"].data_system.mean
+        )

@@ -1,0 +1,93 @@
+"""Figure 8 — initialization time per stage, across loss functions and θ.
+
+Paper findings to reproduce (shape):
+- the dry-run time is flat in θ (one raw pass regardless);
+- real-run and sample-selection time grow as θ shrinks (more iceberg
+  cells, more local samples);
+- the heat-map loss spends the most dry-run time (tuple-to-tuple math),
+  the statistical mean the least;
+- (8d) more cubed attributes raise all three stages, the dry run least.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import LOSS_UNITS, THETA_SWEEPS
+from benchmarks.conftest import DEFAULT_ATTRS
+from repro.bench.reporting import print_series
+from repro.data.nyctaxi import CUBE_ATTRIBUTES
+
+
+def _sweep_stages(init_cache, loss_kind, attrs=DEFAULT_ATTRS):
+    thetas = THETA_SWEEPS[loss_kind]
+    rows = {"dry run": [], "real run": [], "sample selection": [], "total": [], "iceberg cells": []}
+    for theta in thetas:
+        result = init_cache.get(loss_kind, theta, attrs)
+        report = result.report
+        rows["dry run"].append(report.dry_run_seconds)
+        rows["real run"].append(report.real_run_seconds)
+        rows["sample selection"].append(report.selection_seconds)
+        rows["total"].append(report.total_seconds)
+        rows["iceberg cells"].append(report.num_iceberg_cells)
+    return thetas, rows
+
+
+def _print(loss_kind, thetas, rows, subtitle):
+    print_series(
+        f"Figure 8{subtitle}: initialization time — {loss_kind} loss "
+        f"(θ in {LOSS_UNITS[loss_kind]})",
+        "θ",
+        thetas,
+        {
+            name: [f"{v:.3f}s" if isinstance(v, float) else str(v) for v in values]
+            for name, values in rows.items()
+        },
+    )
+
+
+@pytest.mark.parametrize(
+    "loss_kind,subtitle",
+    [("heatmap", "a"), ("mean", "b"), ("regression", "c")],
+    ids=["fig8a_heatmap", "fig8b_mean", "fig8c_regression"],
+)
+def test_fig8_theta_sweep(benchmark, init_cache, loss_kind, subtitle):
+    thetas, rows = benchmark.pedantic(
+        lambda: _sweep_stages(init_cache, loss_kind), rounds=1, iterations=1
+    )
+    _print(loss_kind, thetas, rows, subtitle)
+    # Shape assertions: dry run roughly flat; iceberg cells monotone in θ.
+    icebergs = rows["iceberg cells"]
+    assert icebergs == sorted(icebergs), "smaller θ must not reduce iceberg cells"
+
+
+def test_fig8d_attribute_sweep(benchmark, attr_init_cache):
+    """Histogram loss, θ = $0.05, over the first 4..7 cube attributes
+    (on the smaller attribute-sweep table — see conftest)."""
+    theta = 0.05
+
+    def run():
+        counts = [4, 5, 6, 7]
+        rows = {"dry run": [], "real run": [], "sample selection": [], "cells": []}
+        for n in counts:
+            attrs = CUBE_ATTRIBUTES[:n]
+            result = attr_init_cache.get("histogram", theta, attrs)
+            rows["dry run"].append(result.report.dry_run_seconds)
+            rows["real run"].append(result.report.real_run_seconds)
+            rows["sample selection"].append(result.report.selection_seconds)
+            rows["cells"].append(result.report.num_cells)
+        return counts, rows
+
+    counts, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Figure 8d: initialization time vs number of cubed attributes "
+        "(histogram loss, θ = $0.05)",
+        "attrs",
+        counts,
+        {
+            name: [f"{v:.3f}s" if isinstance(v, float) else str(v) for v in values]
+            for name, values in rows.items()
+        },
+    )
+    # Cube cells grow (roughly exponentially) with the attribute count.
+    assert rows["cells"] == sorted(rows["cells"])

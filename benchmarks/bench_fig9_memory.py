@@ -1,0 +1,87 @@
+"""Figure 9 — memory footprint vs θ and vs attribute count.
+
+Paper findings to reproduce (shape):
+- smaller θ ⇒ larger cube and sample tables; the global sample is
+  constant (its size depends only on the dataset cardinality);
+- Tabula* (no sample selection) is dramatically larger than Tabula;
+- (9d) cube/sample tables grow with more cubed attributes, the sample
+  table sub-linearly (representatives saturate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import LOSS_UNITS, THETA_SWEEPS
+from benchmarks.conftest import DEFAULT_ATTRS
+from repro.bench.metrics import format_bytes
+from repro.bench.reporting import print_series
+from repro.data.nyctaxi import CUBE_ATTRIBUTES
+
+
+def _sweep_memory(init_cache, loss_kind, attrs=DEFAULT_ATTRS):
+    thetas = THETA_SWEEPS[loss_kind]
+    rows = {
+        "global sample": [],
+        "cube table": [],
+        "sample table": [],
+        "Tabula total": [],
+        "Tabula* total": [],
+    }
+    for theta in thetas:
+        tabula = init_cache.get(loss_kind, theta, attrs)
+        star = init_cache.get(loss_kind, theta, attrs, sample_selection=False)
+        rows["global sample"].append(tabula.global_sample_bytes)
+        rows["cube table"].append(tabula.cube_table_bytes)
+        rows["sample table"].append(tabula.sample_table_bytes)
+        rows["Tabula total"].append(tabula.total_bytes)
+        rows["Tabula* total"].append(star.total_bytes)
+    return thetas, rows
+
+
+@pytest.mark.parametrize(
+    "loss_kind,subtitle",
+    [("heatmap", "a"), ("mean", "b"), ("regression", "c")],
+    ids=["fig9a_heatmap", "fig9b_mean", "fig9c_regression"],
+)
+def test_fig9_theta_sweep(benchmark, init_cache, loss_kind, subtitle):
+    thetas, rows = benchmark.pedantic(
+        lambda: _sweep_memory(init_cache, loss_kind), rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 9{subtitle}: memory footprint — {loss_kind} loss "
+        f"(θ in {LOSS_UNITS[loss_kind]})",
+        "θ",
+        thetas,
+        {name: [format_bytes(v) for v in values] for name, values in rows.items()},
+    )
+    # Global sample constant across θ.
+    assert len(set(rows["global sample"])) == 1
+    # Tabula never exceeds Tabula*.
+    for total, star_total in zip(rows["Tabula total"], rows["Tabula* total"]):
+        assert total <= star_total
+
+
+def test_fig9d_attribute_sweep(benchmark, attr_init_cache):
+    theta = 0.05
+
+    def run():
+        counts = [4, 5, 6, 7]
+        rows = {"global sample": [], "cube table": [], "sample table": []}
+        for n in counts:
+            result = attr_init_cache.get("histogram", theta, CUBE_ATTRIBUTES[:n])
+            rows["global sample"].append(result.global_sample_bytes)
+            rows["cube table"].append(result.cube_table_bytes)
+            rows["sample table"].append(result.sample_table_bytes)
+        return counts, rows
+
+    counts, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(
+        "Figure 9d: memory footprint vs number of cubed attributes "
+        "(histogram loss, θ = $0.05)",
+        "attrs",
+        counts,
+        {name: [format_bytes(v) for v in values] for name, values in rows.items()},
+    )
+    assert len(set(rows["global sample"])) == 1
+    assert rows["cube table"] == sorted(rows["cube table"])

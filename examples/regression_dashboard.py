@@ -1,0 +1,68 @@
+"""Linear-regression dashboard — fare vs. tip analysis (Function 3).
+
+Run:  python examples/regression_dashboard.py
+
+The Figure 1 dashboard fits a tip-vs-fare regression line per payment
+population. Tabula is initialized with the regression-angle loss
+(θ = 2°), so every returned sample's fitted line is within 2 degrees of
+the line fitted on the raw population — compare the printed angles.
+"""
+
+from repro import RegressionLoss, Tabula, TabulaConfig
+from repro.baselines.base import select_population
+from repro.bench.metrics import format_seconds
+from repro.data import generate_nyctaxi
+from repro.viz.regression import fit_regression
+
+ATTRS = ("passenger_count", "payment_type", "rate_code")
+THETA = 2.0  # degrees
+
+
+def fit_of(table):
+    x = table.column("fare_amount").data.astype(float)
+    y = table.column("tip_amount").data.astype(float)
+    return fit_regression(x, y)
+
+
+def main() -> None:
+    rides = generate_nyctaxi(num_rows=40_000, seed=13)
+    config = TabulaConfig(
+        cubed_attrs=ATTRS,
+        threshold=THETA,
+        loss=RegressionLoss("fare_amount", "tip_amount"),
+    )
+    tabula = Tabula(rides, config)
+    report = tabula.initialize()
+    print(
+        f"Cube ready: {report.num_iceberg_cells}/{report.num_cells} iceberg cells, "
+        f"{report.num_representatives} persisted samples, "
+        f"init {format_seconds(report.total_seconds)}"
+    )
+
+    print(f"\n{'population':42s} {'raw angle':>10s} {'sample angle':>13s} "
+          f"{'answer size':>12s} {'source':>7s}")
+    for query in (
+        {"payment_type": "credit"},
+        {"payment_type": "cash"},
+        {"payment_type": "credit", "rate_code": "jfk"},
+        {"payment_type": "dispute"},
+        {},
+    ):
+        raw_fit = fit_of(select_population(rides, query))
+        result = tabula.query(query)
+        sample_fit = fit_of(result.sample)
+        drift = abs(raw_fit.angle_degrees - sample_fit.angle_degrees)
+        print(
+            f"{str(query) or 'ALL':42s} {raw_fit.angle_degrees:9.2f}° "
+            f"{sample_fit.angle_degrees:12.2f}° {result.sample.num_rows:12d} "
+            f"{result.source:>7s}"
+        )
+        assert drift <= THETA + 1e-9, "guarantee violated!"
+
+    print("\nEvery sample's regression line is within θ = 2° of the raw line.")
+    print("Note how credit tips slope steeply while cash tips stay flat —")
+    print("exactly the population difference a whole-table sample would blur.")
+
+
+if __name__ == "__main__":
+    main()

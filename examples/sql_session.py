@@ -1,0 +1,68 @@
+"""The declarative workflow of Section II, end to end in SQL.
+
+Run:  python examples/sql_session.py
+
+1. CREATE AGGREGATE declares a custom accuracy loss function;
+2. CREATE TABLE ... GROUPBY CUBE ... HAVING initializes the partially
+   materialized sampling cube inside the data system;
+3. SELECT sample FROM ... answers dashboard interactions.
+"""
+
+from repro import SQLSession
+from repro.bench.metrics import format_seconds
+from repro.data import generate_nyctaxi
+
+
+def main() -> None:
+    session = SQLSession()
+    session.register_table("nyctaxi", generate_nyctaxi(num_rows=30_000, seed=5))
+
+    print("Declaring the user-defined accuracy loss function ...")
+    session.execute(
+        """
+        CREATE AGGREGATE fare_mean_loss(Raw, Sam) RETURN decimal_value AS
+        BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END
+        """
+    )
+
+    print("Initializing the sampling cube (Query 1 of Figure 3) ...")
+    report = session.execute(
+        """
+        CREATE TABLE taxi_cube AS
+        SELECT passenger_count, payment_type, rate_code,
+               SAMPLING(*, 0.1) AS sample
+        FROM nyctaxi
+        GROUPBY CUBE(passenger_count, payment_type, rate_code)
+        HAVING fare_mean_loss(fare_amount, Sam_global) > 0.1
+        """
+    )
+    print(
+        f"  built in {format_seconds(report.total_seconds)}: "
+        f"{report.num_iceberg_cells} iceberg cells out of {report.num_cells}, "
+        f"{report.num_representatives} samples persisted"
+    )
+    print("\nCuboid lattice (iceberg cuboids starred, counts = cells/icebergs):")
+    print(report.lattice.format())
+
+    print("\nDashboard interactions (Query 2 of Figure 3):")
+    for sql in (
+        "SELECT sample FROM taxi_cube WHERE payment_type = 'cash' AND passenger_count = '1'",
+        "SELECT sample FROM taxi_cube WHERE rate_code = 'jfk'",
+        "SELECT sample FROM taxi_cube WHERE payment_type = 'dispute'",
+    ):
+        result = session.execute(sql)
+        print(
+            f"  {sql}\n"
+            f"    -> {result.source} sample, {result.sample.num_rows} tuples, "
+            f"{format_seconds(result.data_system_seconds)}"
+        )
+
+    print("\nPlain scans still work against the same session:")
+    rows = session.execute(
+        "SELECT fare_amount, tip_amount FROM nyctaxi WHERE payment_type = 'credit' LIMIT 3"
+    )
+    print(rows.format())
+
+
+if __name__ == "__main__":
+    main()

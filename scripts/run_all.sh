@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final deliverable runs: full test suite + every figure/table bench.
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo "FINAL_RUNS_COMPLETE rc_tests=$(grep -c 'passed' /root/repo/test_output.txt) " >> /root/repo/bench_output.txt

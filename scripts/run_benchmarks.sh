@@ -1,0 +1,4 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo "BENCH_RUN_COMPLETE" >> /root/repo/bench_output.txt

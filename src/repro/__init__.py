@@ -1,0 +1,75 @@
+"""Tabula — a materialized sampling cube middleware (ICDE 2020 reproduction).
+
+Reproduction of Yu & Sarwat, "Turbocharging Geospatial Visualization
+Dashboards via a Materialized Sampling Cube Approach", ICDE 2020.
+
+Quickstart::
+
+    from repro import Tabula, TabulaConfig, MeanLoss
+    from repro.data import generate_nyctaxi
+
+    rides = generate_nyctaxi(num_rows=50_000, seed=7)
+    config = TabulaConfig(
+        cubed_attrs=("passenger_count", "payment_type", "rate_code"),
+        threshold=0.10,
+        loss=MeanLoss("fare_amount"),
+    )
+    tabula = Tabula(rides, config)
+    tabula.initialize()
+    answer = tabula.query({"payment_type": "cash", "passenger_count": 1})
+    print(answer.source, answer.sample.num_rows)
+
+The SQL surface of Section II is available through
+:class:`repro.engine.sql.SQLSession`.
+"""
+
+from repro.core.loss import (
+    CombinedLoss,
+    HeatmapLoss,
+    HistogramLoss,
+    LossFunction,
+    LossRegistry,
+    MeanLoss,
+    RegressionLoss,
+    StdDevLoss,
+)
+from repro.core.guarantee import GuaranteeReport, verify_cube
+from repro.core.maintenance import MaintenanceReport, append_rows
+from repro.core.persistence import load_cube, save_cube
+from repro.core.sampling import SamplingResult, greedy_sample
+from repro.core.tabula import (
+    InitializationReport,
+    QueryResult,
+    Tabula,
+    TabulaConfig,
+)
+from repro.engine import Catalog, Table
+from repro.engine.sql import SQLSession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "CombinedLoss",
+    "GuaranteeReport",
+    "HeatmapLoss",
+    "HistogramLoss",
+    "InitializationReport",
+    "LossFunction",
+    "LossRegistry",
+    "MeanLoss",
+    "QueryResult",
+    "RegressionLoss",
+    "SQLSession",
+    "MaintenanceReport",
+    "SamplingResult",
+    "StdDevLoss",
+    "Table",
+    "Tabula",
+    "TabulaConfig",
+    "append_rows",
+    "verify_cube",
+    "greedy_sample",
+    "load_cube",
+    "save_cube",
+]

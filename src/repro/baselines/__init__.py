@@ -1,0 +1,47 @@
+"""The compared approaches of Section V.
+
+Every baseline implements the :class:`~repro.baselines.base.Approach`
+protocol (initialize once, answer dashboard queries) so the benchmark
+harness can sweep them uniformly:
+
+- :class:`~repro.baselines.sample_first.SampleFirst` — pre-built random
+  sample of the whole table (100 MB / 1 GB scaled variants);
+- :class:`~repro.baselines.sample_on_the_fly.SampleOnTheFly` — full scan
+  plus Algorithm 1 per query (deterministic guarantee, no memory);
+- :class:`~repro.baselines.poisam.POIsam` — like SampleOnTheFly with a
+  random pre-sampling step (probabilistic guarantee);
+- :class:`~repro.baselines.snappydata.SnappyDataLike` — stratified
+  samples over the Query Column Set, AVG answers with bounded error and
+  raw-table fallback;
+- :class:`~repro.baselines.full_cube.FullSamCube` — fully materialized
+  sampling cube (a sample in *every* cell);
+- :class:`~repro.baselines.partial_cube.PartSamCube` — the straight
+  initialization query: iceberg-only samples but no dry run and no
+  sample selection;
+- Tabula and Tabula* come from :class:`repro.core.tabula.Tabula`
+  (``sample_selection=True`` / ``False``) wrapped by
+  :class:`~repro.baselines.tabula_approach.TabulaApproach`.
+"""
+
+from repro.baselines.base import Approach, ApproachAnswer, InitStats, select_population
+from repro.baselines.full_cube import FullSamCube
+from repro.baselines.partial_cube import PartSamCube
+from repro.baselines.poisam import POIsam
+from repro.baselines.sample_first import SampleFirst
+from repro.baselines.sample_on_the_fly import SampleOnTheFly
+from repro.baselines.snappydata import SnappyDataLike
+from repro.baselines.tabula_approach import TabulaApproach
+
+__all__ = [
+    "Approach",
+    "ApproachAnswer",
+    "FullSamCube",
+    "InitStats",
+    "PartSamCube",
+    "POIsam",
+    "SampleFirst",
+    "SampleOnTheFly",
+    "SnappyDataLike",
+    "TabulaApproach",
+    "select_population",
+]

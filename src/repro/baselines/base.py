@@ -1,0 +1,102 @@
+"""The shared Approach protocol for all compared systems."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.loss.base import LossFunction
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class InitStats:
+    """Initialization cost of an approach."""
+
+    seconds: float
+    memory_bytes: int
+
+
+@dataclass(frozen=True)
+class ApproachAnswer:
+    """One query's answer: the returned tuples plus the data-system time.
+
+    ``aggregate`` is set instead of meaningful tuples for approaches
+    that return a conclusion directly (SnappyData's AVG).
+    """
+
+    sample: Table
+    data_system_seconds: float
+    aggregate: Optional[float] = None
+    used_fallback: bool = False
+
+
+def select_population(table: Table, query: Mapping[str, object]) -> Table:
+    """The raw population selected by an equality-conjunction query."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for attr, value in query.items():
+        col = table.column(attr)
+        mask &= col.data == col.encode(value)
+    return table.filter(mask)
+
+
+def population_mask(table: Table, query: Mapping[str, object]) -> np.ndarray:
+    """Boolean mask version of :func:`select_population`."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for attr, value in query.items():
+        col = table.column(attr)
+        mask &= col.data == col.encode(value)
+    return mask
+
+
+class Approach(abc.ABC):
+    """A system under comparison: initialize once, then answer queries.
+
+    Subclasses set ``name`` and implement :meth:`_initialize` and
+    :meth:`_answer`; the public wrappers add uniform timing.
+    """
+
+    name: str = ""
+
+    def __init__(self, table: Table, loss: LossFunction, threshold: float, seed: int = 0):
+        self.table = table
+        self.loss = loss
+        self.threshold = threshold
+        self.rng = np.random.default_rng(seed)
+        self._init_stats: Optional[InitStats] = None
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> InitStats:
+        """Build any pre-materialized state; idempotent."""
+        if self._init_stats is None:
+            started = time.perf_counter()
+            memory = self._initialize()
+            self._init_stats = InitStats(
+                seconds=time.perf_counter() - started, memory_bytes=memory
+            )
+        return self._init_stats
+
+    def answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        """Answer one dashboard query (timed inside the implementation)."""
+        if self._init_stats is None:
+            self.initialize()
+        return self._answer(query)
+
+    @property
+    def init_stats(self) -> InitStats:
+        if self._init_stats is None:
+            raise RuntimeError(f"{self.name}: initialize() has not run")
+        return self._init_stats
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _initialize(self) -> int:
+        """Build state; return the pre-built state's memory footprint in bytes."""
+
+    @abc.abstractmethod
+    def _answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        """Produce the answer for one query."""

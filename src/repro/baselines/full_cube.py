@@ -1,0 +1,67 @@
+"""FullSamCube — the fully materialized sampling cube.
+
+The straw man Tabula is measured against in Figure 10: run all ``2**n``
+GroupBys and draw a local sample for *every* cell, iceberg or not. Its
+memory footprint is 50–100× Tabula's and its initialization an order of
+magnitude slower, which is why the paper (and this harness) only runs
+it on a small dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.base import Approach, ApproachAnswer
+from repro.core.loss.base import LossFunction
+from repro.core.sampling import sample_with_pool
+from repro.engine.cube import CellKey, CubeCells
+from repro.engine.table import Table
+
+
+class FullSamCube(Approach):
+    """A local sample in every cube cell; queries are exact lookups."""
+
+    name = "FullSamCube"
+
+    def __init__(
+        self,
+        table: Table,
+        loss: LossFunction,
+        threshold: float,
+        attrs: Tuple[str, ...],
+        seed: int = 0,
+        pool_size: Optional[int] = 2000,
+    ):
+        super().__init__(table, loss, threshold, seed)
+        self.attrs = tuple(attrs)
+        self.pool_size = pool_size
+        self._samples: Dict[CellKey, Table] = {}
+
+    def _initialize(self) -> int:
+        cube = CubeCells(self.table, self.attrs)
+        values = self.loss.extract(self.table)
+        memory = 0
+        for key in cube:
+            idx = cube.cell_indices(key)
+            result = sample_with_pool(
+                self.loss, values[idx], self.threshold, self.rng, pool_size=self.pool_size
+            )
+            sample = self.table.take(idx[result.indices])
+            self._samples[key] = sample
+            memory += sample.nbytes + (len(self.attrs) + 1) * 8
+        return memory
+
+    def _answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        started = time.perf_counter()
+        key = tuple(query.get(attr) for attr in self.attrs)
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = Table.empty_like(self.table)
+        return ApproachAnswer(
+            sample=sample, data_system_seconds=time.perf_counter() - started
+        )
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._samples)

@@ -1,0 +1,68 @@
+"""POIsam — online visualization-aware sampling with a pre-sampling step.
+
+The paper's adaptation of POIsam [Guo et al., SIGMOD 2018]: for every
+query it (1) scans the raw table for the population, (2) draws a
+*random* sample of the population (sized by the law of large numbers,
+default theoretical error bound 5 % at confidence level 10 %), and
+(3) runs the greedy Algorithm 1 **on the random sample** — measuring
+the loss against the pre-sample rather than the full population. The
+random step makes it faster than SampleOnTheFly but costs the
+deterministic guarantee: the experiments observe its actual loss 1–5 %
+above SampleOnTheFly's and occasionally above θ (Figure 11b).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.baselines.base import Approach, ApproachAnswer, select_population
+from repro.core.global_sample import serfling_sample_size
+from repro.core.loss.base import LossFunction
+from repro.core.sampling import greedy_sample
+from repro.engine.table import Table
+from repro.errors import SamplingError
+
+
+class POIsam(Approach):
+    """Random pre-sample + greedy loss-aware sampling at query time."""
+
+    name = "POIsam"
+
+    def __init__(
+        self,
+        table: Table,
+        loss: LossFunction,
+        threshold: float,
+        seed: int = 0,
+        error_bound: float = 0.05,
+        confidence: float = 0.10,
+        lazy: bool = True,
+    ):
+        super().__init__(table, loss, threshold, seed)
+        self.error_bound = error_bound
+        self.confidence = confidence
+        self.lazy = lazy
+
+    def _initialize(self) -> int:
+        return 0  # fully online, like SampleOnTheFly
+
+    def _answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        started = time.perf_counter()
+        population = select_population(self.table, query)
+        # The pre-sample size follows the law of large numbers and is
+        # essentially independent of the population size (Section V-E).
+        presample_size = serfling_sample_size(
+            self.error_bound, self.confidence, population=population.num_rows
+        )
+        presample = population.sample_rows(presample_size, self.rng)
+        values = self.loss.extract(presample)
+        try:
+            result = greedy_sample(self.loss, values, self.threshold, lazy=self.lazy)
+            answer = presample.take(result.indices)
+        except SamplingError:
+            # The pre-sample itself cannot reach θ; return it whole.
+            answer = presample
+        return ApproachAnswer(
+            sample=answer, data_system_seconds=time.perf_counter() - started
+        )

@@ -1,0 +1,55 @@
+"""SampleFirst — query a pre-built random sample of the entire table.
+
+The practitioners' workaround of Section I: draw one random sample up
+front and point the dashboard at it. Fast and constant-time, but the
+answer for a small population can deviate arbitrarily (it even loses
+whole visual features, Figure 2b); the experiments show its accuracy
+loss is an order of magnitude worse than everyone else's.
+
+The paper evaluates 100 MB and 1 GB pre-built samples over the 100 GB
+table — i.e. 0.1 % and 1 % of the data; the ``fraction`` parameter
+expresses the same ratio at our synthetic scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.baselines.base import Approach, ApproachAnswer, select_population
+from repro.core.loss.base import LossFunction
+from repro.engine.table import Table
+
+
+class SampleFirst(Approach):
+    """Pre-built uniform random sample; queries filter the sample."""
+
+    def __init__(
+        self,
+        table: Table,
+        loss: LossFunction,
+        threshold: float,
+        fraction: float = 0.001,
+        label: str = "",
+        seed: int = 0,
+    ):
+        super().__init__(table, loss, threshold, seed)
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self.name = label or f"SamFirst-{fraction:.3%}"
+        self._sample: Table = None
+
+    def _initialize(self) -> int:
+        size = max(1, int(self.table.num_rows * self.fraction))
+        self._sample = self.table.sample_rows(size, self.rng)
+        return self._sample.nbytes
+
+    def _answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        started = time.perf_counter()
+        # A full sequential filter over the pre-built sample — constant
+        # data-system time regardless of θ or the loss function.
+        answer = select_population(self._sample, query)
+        return ApproachAnswer(
+            sample=answer, data_system_seconds=time.perf_counter() - started
+        )

@@ -1,0 +1,52 @@
+"""Adapter exposing Tabula (and Tabula*) through the Approach protocol."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.baselines.base import Approach, ApproachAnswer
+from repro.core.loss.base import LossFunction
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.table import Table
+
+
+class TabulaApproach(Approach):
+    """The proposed system; ``sample_selection=False`` gives Tabula*."""
+
+    def __init__(
+        self,
+        table: Table,
+        loss: LossFunction,
+        threshold: float,
+        attrs: Tuple[str, ...],
+        sample_selection: bool = True,
+        seed: int = 0,
+        pool_size: Optional[int] = 2000,
+        tabula: Optional[Tabula] = None,
+    ):
+        super().__init__(table, loss, threshold, seed)
+        self.name = "Tabula" if sample_selection else "Tabula*"
+        # An already-initialized middleware may be supplied (benchmarks
+        # share expensive builds across figures via a cache).
+        self.tabula = tabula if tabula is not None else Tabula(
+            table,
+            TabulaConfig(
+                cubed_attrs=tuple(attrs),
+                threshold=threshold,
+                loss=loss,
+                sample_selection=sample_selection,
+                pool_size=pool_size,
+                seed=seed,
+            ),
+        )
+
+    def _initialize(self) -> int:
+        if self.tabula._store is None:
+            self.tabula.initialize()
+        return self.tabula.memory_breakdown().total_bytes
+
+    def _answer(self, query: Dict[str, object]) -> ApproachAnswer:
+        result = self.tabula.query(query)
+        return ApproachAnswer(
+            sample=result.sample, data_system_seconds=result.data_system_seconds
+        )

@@ -1,0 +1,25 @@
+"""Benchmark harness: metrics, runners and paper-style reporting.
+
+Every figure/table of Section V has a bench in ``benchmarks/`` built on
+these utilities; :mod:`repro.bench.runner` runs a workload through an
+approach and collects the exact quantities the paper plots
+(initialization time per stage, memory footprint per component,
+data-system time, actual accuracy loss with min/avg/max error bars,
+query answer size, visualization time).
+"""
+
+from repro.bench.metrics import LossSummary, TimingSummary, format_bytes, format_seconds
+from repro.bench.reporting import print_series, print_table
+from repro.bench.runner import WorkloadMetrics, actual_loss_of_answer, run_workload
+
+__all__ = [
+    "LossSummary",
+    "TimingSummary",
+    "WorkloadMetrics",
+    "actual_loss_of_answer",
+    "format_bytes",
+    "format_seconds",
+    "print_series",
+    "print_table",
+    "run_workload",
+]

@@ -1,0 +1,82 @@
+"""Measurement primitives shared by the benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Aggregate of per-query timings (seconds)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    total: float
+    count: int
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "TimingSummary":
+        arr = np.asarray(list(samples), dtype=float)
+        if len(arr) == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0)
+        return cls(
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            total=float(arr.sum()),
+            count=len(arr),
+        )
+
+
+@dataclass(frozen=True)
+class LossSummary:
+    """Min/avg/max of realized accuracy losses — the Figure 11b error bars.
+
+    Infinite losses (empty answers from SampleFirst on unmatched
+    populations) are counted separately so averages stay meaningful.
+    """
+
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+    infinite_count: int
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "LossSummary":
+        arr = np.asarray(list(samples), dtype=float)
+        finite = arr[np.isfinite(arr)]
+        infinite = int(len(arr) - len(finite))
+        if len(finite) == 0:
+            return cls(math.inf, math.inf, math.inf, len(arr), infinite)
+        return cls(
+            mean=float(finite.mean()),
+            minimum=float(finite.min()),
+            maximum=float(finite.max()) if infinite == 0 else math.inf,
+            count=len(arr),
+            infinite_count=infinite,
+        )
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale rendering: µs/ms/s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-scale rendering: B/KB/MB/GB."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB"):
+        if value < 1024:
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.2f}GB"

@@ -1,0 +1,66 @@
+"""Paper-style plain-text reporting for the benchmark harness.
+
+Figures become series tables (one row per approach, one column per
+swept parameter value); tables become, well, tables. Everything prints
+through a single writer so bench output is easy to tee into
+``bench_output.txt`` and diff across runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Sequence
+
+
+def _emit(line: str) -> None:
+    """Default writer: the *real* stdout.
+
+    Benchmarks run under pytest, which captures ``sys.stdout`` and only
+    replays it on failure — the regenerated figures would vanish from
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+    Writing to ``sys.__stdout__`` bypasses the capture so the tables
+    always reach the terminal / tee.
+    """
+    stream = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
+    print(line, file=stream, flush=True)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    writer: Callable[[str], None] = _emit,
+) -> None:
+    """Render an aligned plain-text table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(len(headers))
+    ]
+    writer("")
+    writer(f"=== {title} ===")
+    writer(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    writer("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        writer(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence],
+    value_format: Callable[[object], str] = str,
+    writer: Callable[[str], None] = _emit,
+) -> None:
+    """Render a figure as a series table: rows = series, columns = x.
+
+    ``series`` maps a series name (an approach, or an init stage) to its
+    values aligned with ``x_values``.
+    """
+    headers = [f"{x_label} ->"] + [str(x) for x in x_values]
+    rows: List[List[str]] = []
+    for name, values in series.items():
+        rows.append([name] + [value_format(v) for v in values])
+    print_table(title, headers, rows, writer=writer)

@@ -1,0 +1,100 @@
+"""Run a query workload through an approach and collect paper metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import Approach, ApproachAnswer, select_population
+from repro.bench.metrics import LossSummary, TimingSummary
+from repro.core.loss.base import LossFunction
+from repro.engine.table import Table
+from repro.viz.dashboard import Dashboard
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Everything Section V reports for one (approach, workload) pair."""
+
+    approach: str
+    data_system: TimingSummary
+    visualization: Optional[TimingSummary]
+    actual_loss: LossSummary
+    answer_rows_mean: float
+
+    @property
+    def data_to_visualization_mean(self) -> float:
+        viz = self.visualization.mean if self.visualization else 0.0
+        return self.data_system.mean + viz
+
+
+def actual_loss_of_answer(
+    table: Table,
+    query: Dict[str, object],
+    answer: ApproachAnswer,
+    loss: LossFunction,
+) -> float:
+    """Realized accuracy loss of one answer against the raw population.
+
+    Aggregate answers (SnappyData's AVG) are scored with the relative
+    mean error — the same quantity the mean loss function measures.
+    """
+    raw = select_population(table, query)
+    if answer.aggregate is not None:
+        values = loss.extract(raw)
+        if values.ndim != 1:
+            raise ValueError("aggregate answers only support 1-D target attributes")
+        if len(values) == 0:
+            return 0.0
+        raw_mean = float(np.mean(values))
+        if raw_mean == 0.0:
+            return 0.0 if answer.aggregate == 0.0 else float("inf")
+        return abs((raw_mean - answer.aggregate) / raw_mean)
+    return loss.loss_tables(raw, answer.sample)
+
+
+def run_workload(
+    approach: Approach,
+    table: Table,
+    queries: Sequence[Dict[str, object]],
+    loss: LossFunction,
+    dashboard: Optional[Dashboard] = None,
+    measure_loss: bool = True,
+) -> WorkloadMetrics:
+    """Answer every query; collect timing, loss and answer-size metrics.
+
+    Args:
+        approach: an initialized (or initializable) approach.
+        table: the raw table, for ground-truth loss evaluation.
+        queries: the shared workload.
+        loss: the loss function scoring realized accuracy.
+        dashboard: when given, run its visual-analysis task on every
+            answer and record the visualization time (Table II).
+        measure_loss: disable to skip the (expensive) raw-population
+            ground-truth pass for timing-only sweeps.
+    """
+    approach.initialize()
+    ds_times = []
+    viz_times = []
+    losses = []
+    rows = []
+    for query in queries:
+        answer = approach.answer(query)
+        ds_times.append(answer.data_system_seconds)
+        rows.append(answer.sample.num_rows)
+        if dashboard is not None and answer.aggregate is None:
+            interaction_started = time.perf_counter()
+            dashboard.analyze(answer.sample)
+            viz_times.append(time.perf_counter() - interaction_started)
+        if measure_loss:
+            losses.append(actual_loss_of_answer(table, query, answer, loss))
+    return WorkloadMetrics(
+        approach=approach.name,
+        data_system=TimingSummary.of(ds_times),
+        visualization=TimingSummary.of(viz_times) if dashboard is not None else None,
+        actual_loss=LossSummary.of(losses) if measure_loss else LossSummary.of([]),
+        answer_rows_mean=float(np.mean(rows)) if rows else 0.0,
+    )

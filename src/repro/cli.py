@@ -1,0 +1,222 @@
+"""Command-line interface for the Tabula middleware.
+
+Usage (``python -m repro.cli <command>``):
+
+- ``generate`` — write a synthetic NYC-taxi CSV;
+- ``build`` — read a CSV table, initialize a sampling cube, save it;
+- ``query`` — answer a dashboard query from a saved cube;
+- ``info`` — summarize a saved cube;
+- ``sql`` — execute SQL statements against a CSV-backed session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import format_bytes, format_seconds
+from repro.core.loss.compiler import compile_loss
+from repro.core.loss.registry import LossRegistry
+from repro.core.persistence import load_cube, save_cube
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.data import generate_nyctaxi
+from repro.engine.io import read_csv, write_csv
+from repro.engine.sql import SQLSession
+from repro.engine.sql import ast as sql_ast
+from repro.engine.sql.parser import parse_statement
+from repro.errors import TabulaError
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except TabulaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tabula sampling-cube middleware (ICDE 2020)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a synthetic taxi CSV")
+    generate.add_argument("--rows", type=int, default=50_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=cmd_generate)
+
+    build = commands.add_parser("build", help="initialize and save a sampling cube")
+    build.add_argument("--table", required=True, help="CSV file with the raw data")
+    build.add_argument("--attrs", required=True, help="comma-separated cubed attributes")
+    build.add_argument("--loss", default="mean_loss", help="loss function name")
+    build.add_argument(
+        "--target", required=True, help="comma-separated target attribute(s)"
+    )
+    build.add_argument("--theta", type=float, required=True, help="loss threshold θ")
+    build.add_argument(
+        "--loss-sql", help="file with a CREATE AGGREGATE declaring --loss"
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--out", required=True, help="cube file to write")
+    build.set_defaults(handler=cmd_build)
+
+    query = commands.add_parser("query", help="answer a dashboard query from a cube")
+    query.add_argument("--cube", required=True)
+    query.add_argument("--table", required=True)
+    query.add_argument(
+        "--where",
+        default="",
+        help="conjunction like payment_type=cash,passenger_count=1",
+    )
+    query.add_argument("--loss-sql", help="replay a CREATE AGGREGATE before loading")
+    query.add_argument("--limit", type=int, default=10, help="rows to print")
+    query.set_defaults(handler=cmd_query)
+
+    info = commands.add_parser("info", help="summarize a saved cube")
+    info.add_argument("--cube", required=True)
+    info.set_defaults(handler=cmd_info)
+
+    sql = commands.add_parser("sql", help="run SQL statements against a CSV table")
+    sql.add_argument("--table", required=True, help="CSV file registered as its basename")
+    sql.add_argument("statements", nargs="+", help="SQL statements to execute in order")
+    sql.set_defaults(handler=cmd_sql)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def cmd_generate(args) -> int:
+    table = generate_nyctaxi(num_rows=args.rows, seed=args.seed)
+    write_csv(table, args.out)
+    print(f"wrote {table.num_rows} rides to {args.out}")
+    return 0
+
+
+def _registry_with_declaration(path: Optional[str]) -> LossRegistry:
+    registry = LossRegistry()
+    if path:
+        with open(path) as handle:
+            statement = parse_statement(handle.read())
+        if not isinstance(statement, sql_ast.CreateAggregate):
+            raise TabulaError(f"{path}: expected a CREATE AGGREGATE statement")
+        registry.register(compile_loss(statement), replace=True)
+    return registry
+
+
+def cmd_build(args) -> int:
+    from repro.engine.schema import ColumnType
+
+    attrs = tuple(args.attrs.split(","))
+    # Cube attributes are categorical by definition; forcing CATEGORY
+    # keeps digit-labeled values (passenger counts, zone ids) stable
+    # across CSV round trips.
+    table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
+    registry = _registry_with_declaration(args.loss_sql)
+    loss = registry.bind(args.loss, tuple(args.target.split(",")))
+    tabula = Tabula(
+        table,
+        TabulaConfig(
+            cubed_attrs=attrs,
+            threshold=args.theta,
+            loss=loss,
+            seed=args.seed,
+        ),
+    )
+    report = tabula.initialize()
+    declaration = None
+    if args.loss_sql:
+        with open(args.loss_sql) as handle:
+            declaration = handle.read()
+    save_cube(tabula, args.out, loss_declaration=declaration)
+    memory = tabula.memory_breakdown()
+    print(
+        f"built {args.out}: {report.num_iceberg_cells}/{report.num_cells} iceberg cells, "
+        f"{report.num_representatives} samples, {format_bytes(memory.total_bytes)}, "
+        f"init {format_seconds(report.total_seconds)}"
+    )
+    return 0
+
+
+def _parse_where(text: str) -> Dict[str, object]:
+    conditions: Dict[str, object] = {}
+    if not text:
+        return conditions
+    for clause in text.split(","):
+        if "=" not in clause:
+            raise TabulaError(f"bad --where clause {clause!r}; expected attr=value")
+        attr, value = clause.split("=", 1)
+        conditions[attr.strip()] = value.strip()
+    return conditions
+
+
+def cmd_query(args) -> int:
+    from repro.engine.schema import ColumnType
+
+    document = json.loads(open(args.cube).read())
+    attrs = document.get("cubed_attrs", [])
+    table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
+    registry = _registry_with_declaration(args.loss_sql)
+    tabula = load_cube(args.cube, table, registry=registry)
+    result = tabula.query(_parse_where(args.where))
+    print(
+        f"source={result.source} rows={result.sample.num_rows} "
+        f"time={format_seconds(result.data_system_seconds)}"
+    )
+    if result.sample.num_rows:
+        print(result.sample.format(limit=args.limit))
+    return 0
+
+
+def cmd_info(args) -> int:
+    document = json.loads(open(args.cube).read())
+    samples = document["sample_table"]
+    sample_tuples = sum(payload["num_rows"] for payload in samples.values())
+    print(f"cube file:        {args.cube}")
+    print(f"cubed attributes: {', '.join(document['cubed_attrs'])}")
+    print(f"threshold θ:      {document['threshold']}")
+    print(f"loss function:    {document['loss']['name']} on {document['loss']['target_attrs']}")
+    print(f"iceberg cells:    {len(document['cube_table'])}")
+    print(f"known cells:      {len(document['known_cells'])}")
+    print(f"samples:          {len(samples)} ({sample_tuples} tuples)")
+    print(f"global sample:    {document['global_sample']['table']['num_rows']} tuples")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    import os
+
+    session = SQLSession()
+    name = os.path.splitext(os.path.basename(args.table))[0]
+    session.register_table(name, read_csv(args.table))
+    for statement in args.statements:
+        result = session.execute(statement)
+        _print_sql_result(result)
+    return 0
+
+
+def _print_sql_result(result) -> None:
+    from repro.core.tabula import InitializationReport, QueryResult
+    from repro.engine.table import Table
+
+    if isinstance(result, InitializationReport):
+        print(
+            f"cube initialized: {result.num_iceberg_cells}/{result.num_cells} iceberg "
+            f"cells in {format_seconds(result.total_seconds)}"
+        )
+    elif isinstance(result, QueryResult):
+        print(f"source={result.source} rows={result.sample.num_rows}")
+        if result.sample.num_rows:
+            print(result.sample.format(limit=10))
+    elif isinstance(result, Table):
+        print(result.format(limit=20))
+    else:
+        print(result)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

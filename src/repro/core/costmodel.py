@@ -1,0 +1,76 @@
+"""Real-run cost model — Inequation 1 of the paper.
+
+For an iceberg cuboid with i iceberg cells out of k total cells over a
+table of cardinality N, the real run can either
+
+- **GroupAllData**: run the cuboid GroupBy over the whole table, cost
+  modeled as ``N·log_k(N)``; or
+- **Prune + GroupPrunedData**: equi-join the raw table with the
+  cuboid's iceberg-cell table first (cost ``N·i``), then group only the
+  retrieved rows — assuming each cell holds ``N/k`` rows, the pruned
+  data has ``(i/k)·N`` rows, costing ``(i/k)·N·log_k((i/k)·N)``.
+
+Tabula picks the join path when
+
+    N·i + (i/k)·N·log_k((i/k)·N)  <  N·log_k(N)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostDecision:
+    """The evaluated cost model for one iceberg cuboid."""
+
+    table_rows: int
+    iceberg_cells: int
+    total_cells: int
+    prune_cost: float
+    group_pruned_cost: float
+    group_all_cost: float
+
+    @property
+    def use_join_prune(self) -> bool:
+        return self.prune_cost + self.group_pruned_cost < self.group_all_cost
+
+    @property
+    def strategy(self) -> str:
+        return "join-prune" if self.use_join_prune else "full-groupby"
+
+
+def _log_base(base: float, value: float) -> float:
+    if value <= 1.0:
+        return 0.0
+    return math.log(value) / math.log(base)
+
+
+def evaluate(table_rows: int, iceberg_cells: int, total_cells: int) -> CostDecision:
+    """Evaluate Inequation 1 for one cuboid.
+
+    Args:
+        table_rows: N, cardinality of the raw table.
+        iceberg_cells: i, iceberg cells in this cuboid.
+        total_cells: k, all cells in this cuboid.
+
+    Returns:
+        A :class:`CostDecision`; ``use_join_prune`` is the verdict. When
+        the cuboid has a single cell (k ≤ 1) the logarithm base is
+        undefined and the full GroupBy is returned (the join could not
+        prune anything anyway).
+    """
+    if table_rows < 0 or iceberg_cells < 0 or total_cells < 0:
+        raise ValueError("cost-model inputs must be non-negative")
+    n = float(table_rows)
+    i = float(iceberg_cells)
+    k = float(total_cells)
+    if k <= 1.0:
+        # log base k undefined; a one-cell cuboid cannot benefit from pruning.
+        return CostDecision(table_rows, iceberg_cells, total_cells, math.inf, math.inf, 0.0)
+    prune = n * i
+    pruned_rows = (i / k) * n
+    group_pruned = pruned_rows * _log_base(k, pruned_rows)
+    group_all = n * _log_base(k, n)
+    return CostDecision(table_rows, iceberg_cells, total_cells, prune, group_pruned, group_all)

@@ -1,0 +1,174 @@
+"""Physical sampling-cube storage — the cube table and sample table.
+
+Figure 4 of the paper: the cube table stores one row per *iceberg cell*
+(cell coordinates plus a sample id); the sample table stores the
+representative samples themselves. Many cells share a sample id thanks
+to representative sample selection. Queries hitting non-iceberg cells
+are answered by the global sample, which is the third physical
+component (Section V-B's memory breakdown: global sample, cube table,
+sample table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.global_sample import GlobalSample
+from repro.engine.column import Column
+from repro.engine.cube import CellKey, format_cell
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes per physical component (the Figure 9 breakdown)."""
+
+    global_sample_bytes: int
+    cube_table_bytes: int
+    sample_table_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.global_sample_bytes + self.cube_table_bytes + self.sample_table_bytes
+
+
+class SamplingCubeStore:
+    """The materialized sampling cube as held in the data system."""
+
+    def __init__(
+        self,
+        attrs: Sequence[str],
+        global_sample: GlobalSample,
+        cell_to_sample_id: Dict[CellKey, int],
+        samples: Dict[int, Table],
+        known_cells: frozenset,
+    ):
+        self.attrs = tuple(attrs)
+        self.global_sample = global_sample
+        self._cell_to_sample_id = dict(cell_to_sample_id)
+        self._samples = dict(samples)
+        self._known_cells = set(known_cells)
+        self._next_sample_id = max(self._samples, default=-1) + 1
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def lookup(self, cell: CellKey) -> Optional[Table]:
+        """The materialized sample for ``cell``, or ``None`` if the cell
+        is not an iceberg cell (caller then uses the global sample)."""
+        sample_id = self._cell_to_sample_id.get(cell)
+        if sample_id is None:
+            return None
+        return self._samples[sample_id]
+
+    def sample_id_of(self, cell: CellKey) -> Optional[int]:
+        return self._cell_to_sample_id.get(cell)
+
+    def is_known_cell(self, cell: CellKey) -> bool:
+        """Whether the cell's population is non-empty in the raw table."""
+        return cell in self._known_cells
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_iceberg_cells(self) -> int:
+        return len(self._cell_to_sample_id)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def sample_sizes(self) -> Dict[int, int]:
+        return {sid: tbl.num_rows for sid, tbl in self._samples.items()}
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        return MemoryBreakdown(
+            global_sample_bytes=self.global_sample.nbytes,
+            cube_table_bytes=self._estimate_cube_table_bytes(),
+            sample_table_bytes=sum(t.nbytes for t in self._samples.values()),
+        )
+
+    def _estimate_cube_table_bytes(self) -> int:
+        """Cube-table footprint: per row, one slot per attribute + the id.
+
+        Matches the physical layout of Figure 4a — fixed-width encoded
+        cell coordinates (dictionary codes / null marker) plus a sample
+        id, 8 bytes each.
+        """
+        row_bytes = (len(self.attrs) + 1) * 8
+        return len(self._cell_to_sample_id) * row_bytes
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance support
+    # ------------------------------------------------------------------
+    def add_known_cell(self, cell: CellKey) -> None:
+        """Record a newly non-empty cell (appends can create cells)."""
+        self._known_cells.add(cell)
+
+    def assign_new_sample(self, cell: CellKey, sample: Table) -> int:
+        """Materialize a fresh local sample for ``cell``; returns its id.
+
+        Orphaned samples (no longer referenced by any cell) are garbage
+        collected so repeated maintenance cannot leak memory.
+        """
+        sample_id = self._next_sample_id
+        self._next_sample_id += 1
+        self._samples[sample_id] = sample
+        old = self._cell_to_sample_id.get(cell)
+        self._cell_to_sample_id[cell] = sample_id
+        if old is not None:
+            self._collect_if_orphaned(old)
+        self._known_cells.add(cell)
+        return sample_id
+
+    def demote_to_global(self, cell: CellKey) -> None:
+        """Stop materializing ``cell`` (its loss fell back under θ)."""
+        old = self._cell_to_sample_id.pop(cell, None)
+        if old is not None:
+            self._collect_if_orphaned(old)
+
+    def _collect_if_orphaned(self, sample_id: int) -> None:
+        if sample_id not in self._cell_to_sample_id.values():
+            self._samples.pop(sample_id, None)
+
+    # ------------------------------------------------------------------
+    # Physical layout (Figure 4), for display and the SQL surface
+    # ------------------------------------------------------------------
+    def cube_table(self) -> Table:
+        """The cube table as an engine table (Figure 4a)."""
+        cells = list(self._cell_to_sample_id)
+        data: Dict[str, List] = {attr: [] for attr in self.attrs}
+        ids: List[int] = []
+        for cell in cells:
+            for attr, value in zip(self.attrs, cell):
+                data[attr].append("(null)" if value is None else str(value))
+            ids.append(self._cell_to_sample_id[cell])
+        columns = [
+            Column.from_values(attr, values, ColumnType.CATEGORY)
+            for attr, values in data.items()
+        ]
+        columns.append(Column("sample_id", ColumnType.INT64, np.asarray(ids, dtype=np.int64)))
+        return Table(columns)
+
+    def sample_table_entries(self) -> List[Tuple[int, Table]]:
+        """The sample table as (id, rows) pairs (Figure 4b)."""
+        return sorted(self._samples.items())
+
+    def describe(self, limit: int = 10) -> str:
+        """Human-readable summary used by examples and debugging."""
+        lines = [
+            f"sampling cube over {self.attrs}",
+            f"  iceberg cells: {self.num_iceberg_cells}",
+            f"  persisted samples: {self.num_samples}",
+            f"  global sample: {self.global_sample.size} tuples",
+        ]
+        for cell in list(self._cell_to_sample_id)[:limit]:
+            lines.append(
+                f"  {format_cell(cell)} -> sample {self._cell_to_sample_id[cell]}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The cuboid lattice (Figure 5a of the paper).
+
+Each vertex is a cuboid (a GroupBy query) labeled with its total cell
+count and iceberg cell count; an edge connects cuboid A to cuboid B when
+A's grouping list is a subset of B's with one fewer attribute (so every
+cell of A has descendant cells in B). The dry run annotates the lattice
+without computing any local samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.engine.cube import grouping_sets
+
+GroupingSet = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LatticeNode:
+    """One cuboid vertex with the dry run's cell accounting."""
+
+    grouping_set: GroupingSet
+    total_cells: int
+    iceberg_cells: int
+
+    @property
+    def is_iceberg_cuboid(self) -> bool:
+        """True when this cuboid contains at least one iceberg cell."""
+        return self.iceberg_cells > 0
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``DCM (16, 4)``."""
+        name = ",".join(self.grouping_set) if self.grouping_set else "All"
+        return f"{name} ({self.total_cells}, {self.iceberg_cells})"
+
+
+class CuboidLattice:
+    """The annotated lattice over all ``2**n`` cuboids."""
+
+    def __init__(self, attrs: Sequence[str], nodes: Dict[GroupingSet, LatticeNode]):
+        self.attrs = tuple(attrs)
+        expected = set(grouping_sets(self.attrs))
+        missing = expected - set(nodes)
+        if missing:
+            raise ValueError(f"lattice is missing cuboids: {sorted(missing)}")
+        self._nodes = nodes
+
+    def __iter__(self) -> Iterator[LatticeNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, gset: Sequence[str]) -> LatticeNode:
+        return self._nodes[tuple(gset)]
+
+    def iceberg_cuboids(self) -> List[GroupingSet]:
+        """Grouping sets of cuboids holding at least one iceberg cell."""
+        return [n.grouping_set for n in self._nodes.values() if n.is_iceberg_cuboid]
+
+    def edges(self) -> List[Tuple[GroupingSet, GroupingSet]]:
+        """(child, parent) pairs: child ⊂ parent, |child| = |parent| − 1."""
+        result = []
+        for parent in self._nodes:
+            parent_set = set(parent)
+            for child in self._nodes:
+                if len(child) == len(parent) - 1 and set(child) <= parent_set:
+                    result.append((child, parent))
+        return result
+
+    @property
+    def total_cells(self) -> int:
+        return sum(n.total_cells for n in self._nodes.values())
+
+    @property
+    def total_iceberg_cells(self) -> int:
+        return sum(n.iceberg_cells for n in self._nodes.values())
+
+    def format(self) -> str:
+        """Render the lattice level by level, iceberg cuboids starred."""
+        by_level: Dict[int, List[LatticeNode]] = {}
+        for node in self._nodes.values():
+            by_level.setdefault(len(node.grouping_set), []).append(node)
+        lines = []
+        for level in sorted(by_level, reverse=True):
+            labels = [
+                ("*" if n.is_iceberg_cuboid else " ") + n.label()
+                for n in sorted(by_level[level], key=lambda n: n.grouping_set)
+            ]
+            lines.append("   ".join(labels))
+        return "\n".join(lines)

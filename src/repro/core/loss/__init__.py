@@ -1,0 +1,44 @@
+"""User-defined accuracy loss functions (Section II of the paper).
+
+A loss function measures how much visual-analytics accuracy is lost by
+using a sample instead of the raw query answer. Tabula requires loss
+functions to be *algebraic* so the dry-run stage can derive every cuboid
+of the cube from the base cuboid; each implementation therefore exposes
+distributive sufficient statistics next to its direct evaluation.
+
+Built-ins match the paper's three examples plus the histogram variant
+used in the experiments:
+
+- :class:`~repro.core.loss.mean.MeanLoss` — Function 1, statistical-mean
+  relative error;
+- :class:`~repro.core.loss.heatmap.HeatmapLoss` — Function 2, geospatial
+  average-minimum-distance (VAS / POIsam style);
+- :class:`~repro.core.loss.regression.RegressionLoss` — Function 3,
+  regression-line angle difference;
+- :class:`~repro.core.loss.histogram.HistogramLoss` — Function 2 on 1-D
+  data.
+
+User-declared functions arrive through
+:func:`repro.core.loss.compiler.compile_loss`.
+"""
+
+from repro.core.loss.base import GreedyLossState, LossFunction
+from repro.core.loss.combined import CombinedLoss
+from repro.core.loss.heatmap import HeatmapLoss
+from repro.core.loss.histogram import HistogramLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.loss.regression import RegressionLoss
+from repro.core.loss.registry import LossRegistry
+from repro.core.loss.stddev import StdDevLoss
+
+__all__ = [
+    "CombinedLoss",
+    "GreedyLossState",
+    "HeatmapLoss",
+    "HistogramLoss",
+    "LossFunction",
+    "LossRegistry",
+    "MeanLoss",
+    "RegressionLoss",
+    "StdDevLoss",
+]

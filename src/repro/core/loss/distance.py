@@ -1,0 +1,217 @@
+"""Shared average-minimum-distance loss machinery (Function 2).
+
+``BEGIN (1/|Raw|) * SUM_x_in_Raw MIN_s_in_Sam losspair(x, s) END``
+
+Used in two instantiations: the 2-D geospatial heat-map loss and the
+1-D histogram loss. The per-tuple minimum distance to a *fixed* sample
+is a plain per-row derived value, so its SUM is distributive — which is
+what lets the dry run treat this visually-motivated loss as algebraic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.loss.base import (
+    GreedyLossState,
+    LossFunction,
+    as_points,
+    pairwise_min_distance,
+)
+
+#: Cap on candidate-batch element count per chunk when building the
+#: candidate-distance matrix (keeps peak memory bounded).
+_CHUNK_ELEMENTS = 4_000_000
+
+
+class AvgMinDistanceLoss(LossFunction):
+    """Average distance from each raw tuple to its nearest sample tuple."""
+
+    name = "avg_min_distance"
+    additive_stats = True
+    # amd(∪B_i, ∪S_i) = Σ|B_i|·amd_i'(B_i, ∪S) / Σ|B_i| where every
+    # per-cell term only improves when more sample points are available,
+    # so the union answer stays within θ (see Tabula.query IN support).
+    union_safe = True
+
+    def __init__(self, attrs: Tuple[str, ...], metric: str = "euclidean"):
+        self.target_attrs = tuple(attrs)
+        self.target_arity = len(self.target_attrs)
+        self.metric = metric
+
+    # -- direct -----------------------------------------------------------
+    def loss(self, raw: np.ndarray, sample: np.ndarray) -> float:
+        if len(raw) == 0:
+            return 0.0
+        if len(sample) == 0:
+            return math.inf
+        return float(np.mean(pairwise_min_distance(raw, sample, self.metric)))
+
+    # -- algebraic ----------------------------------------------------------
+    def prepare_sample(self, sample: np.ndarray) -> tuple:
+        return (float(len(sample)),)
+
+    def stats(self, raw: np.ndarray, sample: np.ndarray) -> Tuple[float, float]:
+        if len(raw) == 0:
+            return (0.0, 0.0)
+        if len(sample) == 0:
+            return (float(len(raw)), math.inf)
+        dmin = pairwise_min_distance(raw, sample, self.metric)
+        return (float(len(raw)), float(np.sum(dmin)))
+
+    def merge_stats(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def loss_from_stats(self, stats: tuple, sample_summary: tuple) -> float:
+        count, dist_sum = stats
+        if count == 0:
+            return 0.0
+        if sample_summary[0] == 0:
+            return math.inf
+        return dist_sum / count
+
+    # -- greedy ---------------------------------------------------------------
+    def greedy_state(self, raw: np.ndarray) -> "AvgMinDistanceGreedyState":
+        return AvgMinDistanceGreedyState(raw, self.metric)
+
+    def candidate_pool_filter(self, raw: np.ndarray):
+        """Duplicate points contribute identical coverage: keep one each.
+
+        A sample of the distinct points can reach loss 0, so the filter
+        never makes θ unreachable.
+        """
+        pts = as_points(raw)
+        _, first = np.unique(pts, axis=0, return_index=True)
+        if len(first) == len(pts):
+            return None
+        return np.sort(first)
+
+    # -- representation join ------------------------------------------------
+    def cell_aux(self, raw: np.ndarray) -> tuple:
+        """(centroid, mean distance of cell points to centroid)."""
+        pts = as_points(raw)
+        if len(pts) == 0:
+            return (np.zeros(max(self.target_arity, 1)), 0.0)
+        centroid = pts.mean(axis=0)
+        diff = pts - centroid
+        if self.metric == "euclidean":
+            spread = float(np.mean(np.sqrt(np.sum(diff * diff, axis=1))))
+        else:
+            spread = float(np.mean(np.sum(np.abs(diff), axis=1)))
+        return (centroid, spread)
+
+    def representation_lower_bound(
+        self, stats: tuple, aux: tuple, sample: np.ndarray
+    ) -> float:
+        """Triangle-inequality bound: amd(B, S) ≥ d(centroid_B, S) − spread_B.
+
+        For every x in B and s in S, d(x, s) ≥ d(c, s) − d(x, c); taking
+        the min over s and averaging over x gives the bound. Pairs whose
+        bound already exceeds θ are skipped without touching raw data.
+        """
+        if len(sample) == 0:
+            return math.inf
+        centroid, spread = aux
+        dist_to_sample = float(
+            np.min(pairwise_min_distance(centroid.reshape(1, -1), sample, self.metric))
+        )
+        return max(0.0, dist_to_sample - spread)
+
+    def representation_prepare(self, stats_list, aux_list):
+        centroids = np.vstack([np.atleast_1d(a[0]) for a in aux_list])
+        spreads = np.asarray([a[1] for a in aux_list])
+        return (centroids, spreads)
+
+    def representation_lower_bound_batch(self, prepared, sample: np.ndarray):
+        centroids, spreads = prepared
+        if len(sample) == 0:
+            return np.full(len(spreads), math.inf)
+        dmin = pairwise_min_distance(centroids, sample, self.metric)
+        return np.maximum(0.0, dmin - spreads)
+
+    def representation_accept_prepare(self, cell_samples, achieved_losses):
+        """Concatenate every cell's local sample into one point bank.
+
+        Soundness of the resulting accept: for x in cell B with nearest
+        own-sample point p_x, ``min_s d(x,s) <= d(x,p_x) + min_s d(p_x,s)``;
+        averaging gives ``amd(B,S) <= amd(B,samB) + max_p min_s d(p,S)``.
+        """
+        points = []
+        segments = []
+        for j, sample in enumerate(cell_samples):
+            pts = as_points(sample)
+            points.append(pts)
+            segments.append(np.full(len(pts), j, dtype=np.int64))
+        if not points:
+            return None
+        return (
+            np.vstack(points),
+            np.concatenate(segments),
+            np.asarray(achieved_losses, dtype=float),
+            len(cell_samples),
+        )
+
+    def representation_upper_bound_batch(self, prepared, sample: np.ndarray):
+        if prepared is None:
+            return None
+        bank, segments, achieved, n_cells = prepared
+        if len(sample) == 0:
+            return np.full(n_cells, math.inf)
+        dmin = pairwise_min_distance(bank, sample, self.metric)
+        worst = np.zeros(n_cells)
+        np.maximum.at(worst, segments, dmin)
+        # Cells with an empty own-sample get an infinite (useless) bound.
+        has_points = np.zeros(n_cells, dtype=bool)
+        has_points[segments] = True
+        return np.where(has_points, achieved + worst, math.inf)
+
+
+class AvgMinDistanceGreedyState(GreedyLossState):
+    """Maintains per-raw-point nearest-sample distances (``d_min``).
+
+    Adding sample point *s* turns the loss into
+    ``mean(min(d_min, dist(raw, s)))`` — one vectorized pass per
+    candidate, the ``O(k·N)`` greedy round of the paper, and the reason
+    lazy-forward pays off.
+    """
+
+    def __init__(self, raw: np.ndarray, metric: str):
+        self._points = as_points(raw)
+        self._metric = metric
+        self._n = len(self._points)
+        self._dmin = np.full(self._n, np.inf)
+
+    def current_loss(self) -> float:
+        if self._n == 0:
+            return 0.0
+        return float(np.mean(self._dmin))
+
+    def _distances_to(self, candidates: np.ndarray) -> np.ndarray:
+        """Distance matrix ``(n_raw, n_candidates)`` to candidate points."""
+        cand_pts = self._points[candidates]
+        diff = self._points[:, None, :] - cand_pts[None, :, :]
+        if self._metric == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=2))
+        return np.sum(np.abs(diff), axis=2)
+
+    def losses_if_added(self, candidates: np.ndarray) -> np.ndarray:
+        candidates = np.asarray(candidates)
+        if self._n == 0:
+            return np.zeros(len(candidates))
+        out = np.empty(len(candidates))
+        step = max(1, _CHUNK_ELEMENTS // max(self._n, 1))
+        for start in range(0, len(candidates), step):
+            chunk = candidates[start:start + step]
+            dists = self._distances_to(chunk)
+            improved = np.minimum(self._dmin[:, None], dists)
+            out[start:start + len(chunk)] = improved.mean(axis=0)
+        return out
+
+    def add(self, index: int) -> None:
+        if self._n == 0:
+            return
+        dists = self._distances_to(np.asarray([index]))[:, 0]
+        np.minimum(self._dmin, dists, out=self._dmin)

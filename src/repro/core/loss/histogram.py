@@ -1,0 +1,19 @@
+"""Histogram-aware accuracy loss — Function 2 on 1-D data.
+
+Used throughout the paper's attribute-count experiments with the fare
+amount attribute, so the distance unit is US dollars ("0.5 dollar"
+threshold in Section V-E).
+"""
+
+from __future__ import annotations
+
+from repro.core.loss.distance import AvgMinDistanceLoss
+
+
+class HistogramLoss(AvgMinDistanceLoss):
+    """1-D average-min-distance loss (Euclidean on a single attribute)."""
+
+    name = "histogram_loss"
+
+    def __init__(self, attr: str):
+        super().__init__((attr,), metric="euclidean")

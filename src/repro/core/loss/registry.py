@@ -1,0 +1,97 @@
+"""Name → loss-function resolution.
+
+The initialization query names its loss function (``HAVING my_loss(attr,
+Sam_global) > θ``); a :class:`LossRegistry` turns that name plus the
+target attributes into a bound :class:`LossFunction`. Registries start
+with the paper's built-ins and grow as ``CREATE AGGREGATE`` statements
+are executed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Tuple
+
+from repro.core.loss.base import LossFunction
+from repro.core.loss.heatmap import HeatmapLoss
+from repro.core.loss.histogram import HistogramLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.loss.regression import RegressionLoss
+from repro.core.loss.stddev import StdDevLoss
+from repro.errors import LossFunctionError
+
+
+class LossSpec(abc.ABC):
+    """An unbound loss function: knows its arity, binds to target attrs."""
+
+    name: str = ""
+    arity: int = 1
+
+    @abc.abstractmethod
+    def bind(self, target_attrs: Tuple[str, ...]) -> LossFunction:
+        """Instantiate against concrete target attribute names."""
+
+    def check_arity(self, target_attrs: Tuple[str, ...]) -> None:
+        if len(target_attrs) != self.arity:
+            raise LossFunctionError(
+                f"loss {self.name!r} expects {self.arity} target attribute(s), "
+                f"got {len(target_attrs)}: {target_attrs!r}"
+            )
+
+
+class _BuiltinSpec(LossSpec):
+    def __init__(self, name: str, arity: int, factory: Callable[..., LossFunction]):
+        self.name = name
+        self.arity = arity
+        self._factory = factory
+
+    def bind(self, target_attrs: Tuple[str, ...]) -> LossFunction:
+        self.check_arity(target_attrs)
+        return self._factory(*target_attrs)
+
+
+class LossRegistry:
+    """Case-insensitive registry of loss specs."""
+
+    def __init__(self, include_builtins: bool = True):
+        self._specs: Dict[str, LossSpec] = {}
+        if include_builtins:
+            for spec in _builtin_specs():
+                self.register(spec)
+
+    def register(self, spec: LossSpec, replace: bool = False) -> None:
+        key = spec.name.lower()
+        if key in self._specs and not replace:
+            raise LossFunctionError(f"loss function {spec.name!r} already registered")
+        self._specs[key] = spec
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._specs
+
+    def get(self, name: str) -> LossSpec:
+        try:
+            return self._specs[name.lower()]
+        except KeyError:
+            raise LossFunctionError(f"unknown loss function: {name!r}") from None
+
+    def bind(self, name: str, target_attrs: Tuple[str, ...]) -> LossFunction:
+        """Resolve ``name`` and bind it to ``target_attrs``."""
+        return self.get(name).bind(tuple(target_attrs))
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._specs))
+
+
+def _builtin_specs() -> Tuple[LossSpec, ...]:
+    return (
+        _BuiltinSpec("mean_loss", 1, MeanLoss),
+        _BuiltinSpec("histogram_loss", 1, HistogramLoss),
+        _BuiltinSpec("heatmap_loss", 2, HeatmapLoss),
+        _BuiltinSpec(
+            "heatmap_loss_manhattan",
+            2,
+            lambda x, y: HeatmapLoss(x, y, metric="manhattan"),
+        ),
+        _BuiltinSpec("regression_loss", 2, RegressionLoss),
+        _BuiltinSpec("stddev_loss", 1, StdDevLoss),
+    )

@@ -1,0 +1,168 @@
+"""Incremental cube maintenance — append new data without a rebuild.
+
+The paper initializes the sampling cube once; real dashboards sit on
+tables that grow. This extension folds a batch of appended rows into an
+initialized :class:`~repro.core.tabula.Tabula` while *preserving the
+deterministic θ-guarantee*:
+
+1. one pass over the delta computes its base-cuboid loss statistics and
+   derives every affected cell's delta statistics (the same algebraic
+   trick as the dry run — the raw table is never re-read);
+2. each affected cell's loss against the (unchanged) global sample is
+   recomputed from merged statistics:
+   - loss ≤ θ and not materialized → nothing to do (global sample
+     still valid — verified, not assumed);
+   - loss ≤ θ but materialized → the cell is demoted to the global
+     sample (its old sample is garbage-collected when orphaned);
+   - loss > θ → the currently assigned sample (if any) is re-checked
+     against the cell's *new* population; on violation — or if the cell
+     was not materialized — a fresh local sample is drawn from the
+     combined data.
+
+Unaffected cells keep their previous certificates: their populations
+did not change. The global sample itself is kept; Serfling's bound ties
+its size to the relative-error target, not the table cardinality, so a
+growing table does not invalidate it (the per-cell re-checks above are
+what carry the guarantee).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.core.sampling import sample_with_pool
+from repro.core.tabula import Tabula
+from repro.engine.cube import CellKey, align_cell_key, grouping_sets
+from repro.engine.groupby import group_rows
+from repro.engine.table import Table
+from repro.errors import CubeNotInitializedError, TabulaError
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one append did to the cube."""
+
+    appended_rows: int
+    affected_cells: int
+    new_cells: int
+    promoted_cells: int      # newly iceberg, fresh local sample drawn
+    repaired_cells: int      # iceberg whose sample no longer satisfied θ
+    retained_cells: int      # iceberg whose sample still satisfies θ
+    demoted_cells: int       # fell back under θ, now served globally
+    seconds: float
+
+
+def append_rows(tabula: Tabula, new_rows: Table, seed: int = 0) -> MaintenanceReport:
+    """Fold ``new_rows`` into an initialized middleware instance.
+
+    After this returns, ``tabula.table`` is the concatenation and every
+    cube cell again satisfies ``loss(raw answer, returned sample) <= θ``.
+
+    Raises:
+        CubeNotInitializedError: before ``initialize()``.
+        TabulaError: when called on a restored (persisted) instance that
+            lacks dry-run statistics.
+    """
+    started = time.perf_counter()
+    store = tabula.store  # raises CubeNotInitializedError when missing
+    if tabula._dry is None:
+        raise TabulaError(
+            "incremental maintenance needs the dry-run statistics; a cube "
+            "restored from disk must be re-initialized instead"
+        )
+    if new_rows.schema.names != tabula.table.schema.names:
+        raise TabulaError(
+            f"appended rows schema {new_rows.schema.names} does not match "
+            f"the table schema {tabula.table.schema.names}"
+        )
+    config = tabula.config
+    loss = config.loss
+    attrs = config.cubed_attrs
+    dry = tabula._dry
+    rng = np.random.default_rng(seed)
+
+    sample_values = loss.extract(store.global_sample.table)
+    sample_summary = loss.prepare_sample(sample_values)
+
+    # Stage 1: delta statistics, derived exactly like the dry run.
+    delta_values = loss.extract(new_rows)
+    base = group_rows(new_rows, attrs)
+    base_keys = [base.decode_key(g) for g in range(base.num_groups)]
+    base_stats = [
+        loss.stats(delta_values[idx], sample_values) for idx in base.group_indices
+    ]
+    positions = {attr: i for i, attr in enumerate(attrs)}
+    delta_stats: Dict[CellKey, tuple] = {}
+    for gset in grouping_sets(attrs):
+        projector = [positions[a] for a in gset]
+        for key, stats in zip(base_keys, base_stats):
+            cell = align_cell_key(gset, tuple(key[p] for p in projector), attrs)
+            if cell in delta_stats:
+                delta_stats[cell] = loss.merge_stats(delta_stats[cell], stats)
+            else:
+                delta_stats[cell] = stats
+
+    # Stage 2: merge, re-check, repair.
+    combined = tabula.table.concat(new_rows)
+    combined_values = loss.extract(combined)
+    new_cells = promoted = repaired = retained = demoted = 0
+    known: Set[CellKey] = set(dry.known_cells)
+    for cell, delta in delta_stats.items():
+        previous = dry.cell_stats.get(cell)
+        merged = delta if previous is None else loss.merge_stats(previous, delta)
+        dry.cell_stats[cell] = merged
+        cell_loss = loss.loss_from_stats(merged, sample_summary)
+        dry.cell_losses[cell] = cell_loss
+        if cell not in known:
+            new_cells += 1
+            known.add(cell)
+            store.add_known_cell(cell)
+        if cell_loss <= config.threshold:
+            if store.sample_id_of(cell) is not None:
+                store.demote_to_global(cell)
+                demoted += 1
+            continue
+        # Iceberg (now or still): the materialized answer must be valid.
+        cell_rows = _cell_population(combined, attrs, cell)
+        cell_data = combined_values[cell_rows]
+        assigned = store.lookup(cell)
+        if assigned is not None:
+            if loss.loss(cell_data, loss.extract(assigned)) <= config.threshold:
+                retained += 1
+                continue
+            repaired += 1
+        else:
+            promoted += 1
+        result = sample_with_pool(
+            loss, cell_data, config.threshold, rng, pool_size=config.pool_size,
+            lazy=config.lazy_sampling,
+        )
+        store.assign_new_sample(cell, combined.take(cell_rows[result.indices]))
+
+    dry.known_cells = frozenset(known)
+    tabula.table = combined
+    return MaintenanceReport(
+        appended_rows=new_rows.num_rows,
+        affected_cells=len(delta_stats),
+        new_cells=new_cells,
+        promoted_cells=promoted,
+        repaired_cells=repaired,
+        retained_cells=retained,
+        demoted_cells=demoted,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _cell_population(table: Table, attrs, cell: CellKey) -> np.ndarray:
+    """Row indices of a cell's population in ``table``."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for attr, value in zip(attrs, cell):
+        if value is None:
+            continue
+        col = table.column(attr)
+        mask &= col.data == col.encode(value)
+    return np.nonzero(mask)[0]

@@ -1,0 +1,192 @@
+"""Persist and restore a materialized sampling cube.
+
+A middleware restart should not force re-initialization — the cube (the
+expensive artifact) serializes to a single JSON document: the cubed
+attributes, θ, the loss binding, the global sample, the cube table
+(cell → sample id), the sample table, and the known-cell set. Loading
+re-binds the loss function from a :class:`LossRegistry` (user-declared
+losses must be re-registered first, e.g. by replaying their CREATE
+AGGREGATE statement — the declaration is stored alongside when known).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.cube_store import SamplingCubeStore
+from repro.core.global_sample import GlobalSample
+from repro.core.loss.registry import LossRegistry
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+from repro.errors import TabulaError
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(TabulaError):
+    """The cube file is missing, corrupt, or from an unknown version."""
+
+
+# ---------------------------------------------------------------------------
+# Table <-> JSON
+# ---------------------------------------------------------------------------
+
+def table_to_json(table: Table) -> dict:
+    """Serialize a table column-wise (dictionaries kept for categories)."""
+    columns = []
+    for col in table.columns():
+        entry = {
+            "name": col.name,
+            "type": col.ctype.value,
+            "data": col.data.tolist(),
+        }
+        if col.dictionary is not None:
+            entry["dictionary"] = list(col.dictionary)
+        columns.append(entry)
+    return {"columns": columns, "num_rows": table.num_rows}
+
+
+def table_from_json(payload: dict) -> Table:
+    """Inverse of :func:`table_to_json`."""
+    columns = []
+    for entry in payload["columns"]:
+        ctype = ColumnType(entry["type"])
+        data = np.asarray(entry["data"], dtype=ctype.numpy_dtype)
+        dictionary = tuple(entry["dictionary"]) if "dictionary" in entry else None
+        columns.append(Column(entry["name"], ctype, data, dictionary))
+    return Table(columns)
+
+
+# ---------------------------------------------------------------------------
+# Cube <-> file
+# ---------------------------------------------------------------------------
+
+def _cell_to_list(cell) -> list:
+    return [None if v is None else v for v in cell]
+
+
+def _cell_from_list(values) -> tuple:
+    return tuple(None if v is None else v for v in values)
+
+
+def save_cube(
+    tabula: Tabula,
+    path: Union[str, Path],
+    loss_declaration: Optional[str] = None,
+) -> None:
+    """Write an initialized Tabula's cube to ``path`` (JSON).
+
+    Args:
+        tabula: an initialized middleware instance.
+        loss_declaration: optional CREATE AGGREGATE source stored for
+            provenance (replayed manually on load when the loss is
+            user-declared rather than built-in).
+    """
+    store = tabula.store
+    config = tabula.config
+    samples = {
+        str(sid): table_to_json(sample)
+        for sid, sample in store.sample_table_entries()
+    }
+    cube_cells = [
+        {"cell": _cell_to_list(cell), "sample_id": store.sample_id_of(cell)}
+        for cell in store._cell_to_sample_id  # physical layout, Figure 4a
+    ]
+    document = {
+        "format_version": FORMAT_VERSION,
+        "cubed_attrs": list(config.cubed_attrs),
+        "threshold": config.threshold,
+        "loss": {
+            "name": config.loss.name,
+            "target_attrs": list(config.loss.target_attrs),
+            "declaration": loss_declaration,
+        },
+        "global_sample": {
+            "table": table_to_json(store.global_sample.table),
+            "indices": store.global_sample.indices.tolist(),
+            "epsilon": store.global_sample.epsilon,
+            "delta": store.global_sample.delta,
+        },
+        "cube_table": cube_cells,
+        "sample_table": samples,
+        "known_cells": [_cell_to_list(c) for c in sorted(store._known_cells, key=str)],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_cube(
+    path: Union[str, Path],
+    table: Table,
+    registry: Optional[LossRegistry] = None,
+) -> Tabula:
+    """Restore a ready-to-query Tabula from a saved cube.
+
+    Args:
+        path: file written by :func:`save_cube`.
+        table: the raw table (needed for ``raw_answer``/``actual_loss``;
+            queries themselves run purely on the restored cube).
+        registry: loss registry to re-bind the loss from; defaults to
+            the built-ins.
+
+    Raises:
+        PersistenceError: unknown format or missing loss function.
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise PersistenceError(f"no cube file at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt cube file {path}: {exc}") from None
+    if document.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported cube format version {document.get('format_version')!r}"
+        )
+    registry = registry if registry is not None else LossRegistry()
+    loss_info = document["loss"]
+    if loss_info["name"] not in registry:
+        raise PersistenceError(
+            f"loss function {loss_info['name']!r} is not registered; replay its "
+            "CREATE AGGREGATE declaration before loading"
+            + (f":\n{loss_info['declaration']}" if loss_info.get("declaration") else "")
+        )
+    loss = registry.bind(loss_info["name"], tuple(loss_info["target_attrs"]))
+
+    gs_payload = document["global_sample"]
+    global_sample = GlobalSample(
+        table=table_from_json(gs_payload["table"]),
+        indices=np.asarray(gs_payload["indices"], dtype=np.int64),
+        epsilon=gs_payload["epsilon"],
+        delta=gs_payload["delta"],
+    )
+    samples: Dict[int, Table] = {
+        int(sid): table_from_json(payload)
+        for sid, payload in document["sample_table"].items()
+    }
+    cell_to_sample = {
+        _cell_from_list(entry["cell"]): entry["sample_id"]
+        for entry in document["cube_table"]
+    }
+    known = frozenset(_cell_from_list(c) for c in document["known_cells"])
+
+    config = TabulaConfig(
+        cubed_attrs=tuple(document["cubed_attrs"]),
+        threshold=document["threshold"],
+        loss=loss,
+    )
+    tabula = Tabula(table, config)
+    tabula.attach_store(
+        SamplingCubeStore(
+            attrs=config.cubed_attrs,
+            global_sample=global_sample,
+            cell_to_sample_id=cell_to_sample,
+            samples=samples,
+            known_cells=known,
+        )
+    )
+    return tabula

@@ -1,0 +1,223 @@
+"""Real-run stage: sampling cube construction (Algorithm 2).
+
+Armed with the dry run's per-cuboid iceberg-cell tables, the real run
+visits only iceberg cuboids; non-iceberg cuboids are skipped outright.
+For each iceberg cuboid, the cost model (Inequation 1) decides between
+
+1. a full GroupBy over the raw table, checking the iceberg condition
+   per cell; or
+2. an equi-join of the raw table with the cuboid's iceberg-cell table
+   (a semi-join prune), then a GroupBy over the much smaller retrieved
+   data — the winner when the cuboid has only a few iceberg cells.
+
+Either way, the stage then draws a local sample (Algorithm 1) for every
+iceberg cell. The cube table it emits still carries each cell's raw-row
+indices because the sample-selection join (Section IV) needs the raw
+data; normalization drops them afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import costmodel
+from repro.core.dryrun import DryRunResult
+from repro.core.loss.base import LossFunction
+from repro.core.sampling import SamplingResult, sample_with_pool
+from repro.engine.cube import CellKey, align_cell_key
+from repro.engine.groupby import group_rows
+from repro.engine.table import Table
+
+
+@dataclass
+class IcebergCellEntry:
+    """One materialized iceberg cell before normalization (Figure 6)."""
+
+    key: CellKey
+    #: raw-table row indices of the cell's population ("Cell raw data").
+    raw_indices: np.ndarray
+    #: raw-table row indices of the local sample.
+    sample_indices: np.ndarray
+    #: the dry run's merged loss statistics for this cell.
+    stats: tuple
+    #: sampler diagnostics (size, achieved loss, evaluations).
+    sampling: SamplingResult
+
+
+@dataclass
+class RealRunResult:
+    """Stage-2 output: materialized iceberg cells plus diagnostics."""
+
+    cells: List[IcebergCellEntry]
+    decisions: Dict[Tuple[str, ...], costmodel.CostDecision]
+    skipped_cuboids: int
+    seconds: float
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def total_sample_tuples(self) -> int:
+        return sum(len(c.sample_indices) for c in self.cells)
+
+
+def real_run(
+    table: Table,
+    dry: DryRunResult,
+    loss: LossFunction,
+    rng: np.random.Generator,
+    lazy: bool = True,
+    pool_size: Optional[int] = 2000,
+    force_strategy: Optional[str] = None,
+    skip_sampling: bool = False,
+) -> RealRunResult:
+    """Materialize local samples for every iceberg cell.
+
+    Args:
+        table: the raw table.
+        dry: dry-run output (iceberg cells, counts, lattice).
+        loss: the bound accuracy loss function.
+        rng: randomness source for the candidate pools.
+        lazy: lazy-forward vs naive greedy sampling.
+        pool_size: candidate-pool cap passed to the sampler.
+        force_strategy: override the cost model with ``"join-prune"`` or
+            ``"full-groupby"`` (used by the cost-model ablation bench).
+        skip_sampling: only retrieve each iceberg cell's raw rows, do
+            not draw samples — isolates the retrieval cost the cost
+            model reasons about (ablation use only).
+    """
+    started = time.perf_counter()
+    values = loss.extract(table)
+    n = table.num_rows
+    cells: List[IcebergCellEntry] = []
+    decisions: Dict[Tuple[str, ...], costmodel.CostDecision] = {}
+    skipped = 0
+
+    for gset, iceberg_keys in dry.iceberg_cells_by_cuboid.items():
+        if not iceberg_keys:
+            skipped += 1
+            continue
+        decision = costmodel.evaluate(n, len(iceberg_keys), dry.cell_counts[gset])
+        decisions[gset] = decision
+        use_join = decision.use_join_prune
+        if force_strategy == "join-prune":
+            use_join = True
+        elif force_strategy == "full-groupby":
+            use_join = False
+        cell_rows = _cuboid_cell_rows(table, gset, dry.attrs, iceberg_keys, use_join)
+        for key in iceberg_keys:
+            idx = cell_rows.get(key)
+            if idx is None:  # pragma: no cover - dry run and real run agree
+                continue
+            if skip_sampling:
+                cells.append(
+                    IcebergCellEntry(
+                        key=key,
+                        raw_indices=idx,
+                        sample_indices=np.empty(0, dtype=np.int64),
+                        stats=dry.iceberg_stats[key],
+                        sampling=SamplingResult(np.empty(0, dtype=np.int64), np.inf, 0, 0),
+                    )
+                )
+                continue
+            result = sample_with_pool(
+                loss, values[idx], dry.threshold, rng, pool_size=pool_size, lazy=lazy
+            )
+            cells.append(
+                IcebergCellEntry(
+                    key=key,
+                    raw_indices=idx,
+                    sample_indices=idx[result.indices],
+                    stats=dry.iceberg_stats[key],
+                    sampling=result,
+                )
+            )
+    return RealRunResult(
+        cells=cells,
+        decisions=decisions,
+        skipped_cuboids=skipped,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _cuboid_cell_rows(
+    table: Table,
+    gset: Tuple[str, ...],
+    all_attrs: Tuple[str, ...],
+    iceberg_keys: Sequence[CellKey],
+    use_join_prune: bool,
+) -> Dict[CellKey, np.ndarray]:
+    """Raw-row indices per iceberg cell of one cuboid.
+
+    ``use_join_prune`` selects between Algorithm 2's two retrieval
+    paths. Both return indices into the *original* table.
+    """
+    wanted = {_project_key(key, gset, all_attrs) for key in iceberg_keys}
+    if not gset:
+        # The "All" cuboid: its single cell is the whole table.
+        key = align_cell_key((), (), all_attrs)
+        return {key: np.arange(table.num_rows, dtype=np.int64)}
+    if use_join_prune:
+        # Semi-join: keep only rows falling in some iceberg cell, then
+        # group the retrieved rows.
+        restrict = _semi_join_mask(table, gset, wanted)
+        base_indices = np.nonzero(restrict)[0]
+        pruned = table.take(base_indices)
+        groups = group_rows(pruned, gset)
+        out: Dict[CellKey, np.ndarray] = {}
+        for g in range(groups.num_groups):
+            projected = groups.decode_key(g)
+            if projected in wanted:
+                key = align_cell_key(gset, projected, all_attrs)
+                out[key] = base_indices[groups.group_indices[g]]
+        return out
+    groups = group_rows(table, gset)
+    out = {}
+    for g in range(groups.num_groups):
+        projected = groups.decode_key(g)
+        if projected in wanted:
+            key = align_cell_key(gset, projected, all_attrs)
+            out[key] = groups.group_indices[g]
+    return out
+
+
+def _project_key(key: CellKey, gset: Tuple[str, ...], all_attrs: Tuple[str, ...]) -> Tuple:
+    lookup = dict(zip(all_attrs, key))
+    return tuple(lookup[a] for a in gset)
+
+
+def _semi_join_mask(table: Table, gset: Tuple[str, ...], wanted: set) -> np.ndarray:
+    """Boolean mask of rows whose ``gset`` key is in ``wanted``.
+
+    Implemented per-column: a row survives only if each of its key
+    values appears in *some* wanted key at that position, then the
+    composite check confirms exact membership. The per-column prefilter
+    keeps the expensive tuple materialization off most rows.
+    """
+    n = table.num_rows
+    mask = np.ones(n, dtype=bool)
+    for j, attr in enumerate(gset):
+        col = table.column(attr)
+        wanted_values = {key[j] for key in wanted}
+        encoded = [col.encode(v) for v in wanted_values]
+        mask &= np.isin(col.data, np.asarray(encoded))
+    candidates = np.nonzero(mask)[0]
+    if len(gset) > 1 and len(candidates):
+        columns = [table.column(a) for a in gset]
+        decoded = []
+        for col in columns:
+            sliced = col.data[candidates]
+            if col.dictionary is not None:
+                decoded.append([col.dictionary[int(c)] for c in sliced])
+            else:
+                decoded.append([v.item() for v in sliced])
+        keep = np.fromiter(
+            (key in wanted for key in zip(*decoded)), dtype=bool, count=len(candidates)
+        )
+        mask = np.zeros(n, dtype=bool)
+        mask[candidates[keep]] = True
+    return mask

@@ -1,0 +1,412 @@
+"""The Tabula middleware facade.
+
+Ties the pipeline together: global sample → dry run → real run →
+representative sample selection → physical cube store, then serves
+dashboard queries by direct lookup with the deterministic guarantee
+``loss(raw answer, returned sample) <= θ`` (100 % confidence).
+
+``Tabula*`` — the paper's no-sample-selection variant — is this class
+with ``TabulaConfig.sample_selection=False``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core import costmodel
+from repro.core.cube_store import MemoryBreakdown, SamplingCubeStore
+from repro.core.dryrun import DryRunResult, dry_run
+from repro.core.global_sample import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    draw_global_sample,
+)
+from repro.core.lattice import CuboidLattice
+from repro.core.loss.base import LossFunction
+from repro.core.realrun import RealRunResult, real_run
+from repro.core.samgraph import build_samgraph
+from repro.core.selection import select_representatives
+from repro.engine.cube import CellKey
+from repro.engine.expressions import (
+    Predicate,
+    conjunction_to_equalities,
+    conjunction_to_equality_sets,
+)
+from repro.engine.table import Table
+from repro.errors import CubeNotInitializedError, InvalidQueryError
+
+
+@dataclass
+class TabulaConfig:
+    """User-facing initialization parameters (Section II).
+
+    Attributes:
+        cubed_attrs: attributes queries will filter on.
+        threshold: the accuracy loss threshold θ.
+        loss: the bound user-defined accuracy loss function.
+        epsilon / delta: Serfling parameters for the global sample size.
+        lazy_sampling: lazy-forward (default) vs naive greedy sampling.
+        sample_selection: disable to get the paper's Tabula* variant.
+        pool_size: candidate-pool cap for greedy sampling on large cells.
+        samgraph_max_pairs: optional cap making the representation join
+            non-exhaustive (correct but less compact).
+        seed: randomness seed (global sample, pools).
+    """
+
+    cubed_attrs: Tuple[str, ...]
+    threshold: float
+    loss: LossFunction
+    epsilon: float = DEFAULT_EPSILON
+    delta: float = DEFAULT_DELTA
+    lazy_sampling: bool = True
+    sample_selection: bool = True
+    pool_size: Optional[int] = 2000
+    samgraph_max_pairs: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass
+class InitializationReport:
+    """Timings and counts for the three initialization stages (Figure 8)."""
+
+    dry_run_seconds: float
+    real_run_seconds: float
+    selection_seconds: float
+    total_seconds: float
+    num_cells: int
+    num_iceberg_cells: int
+    num_iceberg_cuboids: int
+    num_local_samples: int
+    num_representatives: int
+    global_sample_size: int
+    lattice: CuboidLattice
+    cost_decisions: Dict[Tuple[str, ...], costmodel.CostDecision] = field(default_factory=dict)
+
+
+@dataclass
+class QueryResult:
+    """One dashboard interaction's answer.
+
+    ``source`` is ``"local"`` (a materialized representative sample),
+    ``"global"`` (the cell is not iceberg), or ``"empty"`` (the selected
+    population has no rows).
+    """
+
+    sample: Table
+    source: str
+    cell: CellKey
+    data_system_seconds: float
+
+
+def _cartesian_queries(sets: Mapping[str, list]):
+    """Expand ``{attr: [values]}`` into one equality query per cube cell."""
+    from itertools import product
+
+    attrs = list(sets)
+    return [
+        dict(zip(attrs, combo)) for combo in product(*(sets[a] for a in attrs))
+    ]
+
+
+class Tabula:
+    """Middleware between a SQL data system and a visualization dashboard."""
+
+    def __init__(self, table: Table, config: TabulaConfig):
+        config.loss.extract(table.head(0))  # fail fast on bad target attrs
+        table.schema.require(config.cubed_attrs)
+        self.table = table
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._store: Optional[SamplingCubeStore] = None
+        self._report: Optional[InitializationReport] = None
+        self._dry: Optional[DryRunResult] = None
+        self._real: Optional[RealRunResult] = None
+
+    # ------------------------------------------------------------------
+    # Initialization (the CREATE TABLE ... GROUPBY CUBE ... query)
+    # ------------------------------------------------------------------
+    def initialize(self) -> InitializationReport:
+        """Build the partially materialized sampling cube."""
+        cfg = self.config
+        started = time.perf_counter()
+
+        global_sample = draw_global_sample(self.table, self._rng, cfg.epsilon, cfg.delta)
+        dry = dry_run(self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample)
+        real = real_run(
+            self.table,
+            dry,
+            cfg.loss,
+            self._rng,
+            lazy=cfg.lazy_sampling,
+            pool_size=cfg.pool_size,
+        )
+
+        selection_seconds = 0.0
+        if cfg.sample_selection and real.cells:
+            graph = build_samgraph(
+                self.table, real.cells, cfg.loss, cfg.threshold,
+                max_pairs=cfg.samgraph_max_pairs,
+            )
+            selection = select_representatives(graph)
+            selection_seconds = graph.seconds + selection.seconds
+            sample_ids = {rep: sid for sid, rep in enumerate(selection.representatives)}
+            cell_to_sample = {
+                real.cells[v].key: sample_ids[selection.assignment[v]]
+                for v in range(len(real.cells))
+            }
+            samples = {
+                sid: self.table.take(real.cells[rep].sample_indices)
+                for rep, sid in sample_ids.items()
+            }
+        else:
+            cell_to_sample = {
+                cell.key: sid for sid, cell in enumerate(real.cells)
+            }
+            samples = {
+                sid: self.table.take(cell.sample_indices)
+                for sid, cell in enumerate(real.cells)
+            }
+
+        self._store = SamplingCubeStore(
+            attrs=cfg.cubed_attrs,
+            global_sample=global_sample,
+            cell_to_sample_id=cell_to_sample,
+            samples=samples,
+            known_cells=dry.known_cells,
+        )
+        self._dry = dry
+        self._real = real
+        self._report = InitializationReport(
+            dry_run_seconds=dry.seconds,
+            real_run_seconds=real.seconds,
+            selection_seconds=selection_seconds,
+            total_seconds=time.perf_counter() - started,
+            num_cells=len(dry.known_cells),
+            num_iceberg_cells=dry.num_iceberg_cells,
+            num_iceberg_cuboids=len(dry.lattice.iceberg_cuboids()),
+            num_local_samples=len(real.cells),
+            num_representatives=len(samples),
+            global_sample_size=global_sample.size,
+            lattice=dry.lattice,
+            cost_decisions=real.decisions,
+        )
+        return self._report
+
+    def attach_store(self, store: SamplingCubeStore) -> None:
+        """Adopt an externally built (e.g. persisted) sampling cube.
+
+        Used by :mod:`repro.core.persistence` to restore a middleware
+        instance without re-running initialization. Stage-level
+        diagnostics (:attr:`report`, dry/real-run results) remain
+        unavailable on a restored instance.
+        """
+        if tuple(store.attrs) != tuple(self.config.cubed_attrs):
+            raise InvalidQueryError(
+                f"store attrs {store.attrs} do not match config "
+                f"{self.config.cubed_attrs}"
+            )
+        self._store = store
+
+    # ------------------------------------------------------------------
+    # Query path (SELECT sample FROM cube WHERE ...)
+    # ------------------------------------------------------------------
+    def query(self, where: Union[Predicate, Mapping[str, object], None]) -> QueryResult:
+        """Answer one dashboard interaction from the materialized cube.
+
+        Args:
+            where: either a mapping ``{attr: value}`` over (a subset of)
+                the cubed attributes, or an equality-conjunction
+                predicate, or ``None`` for the whole table.
+
+        Raises:
+            CubeNotInitializedError: before :meth:`initialize`.
+            InvalidQueryError: when the WHERE clause is not a pure
+                equality conjunction over the cubed attributes.
+        """
+        store = self._require_store()
+        if isinstance(where, Predicate):
+            flattened = conjunction_to_equalities(where)
+            if flattened is None:
+                sets = conjunction_to_equality_sets(where)
+                if sets is not None:
+                    return self.query_union(_cartesian_queries(sets))
+        started = time.perf_counter()
+        cell = self._cell_for(where)
+        sample = store.lookup(cell)
+        if sample is not None:
+            source = "local"
+        elif store.is_known_cell(cell):
+            sample = store.global_sample.table
+            source = "global"
+        else:
+            sample = Table.empty_like(self.table)
+            source = "empty"
+        return QueryResult(
+            sample=sample,
+            source=source,
+            cell=cell,
+            data_system_seconds=time.perf_counter() - started,
+        )
+
+    def query_union(self, cell_queries) -> QueryResult:
+        """Answer a query covering several cube cells at once (extension).
+
+        ``IN`` predicates over cubed attributes select a *union* of cube
+        cells; when the loss function is union-safe (the average-min-
+        distance family) the concatenation of the per-cell answers is
+        itself a θ-bounded sample of the union. Other losses reject the
+        query — their per-cell bounds do not compose.
+
+        Args:
+            cell_queries: equality mappings, one per covered cell.
+        """
+        store = self._require_store()
+        if not self.config.loss.union_safe:
+            raise InvalidQueryError(
+                f"loss {self.config.loss.name!r} does not support IN-queries: a "
+                "union of per-cell samples carries no θ bound for this loss"
+            )
+        started = time.perf_counter()
+        pieces = []
+        cells = []
+        for query in cell_queries:
+            result = self.query(query)
+            cells.append(result.cell)
+            if result.source != "empty":
+                pieces.append(result.sample)
+        if pieces:
+            combined = pieces[0]
+            for piece in pieces[1:]:
+                combined = combined.concat(piece)
+            source = "union"
+        else:
+            combined = Table.empty_like(self.table)
+            source = "empty"
+        return QueryResult(
+            sample=combined,
+            source=source,
+            cell=cells[0] if len(cells) == 1 else tuple(cells),
+            data_system_seconds=time.perf_counter() - started,
+        )
+
+    def explain(self, where: Union[Predicate, Mapping[str, object], None]) -> Dict[str, object]:
+        """Describe how a query would be answered, without answering it.
+
+        Returns a dict with the resolved ``cell``, the answer ``source``
+        (local/global/empty), the ``sample_id`` for local answers, the
+        returned sample size, and — when initialization diagnostics are
+        available — the ``certified_loss`` the dry run recorded for the
+        cell against the global sample (the quantity compared to θ when
+        deciding iceberg-ness).
+        """
+        store = self._require_store()
+        cell = self._cell_for(where)
+        sample_id = store.sample_id_of(cell)
+        if sample_id is not None:
+            source = "local"
+            rows = store.lookup(cell).num_rows
+        elif store.is_known_cell(cell):
+            source = "global"
+            rows = store.global_sample.size
+        else:
+            source = "empty"
+            rows = 0
+        certified = None
+        if self._dry is not None:
+            certified = self._dry.cell_losses.get(cell)
+        return {
+            "cell": cell,
+            "source": source,
+            "sample_id": sample_id,
+            "answer_rows": rows,
+            "threshold": self.config.threshold,
+            "certified_loss": certified,
+        }
+
+    def raw_answer(self, where: Union[Predicate, Mapping[str, object], None]) -> Table:
+        """The exact query result from the raw table (for accuracy checks).
+
+        This is what the dashboard *would* get without Tabula — a full
+        scan; benchmarks use it to compute the actual accuracy loss of
+        returned samples.
+        """
+        cell = self._cell_for(where)
+        mask = np.ones(self.table.num_rows, dtype=bool)
+        for attr, value in zip(self.config.cubed_attrs, cell):
+            if value is None:
+                continue
+            col = self.table.column(attr)
+            mask &= col.data == col.encode(value)
+        return self.table.filter(mask)
+
+    def actual_loss(self, where: Union[Predicate, Mapping[str, object], None]) -> float:
+        """The realized ``loss(raw answer, returned sample)`` for a query."""
+        result = self.query(where)
+        raw = self.raw_answer(where)
+        return self.config.loss.loss_tables(raw, result.sample)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> SamplingCubeStore:
+        return self._require_store()
+
+    @property
+    def report(self) -> InitializationReport:
+        if self._report is None:
+            raise CubeNotInitializedError("call initialize() first")
+        return self._report
+
+    @property
+    def dry_run_result(self) -> DryRunResult:
+        if self._dry is None:
+            raise CubeNotInitializedError("call initialize() first")
+        return self._dry
+
+    @property
+    def real_run_result(self) -> RealRunResult:
+        if self._real is None:
+            raise CubeNotInitializedError("call initialize() first")
+        return self._real
+
+    def memory_breakdown(self) -> MemoryBreakdown:
+        return self._require_store().memory_breakdown()
+
+    # ------------------------------------------------------------------
+    def _require_store(self) -> SamplingCubeStore:
+        if self._store is None:
+            raise CubeNotInitializedError(
+                "the sampling cube has not been initialized; run the "
+                "CREATE TABLE ... GROUPBY CUBE(...) query (initialize()) first"
+            )
+        return self._store
+
+    def _cell_for(self, where: Union[Predicate, Mapping[str, object], None]) -> CellKey:
+        if where is None:
+            equalities: Mapping[str, object] = {}
+        elif isinstance(where, Predicate):
+            flattened = conjunction_to_equalities(where)
+            if flattened is None:
+                raise InvalidQueryError(
+                    "Tabula dashboard queries must be conjunctions of equality "
+                    f"predicates on cubed attributes; got {where!r}"
+                )
+            equalities = flattened
+        else:
+            equalities = dict(where)
+        extra = set(equalities) - set(self.config.cubed_attrs)
+        if extra:
+            raise InvalidQueryError(
+                f"WHERE clause references non-cubed attributes {sorted(extra)}; "
+                f"cubed attributes are {list(self.config.cubed_attrs)}"
+            )
+        for attr, value in equalities.items():
+            # Type-check the literal against the column (a str-vs-int mixup
+            # must be an error, not a silently empty answer).
+            self.table.column(attr).encode(value)
+        return tuple(equalities.get(attr) for attr in self.config.cubed_attrs)

@@ -1,0 +1,28 @@
+"""Datasets and workloads for the experiments.
+
+The paper evaluates on the NYC Taxi & Limousine Commission trip records
+(700 million rides, 100 GB). That dataset is not shipped here; instead
+:func:`generate_nyctaxi` synthesizes a scaled-down table with the same
+seven categorical cube attributes, spatially clustered pickup points
+(Manhattan core plus airport hot-spots — the pattern whose loss the
+SampleFirst baseline famously misses, Figure 2) and payment/fare/tip
+correlations strong enough to produce realistic iceberg-cell ratios.
+"""
+
+from repro.data.nyctaxi import (
+    CUBE_ATTRIBUTES,
+    NYCTaxiConfig,
+    generate_nyctaxi,
+)
+from repro.data.tlc import TLCLoadReport, load_tlc_csv
+from repro.data.workload import QueryWorkload, generate_workload
+
+__all__ = [
+    "CUBE_ATTRIBUTES",
+    "NYCTaxiConfig",
+    "QueryWorkload",
+    "TLCLoadReport",
+    "generate_nyctaxi",
+    "generate_workload",
+    "load_tlc_csv",
+]

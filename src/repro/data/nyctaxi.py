@@ -1,0 +1,189 @@
+"""Synthetic NYC taxi trip generator.
+
+Schema (matching the running example and Section V):
+
+==================  =========  =======================================
+column              type       role
+==================  =========  =======================================
+vendor_name         CATEGORY   cube attribute 1
+pickup_weekday      CATEGORY   cube attribute 2
+passenger_count     CATEGORY   cube attribute 3 (1..6, as labels)
+payment_type        CATEGORY   cube attribute 4 (cash/credit/dispute/no_charge)
+rate_code           CATEGORY   cube attribute 5 (standard/jfk/newark/negotiated)
+store_and_forward   CATEGORY   cube attribute 6 (Y/N)
+dropoff_weekday     CATEGORY   cube attribute 7
+pickup_x, pickup_y  FLOAT64    normalized [0, 1] pickup location
+trip_distance       FLOAT64    miles
+fare_amount         FLOAT64    USD
+tip_amount          FLOAT64    USD (correlated with fare; ~0 for cash)
+==================  =========  =======================================
+
+The generator plants structure the experiments rely on:
+
+- pickups cluster around a dense "Manhattan" core and two airport
+  hot-spots; airport rides use the ``jfk``/``newark`` rate codes and
+  longer distances, so spatial distributions *differ across cube cells*
+  — which is what creates iceberg cells for the heat-map loss;
+- fares follow distance with rate-code-specific pricing; tips follow
+  fares for credit rides but are ≈ 0 for cash, so regression angles and
+  means differ across payment populations;
+- categorical marginals are skewed (few cash disputes, few 5–6
+  passenger rides), producing the small populations for which a global
+  sample is a poor representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+
+#: The seven categorical attributes used in the paper's experiments, in
+#: the order they are added as cube attributes (first 4, 5, 6, 7).
+CUBE_ATTRIBUTES: Tuple[str, ...] = (
+    "vendor_name",
+    "pickup_weekday",
+    "passenger_count",
+    "payment_type",
+    "rate_code",
+    "store_and_forward",
+    "dropoff_weekday",
+)
+
+_WEEKDAYS = ("mon", "tue", "wed", "thu", "fri", "sat", "sun")
+_VENDORS = ("CMT", "VTS", "DDS")
+_PAYMENTS = ("cash", "credit", "dispute", "no_charge")
+_RATE_CODES = ("standard", "jfk", "newark", "negotiated")
+
+
+@dataclass(frozen=True)
+class NYCTaxiConfig:
+    """Tunable shape parameters of the synthetic dataset."""
+
+    num_rows: int = 100_000
+    seed: int = 0
+    #: (center_x, center_y, std, weight) of each pickup cluster; the
+    #: defaults model midtown, downtown, and two airports.
+    clusters: Tuple[Tuple[float, float, float, float], ...] = (
+        (0.45, 0.55, 0.050, 0.55),   # midtown core
+        (0.40, 0.40, 0.035, 0.25),   # downtown
+        (0.85, 0.30, 0.015, 0.12),   # JFK-like airport
+        (0.70, 0.75, 0.012, 0.08),   # LGA-like airport
+    )
+
+
+def generate_nyctaxi(
+    num_rows: int = 100_000,
+    seed: int = 0,
+    config: NYCTaxiConfig = None,
+) -> Table:
+    """Generate a synthetic taxi-rides table.
+
+    Args:
+        num_rows: number of rides.
+        seed: RNG seed; identical parameters are fully reproducible.
+        config: full config; overrides ``num_rows``/``seed`` when given.
+    """
+    if config is None:
+        config = NYCTaxiConfig(num_rows=num_rows, seed=seed)
+    rng = np.random.default_rng(config.seed)
+    n = config.num_rows
+
+    # --- spatial clusters -------------------------------------------------
+    weights = np.asarray([c[3] for c in config.clusters])
+    weights = weights / weights.sum()
+    cluster_ids = rng.choice(len(config.clusters), size=n, p=weights)
+    centers = np.asarray([(c[0], c[1]) for c in config.clusters])
+    stds = np.asarray([c[2] for c in config.clusters])
+    pickup = centers[cluster_ids] + rng.normal(size=(n, 2)) * stds[cluster_ids, None]
+    pickup = np.clip(pickup, 0.0, 1.0)
+    is_airport = cluster_ids >= 2
+
+    # --- categorical attributes -------------------------------------------
+    vendor = _skewed_choice(rng, _VENDORS, (0.5, 0.4, 0.1), n)
+    pickup_weekday = _weekday_choice(rng, n, weekend_boost=0.0)
+    # Most rides end the day they started.
+    same_day = rng.random(n) < 0.93
+    dropoff_weekday_idx = np.where(
+        same_day,
+        _weekday_index(pickup_weekday),
+        (_weekday_index(pickup_weekday) + 1) % 7,
+    )
+    dropoff_weekday = np.asarray(_WEEKDAYS)[dropoff_weekday_idx]
+    passenger_count = _skewed_choice(
+        rng, ("1", "2", "3", "4", "5", "6"),
+        (0.58, 0.20, 0.09, 0.06, 0.04, 0.03), n,
+    )
+    # Airport rides skew credit; disputes are rare everywhere.
+    payment = np.where(
+        is_airport,
+        _skewed_choice(rng, _PAYMENTS, (0.22, 0.72, 0.02, 0.04), n),
+        _skewed_choice(rng, _PAYMENTS, (0.45, 0.50, 0.02, 0.03), n),
+    )
+    rate_code = np.where(
+        cluster_ids == 2,
+        _skewed_choice(rng, _RATE_CODES, (0.15, 0.80, 0.01, 0.04), n),
+        np.where(
+            cluster_ids == 3,
+            _skewed_choice(rng, _RATE_CODES, (0.25, 0.05, 0.60, 0.10), n),
+            _skewed_choice(rng, _RATE_CODES, (0.92, 0.03, 0.02, 0.03), n),
+        ),
+    )
+    store_and_forward = _skewed_choice(rng, ("N", "Y"), (0.97, 0.03), n)
+
+    # --- numeric attributes ------------------------------------------------
+    base_distance = np.where(is_airport, 11.0, 2.2)
+    trip_distance = rng.gamma(shape=2.2, scale=1.0, size=n) * base_distance / 2.2
+    trip_distance = np.round(np.maximum(trip_distance, 0.1), 2)
+    rate_multiplier = np.select(
+        [rate_code == "jfk", rate_code == "newark", rate_code == "negotiated"],
+        [1.45, 1.55, 1.25],
+        default=1.0,
+    )
+    fare = 2.5 + 2.35 * trip_distance * rate_multiplier + rng.normal(0, 1.0, n)
+    fare = np.round(np.maximum(fare, 2.5), 2)
+    tip_rate = np.select(
+        [payment == "credit", payment == "dispute"],
+        [rng.normal(0.18, 0.05, n), 0.0],
+        default=rng.normal(0.005, 0.004, n),
+    )
+    tip = np.round(np.maximum(tip_rate, 0.0) * fare, 2)
+
+    columns = [
+        Column.from_values("vendor_name", vendor.tolist(), ColumnType.CATEGORY),
+        Column.from_values("pickup_weekday", pickup_weekday.tolist(), ColumnType.CATEGORY),
+        Column.from_values("passenger_count", passenger_count.tolist(), ColumnType.CATEGORY),
+        Column.from_values("payment_type", payment.tolist(), ColumnType.CATEGORY),
+        Column.from_values("rate_code", rate_code.tolist(), ColumnType.CATEGORY),
+        Column.from_values("store_and_forward", store_and_forward.tolist(), ColumnType.CATEGORY),
+        Column.from_values("dropoff_weekday", dropoff_weekday.tolist(), ColumnType.CATEGORY),
+        Column("pickup_x", ColumnType.FLOAT64, pickup[:, 0]),
+        Column("pickup_y", ColumnType.FLOAT64, pickup[:, 1]),
+        Column("trip_distance", ColumnType.FLOAT64, trip_distance),
+        Column("fare_amount", ColumnType.FLOAT64, fare),
+        Column("tip_amount", ColumnType.FLOAT64, tip),
+    ]
+    return Table(columns)
+
+
+def _skewed_choice(
+    rng: np.random.Generator, values: Sequence[str], probs: Sequence[float], n: int
+) -> np.ndarray:
+    probs = np.asarray(probs, dtype=float)
+    probs = probs / probs.sum()
+    return rng.choice(np.asarray(values), size=n, p=probs)
+
+
+def _weekday_choice(rng: np.random.Generator, n: int, weekend_boost: float) -> np.ndarray:
+    base = np.asarray([1.0, 1.0, 1.0, 1.05, 1.25, 1.15 + weekend_boost, 0.9 + weekend_boost])
+    return _skewed_choice(rng, _WEEKDAYS, base, n)
+
+
+def _weekday_index(values: np.ndarray) -> np.ndarray:
+    lookup = {d: i for i, d in enumerate(_WEEKDAYS)}
+    return np.asarray([lookup[v] for v in values])

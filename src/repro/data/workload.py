@@ -1,0 +1,128 @@
+"""Analytics workload generation (Section V).
+
+The paper builds a full data cube on n attributes and randomly picks
+100 SQL queries (cells) from it; every compared approach then runs the
+same queries. :func:`generate_workload` reproduces that: each query is
+an equality conjunction identifying one cube cell, sampled by choosing
+a random cuboid (grouping set) and projecting a random data row onto it
+— which guarantees a non-empty population, as picking cells from the
+materialized cube does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.cube import grouping_sets
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A fixed list of dashboard queries over cube cells."""
+
+    attrs: Tuple[str, ...]
+    queries: Tuple[Dict[str, object], ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, i: int) -> Dict[str, object]:
+        return self.queries[i]
+
+
+def generate_workload(
+    table: Table,
+    attrs: Sequence[str],
+    num_queries: int = 100,
+    seed: int = 0,
+    include_all_cell: bool = True,
+    distribution: str = "uniform",
+    zipf_exponent: float = 1.2,
+) -> QueryWorkload:
+    """Randomly pick ``num_queries`` cube cells as dashboard queries.
+
+    Args:
+        table: the raw table (queries project its rows, so every query's
+            population is non-empty).
+        attrs: the cubed attributes.
+        num_queries: workload size (the paper uses 100).
+        seed: RNG seed for reproducibility across approaches.
+        include_all_cell: allow the empty grouping set (whole-table
+            query) among the candidates.
+        distribution: ``"uniform"`` draws cells the paper's way (every
+            cell equally likely, no repeats while fresh cells remain);
+            ``"zipf"`` models a real dashboard session — a small set of
+            hot cells is revisited with Zipf-distributed popularity and
+            repeats are kept (they are what a cache-friendly middleware
+            wins on).
+        zipf_exponent: skew of the zipf distribution (>1).
+    """
+    attrs = tuple(attrs)
+    table.schema.require(attrs)
+    if distribution not in ("uniform", "zipf"):
+        raise ValueError(f"unknown workload distribution: {distribution!r}")
+    rng = np.random.default_rng(seed)
+    gsets = grouping_sets(attrs)
+    if not include_all_cell:
+        gsets = [g for g in gsets if g]
+    columns = {a: table.column(a) for a in attrs}
+
+    def draw_query() -> Dict[str, object]:
+        gset = gsets[rng.integers(len(gsets))]
+        row = int(rng.integers(table.num_rows))
+        return {a: columns[a].value_at(row) for a in gset}
+
+    if distribution == "zipf":
+        # Build a hot-set of distinct cells, then revisit by popularity.
+        hot_size = max(1, num_queries // 4)
+        hot: List[Dict[str, object]] = []
+        seen_hot = set()
+        attempts = 0
+        while len(hot) < hot_size and attempts < hot_size * 50:
+            attempts += 1
+            query = draw_query()
+            key = tuple(sorted(query.items()))
+            if key not in seen_hot:
+                seen_hot.add(key)
+                hot.append(query)
+        ranks = np.arange(1, len(hot) + 1, dtype=float)
+        probabilities = ranks ** (-zipf_exponent)
+        probabilities /= probabilities.sum()
+        picks = rng.choice(len(hot), size=num_queries, p=probabilities)
+        return QueryWorkload(
+            attrs=attrs, queries=tuple(dict(hot[i]) for i in picks)
+        )
+
+    queries: List[Dict[str, object]] = []
+    seen = set()
+    # Cap the attempts so degenerate tiny tables cannot loop forever.
+    max_attempts = max(num_queries * 50, 1000)
+    attempts = 0
+    while len(queries) < num_queries and attempts < max_attempts:
+        attempts += 1
+        query = draw_query()
+        key = tuple(sorted(query.items()))
+        if key in seen and len(seen) < _distinct_cell_budget(table, attrs):
+            continue
+        seen.add(key)
+        queries.append(query)
+    return QueryWorkload(attrs=attrs, queries=tuple(queries))
+
+
+def _distinct_cell_budget(table: Table, attrs: Tuple[str, ...]) -> int:
+    """A loose upper bound on distinct cells, to stop dedup on tiny data."""
+    budget = 1
+    for a in attrs:
+        col = table.column(a)
+        cardinality = len(col.dictionary) if col.dictionary else max(table.num_rows, 1)
+        budget *= cardinality + 1
+        if budget > 10_000_000:
+            break
+    return budget

@@ -1,0 +1,245 @@
+"""Aggregate-function framework with the OLAP cube classification.
+
+Section VI of the paper classifies aggregate measures:
+
+- **Distributive** — a cell's measure is computable from the *same*
+  measure of its descendant cells (SUM, COUNT, MIN, MAX).
+- **Algebraic** — a cell's measure is computable from a bounded set of
+  other measures of its descendants (AVG, STDDEV, regression slope).
+- **Holistic** — everything else (MEDIAN, and Tabula's SAMPLING()
+  function, Lemma III.1): no bounded intermediate state suffices.
+
+Every aggregate here is expressed as *(init, merge, finalize)* over an
+explicit state, which is exactly the property the dry-run stage exploits
+to derive all cuboids from the base cuboid (Section III-B1).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import heapq
+from typing import Dict, Tuple, Type
+
+import numpy as np
+
+from repro.errors import LossFunctionError
+
+
+class AggregateClass(enum.Enum):
+    """Cube classification of an aggregate measure."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+
+class AggregateFunction(abc.ABC):
+    """An aggregate measure usable inside cube cells and loss functions.
+
+    The state must be mergeable: ``finalize(merge(init(a), init(b))) ==
+    finalize(init(a ++ b))`` for all partitions — the invariant the
+    property tests assert and the dry run relies on.
+    """
+
+    name: str = ""
+    classification: AggregateClass = AggregateClass.HOLISTIC
+
+    @abc.abstractmethod
+    def init_state(self, values: np.ndarray) -> tuple:
+        """Build the intermediate state for a leaf partition of values."""
+
+    @abc.abstractmethod
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        """Combine two intermediate states."""
+
+    @abc.abstractmethod
+    def finalize(self, state: tuple) -> float:
+        """Produce the final measure from a state."""
+
+    def __call__(self, values: np.ndarray) -> float:
+        """Direct evaluation, for convenience and for testing merge laws."""
+        return self.finalize(self.init_state(np.asarray(values, dtype=float)))
+
+    @property
+    def is_algebraic_or_better(self) -> bool:
+        """True when this aggregate may appear in a Tabula loss function."""
+        return self.classification in (AggregateClass.DISTRIBUTIVE, AggregateClass.ALGEBRAIC)
+
+
+class Sum(AggregateFunction):
+    name = "SUM"
+    classification = AggregateClass.DISTRIBUTIVE
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(np.sum(values)),)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0],)
+
+    def finalize(self, state: tuple) -> float:
+        return state[0]
+
+
+class Count(AggregateFunction):
+    name = "COUNT"
+    classification = AggregateClass.DISTRIBUTIVE
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(len(values)),)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0],)
+
+    def finalize(self, state: tuple) -> float:
+        return state[0]
+
+
+class Min(AggregateFunction):
+    name = "MIN"
+    classification = AggregateClass.DISTRIBUTIVE
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(np.min(values)) if len(values) else np.inf,)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (min(left[0], right[0]),)
+
+    def finalize(self, state: tuple) -> float:
+        return state[0]
+
+
+class Max(AggregateFunction):
+    name = "MAX"
+    classification = AggregateClass.DISTRIBUTIVE
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(np.max(values)) if len(values) else -np.inf,)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (max(left[0], right[0]),)
+
+    def finalize(self, state: tuple) -> float:
+        return state[0]
+
+
+class Avg(AggregateFunction):
+    name = "AVG"
+    classification = AggregateClass.ALGEBRAIC
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(len(values)), float(np.sum(values)))
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state: tuple) -> float:
+        count, total = state
+        return total / count if count else float("nan")
+
+
+class StdDev(AggregateFunction):
+    """Population standard deviation, via (count, sum, sum of squares)."""
+
+    name = "STDDEV"
+    classification = AggregateClass.ALGEBRAIC
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (float(len(values)), float(np.sum(values)), float(np.sum(values * values)))
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return tuple(a + b for a, b in zip(left, right))
+
+    def finalize(self, state: tuple) -> float:
+        count, total, total_sq = state
+        if not count:
+            return float("nan")
+        variance = total_sq / count - (total / count) ** 2
+        return float(np.sqrt(max(variance, 0.0)))
+
+
+class CountDistinct(AggregateFunction):
+    """DISTINCT count. Carries the value set, so the state is unbounded in
+    the value domain but bounded for dictionary-encoded attributes — the
+    sense in which the paper lists DISTINCT among the allowed measures."""
+
+    name = "DISTINCT"
+    classification = AggregateClass.ALGEBRAIC
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (frozenset(np.unique(values).tolist()),)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] | right[0],)
+
+    def finalize(self, state: tuple) -> float:
+        return float(len(state[0]))
+
+
+class TopK(AggregateFunction):
+    """Sum of the K largest values; state is the bounded top-K multiset."""
+
+    name = "TOPK"
+    classification = AggregateClass.ALGEBRAIC
+
+    def __init__(self, k: int = 10):
+        if k <= 0:
+            raise ValueError("TOPK requires k >= 1")
+        self.k = k
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (tuple(heapq.nlargest(self.k, values.tolist())),)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (tuple(heapq.nlargest(self.k, list(left[0]) + list(right[0]))),)
+
+    def finalize(self, state: tuple) -> float:
+        return float(sum(state[0]))
+
+
+class Median(AggregateFunction):
+    """MEDIAN — the paper's canonical *holistic* measure.
+
+    Implemented by carrying all values; it exists so the loss-function
+    compiler has something concrete to reject (NotAlgebraicError) and so
+    tests can exercise the holistic code path.
+    """
+
+    name = "MEDIAN"
+    classification = AggregateClass.HOLISTIC
+
+    def init_state(self, values: np.ndarray) -> tuple:
+        return (tuple(values.tolist()),)
+
+    def merge(self, left: tuple, right: tuple) -> tuple:
+        return (left[0] + right[0],)
+
+    def finalize(self, state: tuple) -> float:
+        values = state[0]
+        return float(np.median(values)) if values else float("nan")
+
+
+_BUILTINS: Dict[str, Type[AggregateFunction]] = {
+    cls.name: cls
+    for cls in (Sum, Count, Min, Max, Avg, StdDev, CountDistinct, TopK, Median)
+}
+
+
+def resolve(name: str) -> AggregateFunction:
+    """Instantiate a built-in aggregate by (case-insensitive) name.
+
+    ``STD_DEV`` is accepted as an alias for ``STDDEV`` to match the
+    paper's spelling.
+    """
+    key = name.upper().replace("_", "")
+    aliases = {"STDDEV": "STDDEV", "COUNTDISTINCT": "DISTINCT"}
+    key = aliases.get(key, key)
+    try:
+        return _BUILTINS[key]()
+    except KeyError:
+        raise LossFunctionError(f"unknown aggregate function: {name!r}") from None
+
+
+def builtin_names() -> Tuple[str, ...]:
+    """Names of all built-in aggregates."""
+    return tuple(sorted(_BUILTINS))

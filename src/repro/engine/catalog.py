@@ -1,0 +1,86 @@
+"""Named-table catalog — the engine's stand-in for "the data system".
+
+Tabula stores both the raw table and the materialized sampling cube in
+the underlying data system (Section I); here that means registering
+tables in a :class:`Catalog`. The catalog also tracks simple access
+statistics (rows scanned) that the benchmark harness reads to report
+engine effort independent of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.engine.expressions import Predicate
+from repro.engine.table import Table
+from repro.errors import UnknownTableError
+
+
+@dataclass
+class ScanStats:
+    """Cumulative scan-effort counters for one catalog."""
+
+    scans: int = 0
+    rows_scanned: int = 0
+
+    def record(self, rows: int) -> None:
+        self.scans += 1
+        self.rows_scanned += rows
+
+    def reset(self) -> None:
+        self.scans = 0
+        self.rows_scanned = 0
+
+
+class Catalog:
+    """A registry of named tables with scan accounting."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self.stats = ScanStats()
+
+    def register(self, name: str, table: Table, replace: bool = False) -> None:
+        """Register ``table`` under ``name``.
+
+        Raises:
+            ValueError: when ``name`` exists and ``replace`` is false.
+        """
+        if name in self._tables and not replace:
+            raise ValueError(f"table {name!r} already registered")
+        self._tables[name] = table
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+
+    def get(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def scan(self, name: str, predicate: Optional[Predicate] = None) -> Table:
+        """Full-table scan with an optional filter, recording effort.
+
+        This is the entry point the SampleOnTheFly-style baselines pay
+        for on every dashboard interaction.
+        """
+        table = self.get(name)
+        self.stats.record(table.num_rows)
+        if predicate is None:
+            return table
+        return table.filter(predicate.mask(table))
+
+    def memory_footprint(self, name: str) -> int:
+        """Physical bytes held by table ``name``."""
+        return self.get(name).nbytes

@@ -1,0 +1,155 @@
+"""Typed, numpy-backed columns.
+
+A :class:`Column` owns a contiguous numpy array of physical values. For
+``CATEGORY`` columns the physical array holds ``int32`` codes into an
+immutable dictionary of labels; all relational operators work on codes,
+and labels are only materialized at the edge (``to_list``/display).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.schema import ColumnType
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class Column:
+    """One column of a :class:`~repro.engine.table.Table`."""
+
+    __slots__ = ("name", "ctype", "data", "dictionary")
+
+    def __init__(
+        self,
+        name: str,
+        ctype: ColumnType,
+        data: np.ndarray,
+        dictionary: Optional[Tuple[str, ...]] = None,
+    ):
+        if ctype is ColumnType.CATEGORY:
+            if dictionary is None:
+                raise SchemaError(f"column {name!r}: CATEGORY requires a dictionary")
+        elif dictionary is not None:
+            raise SchemaError(f"column {name!r}: only CATEGORY columns carry a dictionary")
+        expected = ctype.numpy_dtype
+        if data.dtype != expected:
+            data = data.astype(expected)
+        self.name = name
+        self.ctype = ctype
+        self.data = data
+        self.dictionary = dictionary
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Sequence, ctype: Optional[ColumnType] = None) -> "Column":
+        """Build a column from Python values, dictionary-encoding strings."""
+        if ctype is None:
+            ctype = ColumnType.infer(values)
+        if ctype is ColumnType.CATEGORY:
+            labels = [str(v) for v in values]
+            dictionary = tuple(sorted(set(labels)))
+            lookup = {label: code for code, label in enumerate(dictionary)}
+            codes = np.fromiter((lookup[v] for v in labels), dtype=np.int32, count=len(labels))
+            return cls(name, ctype, codes, dictionary)
+        arr = np.asarray(values, dtype=ctype.numpy_dtype)
+        return cls(name, ctype, arr)
+
+    @classmethod
+    def from_codes(cls, name: str, codes: np.ndarray, dictionary: Tuple[str, ...]) -> "Column":
+        """Build a CATEGORY column directly from codes and a dictionary."""
+        return cls(name, ColumnType.CATEGORY, np.asarray(codes, dtype=np.int32), dictionary)
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.value}, n={len(self)})"
+
+    @property
+    def nbytes(self) -> int:
+        """Physical memory footprint of this column in bytes."""
+        total = self.data.nbytes
+        if self.dictionary is not None:
+            total += sum(len(label) for label in self.dictionary)
+        return total
+
+    def rename(self, name: str) -> "Column":
+        """Return a shallow copy of this column under a new name."""
+        return Column(name, self.ctype, self.data, self.dictionary)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    def value_at(self, i: int):
+        """Return the logical (decoded) value at row ``i``."""
+        raw = self.data[i]
+        if self.dictionary is not None:
+            return self.dictionary[int(raw)]
+        return raw.item()
+
+    def to_list(self) -> List:
+        """Materialize the column as a list of logical values."""
+        if self.dictionary is not None:
+            return [self.dictionary[int(code)] for code in self.data]
+        return self.data.tolist()
+
+    def encode(self, value) -> object:
+        """Translate a logical literal into the physical domain.
+
+        For CATEGORY columns returns the dictionary code (or ``-1`` when
+        the label is absent, which matches no row). For numeric columns
+        returns the value unchanged.
+        """
+        if self.ctype is ColumnType.CATEGORY:
+            if not isinstance(value, str):
+                raise TypeMismatchError(
+                    f"column {self.name!r} is categorical; got non-string literal {value!r}"
+                )
+            try:
+                return self.dictionary.index(value)
+            except ValueError:
+                return -1
+        if isinstance(value, str):
+            raise TypeMismatchError(
+                f"column {self.name!r} is numeric; got string literal {value!r}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Row-set operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column holding only the rows at ``indices``."""
+        return Column(self.name, self.ctype, self.data[indices], self.dictionary)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Return a new column holding only the rows where ``mask`` is true."""
+        return Column(self.name, self.ctype, self.data[mask], self.dictionary)
+
+    def concat(self, other: "Column") -> "Column":
+        """Append ``other``'s rows to this column, reconciling dictionaries."""
+        if self.ctype is not other.ctype:
+            raise TypeMismatchError(
+                f"cannot concat {self.ctype.value} column with {other.ctype.value}"
+            )
+        if self.ctype is ColumnType.CATEGORY:
+            if self.dictionary == other.dictionary:
+                codes = np.concatenate([self.data, other.data])
+                return Column.from_codes(self.name, codes, self.dictionary)
+            merged = tuple(sorted(set(self.dictionary) | set(other.dictionary)))
+            lookup = {label: code for code, label in enumerate(merged)}
+            left = np.fromiter(
+                (lookup[self.dictionary[c]] for c in self.data), dtype=np.int32, count=len(self)
+            )
+            right = np.fromiter(
+                (lookup[other.dictionary[c]] for c in other.data), dtype=np.int32, count=len(other)
+            )
+            return Column.from_codes(self.name, np.concatenate([left, right]), merged)
+        return Column(self.name, self.ctype, np.concatenate([self.data, other.data]))

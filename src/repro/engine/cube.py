@@ -1,0 +1,153 @@
+"""The CUBE operator: GroupBy over every subset of the cubed attributes.
+
+A data cube over attributes ``(a1, ..., an)`` consists of ``2**n``
+*cuboids* (GroupBy queries), one per attribute subset; each cuboid is a
+set of *cells*. Following the paper's notation, a cell is written
+``<v1, v2, ..., vn>`` where attributes absent from the cuboid's grouping
+list take the value ``(null)`` — represented here by Python ``None``.
+
+This module gives both the materializing operator (used by the
+PartSamCube / FullSamCube baselines and the SQL CUBE clause) and the
+cell-key bookkeeping shared with Tabula's two-stage initializer, which
+deliberately avoids materializing most cuboids.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.groupby import Groups, group_rows
+from repro.engine.table import Table
+
+# A cell key: logical values aligned with the full cubed-attribute list,
+# None standing for "(null)" / the ALL placeholder.
+CellKey = Tuple[object, ...]
+
+
+def grouping_sets(attrs: Sequence[str]) -> List[Tuple[str, ...]]:
+    """All ``2**n`` attribute subsets, from the full set down to ``()``.
+
+    Ordered by decreasing size so the base (finest) cuboid comes first —
+    the order in which bottom-up derivation wants to visit them.
+    """
+    attrs = tuple(attrs)
+    sets: List[Tuple[str, ...]] = []
+    for size in range(len(attrs), -1, -1):
+        sets.extend(combinations(attrs, size))
+    return sets
+
+
+def align_cell_key(
+    grouping_set: Sequence[str], values: Sequence, all_attrs: Sequence[str]
+) -> CellKey:
+    """Embed a cuboid-local key into the full-width cell-key space.
+
+    ``values`` are the logical key values for ``grouping_set``; the
+    result has one slot per attribute in ``all_attrs`` with ``None`` in
+    the slots the cuboid does not group by.
+    """
+    lookup = dict(zip(grouping_set, values))
+    return tuple(lookup.get(attr) for attr in all_attrs)
+
+
+def cell_grouping_set(key: CellKey, all_attrs: Sequence[str]) -> Tuple[str, ...]:
+    """The grouping set (cuboid) a full-width cell key belongs to."""
+    return tuple(attr for attr, value in zip(all_attrs, key) if value is not None)
+
+
+def format_cell(key: CellKey) -> str:
+    """Render a cell in the paper's ``<v1, v2, ...>`` notation."""
+    parts = ["(null)" if v is None else str(v) for v in key]
+    return "<" + ", ".join(parts) + ">"
+
+
+class CubeCells:
+    """All cells of the data cube, with their raw-row index lists.
+
+    Materializes every cuboid by repeated grouping. Exponential in the
+    number of attributes — exactly the cost Tabula's dry run avoids —
+    and therefore only used by the straw-man baselines and by tests
+    (as ground truth for the dry run's derived cuboids).
+    """
+
+    def __init__(self, table: Table, attrs: Sequence[str]):
+        table.schema.require(attrs)
+        self.table = table
+        self.attrs = tuple(attrs)
+        self._cells: Dict[CellKey, np.ndarray] = {}
+        self._per_cuboid: Dict[Tuple[str, ...], List[CellKey]] = {}
+        for gset in grouping_sets(self.attrs):
+            groups = group_rows(table, gset)
+            keys: List[CellKey] = []
+            for g in range(groups.num_groups):
+                key = align_cell_key(gset, groups.decode_key(g), self.attrs)
+                self._cells[key] = groups.group_indices[g]
+                keys.append(key)
+            self._per_cuboid[gset] = keys
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in self._cells
+
+    def __iter__(self) -> Iterator[CellKey]:
+        return iter(self._cells)
+
+    def cell_indices(self, key: CellKey) -> np.ndarray:
+        """Raw-table row indices of the cell's population."""
+        return self._cells[key]
+
+    def cell_table(self, key: CellKey) -> Table:
+        """Materialize the cell's raw data."""
+        return self.table.take(self._cells[key])
+
+    def cuboid_cells(self, gset: Tuple[str, ...]) -> List[CellKey]:
+        """Cell keys of one cuboid."""
+        return self._per_cuboid[gset]
+
+    def cuboids(self) -> List[Tuple[str, ...]]:
+        return list(self._per_cuboid)
+
+
+def cube_aggregate(
+    table: Table,
+    attrs: Sequence[str],
+    aggregations: Sequence[Tuple[str, AggregateFunction, str]],
+) -> List[Tuple[CellKey, Tuple[float, ...]]]:
+    """Evaluate aggregate measures for every cell of the cube.
+
+    The classic ``GROUP BY CUBE`` — ``2**n`` GroupBy passes over the
+    table. Returns ``(cell_key, measures)`` pairs in cuboid order.
+    """
+    table.schema.require(attrs)
+    results: List[Tuple[CellKey, Tuple[float, ...]]] = []
+    value_cache: Dict[str, np.ndarray] = {}
+    for _, __, in_name in aggregations:
+        if in_name not in value_cache:
+            value_cache[in_name] = table.column(in_name).data.astype(float)
+    for gset in grouping_sets(tuple(attrs)):
+        groups = group_rows(table, gset)
+        for g in range(groups.num_groups):
+            idx = groups.group_indices[g]
+            key = align_cell_key(gset, groups.decode_key(g), tuple(attrs))
+            measures = tuple(
+                func.finalize(func.init_state(value_cache[in_name][idx]))
+                for _, func, in_name in aggregations
+            )
+            results.append((key, measures))
+    return results
+
+
+def base_cuboid(table: Table, attrs: Sequence[str]) -> Groups:
+    """The finest cuboid — one GroupBy over *all* cubed attributes.
+
+    This is the single full-table pass from which the dry run derives
+    every other cuboid (Section III-B1).
+    """
+    return group_rows(table, tuple(attrs))

@@ -1,0 +1,248 @@
+"""Predicate expression trees for WHERE / HAVING clauses.
+
+Predicates evaluate to boolean numpy masks over a table. The tree is
+deliberately small: Tabula's dashboard queries are conjunctions of
+equality predicates on cubed attributes, but the engine also supports
+comparisons, ``IN``, ``BETWEEN``, negation and disjunction so the
+baselines can express richer filters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.table import Table
+
+
+class Predicate(abc.ABC):
+    """A boolean expression evaluable against a :class:`Table`."""
+
+    @abc.abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """Return a boolean mask selecting the rows that satisfy this predicate."""
+
+    @abc.abstractmethod
+    def referenced_columns(self) -> Tuple[str, ...]:
+        """Column names this predicate touches, in first-mention order."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the identity for conjunction."""
+
+    def mask(self, table: Table) -> np.ndarray:
+        return np.ones(table.num_rows, dtype=bool)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Comparison(Predicate):
+    """``column <op> literal`` for ``op`` in ``= != < <= > >=``."""
+
+    _OPS = {
+        "=": np.equal,
+        "!=": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+
+    def __init__(self, column: str, op: str, value):
+        if op not in self._OPS:
+            raise ValueError(f"unsupported comparison operator: {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        encoded = col.encode(self.value)
+        return self._OPS[self.op](col.data, encoded)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+def Equals(column: str, value) -> Comparison:
+    """Convenience constructor for the most common dashboard predicate."""
+    return Comparison(column, "=", value)
+
+
+class In(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    def __init__(self, column: str, values: Iterable):
+        self.column = column
+        self.values = tuple(values)
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        encoded = np.asarray([col.encode(v) for v in self.values])
+        return np.isin(col.data, encoded)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def __repr__(self) -> str:
+        return f"({self.column} IN {self.values!r})"
+
+
+class Between(Predicate):
+    """``column BETWEEN lo AND hi`` (inclusive on both ends, per SQL)."""
+
+    def __init__(self, column: str, lo, hi):
+        self.column = column
+        self.lo = lo
+        self.hi = hi
+
+    def mask(self, table: Table) -> np.ndarray:
+        col = table.column(self.column)
+        data = col.data
+        return (data >= col.encode(self.lo)) & (data <= col.encode(self.hi))
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return (self.column,)
+
+    def __repr__(self) -> str:
+        return f"({self.column} BETWEEN {self.lo!r} AND {self.hi!r})"
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    def __init__(self, children: Sequence[Predicate]):
+        self.children = tuple(children)
+
+    def mask(self, table: Table) -> np.ndarray:
+        result = np.ones(table.num_rows, dtype=bool)
+        for child in self.children:
+            result &= child.mask(table)
+        return result
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        seen = []
+        for child in self.children:
+            for name in child.referenced_columns():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.children)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    def __init__(self, children: Sequence[Predicate]):
+        self.children = tuple(children)
+
+    def mask(self, table: Table) -> np.ndarray:
+        result = np.zeros(table.num_rows, dtype=bool)
+        for child in self.children:
+            result |= child.mask(table)
+        return result
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        seen = []
+        for child in self.children:
+            for name in child.referenced_columns():
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.children)) + ")"
+
+
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self.child.mask(table)
+
+    def referenced_columns(self) -> Tuple[str, ...]:
+        return self.child.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+def conjunction_to_equality_sets(predicate: Predicate):
+    """Flatten a conjunction of ``=``/``IN`` predicates to value sets.
+
+    Returns ``{column: [v1, v2, ...]}`` — the query selects the union of
+    the cube cells in the cartesian product of those lists — or ``None``
+    when the predicate uses anything beyond ``=``, ``IN`` and ``AND``.
+    """
+    sets = {}
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TruePredicate):
+            continue
+        if isinstance(node, And):
+            stack.extend(node.children)
+        elif isinstance(node, Comparison) and node.op == "=":
+            existing = sets.get(node.column)
+            if existing is None:
+                sets[node.column] = [node.value]
+            else:
+                sets[node.column] = [v for v in existing if v == node.value]
+        elif isinstance(node, In):
+            values = list(dict.fromkeys(node.values))
+            existing = sets.get(node.column)
+            if existing is None:
+                sets[node.column] = values
+            else:
+                sets[node.column] = [v for v in existing if v in values]
+        else:
+            return None
+    return sets
+
+
+def conjunction_to_equalities(predicate: Predicate) -> dict:
+    """Flatten a pure conjunction of equality predicates to ``{column: value}``.
+
+    Tabula's dashboard queries (``SELECT sample ... WHERE a = x AND b = y``)
+    map WHERE clauses onto cube-cell coordinates; this helper performs that
+    mapping. Returns ``None`` when the predicate is not a pure equality
+    conjunction (the middleware then falls back to scanning).
+    """
+    equalities = {}
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TruePredicate):
+            continue
+        if isinstance(node, And):
+            stack.extend(node.children)
+        elif isinstance(node, Comparison) and node.op == "=":
+            if node.column in equalities and equalities[node.column] != node.value:
+                return None
+            equalities[node.column] = node.value
+        else:
+            return None
+    return equalities

@@ -1,0 +1,135 @@
+"""Hash GroupBy over one or more key columns.
+
+The grouping machinery returns, for every distinct key combination, the
+row indices belonging to that group. Aggregation is layered on top via
+the :mod:`repro.engine.aggregates` framework; Tabula's dry run uses the
+raw index groups directly to compute loss-function sufficient
+statistics per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.aggregates import AggregateFunction
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class Groups:
+    """The result of grouping ``table`` by ``keys``.
+
+    Attributes:
+        table: the grouped input table.
+        keys: the grouping column names.
+        key_codes: ``(G, len(keys))`` array of *physical* key codes, one
+            row per group. For zero keys this has shape ``(1, 0)``: the
+            single all-rows group (the "All" cuboid of the lattice).
+        group_indices: for each group, the row indices in ``table``.
+    """
+
+    table: Table
+    keys: Tuple[str, ...]
+    key_codes: np.ndarray
+    group_indices: Tuple[np.ndarray, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_indices)
+
+    def decode_key(self, group: int) -> Tuple:
+        """Logical key values of ``group`` (dictionary labels, ints, ...)."""
+        values = []
+        for j, name in enumerate(self.keys):
+            col = self.table.column(name)
+            code = self.key_codes[group, j]
+            if col.dictionary is not None:
+                values.append(col.dictionary[int(code)])
+            else:
+                values.append(code.item() if hasattr(code, "item") else code)
+        return tuple(values)
+
+    def group_table(self, group: int) -> Table:
+        """Materialize the rows of ``group`` as a table."""
+        return self.table.take(self.group_indices[group])
+
+
+def group_rows(table: Table, keys: Sequence[str]) -> Groups:
+    """Group ``table`` rows by the key columns, returning index groups.
+
+    Runs in a single sort-based pass (``O(N log N)``) over composite
+    keys; the engine's analogue of a hash aggregate.
+    """
+    keys = tuple(keys)
+    table.schema.require(keys)
+    n = table.num_rows
+    if not keys:
+        return Groups(
+            table=table,
+            keys=(),
+            key_codes=np.empty((1, 0), dtype=np.int64),
+            group_indices=(np.arange(n, dtype=np.int64),),
+        )
+    stacked = np.column_stack([table.column(k).data.astype(np.int64) for k in keys])
+    if n == 0:
+        return Groups(table=table, keys=keys, key_codes=np.empty((0, len(keys)), dtype=np.int64), group_indices=())
+    uniq, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.ravel()
+    order = np.argsort(inverse, kind="stable")
+    sorted_inverse = inverse[order]
+    boundaries = np.searchsorted(sorted_inverse, np.arange(len(uniq) + 1))
+    indices = tuple(
+        order[boundaries[g]:boundaries[g + 1]] for g in range(len(uniq))
+    )
+    return Groups(table=table, keys=keys, key_codes=uniq, group_indices=indices)
+
+
+def aggregate(
+    table: Table,
+    keys: Sequence[str],
+    aggregations: Sequence[Tuple[str, AggregateFunction, str]],
+) -> Table:
+    """GroupBy-aggregate: ``SELECT keys, agg(input) ... GROUP BY keys``.
+
+    Args:
+        table: input table.
+        keys: grouping columns.
+        aggregations: ``(output_name, aggregate, input_column)`` triples.
+
+    Returns:
+        A table with one row per group: the key columns followed by one
+        float column per aggregation.
+    """
+    groups = group_rows(table, keys)
+    key_columns = _key_columns(groups)
+    agg_columns: List[Column] = []
+    value_cache: Dict[str, np.ndarray] = {}
+    for out_name, func, in_name in aggregations:
+        if in_name not in value_cache:
+            value_cache[in_name] = table.column(in_name).data.astype(float)
+        values = value_cache[in_name]
+        results = np.fromiter(
+            (func.finalize(func.init_state(values[idx])) for idx in groups.group_indices),
+            dtype=float,
+            count=groups.num_groups,
+        )
+        agg_columns.append(Column(out_name, ColumnType.FLOAT64, results))
+    return Table(key_columns + agg_columns)
+
+
+def _key_columns(groups: Groups) -> List[Column]:
+    """Build output key columns (one row per group) preserving dictionaries."""
+    columns: List[Column] = []
+    for j, name in enumerate(groups.keys):
+        source = groups.table.column(name)
+        codes = groups.key_codes[:, j]
+        if source.dictionary is not None:
+            columns.append(Column.from_codes(name, codes.astype(np.int32), source.dictionary))
+        else:
+            columns.append(Column(name, source.ctype, codes.astype(source.ctype.numpy_dtype)))
+    return columns

@@ -1,0 +1,114 @@
+"""CSV import/export for engine tables.
+
+A real deployment points Tabula at data living outside Python; this
+module gives the engine a plain-text interchange format. Types are
+inferred per column (INT64 → FLOAT64 → CATEGORY fallback) unless an
+explicit schema is supplied.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+def read_csv(
+    path: Union[str, Path],
+    types: Optional[Dict[str, ColumnType]] = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file with a header row into a :class:`Table`.
+
+    Args:
+        path: file to read.
+        types: optional per-column type overrides; unlisted columns are
+            inferred.
+        delimiter: field separator.
+
+    Raises:
+        SchemaError: on an empty file, a missing header or ragged rows.
+    """
+    types = types or {}
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty CSV file") from None
+        if not header or any(not name for name in header):
+            raise SchemaError(f"{path}: missing or blank column names in header")
+        raw_columns: List[List[str]] = [[] for _ in header]
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}: line {row_number} has {len(row)} fields, expected {len(header)}"
+                )
+            for j, value in enumerate(row):
+                raw_columns[j].append(value)
+    columns = [
+        _build_column(name, values, types.get(name))
+        for name, values in zip(header, raw_columns)
+    ]
+    return Table(columns)
+
+
+def write_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:
+    """Write a table (with header) to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        data = table.to_pydict()
+        names = table.column_names
+        for i in range(table.num_rows):
+            writer.writerow([data[name][i] for name in names])
+
+
+def _build_column(name: str, values: List[str], ctype: Optional[ColumnType]) -> Column:
+    if ctype is None:
+        ctype = _infer_type(values)
+    if ctype is ColumnType.CATEGORY:
+        return Column.from_values(name, values, ColumnType.CATEGORY)
+    if ctype is ColumnType.BOOL:
+        parsed = [_parse_bool(v) for v in values]
+        return Column.from_values(name, parsed, ColumnType.BOOL)
+    caster = int if ctype is ColumnType.INT64 else float
+    try:
+        parsed = [caster(v) for v in values]
+    except ValueError as exc:
+        raise SchemaError(f"column {name!r}: {exc}") from None
+    return Column.from_values(name, parsed, ctype)
+
+
+def _infer_type(values: List[str]) -> ColumnType:
+    """INT64 if every value parses as int, else FLOAT64, else CATEGORY."""
+    if not values:
+        return ColumnType.CATEGORY
+    try:
+        for v in values:
+            int(v)
+        return ColumnType.INT64
+    except ValueError:
+        pass
+    try:
+        for v in values:
+            float(v)
+        return ColumnType.FLOAT64
+    except ValueError:
+        return ColumnType.CATEGORY
+
+
+def _parse_bool(value: str) -> bool:
+    lowered = value.strip().lower()
+    if lowered in ("true", "t", "1", "yes", "y"):
+        return True
+    if lowered in ("false", "f", "0", "no", "n"):
+        return False
+    raise SchemaError(f"cannot parse boolean value {value!r}")

@@ -1,0 +1,105 @@
+"""Hash equi-join.
+
+Tabula's real-run stage (Algorithm 2) optionally joins the raw table
+with a cuboid's iceberg-cell table to prune non-iceberg rows before
+grouping; this module provides that join for arbitrary key lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+def _logical_key_rows(table: Table, keys: Sequence[str]) -> List[Tuple]:
+    """Rows of ``table`` restricted to ``keys``, as logical-value tuples.
+
+    Joins must compare *logical* values because the two sides may use
+    different category dictionaries for the same attribute.
+    """
+    columns = [table.column(k) for k in keys]
+    decoded = []
+    for col in columns:
+        if col.dictionary is not None:
+            dictionary = col.dictionary
+            decoded.append([dictionary[int(c)] for c in col.data])
+        else:
+            decoded.append(col.data.tolist())
+    return list(zip(*decoded)) if columns else [()] * table.num_rows
+
+
+def hash_join_indices(
+    left: Table, right: Table, keys: Sequence[str]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inner equi-join on ``keys``; returns matching row-index pairs.
+
+    Builds a hash table on the smaller side. Returns two parallel index
+    arrays ``(left_idx, right_idx)``.
+    """
+    keys = tuple(keys)
+    left.schema.require(keys)
+    right.schema.require(keys)
+    build_left = left.num_rows <= right.num_rows
+    build, probe = (left, right) if build_left else (right, left)
+    buckets: Dict[Tuple, List[int]] = {}
+    for i, key in enumerate(_logical_key_rows(build, keys)):
+        buckets.setdefault(key, []).append(i)
+    build_out: List[int] = []
+    probe_out: List[int] = []
+    for j, key in enumerate(_logical_key_rows(probe, keys)):
+        for i in buckets.get(key, ()):
+            build_out.append(i)
+            probe_out.append(j)
+    build_idx = np.asarray(build_out, dtype=np.int64)
+    probe_idx = np.asarray(probe_out, dtype=np.int64)
+    if build_left:
+        return build_idx, probe_idx
+    return probe_idx, build_idx
+
+
+def semi_join(left: Table, right: Table, keys: Sequence[str]) -> Table:
+    """Rows of ``left`` whose key appears in ``right`` (LEFT SEMI JOIN).
+
+    This is the shape Algorithm 2 uses: keep only raw rows that fall in
+    some iceberg cell of the cuboid.
+    """
+    keys = tuple(keys)
+    left.schema.require(keys)
+    right.schema.require(keys)
+    wanted = set(_logical_key_rows(right, keys))
+    mask = np.fromiter(
+        (key in wanted for key in _logical_key_rows(left, keys)),
+        dtype=bool,
+        count=left.num_rows,
+    )
+    return left.filter(mask)
+
+
+def inner_join(
+    left: Table, right: Table, keys: Sequence[str], suffix: str = "_r"
+) -> Table:
+    """Full inner equi-join materializing both sides' columns.
+
+    Right-side non-key columns that collide with left names get
+    ``suffix`` appended.
+    """
+    left_idx, right_idx = hash_join_indices(left, right, keys)
+    left_rows = left.take(left_idx)
+    right_rows = right.take(right_idx)
+    columns = list(left_rows.columns())
+    taken = set(left_rows.column_names)
+    for col in right_rows.columns():
+        if col.name in keys:
+            continue
+        name = col.name
+        if name in taken:
+            name = name + suffix
+            if name in taken:
+                raise SchemaError(f"join output column collision: {name!r}")
+        columns.append(col.rename(name))
+        taken.add(name)
+    return Table(columns)

@@ -1,0 +1,134 @@
+"""Table schemas for the columnar engine.
+
+A :class:`Schema` is an ordered mapping of column name to
+:class:`ColumnType`. Schemas are immutable; deriving a new table (via
+projection, filtering, grouping) derives a new schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine.
+
+    ``CATEGORY`` is a dictionary-encoded string type — the natural fit for
+    the paper's cubed attributes (payment method, vendor, weekday, ...).
+    """
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    BOOL = "bool"
+    CATEGORY = "category"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The physical numpy dtype backing this logical type."""
+        if self is ColumnType.CATEGORY:
+            # Categories are stored as int32 codes into a dictionary.
+            return np.dtype("int32")
+        return np.dtype(self.value)
+
+    @classmethod
+    def infer(cls, values: Sequence) -> "ColumnType":
+        """Infer a column type from a Python sequence of values."""
+        arr = np.asarray(values)
+        if arr.dtype.kind in ("U", "S", "O"):
+            return cls.CATEGORY
+        if arr.dtype.kind == "b":
+            return cls.BOOL
+        if arr.dtype.kind in ("i", "u"):
+            return cls.INT64
+        if arr.dtype.kind == "f":
+            return cls.FLOAT64
+        raise SchemaError(f"cannot infer a column type for dtype {arr.dtype}")
+
+
+class Schema:
+    """An immutable, ordered set of ``(name, type)`` column definitions."""
+
+    __slots__ = ("_names", "_types", "_index")
+
+    def __init__(self, columns: Iterable[Tuple[str, ColumnType]]):
+        names = []
+        types = []
+        index = {}
+        for name, ctype in columns:
+            if not isinstance(ctype, ColumnType):
+                raise SchemaError(f"column {name!r}: expected ColumnType, got {ctype!r}")
+            if name in index:
+                raise SchemaError(f"duplicate column name: {name!r}")
+            index[name] = len(names)
+            names.append(name)
+            types.append(ctype)
+        self._names: Tuple[str, ...] = tuple(names)
+        self._types: Tuple[ColumnType, ...] = tuple(types)
+        self._index = index
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def types(self) -> Tuple[ColumnType, ...]:
+        return self._types
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[Tuple[str, ColumnType]]:
+        return iter(zip(self._names, self._types))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._names == other._names and self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._types))
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{n}:{t.value}" for n, t in self)
+        return f"Schema({cols})"
+
+    def type_of(self, name: str) -> ColumnType:
+        """Return the type of column ``name``.
+
+        Raises:
+            UnknownColumnError: if the column does not exist.
+        """
+        try:
+            return self._types[self._index[name]]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of column ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def require(self, names: Iterable[str]) -> None:
+        """Validate that every name in ``names`` is a column of this schema."""
+        for name in names:
+            if name not in self._index:
+                raise UnknownColumnError(name)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted (and reordered) to ``names``."""
+        self.require(names)
+        return Schema((n, self.type_of(n)) for n in names)
+
+    def extend(self, columns: Iterable[Tuple[str, ColumnType]]) -> "Schema":
+        """Return a new schema with ``columns`` appended."""
+        return Schema(list(self) + list(columns))

@@ -1,0 +1,25 @@
+"""The Tabula SQL dialect.
+
+Section II of the paper drives the whole system through three SQL
+statements:
+
+1. ``CREATE AGGREGATE loss(Raw, Sam) RETURN decimal_value AS BEGIN
+   scalar_expression END`` — declare a user-defined accuracy loss
+   function;
+2. ``CREATE TABLE cube AS SELECT attrs..., SAMPLING(*, θ) AS sample FROM
+   tbl GROUPBY CUBE(attrs...) HAVING loss(attr, Sam_global) > θ`` —
+   initialize the partially materialized sampling cube;
+3. ``SELECT sample FROM cube WHERE a = x AND b = y`` — a dashboard
+   interaction.
+
+This subpackage parses exactly that dialect (plus plain ``SELECT ...
+FROM ... WHERE`` scans for baselines and examples) and executes it
+against a :class:`~repro.engine.catalog.Catalog` and a Tabula
+middleware instance.
+"""
+
+from repro.engine.sql.parser import parse_statement
+from repro.engine.sql.printer import print_statement
+from repro.engine.sql.executor import SQLSession
+
+__all__ = ["SQLSession", "parse_statement", "print_statement"]

@@ -1,0 +1,149 @@
+"""Parsed-statement and scalar-expression AST nodes.
+
+Scalar expressions appear in ``CREATE AGGREGATE ... BEGIN <expr> END``
+bodies; they are later compiled into
+:class:`~repro.core.loss.base.LossFunction` objects by
+:mod:`repro.core.loss.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.engine.expressions import Predicate
+
+# ---------------------------------------------------------------------------
+# Scalar expression nodes (loss-function bodies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """A numeric literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """An aggregate call over the Raw/Sam datasets, e.g. ``AVG(Raw)``.
+
+    ``args`` are the declared parameter names of the loss function
+    (conventionally ``Raw`` and ``Sam``).
+    """
+
+    func: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A scalar function call over sub-expressions, e.g. ``ABS(x)``."""
+
+    func: str
+    args: Tuple["ScalarExpr", ...]
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary arithmetic operation: ``+ - * /``."""
+
+    op: str
+    left: "ScalarExpr"
+    right: "ScalarExpr"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus."""
+
+    op: str
+    operand: "ScalarExpr"
+
+
+ScalarExpr = Union[NumberLit, AggCall, FuncCall, BinOp, UnaryOp]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateAggregate:
+    """``CREATE AGGREGATE name(Raw, Sam) RETURN decimal_value AS BEGIN expr END``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: ScalarExpr
+
+
+@dataclass(frozen=True)
+class CreateSamplingCube:
+    """The sampling-cube initialization query of Section II.
+
+    ``CREATE TABLE name AS SELECT attrs, SAMPLING(*, θ) AS sample
+    FROM source GROUPBY CUBE(attrs) HAVING loss(attr..., Sam_global) > θ``
+    """
+
+    name: str
+    cubed_attrs: Tuple[str, ...]
+    threshold: float
+    source: str
+    loss_name: str
+    target_attrs: Tuple[str, ...]
+    global_sample_ref: str = "Sam_global"
+
+
+@dataclass(frozen=True)
+class SelectSample:
+    """A dashboard interaction: ``SELECT sample FROM cube WHERE ...``."""
+
+    cube: str
+    where: Optional[Predicate]
+
+
+@dataclass(frozen=True)
+class Select:
+    """A plain scan: ``SELECT cols FROM tbl WHERE ... [LIMIT n]``.
+
+    ``columns`` of ``("*",)`` selects everything.
+    """
+
+    columns: Tuple[str, ...]
+    table: str
+    where: Optional[Predicate]
+    limit: Optional[int] = None
+    order_by: Tuple[Tuple[str, bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """One aggregate item of a SELECT list: ``AVG(fare) AS avg_fare``.
+
+    ``column`` of ``"*"`` is only valid for COUNT.
+    """
+
+    func: str
+    column: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SelectAggregate:
+    """``SELECT keys..., AGG(col)... FROM tbl [WHERE ...] GROUP BY keys``.
+
+    An empty ``group_by`` is the grand-total query.
+    """
+
+    group_by: Tuple[str, ...]
+    aggregations: Tuple[Aggregation, ...]
+    table: str
+    where: Optional[Predicate]
+    order_by: Tuple[Tuple[str, bool], ...] = ()
+
+
+Statement = Union[
+    CreateAggregate, CreateSamplingCube, SelectSample, Select, SelectAggregate
+]

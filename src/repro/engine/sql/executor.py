@@ -1,0 +1,142 @@
+"""Execute parsed Tabula SQL against a catalog + middleware session.
+
+A :class:`SQLSession` owns a table catalog, a loss-function registry and
+the sampling cubes created so far; :meth:`SQLSession.execute` runs the
+full Section-II workflow end to end:
+
+>>> session.execute("CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value "
+...                 "AS BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END")
+>>> session.execute("CREATE TABLE cube AS SELECT d, c, m, SAMPLING(*, 0.1) AS sample "
+...                 "FROM rides GROUPBY CUBE(d, c, m) "
+...                 "HAVING my_loss(fare, Sam_global) > 0.1")
+>>> session.execute("SELECT sample FROM cube WHERE d = 'short' AND c = 1")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.loss.compiler import compile_loss
+from repro.core.loss.registry import LossRegistry
+from repro.core.tabula import InitializationReport, QueryResult, Tabula, TabulaConfig
+from repro.engine.catalog import Catalog
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_statement
+from repro.engine.table import Table
+from repro.errors import UnknownTableError
+
+
+@dataclass
+class SessionOptions:
+    """Knobs forwarded into every :class:`TabulaConfig` the session builds."""
+
+    epsilon: float = 0.05
+    delta: float = 0.01
+    lazy_sampling: bool = True
+    sample_selection: bool = True
+    pool_size: Optional[int] = 2000
+    seed: int = 0
+
+
+ExecutionResult = Union[Table, QueryResult, InitializationReport, str]
+
+
+class SQLSession:
+    """A stateful SQL entry point over the engine + Tabula middleware."""
+
+    def __init__(self, catalog: Optional[Catalog] = None, options: Optional[SessionOptions] = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.options = options if options is not None else SessionOptions()
+        self.registry = LossRegistry()
+        self.cubes: Dict[str, Tabula] = {}
+
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, table: Table, replace: bool = False) -> None:
+        """Add a raw table to the session's catalog."""
+        self.catalog.register(name, table, replace=replace)
+
+    def execute(self, sql: str) -> ExecutionResult:
+        """Parse and run one statement; the result type depends on it.
+
+        - CREATE AGGREGATE → the loss function's name (now registered);
+        - CREATE TABLE ... CUBE → the :class:`InitializationReport`;
+        - SELECT sample FROM <cube> → a :class:`QueryResult`;
+        - plain SELECT → an engine :class:`Table`.
+        """
+        stmt = parse_statement(sql)
+        if isinstance(stmt, ast.CreateAggregate):
+            return self._create_aggregate(stmt)
+        if isinstance(stmt, ast.CreateSamplingCube):
+            return self._create_sampling_cube(stmt)
+        if isinstance(stmt, ast.SelectSample):
+            return self._select_sample(stmt)
+        if isinstance(stmt, ast.SelectAggregate):
+            return self._select_aggregate(stmt)
+        return self._select(stmt)
+
+    # ------------------------------------------------------------------
+    def _create_aggregate(self, stmt: ast.CreateAggregate) -> str:
+        spec = compile_loss(stmt)
+        self.registry.register(spec, replace=True)
+        return spec.name
+
+    def _create_sampling_cube(self, stmt: ast.CreateSamplingCube) -> InitializationReport:
+        table = self.catalog.get(stmt.source)
+        loss = self.registry.bind(stmt.loss_name, stmt.target_attrs)
+        config = TabulaConfig(
+            cubed_attrs=stmt.cubed_attrs,
+            threshold=stmt.threshold,
+            loss=loss,
+            epsilon=self.options.epsilon,
+            delta=self.options.delta,
+            lazy_sampling=self.options.lazy_sampling,
+            sample_selection=self.options.sample_selection,
+            pool_size=self.options.pool_size,
+            seed=self.options.seed,
+        )
+        tabula = Tabula(table, config)
+        report = tabula.initialize()
+        self.cubes[stmt.name] = tabula
+        return report
+
+    def _select_sample(self, stmt: ast.SelectSample) -> ExecutionResult:
+        tabula = self.cubes.get(stmt.cube)
+        if tabula is None:
+            # ``SELECT sample FROM t`` against a plain table is a projection.
+            if stmt.cube in self.catalog:
+                return self._select(
+                    ast.Select(columns=("sample",), table=stmt.cube, where=stmt.where)
+                )
+            raise UnknownTableError(stmt.cube)
+        return tabula.query(stmt.where)
+
+    def _select_aggregate(self, stmt: ast.SelectAggregate) -> Table:
+        from repro.engine import aggregates
+        from repro.engine.groupby import aggregate as groupby_aggregate
+
+        table = self.catalog.scan(stmt.table, stmt.where)
+        plans = []
+        for item in stmt.aggregations:
+            func = aggregates.resolve(item.func)
+            if item.column == "*":
+                if func.name != "COUNT":
+                    raise ValueError(f"{item.func}(*) is only valid for COUNT")
+                input_column = table.column_names[0]
+            else:
+                input_column = item.column
+            plans.append((item.alias, func, input_column))
+        result = groupby_aggregate(table, stmt.group_by, plans)
+        if stmt.order_by:
+            result = result.sort_by(stmt.order_by)
+        return result
+
+    def _select(self, stmt: ast.Select) -> Table:
+        result = self.catalog.scan(stmt.table, stmt.where)
+        if stmt.columns != ("*",):
+            result = result.project(list(stmt.columns))
+        if stmt.order_by:
+            result = result.sort_by(stmt.order_by)
+        if stmt.limit is not None:
+            result = result.head(stmt.limit)
+        return result

@@ -1,0 +1,92 @@
+"""Tokenizer for the Tabula SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "CREATE", "TABLE", "AGGREGATE", "AS", "SELECT", "FROM", "WHERE",
+        "GROUPBY", "GROUP", "BY", "CUBE", "HAVING", "RETURN", "BEGIN",
+        "END", "AND", "OR", "NOT", "IN", "BETWEEN", "NULL", "LIMIT",
+        "ORDER", "ASC", "DESC",
+    }
+)
+
+SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "=", "<", ">", "+", "-", "/", ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` ∈ {KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF}."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``, raising :class:`SQLSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'" or ch == '"':
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise SQLSyntaxError("unterminated string literal", i, text)
+            yield Token("STRING", text[i + 1:end], i)
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            # Scientific notation: 1e-3, 2.5E+4
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
+            yield Token("NUMBER", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            value = word.upper() if kind == "KEYWORD" else word
+            yield Token(kind, value, i)
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                value = "!=" if sym == "<>" else sym
+                yield Token("SYMBOL", value, i)
+                i += len(sym)
+                break
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i, text)
+    yield Token("EOF", "", n)

@@ -1,0 +1,401 @@
+"""Recursive-descent parser for the Tabula SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine import expressions as ex
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(text)
+    stmt = parser.statement()
+    parser.accept_symbol(";")
+    parser.expect_eof()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self.peek().position, self.text)
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.value in words:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.accept_keyword(word)
+        if tok is None:
+            raise self.error(f"expected {word}, got {self.peek().value!r}")
+        return tok
+
+    def accept_symbol(self, symbol: str) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == "SYMBOL" and tok.value == symbol:
+            return self.advance()
+        return None
+
+    def expect_symbol(self, symbol: str) -> Token:
+        tok = self.accept_symbol(symbol)
+        if tok is None:
+            raise self.error(f"expected {symbol!r}, got {self.peek().value!r}")
+        return tok
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "IDENT":
+            raise self.error(f"expected identifier, got {tok.value!r}")
+        self.advance()
+        return tok.value
+
+    def expect_number(self) -> float:
+        tok = self.peek()
+        sign = 1.0
+        if tok.kind == "SYMBOL" and tok.value == "-":
+            self.advance()
+            sign = -1.0
+            tok = self.peek()
+        if tok.kind != "NUMBER":
+            raise self.error(f"expected number, got {tok.value!r}")
+        self.advance()
+        return sign * float(tok.value)
+
+    def expect_eof(self) -> None:
+        if self.peek().kind != "EOF":
+            raise self.error(f"unexpected trailing input: {self.peek().value!r}")
+
+    # -- grammar ---------------------------------------------------------
+    def statement(self) -> ast.Statement:
+        if self.accept_keyword("CREATE"):
+            if self.accept_keyword("AGGREGATE"):
+                return self.create_aggregate()
+            self.expect_keyword("TABLE")
+            return self.create_sampling_cube()
+        if self.accept_keyword("SELECT"):
+            return self.select()
+        raise self.error("expected CREATE or SELECT")
+
+    def create_aggregate(self) -> ast.CreateAggregate:
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        params = [self.expect_ident()]
+        while self.accept_symbol(","):
+            params.append(self.expect_ident())
+        self.expect_symbol(")")
+        self.expect_keyword("RETURN")
+        self.expect_ident()  # return-type name, e.g. decimal_value; informational
+        self.expect_keyword("AS")
+        self.expect_keyword("BEGIN")
+        body = self.scalar_expr()
+        self.expect_keyword("END")
+        return ast.CreateAggregate(name=name, params=tuple(params), body=body)
+
+    def create_sampling_cube(self) -> ast.CreateSamplingCube:
+        name = self.expect_ident()
+        self.expect_keyword("AS")
+        self.expect_keyword("SELECT")
+        attrs: List[str] = []
+        sampling_threshold: Optional[float] = None
+        while True:
+            tok = self.peek()
+            if tok.kind == "IDENT" and tok.value.upper() == "SAMPLING":
+                self.advance()
+                self.expect_symbol("(")
+                self.expect_symbol("*")
+                self.expect_symbol(",")
+                sampling_threshold = self.expect_number()
+                self.expect_symbol(")")
+                self.expect_keyword("AS")
+                alias = self.expect_ident()
+                if alias.lower() != "sample":
+                    raise self.error("SAMPLING(...) must be aliased AS sample")
+            else:
+                attrs.append(self.expect_ident())
+            if not self.accept_symbol(","):
+                break
+        if sampling_threshold is None:
+            raise self.error("initialization query must include SAMPLING(*, threshold) AS sample")
+        self.expect_keyword("FROM")
+        source = self.expect_ident()
+        if not self.accept_keyword("GROUPBY"):
+            self.expect_keyword("GROUP")
+            self.expect_keyword("BY")
+        self.expect_keyword("CUBE")
+        self.expect_symbol("(")
+        cube_attrs = [self.expect_ident()]
+        while self.accept_symbol(","):
+            cube_attrs.append(self.expect_ident())
+        self.expect_symbol(")")
+        if tuple(cube_attrs) != tuple(attrs):
+            raise self.error(
+                "the SELECT attribute list must match CUBE(...) "
+                f"({attrs} vs {cube_attrs})"
+            )
+        self.expect_keyword("HAVING")
+        loss_name = self.expect_ident()
+        self.expect_symbol("(")
+        loss_args = [self.expect_ident()]
+        while self.accept_symbol(","):
+            loss_args.append(self.expect_ident())
+        self.expect_symbol(")")
+        self.expect_symbol(">")
+        threshold = self.expect_number()
+        if abs(threshold - sampling_threshold) > 1e-12:
+            raise self.error(
+                "SAMPLING threshold and HAVING threshold must agree "
+                f"({sampling_threshold} vs {threshold})"
+            )
+        if len(loss_args) < 2:
+            raise self.error("HAVING loss(...) needs target attribute(s) and Sam_global")
+        return ast.CreateSamplingCube(
+            name=name,
+            cubed_attrs=tuple(cube_attrs),
+            threshold=threshold,
+            source=source,
+            loss_name=loss_name,
+            target_attrs=tuple(loss_args[:-1]),
+            global_sample_ref=loss_args[-1],
+        )
+
+    def select(self) -> ast.Statement:
+        columns: List[str] = []
+        aggregations: List[ast.Aggregation] = []
+        if self.accept_symbol("*"):
+            columns.append("*")
+        else:
+            self.select_item(columns, aggregations)
+            while self.accept_symbol(","):
+                self.select_item(columns, aggregations)
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.predicate()
+        group_by: List[str] = []
+        has_group_by = False
+        if self.accept_keyword("GROUPBY"):
+            has_group_by = True
+        elif self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            has_group_by = True
+        if has_group_by:
+            group_by.append(self.expect_ident())
+            while self.accept_symbol(","):
+                group_by.append(self.expect_ident())
+        order_by: List[tuple] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_key())
+            while self.accept_symbol(","):
+                order_by.append(self.order_key())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = int(self.expect_number())
+        if aggregations or has_group_by:
+            if not aggregations:
+                raise self.error("GROUP BY requires at least one aggregate in SELECT")
+            if set(columns) != set(group_by):
+                raise self.error(
+                    "non-aggregated SELECT columns must match the GROUP BY list "
+                    f"({columns} vs {group_by})"
+                )
+            if limit is not None:
+                raise self.error("LIMIT is not supported on aggregate queries")
+            return ast.SelectAggregate(
+                group_by=tuple(group_by),
+                aggregations=tuple(aggregations),
+                table=table,
+                where=where,
+                order_by=tuple(order_by),
+            )
+        if columns == ["sample"] and limit is None and not order_by:
+            return ast.SelectSample(cube=table, where=where)
+        return ast.Select(
+            columns=tuple(columns),
+            table=table,
+            where=where,
+            limit=limit,
+            order_by=tuple(order_by),
+        )
+
+    def order_key(self) -> tuple:
+        """One ORDER BY key: ``column [ASC|DESC]`` → (column, descending)."""
+        name = self.expect_ident()
+        if self.accept_keyword("DESC"):
+            return (name, True)
+        self.accept_keyword("ASC")
+        return (name, False)
+
+    def select_item(self, columns: List[str], aggregations: List["ast.Aggregation"]) -> None:
+        """One SELECT-list entry: a column or ``FUNC(col) [AS alias]``."""
+        name = self.expect_ident()
+        if not self.accept_symbol("("):
+            columns.append(name)
+            return
+        if self.accept_symbol("*"):
+            column = "*"
+        else:
+            column = self.expect_ident()
+        self.expect_symbol(")")
+        default_alias = (
+            name.lower() if column == "*" else f"{name.lower()}_{column}"
+        )
+        alias = self.expect_ident() if self.accept_keyword("AS") else default_alias
+        aggregations.append(ast.Aggregation(func=name.upper(), column=column, alias=alias))
+
+    # -- predicates -------------------------------------------------------
+    def predicate(self) -> ex.Predicate:
+        return self.or_expr()
+
+    def or_expr(self) -> ex.Predicate:
+        left = self.and_expr()
+        children = [left]
+        while self.accept_keyword("OR"):
+            children.append(self.and_expr())
+        return children[0] if len(children) == 1 else ex.Or(children)
+
+    def and_expr(self) -> ex.Predicate:
+        left = self.unary_pred()
+        children = [left]
+        while self.accept_keyword("AND"):
+            children.append(self.unary_pred())
+        return children[0] if len(children) == 1 else ex.And(children)
+
+    def unary_pred(self) -> ex.Predicate:
+        if self.accept_keyword("NOT"):
+            return ex.Not(self.unary_pred())
+        if self.accept_symbol("("):
+            inner = self.predicate()
+            self.expect_symbol(")")
+            return inner
+        return self.comparison()
+
+    def comparison(self) -> ex.Predicate:
+        column = self.expect_ident()
+        if self.accept_keyword("IN"):
+            self.expect_symbol("(")
+            values = [self.literal()]
+            while self.accept_symbol(","):
+                values.append(self.literal())
+            self.expect_symbol(")")
+            return ex.In(column, values)
+        if self.accept_keyword("BETWEEN"):
+            lo = self.literal()
+            self.expect_keyword("AND")
+            hi = self.literal()
+            return ex.Between(column, lo, hi)
+        tok = self.peek()
+        if tok.kind != "SYMBOL" or tok.value not in ("=", "!=", "<", "<=", ">", ">="):
+            raise self.error(f"expected comparison operator, got {tok.value!r}")
+        self.advance()
+        return ex.Comparison(column, tok.value, self.literal())
+
+    def literal(self):
+        tok = self.peek()
+        if tok.kind == "STRING":
+            self.advance()
+            return tok.value
+        if tok.kind == "NUMBER" or (tok.kind == "SYMBOL" and tok.value == "-"):
+            value = self.expect_number()
+            return int(value) if float(value).is_integer() and "." not in tok.value else value
+        if tok.kind == "IDENT":
+            # Bare identifiers as literals: WHERE payment = cash
+            self.advance()
+            return tok.value
+        raise self.error(f"expected literal, got {tok.value!r}")
+
+    # -- scalar expressions (loss bodies) ----------------------------------
+    def scalar_expr(self) -> ast.ScalarExpr:
+        return self.additive()
+
+    def additive(self) -> ast.ScalarExpr:
+        node = self.multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                node = ast.BinOp("+", node, self.multiplicative())
+            elif self.accept_symbol("-"):
+                node = ast.BinOp("-", node, self.multiplicative())
+            else:
+                return node
+
+    def multiplicative(self) -> ast.ScalarExpr:
+        node = self.unary_expr()
+        while True:
+            if self.accept_symbol("*"):
+                node = ast.BinOp("*", node, self.unary_expr())
+            elif self.accept_symbol("/"):
+                node = ast.BinOp("/", node, self.unary_expr())
+            else:
+                return node
+
+    def unary_expr(self) -> ast.ScalarExpr:
+        if self.accept_symbol("-"):
+            return ast.UnaryOp("-", self.unary_expr())
+        return self.primary_expr()
+
+    def primary_expr(self) -> ast.ScalarExpr:
+        tok = self.peek()
+        if tok.kind == "NUMBER":
+            self.advance()
+            return ast.NumberLit(float(tok.value))
+        if self.accept_symbol("("):
+            inner = self.scalar_expr()
+            self.expect_symbol(")")
+            return inner
+        if tok.kind == "IDENT":
+            name = self.expect_ident()
+            if self.accept_symbol("("):
+                args: List = []
+                if not self.accept_symbol(")"):
+                    args.append(self.call_argument())
+                    while self.accept_symbol(","):
+                        args.append(self.call_argument())
+                    self.expect_symbol(")")
+                return self._classify_call(name, args)
+            raise self.error(f"bare identifier {name!r} not allowed in loss body")
+        raise self.error(f"unexpected token in expression: {tok.value!r}")
+
+    def call_argument(self):
+        """A call argument: either a dataset name (IDENT) or a sub-expression."""
+        tok = self.peek()
+        if tok.kind == "IDENT":
+            nxt = self.tokens[self.pos + 1]
+            is_call = nxt.kind == "SYMBOL" and nxt.value == "("
+            if not is_call:
+                self.advance()
+                return tok.value  # dataset reference, e.g. Raw / Sam
+        return self.scalar_expr()
+
+    def _classify_call(self, name: str, args: List) -> ast.ScalarExpr:
+        """Split calls into aggregate calls (dataset args) vs scalar ones."""
+        if args and all(isinstance(a, str) for a in args):
+            return ast.AggCall(func=name.upper(), args=tuple(args))
+        exprs = tuple(
+            ast.NumberLit(float(a)) if isinstance(a, (int, float)) else a for a in args
+        )
+        if any(isinstance(a, str) for a in args):
+            raise self.error(
+                f"call {name}(...) mixes dataset references and expressions"
+            )
+        return ast.FuncCall(func=name.upper(), args=exprs)

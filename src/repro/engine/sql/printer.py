@@ -1,0 +1,138 @@
+"""Render parsed statements back to SQL text.
+
+The inverse of :mod:`repro.engine.sql.parser`: ``parse(print(ast)) ==
+ast`` for every statement the dialect can express. Used for logging
+(show the user exactly what the middleware executed), for persisting
+loss declarations, and — most importantly — as the oracle in the
+parser's round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.engine import expressions as ex
+from repro.engine.sql import ast
+from repro.errors import SQLSyntaxError
+
+
+def print_statement(stmt: ast.Statement) -> str:
+    """SQL text for any parsed statement."""
+    if isinstance(stmt, ast.CreateAggregate):
+        return _print_create_aggregate(stmt)
+    if isinstance(stmt, ast.CreateSamplingCube):
+        return _print_create_sampling_cube(stmt)
+    if isinstance(stmt, ast.SelectSample):
+        where = f" WHERE {print_predicate(stmt.where)}" if stmt.where else ""
+        return f"SELECT sample FROM {stmt.cube}{where}"
+    if isinstance(stmt, ast.Select):
+        return _print_select(stmt)
+    if isinstance(stmt, ast.SelectAggregate):
+        return _print_select_aggregate(stmt)
+    raise SQLSyntaxError(f"cannot print statement: {stmt!r}")
+
+
+# ---------------------------------------------------------------------------
+def _print_create_aggregate(stmt: ast.CreateAggregate) -> str:
+    params = ", ".join(stmt.params)
+    return (
+        f"CREATE AGGREGATE {stmt.name}({params}) RETURN decimal_value AS "
+        f"BEGIN {print_scalar(stmt.body)} END"
+    )
+
+
+def _print_create_sampling_cube(stmt: ast.CreateSamplingCube) -> str:
+    attrs = ", ".join(stmt.cubed_attrs)
+    loss_args = ", ".join(stmt.target_attrs + (stmt.global_sample_ref,))
+    return (
+        f"CREATE TABLE {stmt.name} AS "
+        f"SELECT {attrs}, SAMPLING(*, {_number(stmt.threshold)}) AS sample "
+        f"FROM {stmt.source} GROUPBY CUBE({attrs}) "
+        f"HAVING {stmt.loss_name}({loss_args}) > {_number(stmt.threshold)}"
+    )
+
+
+def _print_select(stmt: ast.Select) -> str:
+    columns = ", ".join(stmt.columns)
+    text = f"SELECT {columns} FROM {stmt.table}"
+    if stmt.where is not None:
+        text += f" WHERE {print_predicate(stmt.where)}"
+    if stmt.order_by:
+        text += " ORDER BY " + ", ".join(
+            f"{name} DESC" if descending else f"{name} ASC"
+            for name, descending in stmt.order_by
+        )
+    if stmt.limit is not None:
+        text += f" LIMIT {stmt.limit}"
+    return text
+
+
+def _print_select_aggregate(stmt: ast.SelectAggregate) -> str:
+    items = list(stmt.group_by) + [
+        f"{a.func}({a.column}) AS {a.alias}" for a in stmt.aggregations
+    ]
+    text = f"SELECT {', '.join(items)} FROM {stmt.table}"
+    if stmt.where is not None:
+        text += f" WHERE {print_predicate(stmt.where)}"
+    if stmt.group_by:
+        text += " GROUP BY " + ", ".join(stmt.group_by)
+    if stmt.order_by:
+        text += " ORDER BY " + ", ".join(
+            f"{name} DESC" if descending else f"{name} ASC"
+            for name, descending in stmt.order_by
+        )
+    return text
+
+
+# ---------------------------------------------------------------------------
+def print_predicate(predicate: ex.Predicate) -> str:
+    """SQL text for a predicate tree (fully parenthesized)."""
+    if isinstance(predicate, ex.TruePredicate):
+        return "(1 = 1)"
+    if isinstance(predicate, ex.Comparison):
+        return f"{predicate.column} {predicate.op} {_literal(predicate.value)}"
+    if isinstance(predicate, ex.In):
+        values = ", ".join(_literal(v) for v in predicate.values)
+        return f"{predicate.column} IN ({values})"
+    if isinstance(predicate, ex.Between):
+        return (
+            f"{predicate.column} BETWEEN {_literal(predicate.lo)} "
+            f"AND {_literal(predicate.hi)}"
+        )
+    if isinstance(predicate, ex.And):
+        return "(" + " AND ".join(print_predicate(c) for c in predicate.children) + ")"
+    if isinstance(predicate, ex.Or):
+        return "(" + " OR ".join(print_predicate(c) for c in predicate.children) + ")"
+    if isinstance(predicate, ex.Not):
+        return f"NOT ({print_predicate(predicate.child)})"
+    raise SQLSyntaxError(f"cannot print predicate: {predicate!r}")
+
+
+def print_scalar(expr: ast.ScalarExpr) -> str:
+    """SQL text for a loss-body scalar expression (fully parenthesized)."""
+    if isinstance(expr, ast.NumberLit):
+        return _number(expr.value)
+    if isinstance(expr, ast.AggCall):
+        return f"{expr.func}({', '.join(expr.args)})"
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.func}({', '.join(print_scalar(a) for a in expr.args)})"
+    if isinstance(expr, ast.BinOp):
+        return f"({print_scalar(expr.left)} {expr.op} {print_scalar(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"(-{print_scalar(expr.operand)})"
+    raise SQLSyntaxError(f"cannot print expression: {expr!r}")
+
+
+def _literal(value) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return _number(value)
+
+
+def _number(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return f"{as_float:.1f}"
+    return repr(as_float)

@@ -1,0 +1,200 @@
+"""The :class:`Table` abstraction — an immutable columnar row set.
+
+Tables are cheap to derive: filtering, projection and ``take`` share the
+underlying numpy buffers where possible. All relational operators in
+this engine consume and produce tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class Table:
+    """An immutable set of equal-length named columns."""
+
+    __slots__ = ("_columns", "_schema", "_nrows")
+
+    def __init__(self, columns: Sequence[Column]):
+        if columns:
+            nrows = len(columns[0])
+            for col in columns:
+                if len(col) != nrows:
+                    raise SchemaError(
+                        f"ragged table: column {col.name!r} has {len(col)} rows, expected {nrows}"
+                    )
+        else:
+            nrows = 0
+        self._columns: Dict[str, Column] = {}
+        for col in columns:
+            if col.name in self._columns:
+                raise SchemaError(f"duplicate column name: {col.name!r}")
+            self._columns[col.name] = col
+        self._schema = Schema((c.name, c.ctype) for c in columns)
+        self._nrows = nrows
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pydict(cls, data: Mapping[str, Sequence], types: Optional[Mapping[str, ColumnType]] = None) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        types = types or {}
+        columns = [Column.from_values(name, values, types.get(name)) for name, values in data.items()]
+        return cls(columns)
+
+    @classmethod
+    def empty_like(cls, other: "Table") -> "Table":
+        """An empty table with the same schema (and dictionaries) as ``other``."""
+        return other.take(np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def nbytes(self) -> int:
+        """Physical memory footprint of all columns in bytes."""
+        return sum(col.nbytes for col in self._columns.values())
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __repr__(self) -> str:
+        return f"Table(rows={self._nrows}, columns={list(self.column_names)})"
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def columns(self) -> Iterator[Column]:
+        return iter(self._columns.values())
+
+    # ------------------------------------------------------------------
+    # Row-set operations
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices`` (any order, with repeats allowed)."""
+        return Table([col.take(indices) for col in self._columns.values()])
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where the boolean ``mask`` is true."""
+        if mask.dtype != np.bool_:
+            raise SchemaError("filter mask must be boolean")
+        if len(mask) != self._nrows:
+            raise SchemaError(f"mask length {len(mask)} != table rows {self._nrows}")
+        return Table([col.filter(mask) for col in self._columns.values()])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Columns ``names`` only, in the given order."""
+        return Table([self.column(n) for n in names])
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        """A table with columns renamed per ``mapping`` (others unchanged)."""
+        return Table(
+            [col.rename(mapping.get(col.name, col.name)) for col in self._columns.values()]
+        )
+
+    def with_column(self, column: Column) -> "Table":
+        """A table with ``column`` appended (or replaced, by name)."""
+        cols = [c for c in self._columns.values() if c.name != column.name]
+        cols.append(column)
+        return Table(cols)
+
+    def concat(self, other: "Table") -> "Table":
+        """Vertically stack ``other`` below this table (schemas must match by name/type)."""
+        if self._schema.names != other._schema.names:
+            raise SchemaError(
+                f"concat schema mismatch: {self._schema.names} vs {other._schema.names}"
+            )
+        return Table(
+            [self._columns[n].concat(other._columns[n]) for n in self._schema.names]
+        )
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, self._nrows), dtype=np.int64))
+
+    def sort_by(self, keys: Sequence[Tuple[str, bool]]) -> "Table":
+        """Rows ordered by ``(column, descending)`` keys, first key primary.
+
+        Stable sort. CATEGORY columns order by label (their dictionaries
+        are built sorted, so code order equals label order).
+        """
+        if not keys:
+            return self
+        for name, _ in keys:
+            self._schema.require([name])
+        order = np.arange(self._nrows, dtype=np.int64)
+        # np.lexsort sorts by the LAST key primarily; apply keys reversed.
+        for name, descending in reversed(list(keys)):
+            data = self._columns[name].data[order]
+            positions = np.argsort(-data if descending else data, kind="stable")
+            order = order[positions]
+        return self.take(order)
+
+    def sample_rows(self, n: int, rng: np.random.Generator) -> "Table":
+        """A uniform random sample (without replacement) of ``n`` rows."""
+        n = min(n, self._nrows)
+        indices = rng.choice(self._nrows, size=n, replace=False)
+        return self.take(indices)
+
+    # ------------------------------------------------------------------
+    # Row access (edge-of-system conveniences)
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> Dict[str, object]:
+        """Row ``i`` as a dict of logical values."""
+        return {name: col.value_at(i) for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        """Iterate rows as dicts. Intended for tests and display only."""
+        for i in range(self._nrows):
+            yield self.row(i)
+
+    def to_pydict(self) -> Dict[str, List]:
+        """The whole table as a dict of lists of logical values."""
+        return {name: col.to_list() for name, col in self._columns.items()}
+
+    def format(self, limit: int = 20) -> str:
+        """A plain-text rendering of up to ``limit`` rows, for debugging."""
+        names = self.column_names
+        rows = [
+            [str(col.value_at(i)) for col in self._columns.values()]
+            for i in range(min(limit, self._nrows))
+        ]
+        widths = [
+            max(len(name), *(len(r[j]) for r in rows)) if rows else len(name)
+            for j, name in enumerate(names)
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = "\n".join(" | ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rows)
+        suffix = "" if self._nrows <= limit else f"\n... ({self._nrows - limit} more rows)"
+        return f"{header}\n{sep}\n{body}{suffix}"

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the Tabula reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`TabulaError` so
+applications embedding the middleware can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class TabulaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EngineError(TabulaError):
+    """Base class for errors raised by the columnar SQL engine substrate."""
+
+
+class SchemaError(EngineError):
+    """A table/column definition is invalid or violated."""
+
+
+class UnknownTableError(EngineError):
+    """A statement referenced a table that is not in the catalog."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(EngineError):
+    """A statement referenced a column that does not exist."""
+
+    def __init__(self, name: str, table: str = ""):
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {name!r}{where}")
+        self.name = name
+        self.table = table
+
+
+class TypeMismatchError(EngineError):
+    """An operation was applied to a column of an incompatible type."""
+
+
+class SQLSyntaxError(EngineError):
+    """The SQL text could not be parsed.
+
+    Carries the offending position so callers can render a caret
+    diagnostic.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+        self.position = position
+
+
+class LossFunctionError(TabulaError):
+    """A user-defined accuracy loss function is invalid."""
+
+
+class NotAlgebraicError(LossFunctionError):
+    """The declared loss function uses a holistic aggregate.
+
+    Tabula requires the loss function to be algebraic (Section II of the
+    paper) so the dry-run stage can derive every cuboid from the base
+    cuboid.
+    """
+
+
+class SamplingError(TabulaError):
+    """The accuracy-loss-aware sampler could not satisfy its contract."""
+
+
+class CubeNotInitializedError(TabulaError):
+    """A dashboard query was issued before the sampling cube was built."""
+
+
+class InvalidQueryError(TabulaError):
+    """A dashboard query does not fit the sampling cube.
+
+    Raised, for example, when the WHERE clause references attributes that
+    are not a subset of the cubed attributes chosen at initialization
+    time.
+    """

@@ -1,0 +1,31 @@
+"""Visual-analysis substrate.
+
+The paper renders returned samples with Matlab (heat maps, histograms)
+and scikit-learn (means, regression lines) and reports the *sample
+visualization time* separately from the data-system time (Table II).
+This subpackage implements those analysis tasks on numpy so the
+benchmark harness can measure both halves of the
+data-to-visualization time on the same code paths every approach uses.
+"""
+
+from repro.viz.dashboard import Dashboard, Interaction
+from repro.viz.heatmap import HeatmapSpec, heatmap_difference, render_heatmap
+from repro.viz.histogram import HistogramSpec, render_histogram
+from repro.viz.regression import RegressionFit, fit_regression
+from repro.viz.scatter import ScatterPlot, ScatterSpec, render_scatter, scatter_difference
+
+__all__ = [
+    "Dashboard",
+    "HeatmapSpec",
+    "HistogramSpec",
+    "Interaction",
+    "RegressionFit",
+    "ScatterPlot",
+    "ScatterSpec",
+    "fit_regression",
+    "render_scatter",
+    "scatter_difference",
+    "heatmap_difference",
+    "render_heatmap",
+    "render_histogram",
+]

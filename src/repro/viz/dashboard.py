@@ -1,0 +1,125 @@
+"""The dashboard simulation: data-to-visualization loop with timing.
+
+A :class:`Dashboard` runs one *interaction* per query: ask the approach
+(Tabula or any baseline) for an answer, then perform the visual
+analysis task on the returned tuples. It records the two halves of the
+paper's data-to-visualization time separately:
+
+- **data-system time** — producing the answer (query + any on-the-fly
+  sampling), and
+- **visualization time** — rendering the heat map / histogram or
+  fitting the statistic on the returned tuples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.viz.heatmap import HeatmapSpec, render_heatmap
+from repro.viz.histogram import HistogramSpec, render_histogram
+from repro.viz.regression import fit_regression
+from repro.viz.scatter import ScatterSpec, render_scatter
+
+
+@dataclass
+class Interaction:
+    """One dashboard round-trip and its measurements."""
+
+    query: Dict[str, object]
+    answer_rows: int
+    data_system_seconds: float
+    visualization_seconds: float
+    analysis_result: object = None
+
+    @property
+    def data_to_visualization_seconds(self) -> float:
+        return self.data_system_seconds + self.visualization_seconds
+
+
+class Dashboard:
+    """Runs a visual-analysis task over answers produced by an approach.
+
+    ``task`` picks the analysis:
+
+    - ``"heatmap"`` — render the pickup-location density raster;
+    - ``"histogram"`` — bin the target attribute;
+    - ``"mean"`` — compute the statistical mean;
+    - ``"regression"`` — fit the fare/tip regression line;
+    - ``"scatter"`` — render the scatter panel with the fitted line.
+    """
+
+    def __init__(
+        self,
+        task: str,
+        target_attrs: Sequence[str],
+        heatmap_spec: HeatmapSpec = HeatmapSpec(),
+        histogram_spec: HistogramSpec = HistogramSpec(),
+        scatter_spec: ScatterSpec = ScatterSpec(),
+    ):
+        if task not in ("heatmap", "histogram", "mean", "regression", "scatter"):
+            raise ValueError(f"unknown dashboard task: {task!r}")
+        self.task = task
+        self.target_attrs = tuple(target_attrs)
+        self.heatmap_spec = heatmap_spec
+        self.histogram_spec = histogram_spec
+        self.scatter_spec = scatter_spec
+
+    # ------------------------------------------------------------------
+    def interact(
+        self,
+        query: Dict[str, object],
+        answer_fn: Callable[[Dict[str, object]], Table],
+    ) -> Interaction:
+        """One dashboard interaction: fetch the answer, run the analysis."""
+        started = time.perf_counter()
+        answer = answer_fn(query)
+        data_system_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = self.analyze(answer)
+        visualization_seconds = time.perf_counter() - started
+        return Interaction(
+            query=dict(query),
+            answer_rows=answer.num_rows,
+            data_system_seconds=data_system_seconds,
+            visualization_seconds=visualization_seconds,
+            analysis_result=result,
+        )
+
+    def analyze(self, answer: Table):
+        """Run only the visual-analysis half on an already-fetched answer."""
+        values = self._extract(answer)
+        if self.task == "heatmap":
+            return render_heatmap(values, self.heatmap_spec)
+        if self.task == "histogram":
+            return render_histogram(values, self.histogram_spec)
+        if self.task == "mean":
+            return float(np.mean(values)) if len(values) else float("nan")
+        if self.task == "scatter":
+            if len(values):
+                return render_scatter(values[:, 0], values[:, 1], self.scatter_spec)
+            return render_scatter(np.empty(0), np.empty(0), self.scatter_spec)
+        fit = fit_regression(values[:, 0], values[:, 1]) if len(values) else fit_regression(
+            np.empty(0), np.empty(0)
+        )
+        return fit
+
+    def _extract(self, answer: Table) -> np.ndarray:
+        columns = [answer.column(a).data.astype(float) for a in self.target_attrs]
+        if len(columns) == 1:
+            return columns[0]
+        return np.column_stack(columns) if answer.num_rows else np.empty((0, len(columns)))
+
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        queries: Sequence[Dict[str, object]],
+        answer_fn: Callable[[Dict[str, object]], Table],
+    ) -> List[Interaction]:
+        """Run every query through :meth:`interact`."""
+        return [self.interact(q, answer_fn) for q in queries]

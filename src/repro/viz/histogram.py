@@ -1,0 +1,51 @@
+"""Histogram rendering for 1-D analysis tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HistogramSpec:
+    """Binning parameters; ``bounds=None`` derives the range from data."""
+
+    bins: int = 40
+    bounds: Optional[Tuple[float, float]] = None
+
+
+def render_histogram(values: np.ndarray, spec: HistogramSpec = HistogramSpec()) -> np.ndarray:
+    """Bin ``values`` into a normalized histogram (sums to 1; zeros if empty)."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("histogram rendering expects 1-D values")
+    if len(values) == 0:
+        return np.zeros(spec.bins)
+    if spec.bounds is not None:
+        lo, hi = spec.bounds
+    else:
+        lo, hi = float(values.min()), float(values.max())
+        if hi <= lo:
+            hi = lo + 1.0
+    counts, _ = np.histogram(values, bins=spec.bins, range=(lo, hi))
+    total = counts.sum()
+    return counts / total if total > 0 else counts.astype(float)
+
+
+def histogram_difference(
+    raw_values: np.ndarray, sample_values: np.ndarray, spec: HistogramSpec = HistogramSpec()
+) -> float:
+    """Total-variation distance between two histograms over a shared range."""
+    raw_values = np.asarray(raw_values, dtype=float)
+    sample_values = np.asarray(sample_values, dtype=float)
+    if spec.bounds is None and len(raw_values):
+        lo = float(raw_values.min())
+        hi = float(raw_values.max())
+        if hi <= lo:
+            hi = lo + 1.0
+        spec = HistogramSpec(bins=spec.bins, bounds=(lo, hi))
+    raw_hist = render_histogram(raw_values, spec)
+    sample_hist = render_histogram(sample_values, spec)
+    return float(0.5 * np.abs(raw_hist - sample_hist).sum())

@@ -1,0 +1,48 @@
+"""Least-squares line fitting for the regression dashboard task.
+
+Mirrors the paper's analysis: fit ``y = slope·x + intercept`` on the
+returned answer (fare vs tip in the running example) and report the
+line's angle in degrees, so benchmark code can compare raw-vs-sample
+angles the same way the regression loss does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.loss.regression import regression_slope
+
+
+@dataclass(frozen=True)
+class RegressionFit:
+    """A fitted line plus the derived angle."""
+
+    slope: float
+    intercept: float
+    n: int
+
+    @property
+    def angle_degrees(self) -> float:
+        return math.degrees(math.atan(self.slope))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def fit_regression(x: np.ndarray, y: np.ndarray) -> RegressionFit:
+    """Least-squares fit; degenerate inputs produce a flat line."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError(f"x and y must have equal length ({len(x)} vs {len(y)})")
+    n = len(x)
+    if n == 0:
+        return RegressionFit(slope=0.0, intercept=0.0, n=0)
+    slope = regression_slope(
+        float(n), float(x.sum()), float(y.sum()), float((x * y).sum()), float((x * x).sum())
+    )
+    intercept = float(y.mean() - slope * x.mean())
+    return RegressionFit(slope=slope, intercept=intercept, n=n)

@@ -1,0 +1,198 @@
+"""Tests for all compared approaches (Section V)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FullSamCube,
+    PartSamCube,
+    POIsam,
+    SampleFirst,
+    SampleOnTheFly,
+    SnappyDataLike,
+    TabulaApproach,
+)
+from repro.baselines.base import select_population
+from repro.core.loss.mean import MeanLoss
+from repro.data.workload import generate_workload
+
+ATTRS = ("passenger_count", "payment_type")
+THETA = 0.10
+
+
+@pytest.fixture(scope="module")
+def loss():
+    return MeanLoss("fare_amount")
+
+
+@pytest.fixture(scope="module")
+def workload(rides_small):
+    return generate_workload(rides_small, ATTRS, num_queries=12, seed=2)
+
+
+class TestSampleFirst:
+    def test_initialization_draws_fraction(self, rides_small, loss):
+        ap = SampleFirst(rides_small, loss, THETA, fraction=0.01)
+        stats = ap.initialize()
+        assert stats.memory_bytes > 0
+
+    def test_answers_filter_the_prebuilt_sample(self, rides_small, loss):
+        ap = SampleFirst(rides_small, loss, THETA, fraction=0.5, seed=0)
+        answer = ap.answer({"payment_type": "cash"})
+        assert all(v == "cash" for v in answer.sample.column("payment_type").to_list())
+
+    def test_no_accuracy_guarantee(self, rides_small, loss, workload):
+        """SampleFirst may exceed θ — the motivating failure of Section I."""
+        ap = SampleFirst(rides_small, loss, THETA, fraction=0.005, seed=0)
+        losses = []
+        for query in workload:
+            answer = ap.answer(query)
+            raw = select_population(rides_small, query)
+            losses.append(loss.loss_tables(raw, answer.sample))
+        assert max(losses) > THETA  # at least one miss at this tiny fraction
+
+    def test_invalid_fraction(self, rides_small, loss):
+        with pytest.raises(ValueError):
+            SampleFirst(rides_small, loss, THETA, fraction=0.0)
+
+    def test_label(self, rides_small, loss):
+        ap = SampleFirst(rides_small, loss, THETA, fraction=0.01, label="SamFirst-100MB")
+        assert ap.name == "SamFirst-100MB"
+
+
+class TestSampleOnTheFly:
+    def test_deterministic_guarantee(self, rides_small, loss, workload):
+        ap = SampleOnTheFly(rides_small, loss, THETA, seed=1)
+        for query in workload:
+            answer = ap.answer(query)
+            raw = select_population(rides_small, query)
+            assert loss.loss_tables(raw, answer.sample) <= THETA
+
+    def test_no_prebuilt_memory(self, rides_small, loss):
+        assert SampleOnTheFly(rides_small, loss, THETA).initialize().memory_bytes == 0
+
+
+class TestPOIsam:
+    def test_answers_are_population_subsets(self, rides_small, loss):
+        ap = POIsam(rides_small, loss, THETA, seed=1)
+        query = {"payment_type": "credit"}
+        answer = ap.answer(query)
+        assert answer.sample.num_rows > 0
+        assert all(v == "credit" for v in answer.sample.column("payment_type").to_list())
+
+    def test_loss_small_but_probabilistic(self, rides_small, loss, workload):
+        """POIsam's loss should usually be near θ but has no hard bound."""
+        ap = POIsam(rides_small, loss, THETA, seed=1)
+        losses = []
+        for query in workload:
+            answer = ap.answer(query)
+            raw = select_population(rides_small, query)
+            losses.append(loss.loss_tables(raw, answer.sample))
+        assert np.mean(losses) <= 3 * THETA
+
+    def test_no_prebuilt_memory(self, rides_small, loss):
+        assert POIsam(rides_small, loss, THETA).initialize().memory_bytes == 0
+
+
+class TestSnappyData:
+    def test_returns_aggregate_not_tuples(self, rides_small, loss):
+        ap = SnappyDataLike(rides_small, loss, THETA, qcs=ATTRS, fraction=0.1)
+        answer = ap.answer({"payment_type": "cash"})
+        assert answer.aggregate is not None
+        assert answer.sample.num_rows == 0
+
+    def test_error_bound_respected(self, rides_small, loss, workload):
+        ap = SnappyDataLike(rides_small, loss, THETA, qcs=ATTRS, fraction=0.1, seed=3)
+        for query in workload:
+            answer = ap.answer(query)
+            raw_values = loss.extract(select_population(rides_small, query))
+            if len(raw_values) == 0:
+                continue
+            raw_mean = float(raw_values.mean())
+            realized = abs((raw_mean - answer.aggregate) / raw_mean)
+            assert realized <= THETA + 1e-9
+
+    def test_fallback_counted(self, rides_small, loss):
+        ap = SnappyDataLike(rides_small, loss, 0.0001, qcs=ATTRS, fraction=0.05)
+        ap.answer({"payment_type": "dispute"})
+        assert ap.fallbacks >= 1
+
+    def test_requires_1d_target(self, rides_small):
+        from repro.core.loss.heatmap import HeatmapLoss
+
+        with pytest.raises(ValueError):
+            SnappyDataLike(
+                rides_small, HeatmapLoss("pickup_x", "pickup_y"), THETA, qcs=ATTRS
+            )
+
+    def test_non_qcs_attribute_rejected(self, rides_small, loss):
+        ap = SnappyDataLike(rides_small, loss, THETA, qcs=ATTRS)
+        with pytest.raises(ValueError):
+            ap.answer({"vendor_name": "CMT"})
+
+
+class TestCubes:
+    def test_full_cube_has_sample_everywhere(self, rides_tiny, loss):
+        ap = FullSamCube(rides_tiny, loss, THETA, ATTRS, seed=0)
+        ap.initialize()
+        assert ap.num_cells > 0
+        answer = ap.answer({"payment_type": "cash"})
+        assert answer.sample.num_rows > 0
+
+    def test_full_cube_guarantee(self, rides_tiny, loss):
+        ap = FullSamCube(rides_tiny, loss, THETA, ATTRS, seed=0)
+        wl = generate_workload(rides_tiny, ATTRS, num_queries=10, seed=5)
+        for query in wl:
+            answer = ap.answer(query)
+            raw = select_population(rides_tiny, query)
+            assert loss.loss_tables(raw, answer.sample) <= THETA
+
+    def test_partial_cube_guarantee(self, rides_small, loss, workload):
+        ap = PartSamCube(rides_small, loss, THETA, ATTRS, seed=0)
+        for query in workload:
+            answer = ap.answer(query)
+            raw = select_population(rides_small, query)
+            assert loss.loss_tables(raw, answer.sample) <= THETA
+
+    def test_partial_cube_smaller_than_full(self, rides_small, loss):
+        full = FullSamCube(rides_small, loss, THETA, ATTRS, seed=0)
+        part = PartSamCube(rides_small, loss, THETA, ATTRS, seed=0)
+        # PartSamCube stores samples only for iceberg cells (plus the
+        # global sample); it must not have MORE cells than the full cube.
+        full.initialize()
+        part.initialize()
+        assert part.num_iceberg_cells <= full.num_cells
+
+    def test_unknown_cell_empty_answer(self, rides_tiny, loss):
+        ap = FullSamCube(rides_tiny, loss, THETA, ATTRS, seed=0)
+        answer = ap.answer({"payment_type": "zelle"})
+        assert answer.sample.num_rows == 0
+
+
+class TestTabulaApproach:
+    def test_names(self, rides_tiny, loss):
+        assert TabulaApproach(rides_tiny, loss, THETA, ATTRS).name == "Tabula"
+        assert (
+            TabulaApproach(rides_tiny, loss, THETA, ATTRS, sample_selection=False).name
+            == "Tabula*"
+        )
+
+    def test_guarantee_through_approach_interface(self, rides_small, loss, workload):
+        ap = TabulaApproach(rides_small, loss, THETA, ATTRS, seed=0)
+        for query in workload:
+            answer = ap.answer(query)
+            raw = select_population(rides_small, query)
+            assert loss.loss_tables(raw, answer.sample) <= THETA
+
+    def test_memory_is_breakdown_total(self, rides_small, loss):
+        ap = TabulaApproach(rides_small, loss, THETA, ATTRS, seed=0)
+        stats = ap.initialize()
+        assert stats.memory_bytes == ap.tabula.memory_breakdown().total_bytes
+
+    def test_initialize_idempotent(self, rides_tiny, loss):
+        ap = TabulaApproach(rides_tiny, loss, THETA, ATTRS, seed=0)
+        first = ap.initialize()
+        second = ap.initialize()
+        assert first is second

@@ -1,0 +1,56 @@
+"""Tests for benchmark metric primitives."""
+
+import math
+
+import pytest
+
+from repro.bench.metrics import LossSummary, TimingSummary, format_bytes, format_seconds
+
+
+class TestTimingSummary:
+    def test_of_values(self):
+        summary = TimingSummary.of([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.total == 6.0
+        assert summary.count == 3
+
+    def test_empty(self):
+        summary = TimingSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+class TestLossSummary:
+    def test_finite_values(self):
+        summary = LossSummary.of([0.1, 0.2, 0.3])
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.infinite_count == 0
+
+    def test_infinite_values_counted_separately(self):
+        summary = LossSummary.of([0.1, math.inf, 0.3])
+        assert summary.infinite_count == 1
+        assert summary.mean == pytest.approx(0.2)
+        assert math.isinf(summary.maximum)
+
+    def test_all_infinite(self):
+        summary = LossSummary.of([math.inf, math.inf])
+        assert math.isinf(summary.mean)
+        assert summary.infinite_count == 2
+
+    def test_empty(self):
+        assert LossSummary.of([]).count == 0
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(5e-7).endswith("µs")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_format_bytes_scales(self):
+        assert format_bytes(100) == "100.0B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+        assert format_bytes(5 * 1024**3) == "5.00GB"

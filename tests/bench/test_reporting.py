@@ -1,0 +1,57 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.bench.reporting import print_series, print_table
+
+
+def collect(fn, *args, **kwargs):
+    lines = []
+    kwargs["writer"] = lines.append
+    fn(*args, **kwargs)
+    return lines
+
+
+class TestPrintTable:
+    def test_alignment_and_content(self):
+        lines = collect(
+            print_table,
+            "Demo",
+            ["approach", "time"],
+            [["Tabula", "1ms"], ["SamFly", "20ms"]],
+        )
+        text = "\n".join(lines)
+        assert "=== Demo ===" in text
+        assert "Tabula" in text and "20ms" in text
+        # Header and separator widths line up.
+        header = next(l for l in lines if l.startswith("approach"))
+        sep = next(l for l in lines if l and set(l) <= {"-", "+"})
+        assert len(header) == len(sep)
+
+    def test_empty_rows(self):
+        lines = collect(print_table, "Empty", ["a"], [])
+        assert any("Empty" in l for l in lines)
+
+
+class TestPrintSeries:
+    def test_series_rows(self):
+        lines = collect(
+            print_series,
+            "Fig X",
+            "theta",
+            [0.1, 0.2],
+            {"Tabula": [1, 2], "SamFly": [10, 20]},
+        )
+        text = "\n".join(lines)
+        assert "theta ->" in text
+        assert "Tabula" in text
+        assert "SamFly" in text
+
+    def test_value_formatting(self):
+        lines = collect(
+            print_series,
+            "Fig Y",
+            "x",
+            [1],
+            {"s": [0.123456]},
+            value_format=lambda v: f"{v:.2f}",
+        )
+        assert any("0.12" in l for l in lines)

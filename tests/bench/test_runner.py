@@ -1,0 +1,61 @@
+"""Tests for the workload runner."""
+
+import pytest
+
+from repro.baselines import SampleOnTheFly, SnappyDataLike, TabulaApproach
+from repro.bench.runner import actual_loss_of_answer, run_workload
+from repro.core.loss.mean import MeanLoss
+from repro.data.workload import generate_workload
+from repro.viz.dashboard import Dashboard
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+@pytest.fixture(scope="module")
+def loss():
+    return MeanLoss("fare_amount")
+
+
+@pytest.fixture(scope="module")
+def workload(rides_small):
+    return generate_workload(rides_small, ATTRS, num_queries=6, seed=4)
+
+
+class TestRunWorkload:
+    def test_collects_all_metrics(self, rides_small, loss, workload):
+        ap = TabulaApproach(rides_small, loss, 0.1, ATTRS, seed=0)
+        metrics = run_workload(ap, rides_small, list(workload), loss)
+        assert metrics.approach == "Tabula"
+        assert metrics.data_system.count == len(workload)
+        assert metrics.actual_loss.count == len(workload)
+        assert metrics.actual_loss.maximum <= 0.1 + 1e-12
+        assert metrics.answer_rows_mean > 0
+
+    def test_visualization_times_with_dashboard(self, rides_small, loss, workload):
+        ap = TabulaApproach(rides_small, loss, 0.1, ATTRS, seed=0)
+        dash = Dashboard("mean", ("fare_amount",))
+        metrics = run_workload(ap, rides_small, list(workload), loss, dashboard=dash)
+        assert metrics.visualization is not None
+        assert metrics.visualization.count == len(workload)
+        assert metrics.data_to_visualization_mean >= metrics.data_system.mean
+
+    def test_measure_loss_disabled(self, rides_small, loss, workload):
+        ap = SampleOnTheFly(rides_small, loss, 0.1, seed=0)
+        metrics = run_workload(ap, rides_small, list(workload), loss, measure_loss=False)
+        assert metrics.actual_loss.count == 0
+
+
+class TestActualLossOfAnswer:
+    def test_aggregate_answer_scored_as_relative_mean_error(self, rides_small, loss):
+        ap = SnappyDataLike(rides_small, loss, 0.1, qcs=ATTRS, fraction=0.1)
+        query = {"payment_type": "cash"}
+        answer = ap.answer(query)
+        realized = actual_loss_of_answer(rides_small, query, answer, loss)
+        assert realized <= 0.1 + 1e-9
+
+    def test_tuple_answer_scored_with_loss_function(self, rides_small, loss):
+        ap = SampleOnTheFly(rides_small, loss, 0.1, seed=0)
+        query = {"payment_type": "credit"}
+        answer = ap.answer(query)
+        realized = actual_loss_of_answer(rides_small, query, answer, loss)
+        assert realized <= 0.1

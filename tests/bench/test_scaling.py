@@ -1,0 +1,73 @@
+"""Tests for the paper-scale extrapolation helper."""
+
+import pytest
+
+from repro.bench.scaling import (
+    LOOKUP_BOUND,
+    SAMPLE_SCAN_BOUND,
+    SCAN_BOUND,
+    ScalingModel,
+    classify_approach,
+)
+
+
+class TestClassification:
+    def test_online_approaches_scan_bound(self):
+        assert classify_approach("SamFly") == SCAN_BOUND
+        assert classify_approach("POIsam") == SCAN_BOUND
+
+    def test_cube_approaches_lookup_bound(self):
+        assert classify_approach("Tabula") == LOOKUP_BOUND
+        assert classify_approach("Tabula*") == LOOKUP_BOUND
+        assert classify_approach("FullSamCube") == LOOKUP_BOUND
+
+    def test_sample_first_variants(self):
+        assert classify_approach("SamFirst-100MB") == SAMPLE_SCAN_BOUND
+        assert classify_approach("SnappyData-1GB") == SAMPLE_SCAN_BOUND
+
+    def test_unknown_defaults_to_scan_bound(self):
+        assert classify_approach("MysteryApproach") == SCAN_BOUND
+
+
+class TestPrediction:
+    def test_scan_factor(self):
+        model = ScalingModel(measured_rows=30_000, target_rows=700_000_000, parallelism=48)
+        assert model.scan_factor == pytest.approx((700_000_000 / 30_000) / 48)
+
+    def test_lookup_bound_unchanged(self):
+        model = ScalingModel(measured_rows=30_000)
+        assert model.predict("Tabula", 1e-5) == 1e-5
+
+    def test_scan_bound_scales_linearly(self):
+        model = ScalingModel(measured_rows=1000, target_rows=10_000, parallelism=1.0)
+        assert model.predict("SamFly", 2.0) == pytest.approx(20.0)
+
+    def test_sample_scan_bound_scaled_by_fraction(self):
+        model = ScalingModel(
+            measured_rows=1000, target_rows=10_000, parallelism=1.0, sample_fraction=0.1
+        )
+        assert model.predict("SamFirst-100MB", 2.0) == pytest.approx(2.0)
+
+    def test_predict_all_and_speedup(self):
+        model = ScalingModel(measured_rows=30_000)
+        measured = {"Tabula": 1e-5, "SamFly": 5.0}
+        predictions = model.predict_all(measured)
+        assert predictions["Tabula"] == 1e-5
+        assert predictions["SamFly"] > 5.0
+        assert model.speedup_vs(measured, baseline="SamFly", target="Tabula") > 1e5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ScalingModel(measured_rows=0)
+        with pytest.raises(ValueError):
+            ScalingModel(measured_rows=10, parallelism=0)
+
+    def test_headline_consistency(self):
+        """Measured Tabula µs-lookups stay sub-second at 700M rows, and
+        the predicted SamFly/Tabula ratio lands in the paper's 'order(s)
+        of magnitude' territory — the Section V headline."""
+        model = ScalingModel(measured_rows=30_000)
+        measured = {"Tabula": 2e-5, "SamFly": 4.0}
+        predicted = model.predict_all(measured)
+        assert predicted["Tabula"] < 0.6  # the paper's 600 ms envelope
+        assert predicted["SamFly"] / max(predicted["Tabula"], 1e-9) > 20

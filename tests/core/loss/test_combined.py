@@ -1,0 +1,153 @@
+"""Tests for the combined-loss combinator (extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.loss.combined import CombinedLoss
+from repro.core.loss.histogram import HistogramLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.sampling import greedy_sample
+from repro.errors import LossFunctionError
+
+
+def make_combined(mode="max"):
+    # fare mean within θ=0.1 AND fare histogram within θ=0.5 — one cube.
+    return CombinedLoss(
+        [(0.1, MeanLoss("fare")), (0.5, HistogramLoss("fare"))], mode=mode
+    )
+
+
+class TestConstruction:
+    def test_target_attrs_concatenated(self):
+        combined = make_combined()
+        assert combined.target_attrs == ("fare", "fare")
+        assert combined.target_arity == 2
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(LossFunctionError):
+            CombinedLoss([])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(LossFunctionError):
+            make_combined(mode="median")
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(LossFunctionError):
+            CombinedLoss([(0.0, MeanLoss("fare"))])
+
+
+class TestSemantics:
+    def test_max_mode_normalizes_by_thresholds(self):
+        combined = make_combined(mode="max")
+        rng = np.random.default_rng(0)
+        fares = rng.random(100) * 30
+        values = np.column_stack([fares, fares])
+        sample = values[:10]
+        mean_part = MeanLoss("fare").loss(fares, fares[:10])
+        hist_part = HistogramLoss("fare").loss(fares, fares[:10])
+        expected = max(mean_part / 0.1, hist_part / 0.5)
+        assert combined.loss(values, sample) == pytest.approx(expected)
+
+    def test_sum_mode_weights(self):
+        combined = make_combined(mode="sum")
+        rng = np.random.default_rng(1)
+        fares = rng.random(50) * 10
+        values = np.column_stack([fares, fares])
+        sample = values[:5]
+        mean_part = MeanLoss("fare").loss(fares, fares[:5])
+        hist_part = HistogramLoss("fare").loss(fares, fares[:5])
+        assert combined.loss(values, sample) == pytest.approx(
+            0.1 * mean_part + 0.5 * hist_part
+        )
+
+    def test_max_guarantee_bounds_each_component(self):
+        """Combined θ = 1.0 in max mode certifies every component's θ_i."""
+        combined = make_combined(mode="max")
+        rng = np.random.default_rng(2)
+        fares = rng.random(300) * 30
+        values = np.column_stack([fares, fares])
+        result = greedy_sample(combined, values, threshold=1.0)
+        chosen = fares[result.indices]
+        assert MeanLoss("fare").loss(fares, chosen) <= 0.1
+        assert HistogramLoss("fare").loss(fares, chosen) <= 0.5
+
+
+class TestAlgebraic:
+    def test_stats_reconstruct_direct(self):
+        combined = make_combined()
+        rng = np.random.default_rng(3)
+        fares = rng.random(40) * 20
+        values = np.column_stack([fares, fares])
+        sample = values[:6]
+        direct = combined.loss(values, sample)
+        via = combined.loss_from_stats(
+            combined.stats(values, sample), combined.prepare_sample(sample)
+        )
+        assert via == pytest.approx(direct, rel=1e-9)
+
+    def test_merge_equals_concat(self):
+        combined = make_combined()
+        rng = np.random.default_rng(4)
+        fa, fb = rng.random(15) * 20, rng.random(9) * 20
+        a = np.column_stack([fa, fa])
+        b = np.column_stack([fb, fb])
+        sample = a[:3]
+        merged = combined.merge_stats(combined.stats(a, sample), combined.stats(b, sample))
+        expected = combined.stats(np.vstack([a, b]), sample)
+        for m_comp, e_comp in zip(merged, expected):
+            assert m_comp == pytest.approx(e_comp)
+
+
+class TestGreedy:
+    def test_batch_matches_scalar(self):
+        combined = make_combined()
+        rng = np.random.default_rng(5)
+        fares = rng.random(30) * 20
+        values = np.column_stack([fares, fares])
+        state = combined.greedy_state(values)
+        state.add(0)
+        batch = state.losses_if_added(np.arange(30))
+        for i in (2, 11, 29):
+            assert batch[i] == pytest.approx(state.loss_if_added(i))
+
+    def test_empty_population(self):
+        combined = make_combined()
+        result = greedy_sample(combined, np.empty((0, 2)), threshold=1.0)
+        assert result.size == 0
+
+
+class TestEndToEnd:
+    def test_combined_cube_guarantee(self, rides_tiny):
+        from repro.core.tabula import Tabula, TabulaConfig
+        from repro.engine.cube import CubeCells
+
+        combined = CombinedLoss(
+            [(0.1, MeanLoss("fare_amount")), (0.05, HistogramLoss("fare_amount"))],
+            mode="max",
+        )
+        tabula = Tabula(
+            rides_tiny,
+            TabulaConfig(
+                cubed_attrs=("passenger_count", "payment_type"),
+                threshold=1.0,
+                loss=combined,
+            ),
+        )
+        tabula.initialize()
+        cube = CubeCells(rides_tiny, ("passenger_count", "payment_type"))
+        mean_loss = MeanLoss("fare_amount")
+        hist_loss = HistogramLoss("fare_amount")
+        fares = rides_tiny.column("fare_amount").data.astype(float)
+        for key in cube:
+            query = {
+                a: v
+                for a, v in zip(("passenger_count", "payment_type"), key)
+                if v is not None
+            }
+            sample = tabula.query(query).sample
+            sample_fares = sample.column("fare_amount").data.astype(float)
+            raw = fares[cube.cell_indices(key)]
+            assert mean_loss.loss(raw, sample_fares) <= 0.1 + 1e-12
+            assert hist_loss.loss(raw, sample_fares) <= 0.05 + 1e-12

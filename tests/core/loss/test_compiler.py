@@ -1,0 +1,180 @@
+"""Tests for the CREATE AGGREGATE loss compiler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.loss.compiler import compile_loss
+from repro.core.loss.heatmap import HeatmapLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.loss.regression import RegressionLoss
+from repro.engine.sql.parser import parse_statement
+from repro.errors import LossFunctionError, NotAlgebraicError
+
+
+def compiled(body: str, params="(Raw, Sam)"):
+    stmt = parse_statement(
+        f"CREATE AGGREGATE test_loss{params} RETURN decimal_value AS BEGIN {body} END"
+    )
+    return compile_loss(stmt)
+
+
+class TestValidation:
+    def test_mean_body_accepted(self):
+        spec = compiled("ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw))")
+        assert spec.arity == 1
+
+    def test_angle_body_forces_arity_two(self):
+        spec = compiled("ABS(ANGLE(Raw) - ANGLE(Sam))")
+        assert spec.arity == 2
+
+    def test_cross_aggregate_accepted(self):
+        spec = compiled("AVG_MIN_DIST(Raw, Sam)")
+        assert spec.arity == 1
+
+    def test_median_rejected_as_holistic(self):
+        with pytest.raises(NotAlgebraicError, match="holistic"):
+            compiled("ABS(MEDIAN(Raw) - MEDIAN(Sam))")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(LossFunctionError):
+            compiled("MYSTERY(Raw)")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(LossFunctionError, match="unknown dataset"):
+            compiled("AVG(Other)")
+
+    def test_cross_aggregate_needs_both_datasets(self):
+        with pytest.raises(LossFunctionError, match="must be called as"):
+            compiled("AVG_MIN_DIST(Raw, Raw)")
+
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(LossFunctionError, match="no aggregate"):
+            compiled("ABS(1 + 2)")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(LossFunctionError, match="two parameters"):
+            compiled("AVG(Raw)", params="(Raw)")
+
+    def test_binding_arity_enforced(self):
+        spec = compiled("ABS(ANGLE(Raw) - ANGLE(Sam))")
+        with pytest.raises(LossFunctionError):
+            spec.bind(("only_one",))
+
+
+class TestEquivalenceToBuiltins:
+    """The compiled Functions 1-3 must agree with the hand-written losses."""
+
+    def test_function1_matches_mean_loss(self):
+        spec = compiled("ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw))")
+        loss = spec.bind(("fare",))
+        builtin = MeanLoss("fare")
+        rng = np.random.default_rng(0)
+        raw = rng.random(40) * 30
+        sample = rng.choice(raw, 5, replace=False)
+        assert loss.loss(raw, sample) == pytest.approx(builtin.loss(raw, sample))
+
+    def test_function2_matches_heatmap_loss(self):
+        spec = compiled("AVG_MIN_DIST(Raw, Sam)")
+        loss = spec.bind(("x", "y"))
+        builtin = HeatmapLoss("x", "y")
+        rng = np.random.default_rng(1)
+        raw = rng.random((30, 2))
+        sample = raw[:4]
+        assert loss.loss(raw, sample) == pytest.approx(builtin.loss(raw, sample))
+
+    def test_function3_matches_regression_loss(self):
+        spec = compiled("ABS(ANGLE(Raw) - ANGLE(Sam))")
+        loss = spec.bind(("x", "y"))
+        builtin = RegressionLoss("x", "y")
+        rng = np.random.default_rng(2)
+        raw = rng.random((30, 2))
+        sample = raw[:6]
+        assert loss.loss(raw, sample) == pytest.approx(builtin.loss(raw, sample))
+
+
+class TestAlgebraicPath:
+    def test_stats_reconstruct_direct(self):
+        spec = compiled("ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) + 0.5 * AVG_MIN_DIST(Raw, Sam)")
+        loss = spec.bind(("v",))
+        rng = np.random.default_rng(3)
+        raw = rng.random(25)
+        sample = raw[:4]
+        direct = loss.loss(raw, sample)
+        via = loss.loss_from_stats(loss.stats(raw, sample), loss.prepare_sample(sample))
+        assert via == pytest.approx(direct, rel=1e-9)
+
+    def test_merge_equals_concat(self):
+        spec = compiled("AVG_MIN_DIST(Raw, Sam) * SUM(Raw) / SUM(Raw)")
+        loss = spec.bind(("v",))
+        rng = np.random.default_rng(4)
+        a, b = rng.random(10), rng.random(7)
+        sample = np.asarray([0.3, 0.8])
+        merged = loss.merge_stats(loss.stats(a, sample), loss.stats(b, sample))
+        expected = loss.stats(np.concatenate([a, b]), sample)
+        for m, e in zip(merged, expected):
+            assert m == pytest.approx(e)
+
+    def test_empty_raw_and_sample_edges(self):
+        loss = compiled("ABS(AVG(Raw) - AVG(Sam))").bind(("v",))
+        assert loss.loss(np.empty(0), np.empty(0)) == 0.0
+        assert loss.loss(np.asarray([1.0]), np.empty(0)) == math.inf
+
+
+class TestGreedySupport:
+    def test_compiled_loss_works_with_sampler(self):
+        from repro.core.sampling import greedy_sample
+
+        loss = compiled("ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw))").bind(("v",))
+        rng = np.random.default_rng(5)
+        values = rng.random(60) * 10
+        result = greedy_sample(loss, values, threshold=0.05)
+        assert result.achieved_loss <= 0.05
+        assert loss.loss(values, values[result.indices]) <= 0.05
+
+    def test_compiled_regression_greedy(self):
+        from repro.core.sampling import greedy_sample
+
+        loss = compiled("ABS(ANGLE(Raw) - ANGLE(Sam))").bind(("x", "y"))
+        rng = np.random.default_rng(6)
+        x = rng.random(40)
+        values = np.column_stack([x, 2 * x + rng.normal(0, 0.05, 40)])
+        result = greedy_sample(loss, values, threshold=1.0)
+        assert result.achieved_loss <= 1.0
+
+    def test_greedy_state_incremental_matches_direct(self):
+        loss = compiled("AVG_MIN_DIST(Raw, Sam) + ABS(AVG(Raw) - AVG(Sam))").bind(("v",))
+        rng = np.random.default_rng(7)
+        raw = rng.random(15)
+        state = loss.greedy_state(raw)
+        state.add(2)
+        for c in (0, 5, 9):
+            assert state.loss_if_added(c) == pytest.approx(
+                loss.loss(raw, raw[[2, c]]), abs=1e-9
+            )
+
+
+class TestScalarFunctions:
+    def test_sqrt_log_exp_pow(self):
+        loss = compiled("SQRT(POW(AVG(Raw) - AVG(Sam), 2))").bind(("v",))
+        raw = np.asarray([4.0, 6.0])
+        sample = np.asarray([3.0])
+        assert loss.loss(raw, sample) == pytest.approx(2.0)
+
+    def test_division_by_zero_is_inf(self):
+        loss = compiled("AVG(Sam) / (AVG(Raw) - AVG(Raw))").bind(("v",))
+        assert loss.loss(np.asarray([1.0]), np.asarray([1.0])) == math.inf
+
+    def test_sqrt_of_negative_is_inf(self):
+        loss = compiled("SQRT(AVG(Sam) - AVG(Raw) - 100)").bind(("v",))
+        assert loss.loss(np.asarray([1.0]), np.asarray([1.0])) == math.inf
+
+    def test_unknown_scalar_function(self):
+        loss = compiled("AVG(Raw) + AVG(Sam)").bind(("v",))
+        # Unknown functions are rejected at evaluation time via FuncCall.
+        from repro.core.loss.compiler import _eval_expr
+        from repro.engine.sql import ast
+
+        with pytest.raises(LossFunctionError):
+            _eval_expr(ast.FuncCall("NOPE", (ast.NumberLit(1.0),)), {})

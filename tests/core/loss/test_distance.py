@@ -1,0 +1,167 @@
+"""Unit + property tests for the average-min-distance losses (Function 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss.base import pairwise_min_distance
+from repro.core.loss.distance import AvgMinDistanceLoss
+from repro.core.loss.heatmap import HeatmapLoss
+from repro.core.loss.histogram import HistogramLoss
+from repro.errors import LossFunctionError
+
+points_1d = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=25
+)
+
+
+def points_2d(min_size=1, max_size=25):
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(np.asarray)
+
+
+class TestPairwiseMinDistance:
+    def test_euclidean(self):
+        raw = np.asarray([[0.0, 0.0], [3.0, 4.0]])
+        sample = np.asarray([[0.0, 0.0]])
+        assert pairwise_min_distance(raw, sample).tolist() == [0.0, 5.0]
+
+    def test_manhattan(self):
+        raw = np.asarray([[3.0, 4.0]])
+        sample = np.asarray([[0.0, 0.0]])
+        assert pairwise_min_distance(raw, sample, "manhattan").tolist() == [7.0]
+
+    def test_nearest_of_several(self):
+        raw = np.asarray([[0.0, 0.0]])
+        sample = np.asarray([[10.0, 0.0], [1.0, 0.0]])
+        assert pairwise_min_distance(raw, sample).tolist() == [1.0]
+
+    def test_empty_sample_infinite(self):
+        raw = np.asarray([[0.0, 0.0]])
+        assert pairwise_min_distance(raw, np.empty((0, 2))).tolist() == [math.inf]
+
+    def test_1d_inputs_reshaped(self):
+        assert pairwise_min_distance(np.asarray([1.0, 5.0]), np.asarray([2.0])).tolist() == [1.0, 3.0]
+
+    def test_unknown_metric(self):
+        with pytest.raises(LossFunctionError):
+            pairwise_min_distance(np.asarray([[0.0, 0.0]]), np.asarray([[1.0, 1.0]]), "cosine")
+
+
+class TestDirect:
+    def test_zero_when_sample_covers_raw(self):
+        loss = HeatmapLoss("x", "y")
+        pts = np.asarray([[0.1, 0.2], [0.5, 0.9]])
+        assert loss.loss(pts, pts) == 0.0
+
+    def test_average_of_min_distances(self):
+        loss = HistogramLoss("v")
+        raw = np.asarray([0.0, 2.0, 4.0])
+        sample = np.asarray([0.0])
+        assert loss.loss(raw, sample) == pytest.approx(2.0)
+
+    def test_empty_sample(self):
+        loss = HistogramLoss("v")
+        assert loss.loss(np.asarray([1.0]), np.asarray([])) == math.inf
+
+    def test_empty_raw(self):
+        loss = HistogramLoss("v")
+        assert loss.loss(np.asarray([]), np.asarray([])) == 0.0
+
+    def test_monotone_in_sample_growth(self):
+        """Adding sample points never increases the loss (submodularity base)."""
+        loss = HeatmapLoss("x", "y")
+        rng = np.random.default_rng(3)
+        raw = rng.random((30, 2))
+        small = raw[:2]
+        bigger = raw[:6]
+        assert loss.loss(raw, bigger) <= loss.loss(raw, small)
+
+
+class TestAlgebraic:
+    @given(raw=points_2d(), sample=points_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_stats_reconstruct_direct(self, raw, sample):
+        loss = HeatmapLoss("x", "y")
+        direct = loss.loss(raw, sample)
+        via = loss.loss_from_stats(loss.stats(raw, sample), loss.prepare_sample(sample))
+        assert via == pytest.approx(direct, rel=1e-9, abs=1e-12)
+
+    @given(a=points_2d(), b=points_2d(), sample=points_2d())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_concat(self, a, b, sample):
+        loss = HeatmapLoss("x", "y")
+        merged = loss.merge_stats(loss.stats(a, sample), loss.stats(b, sample))
+        expected = loss.stats(np.concatenate([a, b]), sample)
+        assert merged == pytest.approx(expected)
+
+
+class TestGreedy:
+    def test_dmin_updates_on_add(self):
+        loss = HistogramLoss("v")
+        raw = np.asarray([0.0, 10.0])
+        state = loss.greedy_state(raw)
+        assert state.current_loss() == math.inf
+        state.add(0)
+        assert state.current_loss() == pytest.approx(5.0)
+        state.add(1)
+        assert state.current_loss() == 0.0
+
+    def test_losses_if_added_matches_direct_eval(self):
+        loss = HeatmapLoss("x", "y")
+        rng = np.random.default_rng(0)
+        raw = rng.random((20, 2))
+        state = loss.greedy_state(raw)
+        state.add(3)
+        for candidate in (0, 7, 15):
+            hypothetical = state.loss_if_added(candidate)
+            direct = loss.loss(raw, raw[[3, candidate]])
+            assert hypothetical == pytest.approx(direct)
+
+    def test_chunked_batch_matches_unchunked(self, monkeypatch):
+        import repro.core.loss.distance as distance_mod
+
+        loss = HeatmapLoss("x", "y")
+        rng = np.random.default_rng(1)
+        raw = rng.random((50, 2))
+        state = loss.greedy_state(raw)
+        state.add(0)
+        full = state.losses_if_added(np.arange(50))
+        monkeypatch.setattr(distance_mod, "_CHUNK_ELEMENTS", 100)
+        state_chunked = loss.greedy_state(raw)
+        state_chunked.add(0)
+        chunked = state_chunked.losses_if_added(np.arange(50))
+        np.testing.assert_allclose(full, chunked)
+
+
+class TestRepresentationBound:
+    @given(raw=points_2d(min_size=2), sample=points_2d())
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_is_sound(self, raw, sample):
+        """The triangle-inequality bound never exceeds the true loss."""
+        loss = HeatmapLoss("x", "y")
+        aux = loss.cell_aux(raw)
+        bound = loss.representation_lower_bound((), aux, sample)
+        true_loss = loss.loss(raw, sample)
+        assert bound <= true_loss + 1e-9
+
+    def test_bound_infinite_for_empty_sample(self):
+        loss = HeatmapLoss("x", "y")
+        aux = loss.cell_aux(np.asarray([[0.5, 0.5]]))
+        assert loss.representation_lower_bound((), aux, np.empty((0, 2))) == math.inf
+
+    def test_manhattan_aux_spread(self):
+        loss = AvgMinDistanceLoss(("x", "y"), metric="manhattan")
+        pts = np.asarray([[0.0, 0.0], [2.0, 2.0]])
+        centroid, spread = loss.cell_aux(pts)
+        np.testing.assert_allclose(centroid, [1.0, 1.0])
+        assert spread == pytest.approx(2.0)  # manhattan distance to centroid

@@ -1,0 +1,63 @@
+"""Tests for the loss registry."""
+
+import pytest
+
+from repro.core.loss.heatmap import HeatmapLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.loss.registry import LossRegistry
+from repro.errors import LossFunctionError
+
+
+class TestBuiltins:
+    def test_builtins_present(self):
+        registry = LossRegistry()
+        for name in ("mean_loss", "histogram_loss", "heatmap_loss", "regression_loss"):
+            assert name in registry
+
+    def test_bind_mean(self):
+        registry = LossRegistry()
+        loss = registry.bind("mean_loss", ("fare",))
+        assert isinstance(loss, MeanLoss)
+        assert loss.target_attrs == ("fare",)
+
+    def test_bind_heatmap_two_attrs(self):
+        registry = LossRegistry()
+        loss = registry.bind("heatmap_loss", ("x", "y"))
+        assert isinstance(loss, HeatmapLoss)
+
+    def test_manhattan_variant(self):
+        registry = LossRegistry()
+        loss = registry.bind("heatmap_loss_manhattan", ("x", "y"))
+        assert loss.metric == "manhattan"
+
+    def test_case_insensitive(self):
+        registry = LossRegistry()
+        assert registry.bind("MEAN_LOSS", ("fare",)).target_attrs == ("fare",)
+
+    def test_arity_mismatch_rejected(self):
+        registry = LossRegistry()
+        with pytest.raises(LossFunctionError, match="target attribute"):
+            registry.bind("heatmap_loss", ("only_x",))
+
+    def test_unknown_name_rejected(self):
+        registry = LossRegistry()
+        with pytest.raises(LossFunctionError, match="unknown loss"):
+            registry.bind("nope", ("x",))
+
+    def test_empty_registry(self):
+        registry = LossRegistry(include_builtins=False)
+        assert registry.names() == ()
+
+
+class TestRegistration:
+    def test_duplicate_rejected_without_replace(self):
+        registry = LossRegistry()
+        spec = registry.get("mean_loss")
+        with pytest.raises(LossFunctionError, match="already registered"):
+            registry.register(spec)
+
+    def test_replace_allowed(self):
+        registry = LossRegistry()
+        spec = registry.get("mean_loss")
+        registry.register(spec, replace=True)
+        assert "mean_loss" in registry

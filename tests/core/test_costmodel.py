@@ -1,0 +1,58 @@
+"""Tests for Inequation 1 (real-run cost model)."""
+
+import math
+
+import pytest
+
+from repro.core import costmodel
+
+
+class TestDecision:
+    def test_few_icebergs_prefer_join_prune(self):
+        # Inequation 1 favors the join only when i is very small relative
+        # to log_k(N): with one iceberg cell out of 1000, pruning
+        # retrieves 0.1% of rows and wins.
+        decision = costmodel.evaluate(table_rows=1_000_000, iceberg_cells=1, total_cells=1000)
+        assert decision.use_join_prune
+        assert decision.strategy == "join-prune"
+
+    def test_many_icebergs_prefer_full_groupby(self):
+        decision = costmodel.evaluate(table_rows=1_000_000, iceberg_cells=900, total_cells=1000)
+        assert not decision.use_join_prune
+        assert decision.strategy == "full-groupby"
+
+    def test_single_cell_cuboid_full_groupby(self):
+        decision = costmodel.evaluate(table_rows=100, iceberg_cells=1, total_cells=1)
+        assert not decision.use_join_prune
+
+    def test_zero_cells(self):
+        decision = costmodel.evaluate(table_rows=100, iceberg_cells=0, total_cells=0)
+        assert not decision.use_join_prune
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            costmodel.evaluate(-1, 0, 0)
+
+
+class TestFormula:
+    def test_cost_terms_match_inequation(self):
+        n, i, k = 10_000, 5, 100
+        decision = costmodel.evaluate(n, i, k)
+        assert decision.prune_cost == n * i
+        pruned = (i / k) * n
+        assert decision.group_pruned_cost == pytest.approx(
+            pruned * math.log(pruned) / math.log(k)
+        )
+        assert decision.group_all_cost == pytest.approx(n * math.log(n) / math.log(k))
+
+    def test_boundary_monotonicity(self):
+        """More iceberg cells monotonically disfavor the join path."""
+        n, k = 100_000, 500
+        verdicts = [costmodel.evaluate(n, i, k).use_join_prune for i in (1, 5, 50, 400)]
+        # Once False, must stay False.
+        first_false = verdicts.index(False) if False in verdicts else len(verdicts)
+        assert all(not v for v in verdicts[first_false:])
+
+    def test_log_base_guard_for_tiny_values(self):
+        decision = costmodel.evaluate(table_rows=1, iceberg_cells=1, total_cells=2)
+        assert decision.group_all_cost == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the physical sampling-cube store (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cube_store import SamplingCubeStore
+from repro.core.global_sample import draw_global_sample
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def store(rides_tiny):
+    gs = draw_global_sample(rides_tiny, np.random.default_rng(0))
+    samples = {
+        0: rides_tiny.head(3),
+        1: rides_tiny.head(5),
+    }
+    cell_to_sample = {
+        ("1", "cash"): 0,
+        ("1", None): 0,
+        ("2", "credit"): 1,
+    }
+    known = frozenset(
+        [("1", "cash"), ("1", None), ("2", "credit"), ("3", None), (None, None)]
+    )
+    return SamplingCubeStore(
+        attrs=("passenger_count", "payment_type"),
+        global_sample=gs,
+        cell_to_sample_id=cell_to_sample,
+        samples=samples,
+        known_cells=known,
+    )
+
+
+class TestLookup:
+    def test_iceberg_cell_returns_sample(self, store):
+        sample = store.lookup(("1", "cash"))
+        assert sample is not None
+        assert sample.num_rows == 3
+
+    def test_shared_sample_id(self, store):
+        assert store.sample_id_of(("1", "cash")) == store.sample_id_of(("1", None))
+
+    def test_non_iceberg_returns_none(self, store):
+        assert store.lookup(("3", None)) is None
+
+    def test_known_cells(self, store):
+        assert store.is_known_cell(("3", None))
+        assert not store.is_known_cell(("9", "zelle"))
+
+
+class TestAccounting:
+    def test_counts(self, store):
+        assert store.num_iceberg_cells == 3
+        assert store.num_samples == 2
+
+    def test_sample_sizes(self, store):
+        assert store.sample_sizes() == {0: 3, 1: 5}
+
+    def test_memory_breakdown_components(self, store):
+        mb = store.memory_breakdown()
+        assert mb.global_sample_bytes == store.global_sample.nbytes
+        assert mb.cube_table_bytes == 3 * (2 + 1) * 8
+        assert mb.sample_table_bytes == store.lookup(("1", "cash")).nbytes + store.lookup(("2", "credit")).nbytes
+        assert mb.total_bytes == (
+            mb.global_sample_bytes + mb.cube_table_bytes + mb.sample_table_bytes
+        )
+
+
+class TestPhysicalLayout:
+    def test_cube_table_shape(self, store):
+        cube_table = store.cube_table()
+        assert cube_table.num_rows == 3
+        assert cube_table.column_names == ("passenger_count", "payment_type", "sample_id")
+
+    def test_cube_table_null_marker(self, store):
+        cube_table = store.cube_table()
+        values = cube_table.column("payment_type").to_list()
+        assert "(null)" in values
+
+    def test_sample_table_entries_sorted(self, store):
+        entries = store.sample_table_entries()
+        assert [sid for sid, _ in entries] == [0, 1]
+
+    def test_describe_mentions_counts(self, store):
+        text = store.describe()
+        assert "iceberg cells: 3" in text
+        assert "persisted samples: 2" in text

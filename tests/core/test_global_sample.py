@@ -1,0 +1,77 @@
+"""Tests for Serfling-based global sample sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.global_sample import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    draw_global_sample,
+    serfling_sample_size,
+)
+from repro.engine.table import Table
+
+
+class TestSampleSize:
+    def test_paper_defaults_give_about_1000(self):
+        """ε=0.05, δ=0.01 → k ≈ ln(2/δ)/(2ε²) ≈ 1060 — the paper's
+        'around 1000 tuples' for NYCtaxi."""
+        k = serfling_sample_size()
+        assert 1000 <= k <= 1100
+
+    def test_formula(self):
+        import math
+
+        k = serfling_sample_size(epsilon=0.1, delta=0.05)
+        assert k == math.ceil(math.log(2 / 0.05) / (2 * 0.01))
+
+    def test_tighter_epsilon_needs_more(self):
+        assert serfling_sample_size(epsilon=0.01) > serfling_sample_size(epsilon=0.1)
+
+    def test_tighter_delta_needs_more(self):
+        assert serfling_sample_size(delta=0.001) > serfling_sample_size(delta=0.1)
+
+    def test_capped_by_population(self):
+        assert serfling_sample_size(population=50) == 50
+
+    def test_size_independent_of_population_when_large(self):
+        assert serfling_sample_size(population=10**6) == serfling_sample_size(population=10**9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            serfling_sample_size(epsilon=0.0)
+        with pytest.raises(ValueError):
+            serfling_sample_size(delta=1.5)
+
+
+class TestDrawGlobalSample:
+    def test_size_and_provenance(self, rides_small):
+        rng = np.random.default_rng(0)
+        gs = draw_global_sample(rides_small, rng)
+        assert gs.size == serfling_sample_size(population=rides_small.num_rows)
+        assert gs.epsilon == DEFAULT_EPSILON
+        assert gs.delta == DEFAULT_DELTA
+
+    def test_rows_without_replacement(self, rides_small):
+        rng = np.random.default_rng(0)
+        gs = draw_global_sample(rides_small, rng)
+        assert len(set(gs.indices.tolist())) == gs.size
+
+    def test_deterministic_under_seed(self, rides_small):
+        a = draw_global_sample(rides_small, np.random.default_rng(5))
+        b = draw_global_sample(rides_small, np.random.default_rng(5))
+        assert a.indices.tolist() == b.indices.tolist()
+
+    def test_empty_table(self):
+        empty = Table.from_pydict({"x": []})
+        gs = draw_global_sample(empty, np.random.default_rng(0))
+        assert gs.size == 0
+
+    def test_sample_mean_close_to_population(self, rides_small):
+        """The point of Serfling sizing: the global sample represents the
+        raw distribution (here within a loose 3ε of the fare mean)."""
+        rng = np.random.default_rng(1)
+        gs = draw_global_sample(rides_small, rng)
+        raw_mean = np.mean(rides_small.column("fare_amount").data)
+        sample_mean = np.mean(gs.table.column("fare_amount").data)
+        assert abs(sample_mean - raw_mean) / raw_mean < 3 * DEFAULT_EPSILON

@@ -1,0 +1,72 @@
+"""Tests for the offline guarantee verifier."""
+
+import pytest
+
+from repro.core.guarantee import verify_cube
+from repro.core.loss import MeanLoss
+from repro.core.tabula import Tabula, TabulaConfig
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+@pytest.fixture(scope="module")
+def initialized(rides_small):
+    tabula = Tabula(
+        rides_small,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=0.05, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+class TestVerify:
+    def test_guarantee_holds_on_fresh_cube(self, initialized):
+        report = verify_cube(initialized)
+        assert report.holds
+        assert report.cells_checked > 0
+        assert report.violations == []
+        assert "HOLDS" in report.summary()
+
+    def test_worst_cell_recorded_and_within_threshold(self, initialized):
+        report = verify_cube(initialized)
+        assert report.worst is not None
+        assert report.worst.realized_loss <= report.threshold + 1e-12
+
+    def test_max_cells_caps_the_sweep(self, initialized):
+        report = verify_cube(initialized, max_cells=5)
+        assert report.cells_checked == 5
+
+    def test_detects_a_corrupted_cube(self, rides_small):
+        """Sabotage the store (swap a local sample for garbage) and the
+        verifier must notice — it is not a rubber stamp."""
+        loss = MeanLoss("fare_amount")
+        tabula = Tabula(
+            rides_small,
+            TabulaConfig(cubed_attrs=ATTRS, threshold=0.02, loss=loss),
+        )
+        tabula.initialize()
+        store = tabula.store
+        materialized = [
+            c for c in store._cell_to_sample_id
+            if store.lookup(c) is not None
+        ]
+        if not materialized:
+            pytest.skip("no materialized cells at this threshold")
+        # Replace one cell's sample with wildly biased rows.
+        import numpy as np
+
+        fares = rides_small.column("fare_amount").data
+        worst_rows = np.argsort(fares)[-3:]
+        store.assign_new_sample(materialized[0], rides_small.take(worst_rows))
+        report = verify_cube(tabula)
+        assert not report.holds
+        assert any(v.cell == materialized[0] for v in report.violations)
+        assert "VIOLATED" in report.summary()
+
+    def test_verifies_restored_cube(self, initialized, rides_small, tmp_path):
+        from repro.core.persistence import load_cube, save_cube
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        restored = load_cube(path, rides_small)
+        assert verify_cube(restored).holds

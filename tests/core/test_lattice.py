@@ -1,0 +1,69 @@
+"""Tests for the cuboid lattice (Figure 5a)."""
+
+import pytest
+
+from repro.core.lattice import CuboidLattice, LatticeNode
+from repro.engine.cube import grouping_sets
+
+
+def make_lattice(attrs=("D", "C", "M"), iceberg=()):
+    nodes = {}
+    for gset in grouping_sets(attrs):
+        nodes[gset] = LatticeNode(
+            grouping_set=gset,
+            total_cells=max(1, 2 * len(gset)),
+            iceberg_cells=1 if gset in iceberg else 0,
+        )
+    return CuboidLattice(attrs, nodes)
+
+
+class TestStructure:
+    def test_node_count_power_of_two(self):
+        assert len(make_lattice()) == 8
+
+    def test_missing_cuboid_rejected(self):
+        nodes = {(): LatticeNode((), 1, 0)}
+        with pytest.raises(ValueError, match="missing"):
+            CuboidLattice(("D",), nodes)
+
+    def test_edges_are_subset_links_one_level_apart(self):
+        lattice = make_lattice(("D", "C"))
+        edges = set(lattice.edges())
+        assert edges == {
+            ((), ("D",)), ((), ("C",)),
+            (("D",), ("D", "C")), (("C",), ("D", "C")),
+        }
+
+    def test_paper_example_edge_count(self):
+        # Figure 5a: the 3-attribute lattice has 12 edges.
+        assert len(make_lattice().edges()) == 12
+
+
+class TestIcebergAccounting:
+    def test_iceberg_cuboids(self):
+        lattice = make_lattice(iceberg={("D", "C"), ("M",)})
+        assert set(lattice.iceberg_cuboids()) == {("D", "C"), ("M",)}
+
+    def test_totals(self):
+        lattice = make_lattice(iceberg={("D",)})
+        assert lattice.total_iceberg_cells == 1
+        assert lattice.total_cells == sum(n.total_cells for n in lattice)
+
+    def test_node_lookup(self):
+        lattice = make_lattice()
+        node = lattice.node(("D", "C"))
+        assert node.grouping_set == ("D", "C")
+
+    def test_label_format(self):
+        node = LatticeNode(("D", "C"), 8, 2)
+        assert node.label() == "D,C (8, 2)"
+
+    def test_all_label(self):
+        node = LatticeNode((), 1, 0)
+        assert node.label() == "All (1, 0)"
+
+    def test_format_stars_iceberg_cuboids(self):
+        lattice = make_lattice(iceberg={("D",)})
+        text = lattice.format()
+        assert "*D (2, 1)" in text
+        assert " All (1, 0)" in text

@@ -1,0 +1,128 @@
+"""Tests for cube persistence (save/load round trip)."""
+
+import json
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.persistence import (
+    PersistenceError,
+    load_cube,
+    save_cube,
+    table_from_json,
+    table_to_json,
+)
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.cube import CubeCells
+from repro.engine.table import Table
+from repro.errors import TabulaError
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+@pytest.fixture(scope="module")
+def initialized(rides_small):
+    tabula = Tabula(
+        rides_small,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=0.05, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+class TestTableJson:
+    def test_round_trip_with_categories(self, rides_tiny):
+        payload = table_to_json(rides_tiny)
+        restored = table_from_json(payload)
+        assert restored.to_pydict() == rides_tiny.to_pydict()
+
+    def test_json_serializable(self, rides_tiny):
+        json.dumps(table_to_json(rides_tiny))
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_answers(self, initialized, rides_small, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        restored = load_cube(path, rides_small)
+        for query in ({"payment_type": "cash"}, {"passenger_count": "2"}, None):
+            original = initialized.query(query)
+            loaded = restored.query(query)
+            assert loaded.source == original.source
+            assert loaded.sample.num_rows == original.sample.num_rows
+            assert loaded.sample.to_pydict() == original.sample.to_pydict()
+
+    def test_guarantee_survives_round_trip(self, initialized, rides_small, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        restored = load_cube(path, rides_small)
+        loss = restored.config.loss
+        cube = CubeCells(rides_small, ATTRS)
+        values = loss.extract(rides_small)
+        for key in cube:
+            query = {a: v for a, v in zip(ATTRS, key) if v is not None}
+            result = restored.query(query)
+            assert loss.loss(values[cube.cell_indices(key)], loss.extract(result.sample)) <= 0.05 + 1e-12
+
+    def test_memory_breakdown_close(self, initialized, rides_small, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        restored = load_cube(path, rides_small)
+        original = initialized.memory_breakdown()
+        loaded = restored.memory_breakdown()
+        assert loaded.sample_table_bytes == original.sample_table_bytes
+        assert loaded.cube_table_bytes == original.cube_table_bytes
+
+    def test_report_unavailable_on_restored(self, initialized, rides_small, tmp_path):
+        from repro.errors import CubeNotInitializedError
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        restored = load_cube(path, rides_small)
+        with pytest.raises(CubeNotInitializedError):
+            restored.report
+
+
+class TestErrors:
+    def test_missing_file(self, rides_small, tmp_path):
+        with pytest.raises(PersistenceError, match="no cube file"):
+            load_cube(tmp_path / "nope.json", rides_small)
+
+    def test_corrupt_file(self, rides_small, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_cube(path, rides_small)
+
+    def test_unknown_version(self, initialized, rides_small, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="version"):
+            load_cube(path, rides_small)
+
+    def test_unregistered_loss(self, initialized, rides_small, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path, loss_declaration="CREATE AGGREGATE ...")
+        payload = json.loads(path.read_text())
+        payload["loss"]["name"] = "custom_loss_not_registered"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="not registered"):
+            load_cube(path, rides_small)
+
+    def test_attach_store_attr_mismatch(self, initialized, rides_small, tmp_path):
+        from repro.errors import InvalidQueryError
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        other = Tabula(
+            rides_small,
+            TabulaConfig(
+                cubed_attrs=("vendor_name",), threshold=0.05, loss=MeanLoss("fare_amount")
+            ),
+        )
+        restored = load_cube(path, rides_small)
+        with pytest.raises(InvalidQueryError):
+            other.attach_store(restored.store)

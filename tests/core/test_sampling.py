@@ -1,0 +1,167 @@
+"""Unit + property tests for Algorithm 1 (greedy loss-aware sampling).
+
+The headline property is the paper's deterministic guarantee: for every
+loss function and every θ, the produced sample satisfies
+``loss(T, sample) <= θ`` — always, not with high probability.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss.histogram import HistogramLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.loss.regression import RegressionLoss
+from repro.core.sampling import greedy_sample, sample_with_pool
+from repro.errors import SamplingError
+
+values_1d = st.lists(
+    st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=60
+)
+
+
+class TestGuarantee:
+    @given(values=values_1d, theta=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_loss_threshold_always_met(self, values, theta):
+        loss = MeanLoss("v")
+        arr = np.asarray(values)
+        result = greedy_sample(loss, arr, theta)
+        assert loss.loss(arr, arr[result.indices]) <= theta
+        assert result.achieved_loss <= theta
+
+    @given(values=values_1d, theta=st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_histogram_loss_threshold_always_met(self, values, theta):
+        loss = HistogramLoss("v")
+        arr = np.asarray(values)
+        result = greedy_sample(loss, arr, theta)
+        assert loss.loss(arr, arr[result.indices]) <= theta
+
+    def test_regression_threshold_met(self):
+        loss = RegressionLoss("x", "y")
+        rng = np.random.default_rng(0)
+        x = rng.random(50) * 10
+        values = np.column_stack([x, 1.5 * x + rng.normal(0, 0.4, 50)])
+        result = greedy_sample(loss, values, threshold=0.5)
+        assert loss.loss(values, values[result.indices]) <= 0.5
+
+
+class TestLazyEqualsNaive:
+    """For submodular losses lazy-forward must select the exact greedy set."""
+
+    def test_identical_selection_when_gains_distinct(self):
+        loss = HistogramLoss("v")
+        rng = np.random.default_rng(7)
+        values = rng.random(120) * 20
+        naive = greedy_sample(loss, values, 4.0, lazy=False)
+        lazy = greedy_sample(loss, values, 4.0, lazy=True)
+        assert set(naive.indices.tolist()) == set(lazy.indices.tolist())
+
+    @pytest.mark.parametrize("theta", [4.0, 1.0, 0.25])
+    def test_same_sample_size_and_guarantee(self, theta):
+        """Under gain ties CELF may pick a different maximizer, but the
+        greedy trajectory (and hence the sample size) must match."""
+        loss = HistogramLoss("v")
+        rng = np.random.default_rng(7)
+        values = rng.random(120) * 20
+        naive = greedy_sample(loss, values, theta, lazy=False)
+        lazy = greedy_sample(loss, values, theta, lazy=True)
+        assert naive.size == lazy.size
+        assert loss.loss(values, values[naive.indices]) <= theta
+        assert loss.loss(values, values[lazy.indices]) <= theta
+
+    def test_lazy_uses_fewer_evaluations(self):
+        loss = HistogramLoss("v")
+        rng = np.random.default_rng(8)
+        values = rng.random(200) * 20
+        naive = greedy_sample(loss, values, 0.25, lazy=False)
+        lazy = greedy_sample(loss, values, 0.25, lazy=True)
+        assert lazy.evaluations < naive.evaluations
+
+
+class TestEdgeCases:
+    def test_empty_population(self):
+        result = greedy_sample(MeanLoss("v"), np.empty(0), 0.1)
+        assert result.size == 0
+        assert result.achieved_loss == 0.0
+
+    def test_single_tuple(self):
+        result = greedy_sample(MeanLoss("v"), np.asarray([5.0]), 0.1)
+        assert result.size == 1
+        assert result.achieved_loss == 0.0
+
+    def test_zero_threshold_reaches_zero_loss(self):
+        loss = HistogramLoss("v")
+        values = np.asarray([1.0, 2.0, 2.0, 9.0])
+        result = greedy_sample(loss, values, threshold=0.0)
+        assert loss.loss(values, values[result.indices]) == 0.0
+        # 3 distinct values suffice for zero avg-min-distance.
+        assert result.size == 3
+
+    def test_indices_unique(self):
+        values = np.asarray([1.0, 5.0, 9.0, 13.0])
+        result = greedy_sample(HistogramLoss("v"), values, 0.5)
+        assert len(set(result.indices.tolist())) == len(result.indices)
+
+    def test_max_size_cap_raises(self):
+        loss = HistogramLoss("v")
+        values = np.linspace(0, 100, 50)
+        with pytest.raises(SamplingError):
+            greedy_sample(loss, values, threshold=0.01, max_size=2)
+
+    def test_rounds_equals_sample_size(self):
+        values = np.linspace(0, 10, 30)
+        result = greedy_sample(HistogramLoss("v"), values, 1.0)
+        assert result.rounds == result.size
+
+
+class TestCandidatePool:
+    def test_restricted_candidates_respected(self):
+        loss = MeanLoss("v")
+        values = np.asarray([1.0, 2.0, 3.0, 4.0, 100.0])
+        pool = np.asarray([0, 1, 2, 3])
+        result = greedy_sample(loss, values, threshold=1.0, candidates=pool)
+        assert set(result.indices.tolist()) <= set(pool.tolist())
+
+    def test_guarantee_measured_against_full_population(self):
+        loss = HistogramLoss("v")
+        rng = np.random.default_rng(9)
+        values = rng.random(300) * 10
+        result = sample_with_pool(loss, values, 0.5, rng, pool_size=50)
+        assert loss.loss(values, values[result.indices]) <= 0.5
+
+    def test_pool_fallback_on_unreachable_threshold(self):
+        loss = HistogramLoss("v")
+        # Pool of one candidate cannot reach a tight threshold; fallback must.
+        values = np.linspace(0, 100, 200)
+        rng = np.random.default_rng(10)
+        result = sample_with_pool(loss, values, 0.2, rng, pool_size=2)
+        assert loss.loss(values, values[result.indices]) <= 0.2
+
+    def test_no_pool_when_population_small(self):
+        loss = MeanLoss("v")
+        rng = np.random.default_rng(11)
+        values = np.asarray([1.0, 2.0, 3.0])
+        result = sample_with_pool(loss, values, 0.1, rng, pool_size=100)
+        assert result.achieved_loss <= 0.1
+
+
+class TestSmallCellFastPath:
+    def test_tiny_population_materialized_whole(self):
+        loss = MeanLoss("v")
+        rng = np.random.default_rng(0)
+        values = np.asarray([1.0, 9.0, 4.0])
+        result = sample_with_pool(loss, values, 0.05, rng)
+        assert result.size == 3
+        assert result.achieved_loss == 0.0
+
+    def test_threshold_still_enforced(self):
+        """A tiny cell's answer must still satisfy θ (it does trivially:
+        loss(T, T) = 0 for every built-in loss)."""
+        loss = HistogramLoss("v")
+        rng = np.random.default_rng(1)
+        values = np.asarray([2.0, 50.0])
+        result = sample_with_pool(loss, values, 0.001, rng)
+        assert loss.loss(values, values[result.indices]) <= 0.001

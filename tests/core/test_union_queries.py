@@ -1,0 +1,89 @@
+"""Tests for IN-predicate (cell-union) queries — an extension.
+
+Union answers are only sound for union-safe losses (the average-min-
+distance family): the union's loss is a population-weighted mean of the
+per-cell losses, each ≤ θ. Mean-style losses must reject the query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import HeatmapLoss, HistogramLoss, MeanLoss
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.expressions import Comparison, Equals, In, conjunction_to_equality_sets
+from repro.errors import InvalidQueryError
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+def build(table, loss, theta):
+    tabula = Tabula(
+        table, TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=loss)
+    )
+    tabula.initialize()
+    return tabula
+
+
+class TestFlattening:
+    def test_in_and_equality(self):
+        pred = In("m", ["a", "b"]) & Equals("c", 1)
+        assert conjunction_to_equality_sets(pred) == {"m": ["a", "b"], "c": [1]}
+
+    def test_duplicate_in_values_deduplicated(self):
+        assert conjunction_to_equality_sets(In("m", ["a", "a", "b"])) == {"m": ["a", "b"]}
+
+    def test_intersection_of_in_and_equality(self):
+        pred = In("m", ["a", "b"]) & Equals("m", "b")
+        assert conjunction_to_equality_sets(pred) == {"m": ["b"]}
+
+    def test_contradiction_yields_empty_set(self):
+        pred = Equals("m", "a") & Equals("m", "b")
+        assert conjunction_to_equality_sets(pred) == {"m": []}
+
+    def test_range_predicate_not_flattenable(self):
+        assert conjunction_to_equality_sets(Comparison("x", ">", 1)) is None
+
+
+class TestUnionAnswers:
+    def test_union_guarantee_histogram(self, rides_small):
+        theta = 0.05
+        loss = HistogramLoss("fare_amount")
+        tabula = build(rides_small, loss, theta)
+        predicate = In("payment_type", ["cash", "credit"]) & Equals("passenger_count", "1")
+        result = tabula.query(predicate)
+        assert result.source in ("union", "empty")
+        raw = rides_small.filter(predicate.mask(rides_small))
+        realized = loss.loss_tables(raw, result.sample)
+        assert realized <= theta + 1e-12
+
+    def test_union_guarantee_heatmap(self, rides_small):
+        theta = 0.01
+        loss = HeatmapLoss("pickup_x", "pickup_y")
+        tabula = build(rides_small, loss, theta)
+        predicate = In("rate_code", ["jfk", "newark"]) if "rate_code" in ATTRS else In(
+            "payment_type", ["cash", "dispute"]
+        )
+        result = tabula.query(predicate)
+        raw = rides_small.filter(predicate.mask(rides_small))
+        assert loss.loss_tables(raw, result.sample) <= theta + 1e-12
+
+    def test_mean_loss_rejects_in_queries(self, rides_small):
+        tabula = build(rides_small, MeanLoss("fare_amount"), 0.1)
+        with pytest.raises(InvalidQueryError, match="IN-queries"):
+            tabula.query(In("payment_type", ["cash", "credit"]))
+
+    def test_union_of_unknown_values_is_empty(self, rides_small):
+        loss = HistogramLoss("fare_amount")
+        tabula = build(rides_small, loss, 0.05)
+        result = tabula.query(In("payment_type", ["zelle", "barter"]))
+        assert result.source == "empty"
+        assert result.sample.num_rows == 0
+
+    def test_query_union_direct_api(self, rides_small):
+        loss = HistogramLoss("fare_amount")
+        tabula = build(rides_small, loss, 0.05)
+        result = tabula.query_union(
+            [{"payment_type": "cash"}, {"payment_type": "credit"}]
+        )
+        assert result.source == "union"
+        assert result.sample.num_rows > 0

@@ -1,0 +1,86 @@
+"""Tests for the synthetic NYC taxi generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.nyctaxi import CUBE_ATTRIBUTES, NYCTaxiConfig, generate_nyctaxi
+from repro.engine.schema import ColumnType
+
+
+class TestSchema:
+    def test_row_count(self):
+        assert generate_nyctaxi(num_rows=500, seed=0).num_rows == 500
+
+    def test_all_cube_attributes_present_and_categorical(self):
+        table = generate_nyctaxi(num_rows=200, seed=0)
+        for attr in CUBE_ATTRIBUTES:
+            assert table.schema.type_of(attr) is ColumnType.CATEGORY
+
+    def test_numeric_columns(self):
+        table = generate_nyctaxi(num_rows=200, seed=0)
+        for col in ("pickup_x", "pickup_y", "trip_distance", "fare_amount", "tip_amount"):
+            assert table.schema.type_of(col) is ColumnType.FLOAT64
+
+    def test_seven_cube_attributes(self):
+        assert len(CUBE_ATTRIBUTES) == 7
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_nyctaxi(num_rows=300, seed=9)
+        b = generate_nyctaxi(num_rows=300, seed=9)
+        np.testing.assert_array_equal(a.column("fare_amount").data, b.column("fare_amount").data)
+        assert a.column("payment_type").to_list() == b.column("payment_type").to_list()
+
+    def test_different_seed_different_data(self):
+        a = generate_nyctaxi(num_rows=300, seed=1)
+        b = generate_nyctaxi(num_rows=300, seed=2)
+        assert not np.array_equal(a.column("fare_amount").data, b.column("fare_amount").data)
+
+
+class TestPlantedStructure:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return generate_nyctaxi(num_rows=20_000, seed=4)
+
+    def test_pickups_in_unit_square(self, table):
+        x = table.column("pickup_x").data
+        y = table.column("pickup_y").data
+        assert x.min() >= 0 and x.max() <= 1
+        assert y.min() >= 0 and y.max() <= 1
+
+    def test_jfk_rides_cluster_spatially(self, table):
+        """Rate-code jfk rides concentrate near the airport cluster —
+        the structure that makes spatial losses differ per cell."""
+        rate = np.asarray(table.column("rate_code").to_list())
+        x = table.column("pickup_x").data
+        jfk_x = x[rate == "jfk"]
+        other_x = x[rate == "standard"]
+        assert jfk_x.mean() > other_x.mean() + 0.2
+
+    def test_airport_rides_cost_more(self, table):
+        rate = np.asarray(table.column("rate_code").to_list())
+        fare = table.column("fare_amount").data
+        assert fare[rate == "jfk"].mean() > 2 * fare[rate == "standard"].mean()
+
+    def test_cash_tips_near_zero_credit_tips_substantial(self, table):
+        payment = np.asarray(table.column("payment_type").to_list())
+        tip = table.column("tip_amount").data
+        fare = table.column("fare_amount").data
+        cash_rate = tip[payment == "cash"].sum() / fare[payment == "cash"].sum()
+        credit_rate = tip[payment == "credit"].sum() / fare[payment == "credit"].sum()
+        assert cash_rate < 0.02
+        assert credit_rate > 0.10
+
+    def test_passenger_count_skewed_to_single(self, table):
+        pc = np.asarray(table.column("passenger_count").to_list())
+        assert (pc == "1").mean() > 0.45
+
+    def test_fare_floor_respected(self, table):
+        assert table.column("fare_amount").data.min() >= 2.5
+
+    def test_custom_config(self):
+        config = NYCTaxiConfig(num_rows=100, seed=1, clusters=((0.5, 0.5, 0.01, 1.0),))
+        table = generate_nyctaxi(config=config)
+        x = table.column("pickup_x").data
+        assert abs(x.mean() - 0.5) < 0.05

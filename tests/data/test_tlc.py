@@ -1,0 +1,132 @@
+"""Tests for the real-TLC-export loader (via a synthetic TLC-format CSV)."""
+
+import pytest
+
+from repro.data.nyctaxi import CUBE_ATTRIBUTES
+from repro.data.tlc import NYC_BBOX, load_tlc_csv
+from repro.errors import SchemaError
+
+TLC_2009_HEADER = (
+    "vendor_name,Trip_Pickup_DateTime,Trip_Dropoff_DateTime,Passenger_Count,"
+    "Trip_Distance,Start_Lon,Start_Lat,Rate_Code,store_and_forward,"
+    "Payment_Type,Fare_Amt,Tip_Amt"
+)
+
+ROWS_2009 = [
+    # Mon 2009-01-05 pickup, same-day dropoff, midtown coords.
+    "VTS,2009-01-05 08:12:00,2009-01-05 08:30:00,1,2.5,-73.98,40.75,1,N,CASH,9.7,0.0",
+    # Sat pickup, JFK rate code (2), credit payment code path via 'Credit'.
+    "CMT,2009-01-10 22:05:00,2009-01-11 00:01:00,2,17.1,-73.78,40.64,2,N,Credit,45.0,9.0",
+    # Bad GPS (0,0) must be dropped.
+    "VTS,2009-01-06 10:00:00,2009-01-06 10:20:00,1,1.0,0.0,0.0,1,N,CASH,5.0,0.0",
+]
+
+TPEP_HEADER = (
+    "VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_count,"
+    "trip_distance,pickup_longitude,pickup_latitude,RatecodeID,"
+    "store_and_fwd_flag,payment_type,fare_amount,tip_amount"
+)
+
+ROWS_TPEP = [
+    "2,2015-01-07 19:01:00,2015-01-07 19:22:00,1,3.1,-73.99,40.73,1,N,2,12.5,0.0",
+    "1,2015-01-07 19:03:00,2015-01-07 19:40:00,3,11.9,-73.79,40.65,2,N,1,52.0,10.4",
+]
+
+
+@pytest.fixture()
+def tlc_2009(tmp_path):
+    path = tmp_path / "yellow_2009.csv"
+    path.write_text(TLC_2009_HEADER + "\n" + "\n".join(ROWS_2009) + "\n")
+    return path
+
+
+@pytest.fixture()
+def tlc_tpep(tmp_path):
+    path = tmp_path / "yellow_2015.csv"
+    path.write_text(TPEP_HEADER + "\n" + "\n".join(ROWS_TPEP) + "\n")
+    return path
+
+
+class TestLoad2009Format:
+    def test_schema_matches_generator(self, tlc_2009):
+        table, report = load_tlc_csv(tlc_2009)
+        for attr in CUBE_ATTRIBUTES:
+            assert attr in table.schema
+        for col in ("pickup_x", "pickup_y", "fare_amount", "tip_amount"):
+            assert col in table.schema
+
+    def test_bad_coordinates_dropped(self, tlc_2009):
+        table, report = load_tlc_csv(tlc_2009)
+        assert report.rows_read == 3
+        assert report.rows_kept == 2
+        assert report.dropped_bad_coordinates == 1
+
+    def test_weekdays_derived(self, tlc_2009):
+        table, _ = load_tlc_csv(tlc_2009)
+        assert table.column("pickup_weekday").to_list() == ["mon", "sat"]
+        # Second ride crossed midnight into Sunday.
+        assert table.column("dropoff_weekday").to_list() == ["mon", "sun"]
+
+    def test_rate_codes_labeled(self, tlc_2009):
+        table, _ = load_tlc_csv(tlc_2009)
+        assert table.column("rate_code").to_list() == ["standard", "jfk"]
+
+    def test_payment_labels_lowercased(self, tlc_2009):
+        table, _ = load_tlc_csv(tlc_2009)
+        assert table.column("payment_type").to_list() == ["cash", "credit"]
+
+    def test_coordinates_normalized_to_unit_square(self, tlc_2009):
+        table, _ = load_tlc_csv(tlc_2009)
+        x = table.column("pickup_x").data
+        y = table.column("pickup_y").data
+        assert (x >= 0).all() and (x <= 1).all()
+        assert (y >= 0).all() and (y <= 1).all()
+        lon_min, lon_max, _, __ = NYC_BBOX
+        assert x[0] == pytest.approx((-73.98 - lon_min) / (lon_max - lon_min))
+
+
+class TestLoadTpepFormat:
+    def test_numeric_codes_mapped(self, tlc_tpep):
+        table, _ = load_tlc_csv(tlc_tpep)
+        assert table.column("payment_type").to_list() == ["cash", "credit"]
+        assert table.column("rate_code").to_list() == ["standard", "jfk"]
+
+    def test_limit(self, tlc_tpep):
+        table, _ = load_tlc_csv(tlc_tpep, limit=1)
+        assert table.num_rows == 1
+
+
+class TestEndToEnd:
+    def test_tabula_builds_on_tlc_data(self, tlc_tpep):
+        from repro.core.loss import MeanLoss
+        from repro.core.tabula import Tabula, TabulaConfig
+
+        table, _ = load_tlc_csv(tlc_tpep)
+        tabula = Tabula(
+            table,
+            TabulaConfig(
+                cubed_attrs=("payment_type", "rate_code"),
+                threshold=0.1,
+                loss=MeanLoss("fare_amount"),
+            ),
+        )
+        tabula.initialize()
+        answer = tabula.query({"payment_type": "cash"})
+        assert answer.sample.num_rows >= 1
+
+
+class TestErrors:
+    def test_unrecognized_header(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError, match="not a recognized TLC export"):
+            load_tlc_csv(path)
+
+    def test_bad_timestamp(self, tmp_path):
+        path = tmp_path / "bad_ts.csv"
+        path.write_text(
+            TLC_2009_HEADER + "\n"
+            + "VTS,notadate,2009-01-05 08:30:00,1,2.5,-73.98,40.75,1,N,CASH,9.7,0.0\n"
+        )
+        with pytest.raises(SchemaError, match="timestamp"):
+            load_tlc_csv(path)

@@ -1,0 +1,92 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import select_population
+from repro.data.workload import generate_workload
+
+
+ATTRS = ("passenger_count", "payment_type", "rate_code")
+
+
+class TestGeneration:
+    def test_requested_count(self, rides_small):
+        wl = generate_workload(rides_small, ATTRS, num_queries=25, seed=0)
+        assert len(wl) == 25
+
+    def test_queries_use_only_cubed_attributes(self, rides_small):
+        wl = generate_workload(rides_small, ATTRS, num_queries=25, seed=0)
+        for query in wl:
+            assert set(query) <= set(ATTRS)
+
+    def test_every_query_population_nonempty(self, rides_small):
+        """Queries are cube cells — their population must be non-empty."""
+        wl = generate_workload(rides_small, ATTRS, num_queries=50, seed=1)
+        for query in wl:
+            assert select_population(rides_small, query).num_rows > 0
+
+    def test_deterministic(self, rides_small):
+        a = generate_workload(rides_small, ATTRS, num_queries=10, seed=3)
+        b = generate_workload(rides_small, ATTRS, num_queries=10, seed=3)
+        assert a.queries == b.queries
+
+    def test_mixed_cuboids_present(self, rides_small):
+        """Random picks should span several grouping-set widths."""
+        wl = generate_workload(rides_small, ATTRS, num_queries=60, seed=2)
+        widths = {len(q) for q in wl}
+        assert len(widths) >= 3
+
+    def test_exclude_all_cell(self, rides_small):
+        wl = generate_workload(
+            rides_small, ATTRS, num_queries=40, seed=0, include_all_cell=False
+        )
+        assert all(len(q) >= 1 for q in wl)
+
+    def test_indexing(self, rides_small):
+        wl = generate_workload(rides_small, ATTRS, num_queries=5, seed=0)
+        assert wl[0] == wl.queries[0]
+
+    def test_tiny_table_terminates(self):
+        from repro.engine.table import Table
+
+        tiny = Table.from_pydict({"a": ["x", "x"], "b": ["y", "z"]})
+        wl = generate_workload(tiny, ("a", "b"), num_queries=30, seed=0)
+        assert len(wl) > 0  # dedup budget exhausted gracefully
+
+
+class TestZipfWorkload:
+    def test_repeats_present(self, rides_small):
+        wl = generate_workload(
+            rides_small, ATTRS, num_queries=80, seed=4, distribution="zipf"
+        )
+        keys = [tuple(sorted(q.items())) for q in wl]
+        assert len(set(keys)) < len(keys)  # hot cells revisited
+
+    def test_popularity_skewed(self, rides_small):
+        wl = generate_workload(
+            rides_small, ATTRS, num_queries=200, seed=4, distribution="zipf"
+        )
+        from collections import Counter
+
+        counts = Counter(tuple(sorted(q.items())) for q in wl)
+        top = counts.most_common(1)[0][1]
+        assert top >= 200 / 10  # the hottest cell dominates
+
+    def test_populations_nonempty(self, rides_small):
+        wl = generate_workload(
+            rides_small, ATTRS, num_queries=30, seed=1, distribution="zipf"
+        )
+        for query in wl:
+            assert select_population(rides_small, query).num_rows > 0
+
+    def test_deterministic(self, rides_small):
+        a = generate_workload(rides_small, ATTRS, num_queries=20, seed=2, distribution="zipf")
+        b = generate_workload(rides_small, ATTRS, num_queries=20, seed=2, distribution="zipf")
+        assert a.queries == b.queries
+
+    def test_unknown_distribution_rejected(self, rides_small):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="distribution"):
+            generate_workload(rides_small, ATTRS, num_queries=5, distribution="pareto")

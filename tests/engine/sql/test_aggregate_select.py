@@ -1,0 +1,93 @@
+"""Tests for aggregate SELECT ... GROUP BY support in the SQL engine."""
+
+import pytest
+
+from repro.engine.sql import ast
+from repro.engine.sql.executor import SQLSession
+from repro.engine.sql.parser import parse_statement
+from repro.engine.table import Table
+from repro.errors import SQLSyntaxError
+
+
+@pytest.fixture()
+def session():
+    s = SQLSession()
+    s.register_table(
+        "rides",
+        Table.from_pydict(
+            {
+                "m": ["cash", "credit", "cash", "credit", "cash"],
+                "c": [1, 1, 2, 1, 1],
+                "fare": [5.0, 9.0, 3.0, 11.0, 7.0],
+            }
+        ),
+    )
+    return s
+
+
+class TestParsing:
+    def test_group_by_aggregate(self):
+        stmt = parse_statement("SELECT m, AVG(fare) FROM rides GROUP BY m")
+        assert isinstance(stmt, ast.SelectAggregate)
+        assert stmt.group_by == ("m",)
+        assert stmt.aggregations == (ast.Aggregation("AVG", "fare", "avg_fare"),)
+
+    def test_alias(self):
+        stmt = parse_statement("SELECT m, SUM(fare) AS total FROM rides GROUP BY m")
+        assert stmt.aggregations[0].alias == "total"
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM rides")
+        assert stmt.aggregations[0] == ast.Aggregation("COUNT", "*", "count")
+        assert stmt.group_by == ()
+
+    def test_groupby_single_token(self):
+        stmt = parse_statement("SELECT m, COUNT(*) FROM rides GROUPBY m")
+        assert stmt.group_by == ("m",)
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="requires at least one aggregate"):
+            parse_statement("SELECT m FROM rides GROUP BY m")
+
+    def test_mismatched_plain_columns_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="must match the GROUP BY"):
+            parse_statement("SELECT c, AVG(fare) FROM rides GROUP BY m")
+
+    def test_limit_rejected_on_aggregates(self):
+        with pytest.raises(SQLSyntaxError, match="LIMIT"):
+            parse_statement("SELECT m, AVG(fare) FROM rides GROUP BY m LIMIT 2")
+
+
+class TestExecution:
+    def test_avg_per_group(self, session):
+        result = session.execute("SELECT m, AVG(fare) FROM rides GROUP BY m")
+        rows = {r["m"]: r["avg_fare"] for r in result.iter_rows()}
+        assert rows["cash"] == pytest.approx(5.0)
+        assert rows["credit"] == pytest.approx(10.0)
+
+    def test_multiple_aggregates_and_where(self, session):
+        result = session.execute(
+            "SELECT m, COUNT(*) AS n, SUM(fare) AS total FROM rides "
+            "WHERE c = 1 GROUP BY m"
+        )
+        rows = {r["m"]: r for r in result.iter_rows()}
+        assert rows["cash"]["n"] == 2.0
+        assert rows["cash"]["total"] == pytest.approx(12.0)
+        assert rows["credit"]["n"] == 2.0
+
+    def test_grand_total(self, session):
+        result = session.execute("SELECT COUNT(*) FROM rides")
+        assert result.num_rows == 1
+        assert result.column("count").to_list() == [5.0]
+
+    def test_composite_group_keys(self, session):
+        result = session.execute("SELECT m, c, MIN(fare) FROM rides GROUP BY m, c")
+        assert result.num_rows == 3
+
+    def test_count_star_only_for_count(self, session):
+        with pytest.raises(ValueError, match="only valid for COUNT"):
+            session.execute("SELECT AVG(*) FROM rides")
+
+    def test_stddev_alias_spelling(self, session):
+        result = session.execute("SELECT STD_DEV(fare) AS sd FROM rides")
+        assert result.column("sd").to_list()[0] > 0

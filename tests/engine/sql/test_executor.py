@@ -1,0 +1,114 @@
+"""Integration tests for the SQL session (full Section-II workflow)."""
+
+import pytest
+
+from repro.core.tabula import InitializationReport, QueryResult
+from repro.engine.sql.executor import SQLSession, SessionOptions
+from repro.engine.table import Table
+from repro.errors import LossFunctionError, NotAlgebraicError, UnknownTableError
+
+
+@pytest.fixture()
+def session(rides_tiny):
+    s = SQLSession()
+    s.register_table("rides", rides_tiny)
+    return s
+
+
+class TestCreateAggregate:
+    def test_registers_loss(self, session):
+        name = session.execute(
+            "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END"
+        )
+        assert name == "my_loss"
+        assert "my_loss" in session.registry
+
+    def test_holistic_rejected(self, session):
+        with pytest.raises(NotAlgebraicError):
+            session.execute(
+                "CREATE AGGREGATE bad(Raw, Sam) RETURN d AS "
+                "BEGIN ABS(MEDIAN(Raw) - MEDIAN(Sam)) END"
+            )
+
+    def test_unknown_aggregate_rejected(self, session):
+        with pytest.raises(LossFunctionError):
+            session.execute(
+                "CREATE AGGREGATE bad(Raw, Sam) RETURN d AS BEGIN WEIRD(Raw) END"
+            )
+
+
+class TestFullWorkflow:
+    def _build_cube(self, session):
+        session.execute(
+            "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END"
+        )
+        return session.execute(
+            "CREATE TABLE taxi_cube AS SELECT passenger_count, payment_type, "
+            "SAMPLING(*, 0.1) AS sample FROM rides "
+            "GROUPBY CUBE(passenger_count, payment_type) "
+            "HAVING my_loss(fare_amount, Sam_global) > 0.1"
+        )
+
+    def test_initialization_returns_report(self, session):
+        report = self._build_cube(session)
+        assert isinstance(report, InitializationReport)
+        assert report.num_cells > 0
+        assert "taxi_cube" in session.cubes
+
+    def test_dashboard_query(self, session):
+        self._build_cube(session)
+        result = session.execute(
+            "SELECT sample FROM taxi_cube WHERE payment_type = 'cash'"
+        )
+        assert isinstance(result, QueryResult)
+        assert result.source in ("local", "global")
+        assert result.sample.num_rows > 0
+
+    def test_builtin_loss_usable_without_create(self, session):
+        report = session.execute(
+            "CREATE TABLE hcube AS SELECT payment_type, SAMPLING(*, 1.0) AS sample "
+            "FROM rides GROUPBY CUBE(payment_type) "
+            "HAVING histogram_loss(fare_amount, Sam_global) > 1.0"
+        )
+        assert isinstance(report, InitializationReport)
+
+    def test_query_unknown_cube_raises(self, session):
+        with pytest.raises(UnknownTableError):
+            session.execute("SELECT sample FROM nope WHERE x = 1")
+
+
+class TestPlainSelect:
+    def test_scan_with_filter(self, session):
+        result = session.execute("SELECT * FROM rides WHERE payment_type = 'cash'")
+        assert isinstance(result, Table)
+        assert all(v == "cash" for v in result.column("payment_type").to_list())
+
+    def test_projection_and_limit(self, session):
+        result = session.execute("SELECT fare_amount FROM rides LIMIT 7")
+        assert result.column_names == ("fare_amount",)
+        assert result.num_rows == 7
+
+    def test_select_sample_against_plain_table_is_projection(self, session, rides_tiny):
+        session.register_table(
+            "with_sample_col",
+            Table.from_pydict({"sample": [1, 2, 3]}),
+        )
+        result = session.execute("SELECT sample FROM with_sample_col")
+        assert isinstance(result, Table)
+        assert result.num_rows == 3
+
+
+class TestSessionOptions:
+    def test_options_flow_into_config(self, rides_tiny):
+        s = SQLSession(options=SessionOptions(sample_selection=False, seed=42))
+        s.register_table("rides", rides_tiny)
+        s.execute(
+            "CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.2) AS sample "
+            "FROM rides GROUPBY CUBE(payment_type) "
+            "HAVING mean_loss(fare_amount, Sam_global) > 0.2"
+        )
+        tabula = s.cubes["c"]
+        assert tabula.config.sample_selection is False
+        assert tabula.config.seed == 42

@@ -1,0 +1,74 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.engine.sql.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        assert values("Fare_Amount") == ["Fare_Amount"]
+
+    def test_numbers(self):
+        assert values("1 2.5 .75 1e-3 2.5E+4") == ["1", "2.5", ".75", "1e-3", "2.5E+4"]
+
+    def test_strings_single_and_double_quotes(self):
+        assert values("'cash' \"credit\"") == ["cash", "credit"]
+
+    def test_symbols(self):
+        assert values("( ) , * = != <> < <= > >= + - / ;") == [
+            "(", ")", ",", "*", "=", "!=", "!=", "<", "<=", ">", ">=", "+", "-", "/", ";",
+        ]
+
+    def test_eof_token_last(self):
+        assert tokenize("a")[-1].kind == "EOF"
+
+    def test_comments_skipped(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a ? b")
+
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(SQLSyntaxError, match="line 2"):
+            tokenize("abc\nde ?")
+
+
+class TestRealisticStatements:
+    def test_initialization_query_tokenizes(self):
+        sql = (
+            "CREATE TABLE SamplingCube AS SELECT D, C, M, SAMPLING(*, 0.1) AS sample "
+            "FROM nyctaxi GROUPBY CUBE(D, C, M) "
+            "HAVING loss(pickup_point, Sam_global) > 0.1"
+        )
+        toks = tokenize(sql)
+        assert toks[-1].kind == "EOF"
+        assert "SAMPLING" in [t.value for t in toks]
+
+    def test_loss_body_tokenizes(self):
+        sql = "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END"
+        assert tokenize(sql)[0] == Token("KEYWORD", "BEGIN", 0)

@@ -1,0 +1,77 @@
+"""Tests for ORDER BY support (engine + SQL surface)."""
+
+import pytest
+
+from repro.engine.sql.executor import SQLSession
+from repro.engine.table import Table
+from repro.errors import UnknownColumnError
+
+
+@pytest.fixture()
+def session():
+    s = SQLSession()
+    s.register_table(
+        "rides",
+        Table.from_pydict(
+            {
+                "m": ["credit", "cash", "dispute", "cash"],
+                "fare": [9.0, 5.0, 7.0, 5.0],
+                "tip": [2.0, 0.0, 0.5, 0.1],
+            }
+        ),
+    )
+    return s
+
+
+class TestTableSort:
+    def test_single_key_ascending(self):
+        table = Table.from_pydict({"x": [3, 1, 2]})
+        assert table.sort_by([("x", False)]).column("x").to_list() == [1, 2, 3]
+
+    def test_single_key_descending(self):
+        table = Table.from_pydict({"x": [3, 1, 2]})
+        assert table.sort_by([("x", True)]).column("x").to_list() == [3, 2, 1]
+
+    def test_category_sorts_by_label(self):
+        table = Table.from_pydict({"m": ["c", "a", "b"]})
+        assert table.sort_by([("m", False)]).column("m").to_list() == ["a", "b", "c"]
+
+    def test_composite_keys_stable(self):
+        table = Table.from_pydict({"a": [1, 1, 0], "b": [2.0, 1.0, 3.0]})
+        result = table.sort_by([("a", False), ("b", True)])
+        assert result.column("a").to_list() == [0, 1, 1]
+        assert result.column("b").to_list() == [3.0, 2.0, 1.0]
+
+    def test_empty_keys_identity(self):
+        table = Table.from_pydict({"x": [2, 1]})
+        assert table.sort_by([]).column("x").to_list() == [2, 1]
+
+    def test_unknown_column(self):
+        table = Table.from_pydict({"x": [1]})
+        with pytest.raises(UnknownColumnError):
+            table.sort_by([("nope", False)])
+
+
+class TestSQL:
+    def test_order_by_numeric(self, session):
+        result = session.execute("SELECT fare FROM rides ORDER BY fare")
+        assert result.column("fare").to_list() == [5.0, 5.0, 7.0, 9.0]
+
+    def test_order_by_desc_with_limit(self, session):
+        result = session.execute("SELECT fare FROM rides ORDER BY fare DESC LIMIT 2")
+        assert result.column("fare").to_list() == [9.0, 7.0]
+
+    def test_order_by_category(self, session):
+        result = session.execute("SELECT m FROM rides ORDER BY m")
+        assert result.column("m").to_list() == ["cash", "cash", "credit", "dispute"]
+
+    def test_order_by_composite(self, session):
+        result = session.execute("SELECT m, fare FROM rides ORDER BY m ASC, fare DESC")
+        rows = list(zip(result.column("m").to_list(), result.column("fare").to_list()))
+        assert rows == [("cash", 5.0), ("cash", 5.0), ("credit", 9.0), ("dispute", 7.0)]
+
+    def test_order_by_on_aggregate(self, session):
+        result = session.execute(
+            "SELECT m, SUM(fare) AS total FROM rides GROUP BY m ORDER BY total DESC"
+        )
+        assert result.column("total").to_list() == [10.0, 9.0, 7.0]

@@ -1,0 +1,174 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.engine import expressions as ex
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_statement
+from repro.errors import SQLSyntaxError
+
+
+class TestCreateAggregate:
+    def test_mean_loss_body(self):
+        stmt = parse_statement(
+            "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END"
+        )
+        assert isinstance(stmt, ast.CreateAggregate)
+        assert stmt.name == "my_loss"
+        assert stmt.params == ("Raw", "Sam")
+        assert isinstance(stmt.body, ast.FuncCall)
+        assert stmt.body.func == "ABS"
+
+    def test_regression_body(self):
+        stmt = parse_statement(
+            "CREATE AGGREGATE reg(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS(ANGLE(Raw) - ANGLE(Sam)) END"
+        )
+        inner = stmt.body.args[0]
+        assert isinstance(inner, ast.BinOp)
+        assert inner.left == ast.AggCall("ANGLE", ("Raw",))
+
+    def test_cross_aggregate_body(self):
+        stmt = parse_statement(
+            "CREATE AGGREGATE vas(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN AVG_MIN_DIST(Raw, Sam) END"
+        )
+        assert stmt.body == ast.AggCall("AVG_MIN_DIST", ("Raw", "Sam"))
+
+    def test_numeric_literals_and_precedence(self):
+        stmt = parse_statement(
+            "CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN AVG(Raw) + 2 * AVG(Sam) END"
+        )
+        assert isinstance(stmt.body, ast.BinOp)
+        assert stmt.body.op == "+"
+        assert stmt.body.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_statement(
+            "CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN -AVG(Raw) END"
+        )
+        assert isinstance(stmt.body, ast.UnaryOp)
+
+    def test_bare_identifier_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="bare identifier"):
+            parse_statement("CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN Raw END")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("CREATE AGGREGATE l(Raw, Sam) RETURN d AS BEGIN AVG(Raw)")
+
+
+class TestCreateSamplingCube:
+    SQL = (
+        "CREATE TABLE tcube AS SELECT D, C, M, SAMPLING(*, 0.1) AS sample "
+        "FROM nyctaxi GROUPBY CUBE(D, C, M) "
+        "HAVING loss(pickup, Sam_global) > 0.1"
+    )
+
+    def test_full_statement(self):
+        stmt = parse_statement(self.SQL)
+        assert isinstance(stmt, ast.CreateSamplingCube)
+        assert stmt.name == "tcube"
+        assert stmt.cubed_attrs == ("D", "C", "M")
+        assert stmt.threshold == pytest.approx(0.1)
+        assert stmt.source == "nyctaxi"
+        assert stmt.loss_name == "loss"
+        assert stmt.target_attrs == ("pickup",)
+        assert stmt.global_sample_ref == "Sam_global"
+
+    def test_group_by_two_words(self):
+        sql = self.SQL.replace("GROUPBY", "GROUP BY")
+        assert isinstance(parse_statement(sql), ast.CreateSamplingCube)
+
+    def test_multi_attr_loss_target(self):
+        sql = (
+            "CREATE TABLE t2 AS SELECT D, SAMPLING(*, 5) AS sample FROM nyctaxi "
+            "GROUPBY CUBE(D) HAVING reg(fare, tip, Sam_global) > 5"
+        )
+        stmt = parse_statement(sql)
+        assert stmt.target_attrs == ("fare", "tip")
+
+    def test_mismatched_attribute_lists_rejected(self):
+        sql = (
+            "CREATE TABLE t AS SELECT D, C, SAMPLING(*, 0.1) AS sample FROM x "
+            "GROUPBY CUBE(D, M) HAVING loss(a, Sam_global) > 0.1"
+        )
+        with pytest.raises(SQLSyntaxError, match="must match CUBE"):
+            parse_statement(sql)
+
+    def test_mismatched_thresholds_rejected(self):
+        sql = (
+            "CREATE TABLE t AS SELECT D, SAMPLING(*, 0.1) AS sample FROM x "
+            "GROUPBY CUBE(D) HAVING loss(a, Sam_global) > 0.2"
+        )
+        with pytest.raises(SQLSyntaxError, match="must agree"):
+            parse_statement(sql)
+
+    def test_missing_sampling_rejected(self):
+        sql = "CREATE TABLE t AS SELECT D FROM x GROUPBY CUBE(D) HAVING loss(a, g) > 0.1"
+        with pytest.raises(SQLSyntaxError, match="SAMPLING"):
+            parse_statement(sql)
+
+    def test_wrong_alias_rejected(self):
+        sql = (
+            "CREATE TABLE t AS SELECT D, SAMPLING(*, 0.1) AS s FROM x "
+            "GROUPBY CUBE(D) HAVING loss(a, g) > 0.1"
+        )
+        with pytest.raises(SQLSyntaxError, match="AS sample"):
+            parse_statement(sql)
+
+
+class TestSelect:
+    def test_select_sample_becomes_dashboard_query(self):
+        stmt = parse_statement("SELECT sample FROM tcube WHERE D = 'x' AND C = 1")
+        assert isinstance(stmt, ast.SelectSample)
+        assert stmt.cube == "tcube"
+        equalities = ex.conjunction_to_equalities(stmt.where)
+        assert equalities == {"D": "x", "C": 1}
+
+    def test_select_sample_no_where(self):
+        stmt = parse_statement("SELECT sample FROM tcube")
+        assert isinstance(stmt, ast.SelectSample)
+        assert stmt.where is None
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t WHERE x > 2 LIMIT 5")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.columns == ("*",)
+        assert stmt.limit == 5
+
+    def test_select_columns(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert stmt.columns == ("a", "b")
+
+    def test_where_in(self):
+        stmt = parse_statement("SELECT a FROM t WHERE m IN ('x', 'y')")
+        assert isinstance(stmt.where, ex.In)
+
+    def test_where_between(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ex.Between)
+
+    def test_where_or_not_parens(self):
+        stmt = parse_statement("SELECT a FROM t WHERE NOT (m = 'x' OR m = 'y')")
+        assert isinstance(stmt.where, ex.Not)
+
+    def test_bare_identifier_literal(self):
+        stmt = parse_statement("SELECT a FROM t WHERE m = cash")
+        assert ex.conjunction_to_equalities(stmt.where) == {"m": "cash"}
+
+    def test_negative_number_literal(self):
+        stmt = parse_statement("SELECT a FROM t WHERE x = -3")
+        assert ex.conjunction_to_equalities(stmt.where) == {"x": -3}
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse_statement("SELECT a FROM t;"), ast.Select)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_statement("SELECT a FROM t xyz zzz")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="CREATE or SELECT"):
+            parse_statement("DROP TABLE t")

@@ -1,0 +1,118 @@
+"""Unit + property tests for the aggregate framework.
+
+The central property is the merge law of Section VI: for distributive
+and algebraic measures, evaluating on a concatenation must equal
+merging per-partition states — the invariant the dry run's bottom-up
+cuboid derivation stands on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import aggregates as agg
+from repro.errors import LossFunctionError
+
+ALL_AGGS = [
+    agg.Sum(), agg.Count(), agg.Min(), agg.Max(),
+    agg.Avg(), agg.StdDev(), agg.CountDistinct(), agg.TopK(3), agg.Median(),
+]
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+)
+
+
+class TestClassification:
+    def test_distributive_set(self):
+        for a in (agg.Sum(), agg.Count(), agg.Min(), agg.Max()):
+            assert a.classification is agg.AggregateClass.DISTRIBUTIVE
+            assert a.is_algebraic_or_better
+
+    def test_algebraic_set(self):
+        for a in (agg.Avg(), agg.StdDev(), agg.CountDistinct(), agg.TopK(3)):
+            assert a.classification is agg.AggregateClass.ALGEBRAIC
+            assert a.is_algebraic_or_better
+
+    def test_median_is_holistic(self):
+        assert agg.Median().classification is agg.AggregateClass.HOLISTIC
+        assert not agg.Median().is_algebraic_or_better
+
+
+class TestDirectEvaluation:
+    def test_against_numpy(self):
+        data = np.asarray([1.0, 2.0, 2.0, 5.0])
+        assert agg.Sum()(data) == 10.0
+        assert agg.Count()(data) == 4.0
+        assert agg.Min()(data) == 1.0
+        assert agg.Max()(data) == 5.0
+        assert agg.Avg()(data) == pytest.approx(2.5)
+        assert agg.StdDev()(data) == pytest.approx(np.std(data))
+        assert agg.CountDistinct()(data) == 3.0
+        assert agg.Median()(data) == 2.0
+
+    def test_topk_sums_largest(self):
+        data = np.asarray([5.0, 1.0, 4.0, 3.0])
+        assert agg.TopK(2)(data) == 9.0
+
+    def test_topk_with_fewer_values_than_k(self):
+        assert agg.TopK(10)(np.asarray([1.0, 2.0])) == 3.0
+
+    def test_topk_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            agg.TopK(0)
+
+    def test_empty_input_edge_cases(self):
+        empty = np.asarray([], dtype=float)
+        assert agg.Sum()(empty) == 0.0
+        assert agg.Count()(empty) == 0.0
+        assert agg.Min()(empty) == np.inf
+        assert agg.Max()(empty) == -np.inf
+        assert np.isnan(agg.Avg()(empty))
+        assert np.isnan(agg.StdDev()(empty))
+        assert agg.CountDistinct()(empty) == 0.0
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGS, ids=lambda a: a.name)
+@given(left=values_strategy, right=values_strategy)
+@settings(max_examples=30, deadline=None)
+def test_merge_law(aggregate, left, right):
+    """finalize(merge(init(A), init(B))) == finalize(init(A ++ B))."""
+    a = np.asarray(left)
+    b = np.asarray(right)
+    merged = aggregate.merge(aggregate.init_state(a), aggregate.init_state(b))
+    expected = aggregate.init_state(np.concatenate([a, b]))
+    assert aggregate.finalize(merged) == pytest.approx(
+        aggregate.finalize(expected), rel=1e-9, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("aggregate", ALL_AGGS, ids=lambda a: a.name)
+@given(values=values_strategy)
+@settings(max_examples=20, deadline=None)
+def test_merge_with_empty_is_identity(aggregate, values):
+    data = np.asarray(values)
+    state = aggregate.init_state(data)
+    empty = aggregate.init_state(np.asarray([], dtype=float))
+    merged = aggregate.merge(state, empty)
+    assert aggregate.finalize(merged) == pytest.approx(
+        aggregate.finalize(state), rel=1e-9, abs=1e-9
+    )
+
+
+class TestResolve:
+    def test_case_insensitive(self):
+        assert agg.resolve("avg").name == "AVG"
+        assert agg.resolve("Sum").name == "SUM"
+
+    def test_std_dev_alias(self):
+        assert agg.resolve("STD_DEV").name == "STDDEV"
+
+    def test_unknown_raises(self):
+        with pytest.raises(LossFunctionError):
+            agg.resolve("FANCY_AGG")
+
+    def test_builtin_names_listed(self):
+        names = agg.builtin_names()
+        assert "AVG" in names and "MEDIAN" in names

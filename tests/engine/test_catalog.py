@@ -1,0 +1,63 @@
+"""Unit tests for the table catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import Equals
+from repro.engine.table import Table
+from repro.errors import UnknownTableError
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register("t", Table.from_pydict({"m": ["a", "b", "a"], "x": [1, 2, 3]}))
+    return cat
+
+
+class TestRegistry:
+    def test_register_get(self, catalog):
+        assert catalog.get("t").num_rows == 3
+
+    def test_double_register_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            catalog.register("t", Table.from_pydict({"y": [1]}))
+
+    def test_replace_allowed(self, catalog):
+        catalog.register("t", Table.from_pydict({"y": [1]}), replace=True)
+        assert catalog.get("t").column_names == ("y",)
+
+    def test_drop(self, catalog):
+        catalog.drop("t")
+        assert "t" not in catalog
+        with pytest.raises(UnknownTableError):
+            catalog.drop("t")
+
+    def test_unknown_get_raises(self, catalog):
+        with pytest.raises(UnknownTableError):
+            catalog.get("missing")
+
+    def test_iteration(self, catalog):
+        assert list(catalog) == ["t"]
+
+
+class TestScan:
+    def test_scan_full(self, catalog):
+        assert catalog.scan("t").num_rows == 3
+
+    def test_scan_with_predicate(self, catalog):
+        assert catalog.scan("t", Equals("m", "a")).num_rows == 2
+
+    def test_scan_records_effort(self, catalog):
+        catalog.scan("t")
+        catalog.scan("t", Equals("m", "a"))
+        assert catalog.stats.scans == 2
+        assert catalog.stats.rows_scanned == 6
+
+    def test_stats_reset(self, catalog):
+        catalog.scan("t")
+        catalog.stats.reset()
+        assert catalog.stats.scans == 0
+
+    def test_memory_footprint(self, catalog):
+        assert catalog.memory_footprint("t") == catalog.get("t").nbytes

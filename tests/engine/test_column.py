@@ -1,0 +1,110 @@
+"""Unit tests for repro.engine.column."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class TestConstruction:
+    def test_from_values_numeric(self):
+        col = Column.from_values("x", [1.0, 2.0, 3.0])
+        assert col.ctype is ColumnType.FLOAT64
+        assert col.to_list() == [1.0, 2.0, 3.0]
+
+    def test_from_values_category_dictionary_sorted(self):
+        col = Column.from_values("m", ["cash", "credit", "cash"])
+        assert col.ctype is ColumnType.CATEGORY
+        assert col.dictionary == ("cash", "credit")
+        assert col.to_list() == ["cash", "credit", "cash"]
+
+    def test_category_requires_dictionary(self):
+        with pytest.raises(SchemaError, match="dictionary"):
+            Column("m", ColumnType.CATEGORY, np.zeros(2, dtype=np.int32))
+
+    def test_numeric_rejects_dictionary(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnType.INT64, np.zeros(2, dtype=np.int64), dictionary=("a",))
+
+    def test_from_codes(self):
+        col = Column.from_codes("m", np.asarray([1, 0], dtype=np.int32), ("a", "b"))
+        assert col.to_list() == ["b", "a"]
+
+    def test_dtype_coercion(self):
+        col = Column("x", ColumnType.FLOAT64, np.asarray([1, 2], dtype=np.int64))
+        assert col.data.dtype == np.float64
+
+
+class TestAccess:
+    def test_value_at_decodes_categories(self):
+        col = Column.from_values("m", ["x", "y"])
+        assert col.value_at(1) == "y"
+
+    def test_value_at_numeric_returns_python_scalar(self):
+        col = Column.from_values("x", [7, 8])
+        value = col.value_at(0)
+        assert value == 7
+        assert isinstance(value, int)
+
+    def test_encode_category_known_and_unknown(self):
+        col = Column.from_values("m", ["a", "b"])
+        assert col.encode("b") == 1
+        assert col.encode("zzz") == -1  # matches no row
+
+    def test_encode_category_rejects_non_string(self):
+        col = Column.from_values("m", ["a"])
+        with pytest.raises(TypeMismatchError):
+            col.encode(5)
+
+    def test_encode_numeric_rejects_string(self):
+        col = Column.from_values("x", [1.0])
+        with pytest.raises(TypeMismatchError):
+            col.encode("five")
+
+    def test_nbytes_counts_dictionary(self):
+        col = Column.from_values("m", ["abc", "de"])
+        assert col.nbytes == col.data.nbytes + 5
+
+    def test_rename_shares_buffer(self):
+        col = Column.from_values("x", [1.0, 2.0])
+        renamed = col.rename("y")
+        assert renamed.name == "y"
+        assert renamed.data is col.data
+
+
+class TestRowSetOps:
+    def test_take(self):
+        col = Column.from_values("x", [10, 20, 30])
+        taken = col.take(np.asarray([2, 0]))
+        assert taken.to_list() == [30, 10]
+
+    def test_filter(self):
+        col = Column.from_values("x", [10, 20, 30])
+        filtered = col.filter(np.asarray([True, False, True]))
+        assert filtered.to_list() == [10, 30]
+
+    def test_concat_numeric(self):
+        a = Column.from_values("x", [1, 2])
+        b = Column.from_values("x", [3])
+        assert a.concat(b).to_list() == [1, 2, 3]
+
+    def test_concat_same_dictionary_fast_path(self):
+        a = Column.from_values("m", ["a", "b"])
+        b = Column.from_values("m", ["b", "a"])
+        merged = a.concat(b)
+        assert merged.to_list() == ["a", "b", "b", "a"]
+
+    def test_concat_different_dictionaries_reconciled(self):
+        a = Column.from_values("m", ["a", "c"])
+        b = Column.from_values("m", ["b"])
+        merged = a.concat(b)
+        assert merged.to_list() == ["a", "c", "b"]
+        assert merged.dictionary == ("a", "b", "c")
+
+    def test_concat_type_mismatch(self):
+        a = Column.from_values("x", [1])
+        b = Column.from_values("x", ["s"])
+        with pytest.raises(TypeMismatchError):
+            a.concat(b)

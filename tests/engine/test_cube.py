@@ -1,0 +1,138 @@
+"""Unit + property tests for the CUBE operator and cell keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import aggregates as agg
+from repro.engine.cube import (
+    CubeCells,
+    align_cell_key,
+    base_cuboid,
+    cell_grouping_set,
+    cube_aggregate,
+    format_cell,
+    grouping_sets,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_pydict(
+        {
+            "d": ["short", "short", "long", "long"],
+            "m": ["cash", "credit", "cash", "cash"],
+            "fare": [5.0, 6.0, 20.0, 22.0],
+        }
+    )
+
+
+class TestGroupingSets:
+    def test_count_is_power_of_two(self):
+        assert len(grouping_sets(("a", "b", "c"))) == 8
+        assert len(grouping_sets(())) == 1
+
+    def test_ordered_full_set_first_empty_last(self):
+        sets = grouping_sets(("a", "b"))
+        assert sets[0] == ("a", "b")
+        assert sets[-1] == ()
+
+    def test_all_subsets_present(self):
+        sets = set(grouping_sets(("a", "b")))
+        assert sets == {("a", "b"), ("a",), ("b",), ()}
+
+
+class TestCellKeys:
+    def test_align_fills_none(self):
+        key = align_cell_key(("m",), ("cash",), ("d", "m"))
+        assert key == (None, "cash")
+
+    def test_align_full_key(self):
+        key = align_cell_key(("d", "m"), ("short", "cash"), ("d", "m"))
+        assert key == ("short", "cash")
+
+    def test_cell_grouping_set_inverse_of_align(self):
+        key = align_cell_key(("m",), ("cash",), ("d", "m"))
+        assert cell_grouping_set(key, ("d", "m")) == ("m",)
+
+    def test_format_cell_uses_paper_notation(self):
+        assert format_cell((None, "cash")) == "<(null), cash>"
+
+
+class TestCubeCells:
+    def test_cell_count_small_example(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        # d: short/long; m: cash/credit.
+        # (d,m): 3 non-empty combos; (d): 2; (m): 2; (): 1.
+        assert cube.num_cells == 8
+
+    def test_all_cuboids_present(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        assert set(cube.cuboids()) == set(grouping_sets(("d", "m")))
+
+    def test_all_cell_is_whole_table(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        assert len(cube.cell_indices((None, None))) == table.num_rows
+
+    def test_cell_population_filtered_correctly(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        cell = cube.cell_table(("long", "cash"))
+        assert cell.num_rows == 2
+        assert set(cell.column("fare").to_list()) == {20.0, 22.0}
+
+    def test_partial_cell(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        cell = cube.cell_table((None, "cash"))
+        assert cell.num_rows == 3
+
+    def test_contains(self, table):
+        cube = CubeCells(table, ("d", "m"))
+        assert ("short", "credit") in cube
+        assert ("long", "credit") not in cube  # empty population
+
+
+class TestCubeAggregate:
+    def test_counts_match_cells(self, table):
+        results = cube_aggregate(table, ("d", "m"), [("n", agg.Count(), "fare")])
+        by_key = {key: measures[0] for key, measures in results}
+        assert by_key[(None, None)] == 4.0
+        assert by_key[("short", None)] == 2.0
+        assert by_key[(None, "cash")] == 3.0
+        assert by_key[("long", "cash")] == 2.0
+
+    def test_distributive_rollup_consistency(self, table):
+        """SUM of a parent cell equals the sum over its child cells."""
+        results = cube_aggregate(table, ("d", "m"), [("s", agg.Sum(), "fare")])
+        by_key = dict(results)
+        total = by_key[(None, None)][0]
+        per_d = sum(v[0] for k, v in by_key.items() if k[0] is not None and k[1] is None)
+        per_m = sum(v[0] for k, v in by_key.items() if k[0] is None and k[1] is not None)
+        assert total == pytest.approx(per_d)
+        assert total == pytest.approx(per_m)
+
+
+class TestBaseCuboid:
+    def test_is_group_by_all_attrs(self, table):
+        groups = base_cuboid(table, ("d", "m"))
+        assert groups.keys == ("d", "m")
+        assert groups.num_groups == 3
+
+
+@given(
+    n_rows=st.integers(min_value=1, max_value=30),
+    card_a=st.integers(min_value=1, max_value=3),
+    card_b=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_cube_cell_count_formula(n_rows, card_a, card_b):
+    """Every cuboid's cell count equals the distinct projected keys."""
+    rng = np.random.default_rng(n_rows * 31 + card_a * 7 + card_b)
+    a = [f"a{rng.integers(card_a)}" for _ in range(n_rows)]
+    b = [f"b{rng.integers(card_b)}" for _ in range(n_rows)]
+    table = Table.from_pydict({"a": a, "b": b})
+    cube = CubeCells(table, ("a", "b"))
+    pairs = set(zip(a, b))
+    expected = len(pairs) + len(set(a)) + len(set(b)) + 1
+    assert cube.num_cells == expected

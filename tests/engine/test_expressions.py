@@ -1,0 +1,97 @@
+"""Unit tests for repro.engine.expressions."""
+
+import numpy as np
+import pytest
+
+from repro.engine import expressions as ex
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table.from_pydict(
+        {
+            "m": ["cash", "credit", "cash", "dispute", "credit"],
+            "c": [1, 2, 1, 3, 2],
+            "fare": [5.0, 9.0, 3.5, 7.0, 12.0],
+        }
+    )
+
+
+class TestComparison:
+    def test_equals_category(self, table):
+        mask = ex.Equals("m", "cash").mask(table)
+        assert mask.tolist() == [True, False, True, False, False]
+
+    def test_equals_unknown_label_matches_nothing(self, table):
+        assert not ex.Equals("m", "zelle").mask(table).any()
+
+    def test_numeric_comparisons(self, table):
+        assert ex.Comparison("fare", ">", 7.0).mask(table).tolist() == [
+            False, True, False, False, True,
+        ]
+        assert ex.Comparison("fare", "<=", 5.0).mask(table).sum() == 2
+        assert ex.Comparison("c", "!=", 2).mask(table).sum() == 3
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ex.Comparison("fare", "~", 1)
+
+    def test_referenced_columns(self):
+        assert ex.Equals("m", "cash").referenced_columns() == ("m",)
+
+
+class TestCompound:
+    def test_and(self, table):
+        pred = ex.Equals("m", "cash") & ex.Comparison("fare", ">", 4.0)
+        assert pred.mask(table).tolist() == [True, False, False, False, False]
+
+    def test_or(self, table):
+        pred = ex.Equals("m", "dispute") | ex.Equals("m", "credit")
+        assert pred.mask(table).sum() == 3
+
+    def test_not(self, table):
+        pred = ~ex.Equals("m", "cash")
+        assert pred.mask(table).sum() == 3
+
+    def test_in(self, table):
+        pred = ex.In("m", ["cash", "dispute"])
+        assert pred.mask(table).sum() == 3
+
+    def test_between_inclusive(self, table):
+        pred = ex.Between("fare", 5.0, 9.0)
+        assert pred.mask(table).tolist() == [True, True, False, True, False]
+
+    def test_true_predicate(self, table):
+        assert ex.TruePredicate().mask(table).all()
+
+    def test_nested_referenced_columns_deduplicated(self):
+        pred = (ex.Equals("a", 1) & ex.Equals("b", 2)) | ex.Equals("a", 3)
+        assert pred.referenced_columns() == ("a", "b")
+
+
+class TestConjunctionFlattening:
+    def test_simple_conjunction(self):
+        pred = ex.Equals("m", "cash") & ex.Equals("c", 1)
+        assert ex.conjunction_to_equalities(pred) == {"m": "cash", "c": 1}
+
+    def test_single_equality(self):
+        assert ex.conjunction_to_equalities(ex.Equals("m", "x")) == {"m": "x"}
+
+    def test_true_predicate_is_empty_conjunction(self):
+        assert ex.conjunction_to_equalities(ex.TruePredicate()) == {}
+
+    def test_or_not_flattenable(self):
+        pred = ex.Equals("m", "cash") | ex.Equals("m", "credit")
+        assert ex.conjunction_to_equalities(pred) is None
+
+    def test_range_not_flattenable(self):
+        assert ex.conjunction_to_equalities(ex.Comparison("fare", ">", 1)) is None
+
+    def test_contradictory_equalities_rejected(self):
+        pred = ex.Equals("m", "cash") & ex.Equals("m", "credit")
+        assert ex.conjunction_to_equalities(pred) is None
+
+    def test_duplicate_consistent_equalities_ok(self):
+        pred = ex.Equals("m", "cash") & ex.Equals("m", "cash")
+        assert ex.conjunction_to_equalities(pred) == {"m": "cash"}

@@ -1,0 +1,110 @@
+"""Unit + property tests for the GroupBy operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import aggregates as agg
+from repro.engine.groupby import aggregate, group_rows
+from repro.engine.table import Table
+from repro.errors import UnknownColumnError
+
+
+@pytest.fixture()
+def table():
+    return Table.from_pydict(
+        {
+            "m": ["cash", "credit", "cash", "credit", "cash"],
+            "c": [1, 1, 2, 1, 1],
+            "fare": [5.0, 9.0, 3.0, 11.0, 7.0],
+        }
+    )
+
+
+class TestGroupRows:
+    def test_single_key(self, table):
+        groups = group_rows(table, ["m"])
+        assert groups.num_groups == 2
+        keys = {groups.decode_key(g) for g in range(groups.num_groups)}
+        assert keys == {("cash",), ("credit",)}
+
+    def test_groups_partition_all_rows(self, table):
+        groups = group_rows(table, ["m", "c"])
+        all_indices = np.concatenate(groups.group_indices)
+        assert sorted(all_indices.tolist()) == list(range(table.num_rows))
+
+    def test_composite_key(self, table):
+        groups = group_rows(table, ["m", "c"])
+        keys = {groups.decode_key(g) for g in range(groups.num_groups)}
+        assert keys == {("cash", 1), ("cash", 2), ("credit", 1)}
+
+    def test_group_table_materialization(self, table):
+        groups = group_rows(table, ["m"])
+        for g in range(groups.num_groups):
+            sub = groups.group_table(g)
+            label = groups.decode_key(g)[0]
+            assert all(v == label for v in sub.column("m").to_list())
+
+    def test_zero_keys_single_group(self, table):
+        groups = group_rows(table, [])
+        assert groups.num_groups == 1
+        assert len(groups.group_indices[0]) == table.num_rows
+
+    def test_empty_table(self):
+        empty = Table.from_pydict({"m": [], "x": []})
+        groups = group_rows(empty, ["m"])
+        assert groups.num_groups == 0
+
+    def test_unknown_key_raises(self, table):
+        with pytest.raises(UnknownColumnError):
+            group_rows(table, ["nope"])
+
+
+class TestAggregate:
+    def test_sum_per_group(self, table):
+        out = aggregate(table, ["m"], [("total", agg.Sum(), "fare")])
+        data = dict(zip(out.column("m").to_list(), out.column("total").to_list()))
+        assert data == {"cash": 15.0, "credit": 20.0}
+
+    def test_multiple_aggregations(self, table):
+        out = aggregate(
+            table, ["m"],
+            [("n", agg.Count(), "fare"), ("avg", agg.Avg(), "fare")],
+        )
+        rows = {r["m"]: r for r in out.iter_rows()}
+        assert rows["cash"]["n"] == 3.0
+        assert rows["cash"]["avg"] == pytest.approx(5.0)
+
+    def test_grand_total_with_no_keys(self, table):
+        out = aggregate(table, [], [("total", agg.Sum(), "fare")])
+        assert out.num_rows == 1
+        assert out.column("total").to_list() == [35.0]
+
+
+@given(
+    labels=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_group_sizes_sum_to_total(labels):
+    table = Table.from_pydict({"k": labels, "v": list(range(len(labels)))})
+    groups = group_rows(table, ["k"])
+    assert sum(len(idx) for idx in groups.group_indices) == len(labels)
+    assert groups.num_groups == len(set(labels))
+
+
+@given(
+    labels=st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=40),
+    values=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_groupby_sum_matches_python(labels, values):
+    n = min(len(labels), len(values))
+    labels, values = labels[:n], values[:n]
+    table = Table.from_pydict({"k": labels, "v": values})
+    out = aggregate(table, ["k"], [("s", agg.Sum(), "v")])
+    got = dict(zip(out.column("k").to_list(), out.column("s").to_list()))
+    expected = {}
+    for k, v in zip(labels, values):
+        expected[k] = expected.get(k, 0) + v
+    assert got == {k: float(v) for k, v in expected.items()}

@@ -1,0 +1,109 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.engine.io import read_csv, write_csv
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def table():
+    return Table.from_pydict(
+        {
+            "m": ["cash", "credit", "cash"],
+            "c": [1, 2, 1],
+            "fare": [5.5, 9.0, 3.25],
+        }
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, table, tmp_path):
+        path = tmp_path / "rides.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.to_pydict() == table.to_pydict()
+
+    def test_types_inferred(self, table, tmp_path):
+        path = tmp_path / "rides.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema.type_of("m") is ColumnType.CATEGORY
+        assert loaded.schema.type_of("c") is ColumnType.INT64
+        assert loaded.schema.type_of("fare") is ColumnType.FLOAT64
+
+    def test_type_overrides(self, table, tmp_path):
+        path = tmp_path / "rides.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, types={"c": ColumnType.FLOAT64})
+        assert loaded.schema.type_of("c") is ColumnType.FLOAT64
+
+    def test_custom_delimiter(self, table, tmp_path):
+        path = tmp_path / "rides.tsv"
+        write_csv(table, path, delimiter="\t")
+        loaded = read_csv(path, delimiter="\t")
+        assert loaded.num_rows == 3
+
+
+class TestParsing:
+    def test_bool_values(self, tmp_path):
+        path = tmp_path / "flags.csv"
+        path.write_text("flag\ntrue\nfalse\nyes\n")
+        loaded = read_csv(path, types={"flag": ColumnType.BOOL})
+        assert loaded.column("flag").to_list() == [True, False, True]
+
+    def test_bad_bool_rejected(self, tmp_path):
+        path = tmp_path / "flags.csv"
+        path.write_text("flag\nmaybe\n")
+        with pytest.raises(SchemaError, match="boolean"):
+            read_csv(path, types={"flag": ColumnType.BOOL})
+
+    def test_numbers_that_look_like_ints(self, tmp_path):
+        path = tmp_path / "vals.csv"
+        path.write_text("v\n1\n2\n3\n")
+        assert read_csv(path).schema.type_of("v") is ColumnType.INT64
+
+    def test_mixed_numeric_becomes_float(self, tmp_path):
+        path = tmp_path / "vals.csv"
+        path.write_text("v\n1\n2.5\n")
+        assert read_csv(path).schema.type_of("v") is ColumnType.FLOAT64
+
+    def test_non_numeric_becomes_category(self, tmp_path):
+        path = tmp_path / "vals.csv"
+        path.write_text("v\n1\nbanana\n")
+        assert read_csv(path).schema.type_of("v") is ColumnType.CATEGORY
+
+    def test_bad_explicit_type_raises(self, tmp_path):
+        path = tmp_path / "vals.csv"
+        path.write_text("v\nbanana\n")
+        with pytest.raises(SchemaError):
+            read_csv(path, types={"v": ColumnType.INT64})
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_blank_header_name(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,,c\n1,2,3\n")
+        with pytest.raises(SchemaError, match="blank"):
+            read_csv(path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="line 3"):
+            read_csv(path)
+
+    def test_header_only_gives_empty_table(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("a,b\n")
+        loaded = read_csv(path)
+        assert loaded.num_rows == 0
+        assert loaded.column_names == ("a", "b")

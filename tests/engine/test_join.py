@@ -1,0 +1,70 @@
+"""Unit tests for the hash equi-join."""
+
+import pytest
+
+from repro.engine.join import hash_join_indices, inner_join, semi_join
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def rides():
+    return Table.from_pydict(
+        {
+            "m": ["cash", "credit", "cash", "dispute"],
+            "c": [1, 1, 2, 1],
+            "fare": [5.0, 9.0, 3.0, 7.0],
+        }
+    )
+
+
+@pytest.fixture()
+def iceberg_cells():
+    return Table.from_pydict({"m": ["cash", "dispute"], "c": [1, 1]})
+
+
+class TestSemiJoin:
+    def test_keeps_only_matching_rows(self, rides, iceberg_cells):
+        pruned = semi_join(rides, iceberg_cells, ["m", "c"])
+        assert pruned.num_rows == 2
+        assert set(pruned.column("fare").to_list()) == {5.0, 7.0}
+
+    def test_no_matches(self, rides):
+        empty_keys = Table.from_pydict({"m": ["zelle"], "c": [9]})
+        assert semi_join(rides, empty_keys, ["m", "c"]).num_rows == 0
+
+    def test_single_key(self, rides):
+        keys = Table.from_pydict({"m": ["cash"]})
+        assert semi_join(rides, keys, ["m"]).num_rows == 2
+
+    def test_different_dictionaries_still_match(self, rides):
+        # 'cash' encodes differently in a table with other labels present;
+        # the join must compare logical values, not codes.
+        keys = Table.from_pydict({"m": ["zzz", "cash", "aaa"]})
+        assert semi_join(rides, keys, ["m"]).num_rows == 2
+
+
+class TestHashJoinIndices:
+    def test_pairs(self, rides, iceberg_cells):
+        left_idx, right_idx = hash_join_indices(rides, iceberg_cells, ["m", "c"])
+        pairs = set(zip(left_idx.tolist(), right_idx.tolist()))
+        assert pairs == {(0, 0), (3, 1)}
+
+    def test_duplicates_multiply(self):
+        left = Table.from_pydict({"k": ["a", "a"]})
+        right = Table.from_pydict({"k": ["a", "a", "a"]})
+        li, ri = hash_join_indices(left, right, ["k"])
+        assert len(li) == 6
+
+
+class TestInnerJoin:
+    def test_materializes_both_sides(self, rides):
+        lookup = Table.from_pydict({"m": ["cash", "credit"], "rank": [1, 2]})
+        joined = inner_join(rides, lookup, ["m"])
+        assert joined.num_rows == 3
+        assert "rank" in joined.schema
+
+    def test_collision_suffix(self):
+        left = Table.from_pydict({"k": ["a"], "v": [1]})
+        right = Table.from_pydict({"k": ["a"], "v": [2]})
+        joined = inner_join(left, right, ["k"])
+        assert set(joined.column_names) == {"k", "v", "v_r"}

@@ -1,0 +1,96 @@
+"""Unit tests for repro.engine.schema."""
+
+import numpy as np
+import pytest
+
+from repro.engine.schema import ColumnType, Schema
+from repro.errors import SchemaError, UnknownColumnError
+
+
+class TestColumnType:
+    def test_numpy_dtype_mapping(self):
+        assert ColumnType.INT64.numpy_dtype == np.dtype("int64")
+        assert ColumnType.FLOAT64.numpy_dtype == np.dtype("float64")
+        assert ColumnType.BOOL.numpy_dtype == np.dtype("bool")
+
+    def test_category_backed_by_int32_codes(self):
+        assert ColumnType.CATEGORY.numpy_dtype == np.dtype("int32")
+
+    def test_infer_strings(self):
+        assert ColumnType.infer(["a", "b"]) is ColumnType.CATEGORY
+
+    def test_infer_ints(self):
+        assert ColumnType.infer([1, 2, 3]) is ColumnType.INT64
+
+    def test_infer_floats(self):
+        assert ColumnType.infer([1.5, 2.0]) is ColumnType.FLOAT64
+
+    def test_infer_bools(self):
+        assert ColumnType.infer([True, False]) is ColumnType.BOOL
+
+    def test_infer_mixed_objects_fall_back_to_category(self):
+        assert ColumnType.infer(["a", 1]) is ColumnType.CATEGORY
+
+
+class TestSchema:
+    def test_round_trip_names_and_types(self):
+        schema = Schema([("a", ColumnType.INT64), ("b", ColumnType.CATEGORY)])
+        assert schema.names == ("a", "b")
+        assert schema.types == (ColumnType.INT64, ColumnType.CATEGORY)
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([("a", ColumnType.INT64), ("a", ColumnType.INT64)])
+
+    def test_non_columntype_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", "int64")])
+
+    def test_type_of(self):
+        schema = Schema([("a", ColumnType.FLOAT64)])
+        assert schema.type_of("a") is ColumnType.FLOAT64
+
+    def test_type_of_unknown_raises(self):
+        schema = Schema([("a", ColumnType.FLOAT64)])
+        with pytest.raises(UnknownColumnError):
+            schema.type_of("zzz")
+
+    def test_position(self):
+        schema = Schema([("a", ColumnType.INT64), ("b", ColumnType.INT64)])
+        assert schema.position("b") == 1
+
+    def test_contains(self):
+        schema = Schema([("a", ColumnType.INT64)])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_project_reorders(self):
+        schema = Schema([("a", ColumnType.INT64), ("b", ColumnType.FLOAT64)])
+        projected = schema.project(["b", "a"])
+        assert projected.names == ("b", "a")
+
+    def test_project_unknown_raises(self):
+        schema = Schema([("a", ColumnType.INT64)])
+        with pytest.raises(UnknownColumnError):
+            schema.project(["nope"])
+
+    def test_extend(self):
+        schema = Schema([("a", ColumnType.INT64)])
+        extended = schema.extend([("b", ColumnType.BOOL)])
+        assert extended.names == ("a", "b")
+        assert schema.names == ("a",)  # original untouched
+
+    def test_equality_and_hash(self):
+        s1 = Schema([("a", ColumnType.INT64)])
+        s2 = Schema([("a", ColumnType.INT64)])
+        s3 = Schema([("a", ColumnType.FLOAT64)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+
+    def test_require_passes_and_fails(self):
+        schema = Schema([("a", ColumnType.INT64), ("b", ColumnType.INT64)])
+        schema.require(["a", "b"])
+        with pytest.raises(UnknownColumnError):
+            schema.require(["a", "c"])

@@ -1,0 +1,137 @@
+"""Failure-injection tests: the middleware must fail loudly and cleanly.
+
+Every scenario here is a misuse or corruption a deployment will
+eventually hit; none may produce a silently wrong answer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.loss.compiler import compile_loss
+from repro.core.maintenance import append_rows
+from repro.core.persistence import PersistenceError, load_cube, save_cube
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.sql.parser import parse_statement
+from repro.engine.table import Table
+from repro.errors import LossFunctionError, SamplingError, TypeMismatchError
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+def build(table, theta=0.1):
+    tabula = Tabula(
+        table,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+class TestMisuse:
+    def test_categorical_target_attribute_rejected(self, rides_tiny):
+        """Running a numeric loss over dictionary codes would silently
+        produce nonsense — it must be an error instead."""
+        with pytest.raises(LossFunctionError, match="categorical"):
+            Tabula(
+                rides_tiny,
+                TabulaConfig(
+                    cubed_attrs=ATTRS, threshold=0.1, loss=MeanLoss("payment_type")
+                ),
+            )
+
+    def test_query_with_wrong_value_type(self, rides_tiny):
+        tabula = build(rides_tiny)
+        with pytest.raises(TypeMismatchError):
+            tabula.query({"payment_type": 3})
+
+    def test_unreachable_threshold_surfaces_sampling_error(self, rides_tiny):
+        """A pathological user loss where even the full population fails
+        θ must raise, not hang or return an uncertified sample."""
+        stmt = parse_statement(
+            "CREATE AGGREGATE offset_loss(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS(AVG(Raw) - AVG(Sam)) + 5 END"
+        )
+        loss = compile_loss(stmt).bind(("fare_amount",))
+        tabula = Tabula(
+            rides_tiny,
+            TabulaConfig(cubed_attrs=ATTRS, threshold=1.0, loss=loss),
+        )
+        with pytest.raises(SamplingError):
+            tabula.initialize()
+
+
+class TestDegenerateData:
+    def test_empty_table(self):
+        from repro.engine.schema import ColumnType
+
+        empty = Table.from_pydict(
+            {
+                "passenger_count": [],
+                "payment_type": [],
+                "fare_amount": [],
+            },
+            types={
+                "passenger_count": ColumnType.CATEGORY,
+                "payment_type": ColumnType.CATEGORY,
+                "fare_amount": ColumnType.FLOAT64,
+            },
+        )
+        tabula = build(empty)
+        result = tabula.query({"payment_type": "cash"})
+        assert result.source == "empty"
+
+    def test_single_row_table(self):
+        one = Table.from_pydict(
+            {"passenger_count": ["1"], "payment_type": ["cash"], "fare_amount": [9.0]}
+        )
+        tabula = build(one)
+        result = tabula.query({"payment_type": "cash"})
+        assert result.sample.num_rows >= 1
+        assert tabula.actual_loss({"payment_type": "cash"}) <= 0.1
+
+    def test_empty_append_is_a_noop(self, rides_tiny):
+        tabula = build(rides_tiny)
+        before = tabula.table.num_rows
+        report = append_rows(tabula, rides_tiny.head(0))
+        assert report.appended_rows == 0
+        assert report.affected_cells == 0
+        assert tabula.table.num_rows == before
+
+
+class TestCorruptPersistence:
+    @pytest.fixture()
+    def cube_path(self, rides_tiny, tmp_path):
+        path = tmp_path / "cube.json"
+        save_cube(build(rides_tiny), path)
+        return path
+
+    @pytest.mark.parametrize(
+        "key", ["cube_table", "sample_table", "global_sample", "loss"]
+    )
+    def test_missing_sections_fail_loudly(self, cube_path, rides_tiny, key):
+        payload = json.loads(cube_path.read_text())
+        del payload[key]
+        cube_path.write_text(json.dumps(payload))
+        with pytest.raises((PersistenceError, KeyError)):
+            load_cube(cube_path, rides_tiny)
+
+    def test_dangling_sample_id_fails_on_lookup(self, cube_path, rides_tiny):
+        payload = json.loads(cube_path.read_text())
+        if not payload["cube_table"]:
+            pytest.skip("no iceberg cells to corrupt")
+        payload["cube_table"][0]["sample_id"] = 999_999
+        cube_path.write_text(json.dumps(payload))
+        restored = load_cube(cube_path, rides_tiny)
+        cell = tuple(payload["cube_table"][0]["cell"])
+        query = {a: v for a, v in zip(ATTRS, cell) if v is not None}
+        with pytest.raises(KeyError):
+            restored.query(query)
+
+    def test_truncated_file(self, cube_path, rides_tiny):
+        text = cube_path.read_text()
+        cube_path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError, match="corrupt"):
+            load_cube(cube_path, rides_tiny)

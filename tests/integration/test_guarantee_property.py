@@ -1,0 +1,92 @@
+"""Property-based, end-to-end check of the paper's central guarantee.
+
+For *random* tables, loss functions and thresholds, every cell of the
+cube must be answerable with ``loss(raw cell, returned sample) <= θ``
+at 100 % confidence. This is the strongest statement in the paper
+(Section II) and the one invariant everything else serves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss.histogram import HistogramLoss
+from repro.core.loss.mean import MeanLoss
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.engine.cube import CubeCells
+from repro.engine.table import Table
+
+ATTRS = ("a", "b")
+
+
+@st.composite
+def random_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    card_a = draw(st.integers(min_value=1, max_value=3))
+    card_b = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return Table.from_pydict(
+        {
+            "a": [f"a{rng.integers(card_a)}" for _ in range(n)],
+            "b": [f"b{rng.integers(card_b)}" for _ in range(n)],
+            # Heavy-tailed values so cell means genuinely differ.
+            "v": np.round(rng.lognormal(mean=2.0, sigma=0.8, size=n), 2).tolist(),
+        }
+    )
+
+
+def check_every_cell(table: Table, loss, theta: float) -> None:
+    tabula = Tabula(
+        table, TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=loss, seed=0)
+    )
+    tabula.initialize()
+    cube = CubeCells(table, ATTRS)
+    values = loss.extract(table)
+    for key in cube:
+        query = {attr: v for attr, v in zip(ATTRS, key) if v is not None}
+        result = tabula.query(query)
+        realized = loss.loss(values[cube.cell_indices(key)], loss.extract(result.sample))
+        assert realized <= theta + 1e-12, (key, realized, theta)
+
+
+@given(table=random_tables(), theta=st.floats(min_value=0.02, max_value=0.5))
+@settings(max_examples=15, deadline=None)
+def test_mean_loss_guarantee_on_random_tables(table, theta):
+    check_every_cell(table, MeanLoss("v"), theta)
+
+
+@given(table=random_tables(), theta=st.floats(min_value=0.2, max_value=5.0))
+@settings(max_examples=10, deadline=None)
+def test_histogram_loss_guarantee_on_random_tables(table, theta):
+    check_every_cell(table, HistogramLoss("v"), theta)
+
+
+@given(table=random_tables())
+@settings(max_examples=8, deadline=None)
+def test_guarantee_survives_append_on_random_tables(table):
+    from repro.core.maintenance import append_rows
+
+    theta = 0.1
+    loss = MeanLoss("v")
+    tabula = Tabula(
+        table, TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=loss, seed=0)
+    )
+    tabula.initialize()
+    rng = np.random.default_rng(1)
+    delta = Table.from_pydict(
+        {
+            "a": [f"a{rng.integers(4)}" for _ in range(20)],
+            "b": [f"b{rng.integers(4)}" for _ in range(20)],
+            "v": np.round(rng.lognormal(3.0, 1.0, 20), 2).tolist(),
+        }
+    )
+    append_rows(tabula, delta)
+    cube = CubeCells(tabula.table, ATTRS)
+    values = loss.extract(tabula.table)
+    for key in cube:
+        query = {attr: v for attr, v in zip(ATTRS, key) if v is not None}
+        result = tabula.query(query)
+        realized = loss.loss(values[cube.cell_indices(key)], loss.extract(result.sample))
+        assert realized <= theta + 1e-12

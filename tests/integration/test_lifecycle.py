@@ -1,0 +1,99 @@
+"""Full middleware lifecycle: build → persist → restore → evolve.
+
+Walks the workflow a deployment would: initialize a cube over CSV-loaded
+data, serve queries, save to disk, restore in a "new process", keep
+serving identical answers, then grow the original instance with appends
+— with the θ-guarantee asserted at every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import HistogramLoss, MeanLoss
+from repro.core.maintenance import append_rows
+from repro.core.persistence import load_cube, save_cube
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.data import generate_nyctaxi, generate_workload
+from repro.engine.io import read_csv, write_csv
+
+ATTRS = ("passenger_count", "payment_type", "rate_code")
+THETA = 0.08
+
+
+@pytest.fixture(scope="module")
+def csv_rides(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "rides.csv"
+    write_csv(generate_nyctaxi(num_rows=4000, seed=17), path)
+    return path
+
+
+def test_full_lifecycle(csv_rides, tmp_path):
+    # 1. Load from CSV (as a deployment pointing at exported data would).
+    #    Digit-labeled categories ("1".."6") would otherwise be inferred
+    #    as INT64 — pass explicit types for cube attributes, as the CLI
+    #    and io.py docs advise.
+    from repro.engine.schema import ColumnType
+
+    rides = read_csv(csv_rides, types={a: ColumnType.CATEGORY for a in ATTRS})
+    assert rides.num_rows == 4000
+
+    # 2. Initialize the middleware.
+    loss = MeanLoss("fare_amount")
+    tabula = Tabula(
+        rides, TabulaConfig(cubed_attrs=ATTRS, threshold=THETA, loss=loss, seed=3)
+    )
+    report = tabula.initialize()
+    assert report.num_iceberg_cells > 0
+
+    # 3. Serve a workload; record answers and verify the guarantee.
+    workload = generate_workload(rides, ATTRS, num_queries=15, seed=5)
+    answers = {}
+    for i, query in enumerate(workload):
+        result = tabula.query(query)
+        answers[i] = (result.source, result.sample.num_rows)
+        assert tabula.actual_loss(query) <= THETA + 1e-12
+
+    # 4. Persist and restore; the restored cube answers identically.
+    cube_path = tmp_path / "cube.json"
+    save_cube(tabula, cube_path)
+    restored = load_cube(cube_path, rides)
+    for i, query in enumerate(workload):
+        result = restored.query(query)
+        assert (result.source, result.sample.num_rows) == answers[i]
+
+    # 5. Evolve the original with fresh data; guarantee still holds.
+    delta = generate_nyctaxi(num_rows=1200, seed=99)
+    maintenance = append_rows(tabula, delta, seed=7)
+    assert maintenance.appended_rows == 1200
+    for query in workload:
+        assert tabula.actual_loss(query) <= THETA + 1e-12
+
+    # 6. The restored (pre-append) instance is unaffected by the append.
+    for i, query in enumerate(workload):
+        result = restored.query(query)
+        assert (result.source, result.sample.num_rows) == answers[i]
+
+
+def test_lifecycle_with_distance_loss(tmp_path):
+    """Same walk with the histogram loss (exercises KDTree paths, union
+    queries and distance-loss persistence)."""
+    rides = generate_nyctaxi(num_rows=3000, seed=23)
+    loss = HistogramLoss("fare_amount")
+    theta = 0.03
+    tabula = Tabula(
+        rides, TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=loss, seed=1)
+    )
+    tabula.initialize()
+
+    from repro.engine.expressions import Equals, In
+
+    predicate = In("payment_type", ["cash", "credit"]) & Equals("passenger_count", "1")
+    union_answer = tabula.query(predicate)
+    raw = rides.filter(predicate.mask(rides))
+    assert loss.loss_tables(raw, union_answer.sample) <= theta + 1e-12
+
+    cube_path = tmp_path / "hcube.json"
+    save_cube(tabula, cube_path)
+    restored = load_cube(cube_path, rides)
+    restored_answer = restored.query(predicate)
+    assert restored_answer.sample.num_rows == union_answer.sample.num_rows

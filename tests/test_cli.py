@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data import generate_nyctaxi
+from repro.engine.io import read_csv, write_csv
+
+
+@pytest.fixture()
+def rides_csv(tmp_path):
+    path = tmp_path / "rides.csv"
+    write_csv(generate_nyctaxi(num_rows=1500, seed=3), path)
+    return path
+
+
+@pytest.fixture()
+def cube_file(rides_csv, tmp_path):
+    path = tmp_path / "cube.json"
+    code = main(
+        [
+            "build",
+            "--table", str(rides_csv),
+            "--attrs", "passenger_count,payment_type",
+            "--loss", "mean_loss",
+            "--target", "fare_amount",
+            "--theta", "0.1",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "taxi.csv"
+        assert main(["generate", "--rows", "200", "--out", str(out)]) == 0
+        assert read_csv(out).num_rows == 200
+        assert "200 rides" in capsys.readouterr().out
+
+
+class TestBuild:
+    def test_build_writes_cube(self, cube_file):
+        document = json.loads(cube_file.read_text())
+        assert document["cubed_attrs"] == ["passenger_count", "payment_type"]
+        assert document["threshold"] == 0.1
+
+    def test_build_with_custom_loss_sql(self, rides_csv, tmp_path, capsys):
+        loss_sql = tmp_path / "loss.sql"
+        loss_sql.write_text(
+            "CREATE AGGREGATE my_loss(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END"
+        )
+        out = tmp_path / "cube2.json"
+        code = main(
+            [
+                "build",
+                "--table", str(rides_csv),
+                "--attrs", "payment_type",
+                "--loss", "my_loss",
+                "--target", "fare_amount",
+                "--theta", "0.1",
+                "--loss-sql", str(loss_sql),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["loss"]["name"] == "my_loss"
+        assert "CREATE AGGREGATE" in document["loss"]["declaration"]
+
+
+class TestQuery:
+    def test_query_prints_answer(self, cube_file, rides_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--cube", str(cube_file),
+                "--table", str(rides_csv),
+                "--where", "payment_type=cash",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "source=" in out
+        assert "rows=" in out
+
+    def test_bad_where_clause(self, cube_file, rides_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--cube", str(cube_file),
+                "--table", str(rides_csv),
+                "--where", "nonsense",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_summarizes(self, cube_file, capsys):
+        assert main(["info", "--cube", str(cube_file)]) == 0
+        out = capsys.readouterr().out
+        assert "threshold θ:      0.1" in out
+        assert "iceberg cells:" in out
+
+
+class TestSQL:
+    def test_sql_statements_run_in_order(self, rides_csv, capsys):
+        code = main(
+            [
+                "sql",
+                "--table", str(rides_csv),
+                "CREATE AGGREGATE l(Raw, Sam) RETURN d AS "
+                "BEGIN ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw)) END",
+                "CREATE TABLE c AS SELECT payment_type, SAMPLING(*, 0.1) AS sample "
+                "FROM rides GROUPBY CUBE(payment_type) "
+                "HAVING l(fare_amount, Sam_global) > 0.1",
+                "SELECT sample FROM c WHERE payment_type = 'cash'",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cube initialized" in out
+        assert "source=" in out
+
+    def test_plain_select(self, rides_csv, capsys):
+        code = main(
+            ["sql", "--table", str(rides_csv), "SELECT fare_amount FROM rides LIMIT 3"]
+        )
+        assert code == 0
+        assert "fare_amount" in capsys.readouterr().out

@@ -1,0 +1,87 @@
+"""Tests for the dashboard simulation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.viz.dashboard import Dashboard
+from repro.viz.regression import RegressionFit
+
+
+@pytest.fixture()
+def answer_table():
+    rng = np.random.default_rng(0)
+    x = rng.random(200)
+    return Table.from_pydict(
+        {
+            "pickup_x": x.tolist(),
+            "pickup_y": rng.random(200).tolist(),
+            "fare_amount": (x * 30 + 3).tolist(),
+            "tip_amount": (x * 5).tolist(),
+        }
+    )
+
+
+class TestTasks:
+    def test_heatmap_task(self, answer_table):
+        dash = Dashboard("heatmap", ("pickup_x", "pickup_y"))
+        grid = dash.analyze(answer_table)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_histogram_task(self, answer_table):
+        dash = Dashboard("histogram", ("fare_amount",))
+        hist = dash.analyze(answer_table)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_mean_task(self, answer_table):
+        dash = Dashboard("mean", ("fare_amount",))
+        mean = dash.analyze(answer_table)
+        assert mean == pytest.approx(float(np.mean(answer_table.column("fare_amount").data)))
+
+    def test_regression_task(self, answer_table):
+        dash = Dashboard("regression", ("fare_amount", "tip_amount"))
+        fit = dash.analyze(answer_table)
+        assert isinstance(fit, RegressionFit)
+        assert fit.slope == pytest.approx(5.0 / 30.0, rel=1e-6)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            Dashboard("pie_chart", ("fare_amount",))
+
+    def test_empty_answer_mean_is_nan(self):
+        dash = Dashboard("mean", ("fare_amount",))
+        empty = Table.from_pydict({"fare_amount": []})
+        assert np.isnan(dash.analyze(empty))
+
+
+class TestInteraction:
+    def test_interact_records_both_time_halves(self, answer_table):
+        dash = Dashboard("mean", ("fare_amount",))
+        interaction = dash.interact({"any": "query"}, lambda q: answer_table)
+        assert interaction.answer_rows == 200
+        assert interaction.data_system_seconds >= 0
+        assert interaction.visualization_seconds >= 0
+        assert interaction.data_to_visualization_seconds == pytest.approx(
+            interaction.data_system_seconds + interaction.visualization_seconds
+        )
+
+    def test_run_workload(self, answer_table):
+        dash = Dashboard("histogram", ("fare_amount",))
+        interactions = dash.run_workload([{}, {}, {}], lambda q: answer_table)
+        assert len(interactions) == 3
+
+
+class TestScatterTask:
+    def test_scatter_task_renders_panel(self, answer_table):
+        from repro.viz.scatter import ScatterPlot
+
+        dash = Dashboard("scatter", ("fare_amount", "tip_amount"))
+        plot = dash.analyze(answer_table)
+        assert isinstance(plot, ScatterPlot)
+        assert plot.raster.sum() == answer_table.num_rows
+
+    def test_scatter_empty_answer(self):
+        dash = Dashboard("scatter", ("fare_amount", "tip_amount"))
+        empty = Table.from_pydict({"fare_amount": [], "tip_amount": []})
+        plot = dash.analyze(empty)
+        assert plot.raster.sum() == 0

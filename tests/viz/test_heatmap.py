@@ -1,0 +1,70 @@
+"""Tests for heat-map rendering and visual difference."""
+
+import numpy as np
+import pytest
+
+from repro.viz.heatmap import HeatmapSpec, heatmap_difference, render_heatmap
+
+
+class TestRendering:
+    def test_normalized_density(self):
+        rng = np.random.default_rng(0)
+        grid = render_heatmap(rng.random((500, 2)))
+        assert grid.shape == (64, 64)
+        assert grid.sum() == pytest.approx(1.0)
+        assert (grid >= 0).all()
+
+    def test_empty_input_all_zero(self):
+        grid = render_heatmap(np.empty((0, 2)))
+        assert grid.sum() == 0.0
+
+    def test_single_point_mass_at_location(self):
+        spec = HeatmapSpec(resolution=8, smoothing_passes=0)
+        grid = render_heatmap(np.asarray([[0.99, 0.99]]), spec)
+        assert grid[7, 7] == pytest.approx(1.0)
+
+    def test_points_outside_bounds_clipped(self):
+        spec = HeatmapSpec(resolution=8, smoothing_passes=0, bounds=(0, 1, 0, 1))
+        grid = render_heatmap(np.asarray([[5.0, -3.0]]), spec)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_custom_bounds(self):
+        spec = HeatmapSpec(resolution=4, smoothing_passes=0, bounds=(0, 10, 0, 10))
+        grid = render_heatmap(np.asarray([[9.9, 9.9]]), spec)
+        assert grid[3, 3] == pytest.approx(1.0)
+
+    def test_smoothing_spreads_mass(self):
+        sharp = HeatmapSpec(resolution=8, smoothing_passes=0)
+        smooth = HeatmapSpec(resolution=8, smoothing_passes=2)
+        pts = np.asarray([[0.5, 0.5]])
+        assert (render_heatmap(pts, smooth) > 0).sum() > (render_heatmap(pts, sharp) > 0).sum()
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.asarray([1.0, 2.0, 3.0]))
+
+
+class TestDifference:
+    def test_identical_zero(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((300, 2))
+        assert heatmap_difference(pts, pts) == pytest.approx(0.0)
+
+    def test_disjoint_near_one(self):
+        spec = HeatmapSpec(resolution=16, smoothing_passes=0)
+        a = np.tile([[0.1, 0.1]], (50, 1))
+        b = np.tile([[0.9, 0.9]], (50, 1))
+        assert heatmap_difference(a, b, spec) == pytest.approx(1.0)
+
+    def test_figure2_story_missing_hotspot_visible(self):
+        """A sample missing the airport cluster renders measurably
+        differently than one that covers it (the Figure 2 comparison)."""
+        rng = np.random.default_rng(2)
+        core = rng.normal(0.4, 0.05, size=(900, 2))
+        airport = rng.normal(0.85, 0.01, size=(100, 2))
+        raw = np.clip(np.vstack([core, airport]), 0, 1)
+        covering = raw[::10]           # uniform slice: keeps the hot-spot
+        missing = raw[:100]            # core only: misses the airport
+        diff_covering = heatmap_difference(raw, covering)
+        diff_missing = heatmap_difference(raw, missing)
+        assert diff_missing > diff_covering

@@ -1,0 +1,48 @@
+"""Tests for histogram rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz.histogram import HistogramSpec, histogram_difference, render_histogram
+
+
+class TestRendering:
+    def test_normalized(self):
+        rng = np.random.default_rng(0)
+        hist = render_histogram(rng.random(500) * 10)
+        assert hist.sum() == pytest.approx(1.0)
+        assert len(hist) == 40
+
+    def test_empty_all_zero(self):
+        assert render_histogram(np.empty(0)).sum() == 0.0
+
+    def test_custom_bins_and_bounds(self):
+        spec = HistogramSpec(bins=4, bounds=(0.0, 4.0))
+        hist = render_histogram(np.asarray([0.5, 1.5, 2.5, 3.5]), spec)
+        np.testing.assert_allclose(hist, [0.25] * 4)
+
+    def test_constant_data_degenerate_range(self):
+        hist = render_histogram(np.asarray([5.0, 5.0, 5.0]))
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram(np.zeros((3, 2)))
+
+
+class TestDifference:
+    def test_identical_zero(self):
+        data = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert histogram_difference(data, data) == pytest.approx(0.0)
+
+    def test_shifted_distributions_positive(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(5, 1, 500)
+        assert histogram_difference(a, b) > 0.5
+
+    def test_shared_range_derived_from_raw(self):
+        raw = np.asarray([0.0, 10.0])
+        sample = np.asarray([10.0])
+        diff = histogram_difference(raw, sample)
+        assert 0 < diff <= 1

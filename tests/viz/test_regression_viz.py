@@ -1,0 +1,47 @@
+"""Tests for the regression fitting used by the dashboard."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.viz.regression import RegressionFit, fit_regression
+
+
+class TestFit:
+    def test_perfect_line(self):
+        x = np.asarray([0.0, 1.0, 2.0, 3.0])
+        fit = fit_regression(x, 2.0 * x + 1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.n == 4
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(100) * 50
+        y = 0.18 * x + rng.normal(0, 0.5, 100)
+        fit = fit_regression(x, y)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert fit.slope == pytest.approx(slope, rel=1e-9)
+        assert fit.intercept == pytest.approx(intercept, rel=1e-6)
+
+    def test_angle_degrees(self):
+        x = np.asarray([0.0, 1.0])
+        fit = fit_regression(x, x)
+        assert fit.angle_degrees == pytest.approx(45.0)
+
+    def test_empty_input(self):
+        fit = fit_regression(np.empty(0), np.empty(0))
+        assert fit == RegressionFit(0.0, 0.0, 0)
+
+    def test_degenerate_vertical_data(self):
+        fit = fit_regression(np.asarray([2.0, 2.0]), np.asarray([1.0, 5.0]))
+        assert fit.slope == 0.0
+
+    def test_predict(self):
+        fit = RegressionFit(slope=2.0, intercept=1.0, n=10)
+        np.testing.assert_allclose(fit.predict(np.asarray([0.0, 2.0])), [1.0, 5.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_regression(np.asarray([1.0]), np.asarray([1.0, 2.0]))

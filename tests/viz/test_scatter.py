@@ -1,0 +1,60 @@
+"""Tests for the scatter-plot panel."""
+
+import numpy as np
+import pytest
+
+from repro.viz.scatter import ScatterSpec, render_scatter, scatter_difference
+
+
+class TestRender:
+    def test_raster_counts_points(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(200), rng.random(200)
+        plot = render_scatter(x, y)
+        assert plot.raster.sum() == 200
+        assert plot.occupied_cells > 0
+
+    def test_fit_included(self):
+        x = np.linspace(0, 1, 50)
+        plot = render_scatter(x, 2 * x)
+        assert plot.fit.slope == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        plot = render_scatter(np.empty(0), np.empty(0))
+        assert plot.raster.sum() == 0
+        assert plot.fit.n == 0
+
+    def test_explicit_bounds_clip(self):
+        spec = ScatterSpec(resolution=8, bounds=(0, 1, 0, 1))
+        plot = render_scatter(np.asarray([5.0]), np.asarray([-3.0]), spec)
+        assert plot.raster.sum() == 1  # clipped into range, not dropped
+
+    def test_degenerate_range(self):
+        plot = render_scatter(np.asarray([2.0, 2.0]), np.asarray([3.0, 3.0]))
+        assert plot.raster.sum() == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_scatter(np.asarray([1.0]), np.asarray([1.0, 2.0]))
+
+
+class TestDifference:
+    def test_identical_panels(self):
+        rng = np.random.default_rng(1)
+        x, y = rng.random(100) * 30, rng.random(100) * 5
+        density, angle = scatter_difference(x, y, x, y)
+        assert density == pytest.approx(0.0)
+        assert angle == pytest.approx(0.0)
+
+    def test_angle_half_tracks_regression_loss(self):
+        x = np.linspace(0, 10, 100)
+        raw_y = 1.0 * x
+        sample_y = 0.0 * x
+        _, angle = scatter_difference(x, raw_y, x[:10], sample_y[:10])
+        assert angle == pytest.approx(45.0)
+
+    def test_density_half_positive_for_shifted_clouds(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(300)
+        density, _ = scatter_difference(x, x, x, x + 0.5)
+        assert density > 0.3
