@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run every static gate: ruff, mypy, and the repo's own SQL linter.
+#
+# ruff/mypy are optional-dependency tools (pip install -e '.[lint]');
+# when one is missing locally the script says so and moves on, so the
+# SQL gate still runs in minimal environments. CI installs both, and
+# FAIL_ON_MISSING=1 turns a missing tool into a failure there.
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+status=0
+fail_on_missing="${FAIL_ON_MISSING:-0}"
+
+run_tool() {
+    local name="$1"
+    shift
+    if python -c "import $name" >/dev/null 2>&1; then
+        echo "== $name =="
+        python -m "$@" || status=1
+    elif [ "$fail_on_missing" = "1" ]; then
+        echo "== $name == MISSING (required)"
+        status=1
+    else
+        echo "== $name == not installed; skipping (pip install -e '.[lint]')"
+    fi
+}
+
+run_tool ruff ruff check src tests
+run_tool mypy mypy
+
+echo "== repro lint =="
+# Gate the SQL embedded in docs and examples through the static analyzer.
+python -m repro.cli lint docs/sql_dialect.md examples/*.py || status=1
+
+exit $status

@@ -1,0 +1,42 @@
+"""Static semantic analysis of the loss-function DSL and the cube DDL.
+
+Layout:
+
+- :mod:`repro.analysis.codes` — the TAB diagnostic-code catalog;
+- :mod:`repro.analysis.intervals` — interval arithmetic for pass 2;
+- :mod:`repro.analysis.loss_passes` — the three body passes;
+- :mod:`repro.analysis.analyzer` — :func:`analyze_loss` entry point;
+- :mod:`repro.analysis.ddl` — catalog-aware initialization-DDL checks;
+- :mod:`repro.analysis.lint` — the ``repro lint`` front end (imported
+  on demand, *not* re-exported here: it pulls in the loss registry,
+  which the compiler-side modules must not depend on).
+"""
+
+from repro.analysis.analyzer import LossAnalysisResult, analyze_loss
+from repro.analysis.codes import CODES, CodeInfo, all_codes, info
+from repro.analysis.ddl import analyze_cube, raise_for_ddl_errors
+from repro.analysis.loss_passes import (
+    CROSS_AGGS,
+    SCALAR_FUNC_ARITY,
+    SPECIAL_AGGS,
+    CallInfo,
+    StatComponent,
+    SufficientStatistics,
+)
+
+__all__ = [
+    "CODES",
+    "CROSS_AGGS",
+    "CallInfo",
+    "CodeInfo",
+    "LossAnalysisResult",
+    "SCALAR_FUNC_ARITY",
+    "SPECIAL_AGGS",
+    "StatComponent",
+    "SufficientStatistics",
+    "all_codes",
+    "analyze_cube",
+    "analyze_loss",
+    "info",
+    "raise_for_ddl_errors",
+]

@@ -1,0 +1,82 @@
+"""Entry point of the loss-function static analyzer.
+
+:func:`analyze_loss` runs the three body passes of
+:mod:`repro.analysis.loss_passes` over a parsed ``CREATE AGGREGATE``
+statement and returns every finding plus the facts downstream stages
+need: the bound arity of the loss, the inferred sufficient-statistic
+layout, and the interval the body provably lies in.
+
+Pass staging: when the structural pass reports errors, the hazard and
+usage passes are skipped — a body with unknown aggregates or datasets
+would only produce cascading noise, and skipping keeps the *first*
+diagnostic (which the compiler turns into the raised exception)
+identical to the pre-analyzer error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.intervals import Interval
+from repro.analysis.loss_passes import (
+    SufficientStatistics,
+    hazard_pass,
+    structural_pass,
+    usage_pass,
+)
+from repro.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.engine.sql import ast
+
+
+@dataclass
+class LossAnalysisResult:
+    """Everything the analyzer learned about one loss declaration."""
+
+    name: str
+    diagnostics: Tuple[Diagnostic, ...]
+    #: Number of target attributes the loss needs when bound (2 when the
+    #: body uses ANGLE, else 1). Meaningless if ``has_errors``.
+    arity: int = 1
+    #: Inferred per-cell state layout; ``None`` when structure is broken.
+    sufficient_stats: Optional[SufficientStatistics] = None
+    #: Interval the body provably lies in; ``None`` when not analyzed.
+    body_range: Optional[Interval] = None
+    uses_angle: bool = False
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == Severity.WARNING)
+
+
+def analyze_loss(
+    stmt: ast.CreateAggregate,
+    source: Optional[str] = None,
+    filename: str = "<sql>",
+) -> LossAnalysisResult:
+    """Run all body passes over one ``CREATE AGGREGATE`` statement."""
+    diagnostics: List[Diagnostic] = []
+
+    def emit(diag: Diagnostic) -> None:
+        diagnostics.append(diag.with_source(source, filename))
+
+    structural = structural_pass(stmt, emit)
+    body_range: Optional[Interval] = None
+    if structural.ok:
+        body_range = hazard_pass(stmt, emit)
+        usage_pass(stmt, structural, emit)
+    uses_angle = any(c.call.func == "ANGLE" for c in structural.calls)
+    return LossAnalysisResult(
+        name=stmt.name,
+        diagnostics=tuple(sort_diagnostics(diagnostics)),
+        arity=structural.arity,
+        sufficient_stats=structural.sufficient_stats,
+        body_range=body_range,
+        uses_angle=uses_angle,
+    )

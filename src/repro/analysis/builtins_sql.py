@@ -1,0 +1,58 @@
+"""SQL-equivalent declarations of the built-in loss functions.
+
+Each built-in of :mod:`repro.core.loss.registry` has a hand-written
+native implementation; the declarations here state the *same* loss as a
+``CREATE AGGREGATE`` body so the static analyzer can prove the built-ins
+algebraic and warning-free — the regression test in
+``tests/analysis/test_paper_losses.py`` runs the analyzer over every one
+of these and requires zero errors.
+
+``histogram_loss`` is the 1-D special case of the average-min-distance
+loss, so its declaration reuses ``AVG_MIN_DIST``; it is *representative*
+(same aggregate vocabulary, same decomposability class), not a
+character-for-character transliteration of the native evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: name → SQL declaration, one per registry built-in.
+BUILTIN_LOSS_SQL: Dict[str, str] = {
+    "mean_loss": (
+        "CREATE AGGREGATE mean_loss(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw))\n"
+        "END"
+    ),
+    "histogram_loss": (
+        "CREATE AGGREGATE histogram_loss(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    AVG_MIN_DIST(Raw, Sam)\n"
+        "END"
+    ),
+    "heatmap_loss": (
+        "CREATE AGGREGATE heatmap_loss(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    AVG_MIN_DIST(Raw, Sam)\n"
+        "END"
+    ),
+    "heatmap_loss_manhattan": (
+        "CREATE AGGREGATE heatmap_loss_manhattan(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    AVG_MIN_DIST_MANHATTAN(Raw, Sam)\n"
+        "END"
+    ),
+    "regression_loss": (
+        "CREATE AGGREGATE regression_loss(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    ABS(ANGLE(Raw) - ANGLE(Sam))\n"
+        "END"
+    ),
+    "stddev_loss": (
+        "CREATE AGGREGATE stddev_loss(Raw, Sam) RETURN decimal_value AS\n"
+        "BEGIN\n"
+        "    ABS((STD_DEV(Raw) - STD_DEV(Sam)) / STD_DEV(Raw))\n"
+        "END"
+    ),
+}

@@ -1,0 +1,214 @@
+"""The TAB diagnostic-code catalog.
+
+Code families:
+
+- ``TAB0xx`` — syntax / script-level problems surfaced by the linter;
+- ``TAB1xx`` — structural and algebraic-decomposability errors in a
+  ``CREATE AGGREGATE`` body (pass 1);
+- ``TAB2xx`` — domain hazards found by interval range analysis (pass 2);
+- ``TAB3xx`` — parameter-usage findings (pass 3);
+- ``TAB4xx`` — catalog-aware ``CREATE TABLE ... GROUPBY CUBE`` DDL
+  checks (pass 4).
+
+Each entry records the *default* severity; a pass may calibrate it
+(e.g. ``TAB404`` is an error for θ ≤ 0 but only a warning for θ ≥ 1,
+which the dialect tolerates for absolute-valued losses).
+
+``docs/sql_dialect.md`` renders this catalog in its "Diagnostics
+catalog" section; keep the two in sync (the test suite cross-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    summary: str
+    hint: str
+
+
+def _info(code: str, severity: Severity, title: str, summary: str, hint: str) -> Tuple[str, CodeInfo]:
+    return code, CodeInfo(code, severity, title, summary, hint)
+
+
+CODES: Dict[str, CodeInfo] = dict(
+    (
+        _info(
+            "TAB001", Severity.ERROR, "syntax-error",
+            "The SQL text could not be tokenized or parsed.",
+            "fix the syntax at the caret; see docs/sql_dialect.md for the grammar",
+        ),
+        # -- pass 1: structure / algebraic decomposability ---------------
+        _info(
+            "TAB101", Severity.ERROR, "holistic-aggregate",
+            "The loss body uses a holistic aggregate (e.g. MEDIAN); Tabula "
+            "requires an algebraic loss so the dry run can derive every "
+            "cuboid from bounded per-cell state (Section II).",
+            "replace the holistic aggregate with a distributive or algebraic "
+            "one (AVG, SUM, COUNT, MIN, MAX, STD_DEV, ...)",
+        ),
+        _info(
+            "TAB102", Severity.ERROR, "unknown-aggregate",
+            "The loss body calls an aggregate the engine does not provide.",
+            "valid aggregates: AVG, SUM, COUNT, MIN, MAX, STD_DEV, DISTINCT, "
+            "TOPK, ANGLE, AVG_MIN_DIST, AVG_MIN_DIST_MANHATTAN",
+        ),
+        _info(
+            "TAB103", Severity.ERROR, "unknown-dataset",
+            "An aggregate call references a dataset that is not one of the "
+            "declared loss parameters.",
+            "aggregate arguments must be the declared parameters "
+            "(conventionally Raw and Sam)",
+        ),
+        _info(
+            "TAB104", Severity.ERROR, "cross-aggregate-misuse",
+            "AVG_MIN_DIST-family aggregates must be called with both "
+            "datasets, raw first: AVG_MIN_DIST(Raw, Sam).",
+            "call it with exactly the two declared parameters, raw side first",
+        ),
+        _info(
+            "TAB105", Severity.ERROR, "aggregate-arity",
+            "Engine aggregates take exactly one dataset argument.",
+            "split the call: combine single-dataset aggregates with scalar "
+            "arithmetic instead",
+        ),
+        _info(
+            "TAB106", Severity.ERROR, "no-aggregate",
+            "The loss body references no aggregate call at all, so it is a "
+            "constant and can never measure sample quality.",
+            "compare an aggregate of Raw against the same aggregate of Sam",
+        ),
+        _info(
+            "TAB107", Severity.ERROR, "parameter-count",
+            "A loss function must declare exactly two dataset parameters "
+            "(the raw group and its sample).",
+            "declare it as CREATE AGGREGATE name(Raw, Sam) ...",
+        ),
+        _info(
+            "TAB108", Severity.ERROR, "unknown-scalar-function",
+            "The loss body calls a scalar function the dialect does not "
+            "define.",
+            "valid scalar functions: ABS, SQRT, LOG, EXP, POW",
+        ),
+        _info(
+            "TAB109", Severity.ERROR, "scalar-function-arity",
+            "A scalar function was called with the wrong number of "
+            "arguments.",
+            "ABS/SQRT/LOG/EXP take one argument; POW takes two",
+        ),
+        # -- pass 2: domain hazards (range analysis) ---------------------
+        _info(
+            "TAB201", Severity.NOTE, "possible-division-by-zero",
+            "Range analysis cannot rule out a zero denominator. The dialect "
+            "evaluates x/0 to +inf, which makes the sampler keep adding "
+            "tuples — safe, but worth knowing about.",
+            "guard the denominator (e.g. divide by a COUNT-free aggregate) "
+            "or accept the conservative inf semantics",
+        ),
+        _info(
+            "TAB202", Severity.NOTE, "sqrt-of-possibly-negative",
+            "The SQRT argument may be negative; at runtime that evaluates "
+            "to +inf (conservative).",
+            "wrap the argument in ABS(...) or square it with POW(x, 2)",
+        ),
+        _info(
+            "TAB203", Severity.NOTE, "log-of-possibly-nonpositive",
+            "The LOG argument may be zero or negative; at runtime that "
+            "evaluates to +inf (conservative).",
+            "shift the argument (LOG(1 + x)) or guard it with ABS(...)",
+        ),
+        _info(
+            "TAB204", Severity.WARNING, "possibly-negative-loss",
+            "Range analysis cannot prove the loss is non-negative; the "
+            "deterministic guarantee loss(raw, sample) <= θ is meaningless "
+            "for negative losses.",
+            "wrap the body in ABS(...) so the loss is provably >= 0",
+        ),
+        # -- pass 3: parameter usage -------------------------------------
+        _info(
+            "TAB301", Severity.ERROR, "sample-never-referenced",
+            "The body never aggregates the sample parameter, so the loss is "
+            "constant w.r.t. the sample and greedy sampling can never "
+            "reduce it below θ.",
+            "reference the sample parameter (e.g. subtract AVG(Sam))",
+        ),
+        _info(
+            "TAB302", Severity.WARNING, "raw-never-referenced",
+            "The body never aggregates the raw parameter; the loss cannot "
+            "converge toward the raw data and the guarantee is vacuous.",
+            "compare the sample against an aggregate of the raw parameter",
+        ),
+        _info(
+            "TAB303", Severity.ERROR, "angle-target-arity",
+            "ANGLE is the regression-line angle and needs exactly two "
+            "target attributes (x, y) when the loss is bound.",
+            "bind the loss with two target attributes, e.g. "
+            "loss(pickup_x, pickup_y, Sam_global)",
+        ),
+        # -- pass 4: catalog-aware DDL checks ----------------------------
+        _info(
+            "TAB401", Severity.ERROR, "unknown-source-table",
+            "The FROM table of the initialization query is not registered "
+            "in the catalog.",
+            "register the table on the session before building the cube",
+        ),
+        _info(
+            "TAB402", Severity.ERROR, "unknown-cubed-attribute",
+            "A CUBE(...) attribute does not exist in the source table.",
+            "cube attributes must name columns of the FROM table",
+        ),
+        _info(
+            "TAB403", Severity.ERROR, "bad-target-attribute",
+            "A HAVING target attribute is missing from the source table or "
+            "is not numeric.",
+            "loss target attributes must be numeric (INT64/FLOAT64) columns",
+        ),
+        _info(
+            "TAB404", Severity.ERROR, "threshold-out-of-range",
+            "The loss threshold θ must be positive; the paper's relative "
+            "losses live in (0, 1). θ ≤ 0 is an error, θ ≥ 1 a warning.",
+            "pick θ in (0, 1); absolute-valued losses may justify θ >= 1",
+        ),
+        _info(
+            "TAB405", Severity.ERROR, "unknown-loss-function",
+            "The HAVING clause names a loss function that is neither "
+            "built-in nor declared with CREATE AGGREGATE.",
+            "declare the loss first, or use a built-in (mean_loss, "
+            "heatmap_loss, regression_loss, histogram_loss, stddev_loss)",
+        ),
+        _info(
+            "TAB406", Severity.ERROR, "loss-arity-mismatch",
+            "The number of target attributes does not match what the loss "
+            "function requires.",
+            "check the loss's declared arity (ANGLE-based losses need two "
+            "target attributes)",
+        ),
+        _info(
+            "TAB407", Severity.WARNING, "target-attribute-cubed",
+            "A loss target attribute is also a cubed attribute; grouping by "
+            "the measure being approximated usually signals a mistake.",
+            "cube on categorical dimensions and measure a separate numeric "
+            "attribute",
+        ),
+    )
+)
+
+
+def info(code: str) -> CodeInfo:
+    """Catalog entry for ``code`` (raises ``KeyError`` for unknown codes)."""
+    return CODES[code]
+
+
+def all_codes() -> Tuple[str, ...]:
+    """Every registered diagnostic code, sorted."""
+    return tuple(sorted(CODES))

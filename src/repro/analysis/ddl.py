@@ -1,0 +1,211 @@
+"""Pass 4 — catalog-aware checking of the initialization DDL.
+
+``CREATE TABLE ... AS SELECT ..., SAMPLING(*, θ) AS sample FROM src
+GROUPBY CUBE(...) HAVING loss(...) > θ`` is validated against the
+session's table catalog and loss registry *before* the (expensive) cube
+build starts: the FROM table must exist, every cubed attribute must be a
+column of it, loss target attributes must be numeric columns, θ must be
+positive (and is expected in ``(0, 1)`` for the paper's relative
+losses), and the loss must be registered with a matching arity.
+
+This module deliberately does not import the loss compiler: it inspects
+registered :class:`~repro.core.loss.registry.LossSpec` objects through
+two optional attributes (``exact_arity``, ``uses_angle``) that compiled
+specs carry, keeping the dependency edge compiler → analysis one-way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+from repro.analysis.codes import info
+from repro.diagnostics import Diagnostic, Severity, Span, sort_diagnostics
+from repro.engine.sql import ast
+from repro.errors import (
+    InvalidQueryError,
+    LossFunctionError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+if TYPE_CHECKING:  # typing only — keeps the runtime import graph one-way
+    from repro.core.loss.registry import LossRegistry
+    from repro.engine.catalog import Catalog
+
+#: Column types a loss function can aggregate.
+_NUMERIC = frozenset({"INT64", "FLOAT64"})
+
+
+def analyze_cube(
+    stmt: ast.CreateSamplingCube,
+    *,
+    catalog: Optional["Catalog"] = None,
+    registry: Optional["LossRegistry"] = None,
+    source: Optional[str] = None,
+    filename: str = "<sql>",
+) -> List[Diagnostic]:
+    """Check one initialization statement against catalog and registry.
+
+    ``catalog`` / ``registry`` may be ``None``, in which case the checks
+    needing them are skipped (useful when linting files offline, where
+    no session exists).
+    """
+    diagnostics: List[Diagnostic] = []
+    spans = stmt.spans or ast.DdlSpans()
+
+    def emit(code: str, message: str, span: Optional[Span], *, severity: Optional[Severity] = None) -> None:
+        catalog_entry = info(code)
+        diagnostics.append(Diagnostic(
+            code=code,
+            severity=severity if severity is not None else catalog_entry.severity,
+            message=message,
+            span=span if span is not None else stmt.span,
+            hint=catalog_entry.hint,
+            source=source,
+            filename=filename,
+        ))
+
+    # -- θ range (needs nothing external) -------------------------------
+    if stmt.threshold <= 0.0:
+        emit(
+            "TAB404",
+            f"loss threshold must be positive, got {stmt.threshold}",
+            spans.having_threshold or spans.sampling_threshold,
+        )
+    elif stmt.threshold >= 1.0:
+        emit(
+            "TAB404",
+            f"loss threshold {stmt.threshold} is outside (0, 1); the paper's "
+            "relative losses never exceed 1, so the cube would keep no "
+            "samples beyond the global one",
+            spans.having_threshold or spans.sampling_threshold,
+            severity=Severity.WARNING,
+        )
+
+    # -- target-vs-cube overlap (needs nothing external) -----------------
+    cubed = set(stmt.cubed_attrs)
+    for position, attr in enumerate(stmt.target_attrs):
+        if attr in cubed:
+            emit(
+                "TAB407",
+                f"target attribute {attr!r} is also a cubed attribute; "
+                "grouping by the measure being approximated is usually a "
+                "mistake",
+                _at(spans.loss_args, position) or spans.loss_name,
+            )
+
+    # -- catalog checks ---------------------------------------------------
+    table = None
+    if catalog is not None:
+        if stmt.source in catalog:
+            table = catalog.get(stmt.source)
+        else:
+            emit(
+                "TAB401",
+                f"unknown table: {stmt.source!r}",
+                spans.source,
+            )
+    if table is not None:
+        schema = table.schema
+        for position, attr in enumerate(stmt.cubed_attrs):
+            if attr not in schema:
+                emit(
+                    "TAB402",
+                    f"cubed attribute {attr!r} is not a column of "
+                    f"{stmt.source!r} (columns: {', '.join(schema.names)})",
+                    _at(spans.cube_attrs, position) or spans.source,
+                )
+        for position, attr in enumerate(stmt.target_attrs):
+            span = _at(spans.loss_args, position) or spans.loss_name
+            if attr not in schema:
+                emit(
+                    "TAB403",
+                    f"unknown column: {attr!r} in table {stmt.source!r}",
+                    span,
+                )
+            elif schema.type_of(attr).name not in _NUMERIC:
+                emit(
+                    "TAB403",
+                    f"target attribute {attr!r} has type "
+                    f"{schema.type_of(attr).name}; loss functions aggregate "
+                    "numeric columns",
+                    span,
+                )
+
+    # -- registry checks --------------------------------------------------
+    if registry is not None:
+        if stmt.loss_name not in registry:
+            emit(
+                "TAB405",
+                f"unknown loss function: {stmt.loss_name!r}",
+                spans.loss_name,
+            )
+        else:
+            spec = registry.get(stmt.loss_name)
+            n_targets = len(stmt.target_attrs)
+            exact = getattr(spec, "exact_arity", True)
+            if (exact and n_targets != spec.arity) or (not exact and n_targets < spec.arity):
+                relation = "exactly" if exact else "at least"
+                emit(
+                    "TAB406",
+                    f"loss {spec.name!r} expects {relation} {spec.arity} "
+                    f"target attribute(s), got {n_targets}: "
+                    f"{stmt.target_attrs!r}",
+                    spans.loss_name,
+                )
+            elif getattr(spec, "uses_angle", False) and n_targets != 2:
+                emit(
+                    "TAB303",
+                    f"loss {spec.name!r} uses ANGLE (regression-line angle) "
+                    f"and needs exactly two target attributes (x, y), got "
+                    f"{n_targets}",
+                    spans.loss_name,
+                )
+
+    return sort_diagnostics(diagnostics)
+
+
+def raise_for_ddl_errors(diagnostics: Iterable[Diagnostic], stmt: ast.CreateSamplingCube) -> None:
+    """Raise the legacy exception for the first DDL error, if any.
+
+    Callers that predate the analyzer caught specific exception types
+    (``UnknownTableError`` for a bad FROM table, ``UnknownColumnError``
+    for missing attributes, ...); this keeps those contracts while the
+    exception message now comes from the richer diagnostic. All the
+    findings ride along on the exception's ``diagnostics`` attribute
+    when it supports one.
+    """
+    errors = [d for d in diagnostics if d.is_error]
+    if not errors:
+        return
+    first = errors[0]
+    message = first.message
+    if first.code == "TAB401":
+        raise UnknownTableError(stmt.source)
+    if first.code == "TAB402":
+        exc = UnknownColumnError(_quoted_name(message), stmt.source)
+        exc.diagnostics = tuple(errors)
+        raise exc
+    if first.code == "TAB403":
+        if "unknown column" in message:
+            exc = UnknownColumnError(_quoted_name(message), stmt.source)
+            exc.diagnostics = tuple(errors)
+            raise exc
+        raise TypeMismatchError(message)
+    if first.code == "TAB404":
+        raise InvalidQueryError(message, diagnostics=tuple(errors))
+    # TAB405 / TAB406 / TAB303 — loss-function problems.
+    raise LossFunctionError(message, loss_name=stmt.loss_name, diagnostics=tuple(errors))
+
+
+def _at(spans: Optional[Sequence[Span]], position: int) -> Optional[Span]:
+    if spans and position < len(spans):
+        return spans[position]
+    return None
+
+
+def _quoted_name(message: str) -> str:
+    """Extract the first 'single-quoted' name from a diagnostic message."""
+    parts = message.split("'")
+    return parts[1] if len(parts) >= 3 else message

@@ -1,0 +1,168 @@
+"""Interval arithmetic over the extended reals for range analysis.
+
+The hazard pass (:mod:`repro.analysis.loss_passes`) folds a loss body
+bottom-up into an :class:`Interval` to decide whether a denominator can
+be zero, whether a SQRT/LOG argument can leave its domain, and whether
+the whole body is provably non-negative. Everything is conservative:
+when in doubt an interval widens, never narrows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- predicates -----------------------------------------------------
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def contains_zero(self) -> bool:
+        return self.lo <= 0.0 <= self.hi
+
+    @property
+    def is_nonnegative(self) -> bool:
+        return self.lo >= 0.0
+
+    @property
+    def is_positive(self) -> bool:
+        return self.lo > 0.0
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(_add(self.lo, -other.hi), _add(self.hi, -other.lo))
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        products = [
+            _mul(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return Interval(min(products), max(products))
+
+    def divide(self, other: "Interval") -> "Interval":
+        """``self / other`` under the dialect's total semantics.
+
+        A denominator interval containing zero widens the result to
+        ``[-inf, inf]`` — the dialect maps x/0 to +inf, and the sign of
+        an infinitesimal denominator is unknowable statically.
+        """
+        if other.contains_zero:
+            return TOP
+        quotients = [
+            _div(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return Interval(min(quotients), max(quotients))
+
+    def union(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+TOP = Interval(-_INF, _INF)
+NON_NEGATIVE = Interval(0.0, _INF)
+
+
+def point(value: float) -> Interval:
+    """The degenerate interval ``[v, v]``."""
+    return Interval(value, value)
+
+
+def _add(a: float, b: float) -> float:
+    """Extended-real addition; opposing infinities widen to the sign of a."""
+    if math.isinf(a) and math.isinf(b) and (a > 0) != (b > 0):
+        return a  # conservative: keep the left operand's direction
+    return a + b
+
+
+def _mul(a: float, b: float) -> float:
+    """Extended-real multiplication with 0 * inf := 0 (dialect semantics)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def _div(a: float, b: float) -> float:
+    if math.isinf(a) and math.isinf(b):
+        return math.copysign(1.0, a) * math.copysign(1.0, b)
+    if b == 0.0:  # callers exclude 0-containing denominators; belt & braces
+        return _INF if a >= 0 else -_INF
+    return a / b
+
+
+# -- scalar-function transfer functions -------------------------------------
+def abs_(iv: Interval) -> Interval:
+    if iv.lo >= 0.0:
+        return iv
+    if iv.hi <= 0.0:
+        return -iv
+    return Interval(0.0, max(-iv.lo, iv.hi))
+
+
+def sqrt_(iv: Interval) -> Interval:
+    """Range of SQRT; out-of-domain inputs evaluate to +inf at runtime."""
+    lo = math.sqrt(max(iv.lo, 0.0)) if not math.isinf(iv.lo) else 0.0
+    hi = math.sqrt(iv.hi) if iv.hi >= 0.0 and not math.isinf(iv.hi) else _INF
+    if iv.lo < 0.0:
+        hi = _INF  # negative inputs map to inf
+    return Interval(min(lo, hi), hi)
+
+
+def log_(iv: Interval) -> Interval:
+    """Range of LOG; non-positive inputs evaluate to +inf at runtime."""
+    if iv.lo <= 0.0:
+        return TOP  # log near 0+ dives to -inf; invalid inputs give +inf
+    lo = math.log(iv.lo) if not math.isinf(iv.lo) else _INF
+    hi = math.log(iv.hi) if not math.isinf(iv.hi) else _INF
+    return Interval(lo, hi)
+
+
+def exp_(iv: Interval) -> Interval:
+    try:
+        lo = math.exp(iv.lo) if not math.isinf(iv.lo) else (0.0 if iv.lo < 0 else _INF)
+    except OverflowError:
+        lo = _INF
+    try:
+        hi = math.exp(iv.hi) if not math.isinf(iv.hi) else (0.0 if iv.hi < 0 else _INF)
+    except OverflowError:
+        hi = _INF
+    return Interval(lo, hi)
+
+
+def pow_(base: Interval, exponent: Interval) -> Interval:
+    """Conservative range of POW.
+
+    Precise only for literal even exponents (→ non-negative) and
+    non-negative bases; everything else widens to ``[-inf, inf]``.
+    """
+    if exponent.lo == exponent.hi:
+        n = exponent.lo
+        if float(n).is_integer() and int(n) % 2 == 0:
+            return NON_NEGATIVE
+    if base.is_nonnegative:
+        return NON_NEGATIVE
+    return TOP

@@ -1,0 +1,207 @@
+"""``repro lint`` — run the static analyzer over files or inline SQL.
+
+Understands three file kinds:
+
+- ``*.sql`` — the whole file is a script of ``;``-separated statements;
+- ``*.md`` — every ```` ```sql ```` fenced block is a script (blocks
+  containing ``<placeholder>`` template syntax are skipped);
+- ``*.py`` — every string literal that looks like loss-DSL SQL
+  (mentions ``CREATE AGGREGATE`` or ``GROUPBY CUBE``) is a script.
+
+Embedded chunks are newline-padded to their position in the host file,
+so every diagnostic renders with file-accurate line numbers.
+
+Statements are analyzed in order with an accumulating loss registry:
+a ``CREATE AGGREGATE`` earlier in a script satisfies the TAB405 check
+of a later initialization query, exactly as it would on a live session.
+No table catalog exists offline, so catalog-dependent DDL checks
+(TAB401–TAB403) are session-only.
+"""
+
+from __future__ import annotations
+
+import ast as py_ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, NoReturn, Optional, Tuple
+
+from repro.analysis.analyzer import analyze_loss
+from repro.analysis.ddl import analyze_cube
+from repro.core.loss.registry import LossRegistry, LossSpec
+from repro.diagnostics import Diagnostic, Severity, Span
+from repro.engine.sql import ast as sql_ast
+from repro.engine.sql.parser import parse_script
+from repro.errors import SQLSyntaxError
+
+
+@dataclass
+class LintResult:
+    """All findings of one lint invocation."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files: int = 0
+    chunks: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity >= Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.WARNING)
+
+    @property
+    def note_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == Severity.NOTE)
+
+    def extend(self, other: "LintResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.files += other.files
+        self.chunks += other.chunks
+
+    def summary(self) -> str:
+        return (
+            f"{self.files} file(s), {self.chunks} SQL chunk(s): "
+            f"{self.error_count} error(s), {self.warning_count} warning(s), "
+            f"{self.note_count} note(s)"
+        )
+
+
+class _LintedSpec(LossSpec):
+    """Placeholder spec so later statements in a script see earlier ones."""
+
+    def __init__(self, name: str, arity: int, uses_angle: bool):
+        self.name = name
+        self.arity = arity
+        self.uses_angle = uses_angle
+        self.exact_arity = False
+
+    def bind(self, target_attrs: Tuple[str, ...]) -> NoReturn:
+        raise NotImplementedError("lint-only spec; not bindable")
+
+
+def lint_text(
+    text: str,
+    filename: str = "<sql>",
+    registry: Optional[LossRegistry] = None,
+) -> LintResult:
+    """Analyze one SQL script; ``registry`` accumulates declared losses."""
+    result = LintResult(chunks=1)
+    if registry is None:
+        registry = LossRegistry()
+    try:
+        statements = parse_script(text)
+    except SQLSyntaxError as exc:
+        span = exc.span if exc.span is not None else Span.point(0)
+        result.diagnostics.append(Diagnostic(
+            code="TAB001",
+            severity=Severity.ERROR,
+            message=str(exc),
+            span=span,
+            source=text,
+            filename=filename,
+        ))
+        return result
+    for stmt in statements:
+        if isinstance(stmt, sql_ast.CreateAggregate):
+            analysis = analyze_loss(stmt, source=text, filename=filename)
+            result.diagnostics.extend(analysis.diagnostics)
+            if not analysis.has_errors:
+                registry.register(
+                    _LintedSpec(stmt.name, analysis.arity, analysis.uses_angle),
+                    replace=True,
+                )
+        elif isinstance(stmt, sql_ast.CreateSamplingCube):
+            result.diagnostics.extend(analyze_cube(
+                stmt,
+                catalog=None,  # no tables offline; TAB401-403 are session-only
+                registry=registry,
+                source=text,
+                filename=filename,
+            ))
+    return result
+
+
+def lint_inline(expr: str) -> LintResult:
+    """Lint a bare loss-body expression or a full statement string.
+
+    Text that does not start with a statement keyword is wrapped in a
+    scaffold declaration, so ``repro lint 'MEDIAN(Sam)'`` works.
+    """
+    stripped = expr.strip()
+    head = stripped.split(None, 1)[0].upper() if stripped else ""
+    if head in {"CREATE", "SELECT"}:
+        return lint_text(stripped, filename="<inline>")
+    wrapped = (
+        "CREATE AGGREGATE inline_loss(Raw, Sam) RETURN decimal_value AS\n"
+        f"BEGIN\n{stripped}\nEND"
+    )
+    return lint_text(wrapped, filename="<inline>")
+
+
+def lint_path(path: Path) -> LintResult:
+    """Lint one file, extracting SQL according to its suffix."""
+    text = path.read_text()
+    filename = str(path)
+    result = LintResult(files=1)
+    registry = LossRegistry()
+    suffix = path.suffix.lower()
+    if suffix == ".sql":
+        chunks: List[Tuple[int, str]] = [(1, text)]
+    elif suffix in {".md", ".markdown"}:
+        chunks = _markdown_sql_blocks(text)
+    elif suffix == ".py":
+        chunks = _python_sql_literals(text, filename)
+    else:
+        chunks = [(1, text)]  # treat unknown suffixes as plain SQL
+    for start_line, chunk in chunks:
+        padded = "\n" * (start_line - 1) + chunk
+        result.extend(lint_text(padded, filename=filename, registry=registry))
+    return result
+
+
+_FENCE_OPEN = re.compile(r"^\s*```\s*sql\s*$", re.IGNORECASE)
+_FENCE_CLOSE = re.compile(r"^\s*```\s*$")
+
+
+def _markdown_sql_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(start_line, sql)`` for each concrete ```sql fenced block."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.split("\n")
+    in_block = False
+    start = 0
+    buf: List[str] = []
+    for line_no, line in enumerate(lines, start=1):
+        if not in_block and _FENCE_OPEN.match(line):
+            in_block = True
+            start = line_no + 1
+            buf = []
+        elif in_block and _FENCE_CLOSE.match(line):
+            in_block = False
+            body = "\n".join(buf)
+            if "<" not in body:  # skip templated blocks with <placeholders>
+                blocks.append((start, body))
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def _python_sql_literals(text: str, filename: str) -> List[Tuple[int, str]]:
+    """``(start_line, sql)`` for each loss-DSL string literal."""
+    try:
+        tree = py_ast.parse(text, filename=filename)
+    except SyntaxError:
+        return []
+    chunks: List[Tuple[int, str]] = []
+    for node in py_ast.walk(tree):
+        if isinstance(node, py_ast.Constant) and isinstance(node.value, str):
+            upper = node.value.upper()
+            # Must both mention the DSL and *be* a statement — prose
+            # docstrings that merely talk about CREATE AGGREGATE don't
+            # start with a statement keyword.
+            if ("CREATE AGGREGATE" in upper or "GROUPBY CUBE" in upper) and (
+                upper.lstrip().startswith(("CREATE ", "SELECT "))
+            ):
+                chunks.append((node.lineno, node.value))
+    return chunks

@@ -1,0 +1,467 @@
+"""Static-analysis passes over ``CREATE AGGREGATE`` loss bodies.
+
+Three passes, run in order by :func:`repro.analysis.analyzer.analyze_loss`:
+
+1. **Structural / algebraic decomposability** — every aggregate call is
+   classified distributive / algebraic / holistic against the engine's
+   aggregate framework; holistic calls, unknown aggregates, unknown
+   datasets and malformed calls are rejected. The pass also infers the
+   sufficient-statistic tuple the dry run will materialize per cell and
+   its bounded size.
+2. **Domain hazards** — interval range analysis over the body flags
+   divisions whose denominator can be zero, ``SQRT``/``LOG`` of
+   possibly-out-of-domain subexpressions, and bodies whose range cannot
+   be proven non-negative.
+3. **Parameter usage** — a body that never aggregates the sample
+   parameter is constant w.r.t. the sample (error); one that never
+   aggregates the raw parameter cannot converge (warning).
+
+This module owns the aggregate vocabulary of the loss dialect
+(:data:`CROSS_AGGS`, :data:`SPECIAL_AGGS`, :data:`SCALAR_FUNC_ARITY`);
+the compiler imports it from here so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis import intervals
+from repro.analysis.codes import info
+from repro.analysis.intervals import Interval
+from repro.diagnostics import Diagnostic, Severity, Span
+from repro.engine import aggregates as agg
+from repro.engine.sql import ast
+from repro.errors import LossFunctionError
+
+#: Visualization-aware cross aggregates (Function 2 of the paper) and
+#: the distance metric each one uses.
+CROSS_AGGS: Dict[str, str] = {
+    "AVG_MIN_DIST": "euclidean",
+    "AVG_MIN_DIST_MANHATTAN": "manhattan",
+}
+
+#: Aggregates with bespoke sufficient statistics (not engine aggregates).
+SPECIAL_AGGS = frozenset({"ANGLE"})
+
+#: Scalar-function vocabulary and the argument count each one requires.
+SCALAR_FUNC_ARITY: Dict[str, int] = {
+    "ABS": 1,
+    "SQRT": 1,
+    "LOG": 1,
+    "EXP": 1,
+    "POW": 2,
+}
+
+#: State-tuple layout of the bespoke aggregates.
+ANGLE_STATE_FIELDS = ("n", "sum_x", "sum_y", "sum_xy", "sum_xx")
+CROSS_STATE_FIELDS = ("count", "min_dist_sum")
+
+Emit = Callable[[Diagnostic], None]
+
+
+# ---------------------------------------------------------------------------
+# Shared AST walking
+# ---------------------------------------------------------------------------
+def walk_expr(expr: ast.ScalarExpr) -> Iterator[ast.ScalarExpr]:
+    """Yield every node of a scalar expression, parents before children."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.FuncCall):
+            stack.extend(reversed(node.args))
+        elif isinstance(node, ast.BinOp):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, ast.UnaryOp):
+            stack.append(node.operand)
+
+
+def agg_calls_in_order(expr: ast.ScalarExpr) -> List[ast.AggCall]:
+    """Every aggregate call, in source order when spans are present."""
+    calls = [node for node in walk_expr(expr) if isinstance(node, ast.AggCall)]
+    if all(c.span is not None for c in calls):
+        calls.sort(key=lambda c: c.span.start)
+    return calls
+
+
+def _print_call(call: ast.AggCall) -> str:
+    return f"{call.func}({', '.join(call.args)})"
+
+
+# ---------------------------------------------------------------------------
+# Pass 1 — structure and algebraic decomposability
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CallInfo:
+    """Classification of one aggregate call in a loss body."""
+
+    call: ast.AggCall
+    side: str  # "raw" | "sam" | "cross"
+    classification: str  # "distributive" | "algebraic" | "holistic"
+    state_fields: Tuple[str, ...]
+    bounded: bool
+
+    @property
+    def state_size(self) -> int:
+        return len(self.state_fields)
+
+    def render(self) -> str:
+        return f"{_print_call(self.call)}: {self.classification}, state {self.state_fields}"
+
+
+@dataclass(frozen=True)
+class StatComponent:
+    """One slot group of the inferred sufficient-statistic tuple."""
+
+    label: str
+    fields: Tuple[str, ...]
+    bounded: bool = True
+
+    @property
+    def size(self) -> int:
+        return len(self.fields)
+
+
+@dataclass(frozen=True)
+class SufficientStatistics:
+    """The per-cell state the dry run materializes for a compiled loss.
+
+    Mirrors :class:`repro.core.loss.compiler.CompiledLoss`: a leading
+    raw-count slot, one component per distinct raw-side/cross call, and
+    a separate sample summary (count + one finalized value per sam-side
+    call).
+    """
+
+    components: Tuple[StatComponent, ...]
+    sample_summary_size: int
+
+    @property
+    def bounded(self) -> bool:
+        return all(c.bounded for c in self.components)
+
+    @property
+    def total_size(self) -> Optional[int]:
+        """Scalar slots per cell, or ``None`` when a component is unbounded."""
+        if not self.bounded:
+            return None
+        return sum(c.size for c in self.components) + self.sample_summary_size
+
+    def describe(self) -> str:
+        parts = " ⊕ ".join(
+            f"{c.label}({', '.join(c.fields)})" + ("" if c.bounded else " [unbounded]")
+            for c in self.components
+        )
+        size = self.total_size
+        bound = f"{size} scalar slots" if size is not None else "unbounded (dictionary-bounded at best)"
+        return f"{parts} | sample summary: {self.sample_summary_size} slots | {bound}"
+
+
+@dataclass
+class StructuralResult:
+    """Output of pass 1."""
+
+    ok: bool
+    raw_param: str = ""
+    sam_param: str = ""
+    arity: int = 1
+    calls: List[CallInfo] = field(default_factory=list)
+    sufficient_stats: Optional[SufficientStatistics] = None
+
+
+def structural_pass(stmt: ast.CreateAggregate, emit: Emit) -> StructuralResult:
+    """Validate structure, classify every aggregate, infer the statistic."""
+    name = stmt.name
+    if len(stmt.params) != 2:
+        emit(_diag(
+            "TAB107",
+            f"loss {name!r}: expected two parameters (Raw, Sam), got {stmt.params!r}",
+            _params_span(stmt),
+        ))
+        return StructuralResult(ok=False)
+    raw_param, sam_param = stmt.params
+    result = StructuralResult(ok=True, raw_param=raw_param, sam_param=sam_param)
+
+    calls = agg_calls_in_order(stmt.body)
+    if not calls:
+        emit(_diag(
+            "TAB106",
+            f"loss {name!r}: body references no aggregate",
+            stmt.body.span or stmt.span,
+        ))
+        result.ok = False
+        return result
+
+    known_params = {raw_param, sam_param}
+    for call in calls:
+        ok = True
+        for position, arg in enumerate(call.args):
+            if arg not in known_params:
+                emit(_diag(
+                    "TAB103",
+                    f"loss {name!r}: {call.func} references unknown dataset {arg!r}",
+                    _arg_span(call, position),
+                    hint=f"declared datasets are {raw_param!r} and {sam_param!r}",
+                ))
+                ok = False
+        if not ok:
+            result.ok = False
+            continue
+        info_or_none = _classify_call(name, call, raw_param, sam_param, emit)
+        if info_or_none is None:
+            result.ok = False
+            continue
+        result.calls.append(info_or_none)
+        if call.func in SPECIAL_AGGS:
+            result.arity = max(result.arity, 2)
+
+    for node in walk_expr(stmt.body):
+        if isinstance(node, ast.FuncCall):
+            expected = SCALAR_FUNC_ARITY.get(node.func)
+            if expected is None:
+                emit(_diag(
+                    "TAB108",
+                    f"loss {name!r}: unknown scalar function {node.func!r}",
+                    node.span,
+                ))
+                result.ok = False
+            elif len(node.args) != expected:
+                emit(_diag(
+                    "TAB109",
+                    f"loss {name!r}: {node.func} takes {expected} argument(s), "
+                    f"got {len(node.args)}",
+                    node.span,
+                ))
+                result.ok = False
+
+    if result.ok:
+        result.sufficient_stats = _infer_sufficient_stats(result.calls)
+    return result
+
+
+def _classify_call(
+    loss_name: str,
+    call: ast.AggCall,
+    raw_param: str,
+    sam_param: str,
+    emit: Emit,
+) -> Optional[CallInfo]:
+    """Classify one well-referenced aggregate call; ``None`` on error."""
+    if call.func in CROSS_AGGS:
+        if set(call.args) != {raw_param, sam_param} or len(call.args) != 2:
+            emit(_diag(
+                "TAB104",
+                f"loss {loss_name!r}: {call.func} must be called as "
+                f"{call.func}({raw_param}, {sam_param})",
+                call.span,
+            ))
+            return None
+        return CallInfo(call, "cross", "algebraic", CROSS_STATE_FIELDS, True)
+    if len(call.args) != 1:
+        emit(_diag(
+            "TAB105",
+            f"loss {loss_name!r}: {call.func} takes exactly one dataset argument",
+            call.span,
+        ))
+        return None
+    side = "raw" if call.args[0] == raw_param else "sam"
+    if call.func in SPECIAL_AGGS:  # ANGLE
+        return CallInfo(call, side, "algebraic", ANGLE_STATE_FIELDS, True)
+    try:
+        engine_agg = agg.resolve(call.func)
+    except LossFunctionError:
+        emit(_diag(
+            "TAB102",
+            f"loss {loss_name!r}: unknown aggregate function {call.func!r}",
+            call.span,
+        ))
+        return None
+    if not engine_agg.is_algebraic_or_better:
+        emit(_diag(
+            "TAB101",
+            f"loss {loss_name!r}: aggregate {call.func} is holistic; Tabula "
+            "requires the accuracy loss function to be algebraic (Section II)",
+            call.span,
+        ))
+        return None
+    return CallInfo(
+        call,
+        side,
+        engine_agg.classification.value,
+        engine_agg.state_fields,
+        engine_agg.bounded_state,
+    )
+
+
+def _infer_sufficient_stats(calls: List[CallInfo]) -> SufficientStatistics:
+    """Dedup calls and lay out the per-cell state tuple."""
+    seen: Dict[ast.AggCall, CallInfo] = {}
+    for call_info in calls:
+        seen.setdefault(call_info.call, call_info)
+    components: List[StatComponent] = [StatComponent("n_raw", ("count",))]
+    for call_info in seen.values():
+        if call_info.side == "raw" or call_info.side == "cross":
+            components.append(StatComponent(
+                _print_call(call_info.call),
+                call_info.state_fields,
+                call_info.bounded,
+            ))
+    sample_calls = sum(1 for c in seen.values() if c.side == "sam")
+    return SufficientStatistics(tuple(components), 1 + sample_calls)
+
+
+# ---------------------------------------------------------------------------
+# Pass 2 — domain hazards via interval range analysis
+# ---------------------------------------------------------------------------
+#: Value range of each aggregate over arbitrary (finite) data.
+_AGG_RANGES: Dict[str, Interval] = {
+    "COUNT": intervals.NON_NEGATIVE,
+    "STDDEV": intervals.NON_NEGATIVE,
+    "STD_DEV": intervals.NON_NEGATIVE,
+    "DISTINCT": intervals.NON_NEGATIVE,
+    "ANGLE": Interval(-90.0, 90.0),
+}
+
+
+def hazard_pass(stmt: ast.CreateAggregate, emit: Emit) -> Optional[Interval]:
+    """Range-analyze the body; returns its inferred interval."""
+    from repro.engine.sql.printer import print_scalar
+
+    def expr_range(node: ast.ScalarExpr) -> Interval:
+        if isinstance(node, ast.NumberLit):
+            return intervals.point(node.value)
+        if isinstance(node, ast.AggCall):
+            if node.func in CROSS_AGGS:
+                return intervals.NON_NEGATIVE
+            return _AGG_RANGES.get(node.func, intervals.TOP)
+        if isinstance(node, ast.UnaryOp):
+            return -expr_range(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = expr_range(node.left)
+            right = expr_range(node.right)
+            if node.op == "+":
+                return left + right
+            if node.op == "-":
+                return left - right
+            if node.op == "*":
+                return left * right
+            if right.contains_zero:
+                emit(_diag(
+                    "TAB201",
+                    f"denominator {print_scalar(node.right)} may be zero; "
+                    "the dialect evaluates x/0 to inf (conservative)",
+                    node.right.span or node.span,
+                ))
+            return left.divide(right)
+        if isinstance(node, ast.FuncCall):
+            arg_ranges = [expr_range(a) for a in node.args]
+            if node.func == "ABS" and arg_ranges:
+                return intervals.abs_(arg_ranges[0])
+            if node.func == "SQRT" and arg_ranges:
+                if arg_ranges[0].lo < 0.0:
+                    emit(_diag(
+                        "TAB202",
+                        f"SQRT argument {print_scalar(node.args[0])} may be "
+                        "negative; evaluates to inf at runtime",
+                        node.args[0].span or node.span,
+                    ))
+                return intervals.sqrt_(arg_ranges[0])
+            if node.func == "LOG" and arg_ranges:
+                if arg_ranges[0].lo <= 0.0:
+                    emit(_diag(
+                        "TAB203",
+                        f"LOG argument {print_scalar(node.args[0])} may be "
+                        "zero or negative; evaluates to inf at runtime",
+                        node.args[0].span or node.span,
+                    ))
+                return intervals.log_(arg_ranges[0])
+            if node.func == "EXP" and arg_ranges:
+                return intervals.exp_(arg_ranges[0])
+            if node.func == "POW" and len(arg_ranges) == 2:
+                return intervals.pow_(arg_ranges[0], arg_ranges[1])
+            return intervals.TOP
+        return intervals.TOP
+
+    body_range = expr_range(stmt.body)
+    if body_range.lo < 0.0:
+        emit(_diag(
+            "TAB204",
+            f"loss {stmt.name!r}: cannot prove the body is non-negative "
+            f"(inferred range {body_range}); the guarantee "
+            "loss(raw, sample) <= θ is meaningless for negative losses",
+            stmt.body.span or stmt.span,
+        ))
+    return body_range
+
+
+# ---------------------------------------------------------------------------
+# Pass 3 — parameter usage
+# ---------------------------------------------------------------------------
+def usage_pass(stmt: ast.CreateAggregate, structural: StructuralResult, emit: Emit) -> None:
+    """Flag bodies that ignore the sample (error) or the raw data (warning)."""
+    referenced = set()
+    for call_info in structural.calls:
+        if call_info.side == "cross":
+            referenced.update({structural.raw_param, structural.sam_param})
+        else:
+            referenced.update(call_info.call.args)
+    if structural.sam_param not in referenced:
+        emit(_diag(
+            "TAB301",
+            f"loss {stmt.name!r} never references its sample parameter "
+            f"{structural.sam_param!r}; the loss is constant w.r.t. the "
+            "sample and greedy sampling can never reduce it",
+            _param_span(stmt, 1) or stmt.body.span,
+        ))
+    if structural.raw_param not in referenced:
+        emit(_diag(
+            "TAB302",
+            f"loss {stmt.name!r} never references its raw parameter "
+            f"{structural.raw_param!r}; the loss cannot converge toward "
+            "the raw data",
+            _param_span(stmt, 0) or stmt.body.span,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def _diag(
+    code: str,
+    message: str,
+    span: Optional[Span],
+    *,
+    hint: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic with catalog defaults for severity and hint."""
+    catalog = info(code)
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else catalog.severity,
+        message=message,
+        span=span,
+        hint=hint if hint is not None else catalog.hint,
+    )
+
+
+def _arg_span(call: ast.AggCall, position: int) -> Optional[Span]:
+    if call.arg_spans is not None and position < len(call.arg_spans):
+        return call.arg_spans[position]
+    return call.span
+
+
+def _param_span(stmt: ast.CreateAggregate, position: int) -> Optional[Span]:
+    if stmt.param_spans is not None and position < len(stmt.param_spans):
+        return stmt.param_spans[position]
+    return None
+
+
+def _params_span(stmt: ast.CreateAggregate) -> Optional[Span]:
+    if stmt.param_spans:
+        covering = stmt.param_spans[0]
+        for span in stmt.param_spans[1:]:
+            covering = covering.merge(span)
+        return covering
+    return stmt.name_span or stmt.span

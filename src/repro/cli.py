@@ -6,7 +6,8 @@ Usage (``python -m repro.cli <command>``):
 - ``build`` — read a CSV table, initialize a sampling cube, save it;
 - ``query`` — answer a dashboard query from a saved cube;
 - ``info`` — summarize a saved cube;
-- ``sql`` — execute SQL statements against a CSV-backed session.
+- ``sql`` — execute SQL statements against a CSV-backed session;
+- ``lint`` — run the static analyzer over SQL files or inline text.
 """
 
 from __future__ import annotations
@@ -86,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--table", required=True, help="CSV file registered as its basename")
     sql.add_argument("statements", nargs="+", help="SQL statements to execute in order")
     sql.set_defaults(handler=cmd_sql)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyze loss-DSL SQL (files, or inline statements/expressions)",
+    )
+    lint.add_argument(
+        "targets",
+        nargs="+",
+        help="*.sql/*.md/*.py files, or inline SQL / a bare loss-body expression",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    lint.set_defaults(handler=cmd_lint)
     return parser
 
 
@@ -194,9 +211,37 @@ def cmd_sql(args) -> int:
     name = os.path.splitext(os.path.basename(args.table))[0]
     session.register_table(name, read_csv(args.table))
     for statement in args.statements:
+        seen = len(session.diagnostics)
         result = session.execute(statement)
+        for diagnostic in session.diagnostics[seen:]:
+            print(diagnostic.render(), file=sys.stderr)
         _print_sql_result(result)
     return 0
+
+
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import LintResult, lint_inline, lint_path
+
+    total = LintResult()
+    for target in args.targets:
+        path = Path(target)
+        if path.is_file():
+            total.extend(lint_path(path))
+        elif path.suffix.lower() in {".sql", ".md", ".markdown", ".py"} or "/" in target:
+            # Looks like a file path, not inline SQL — a typo'd path would
+            # otherwise be "linted" as an expression, which is baffling.
+            print(f"error: no such file: {target}", file=sys.stderr)
+            return 1
+        else:
+            total.extend(lint_inline(target))
+    for diagnostic in total.diagnostics:
+        print(diagnostic.render())
+        print()
+    print(total.summary())
+    failing = total.error_count > 0 or (args.strict and total.warning_count > 0)
+    return 1 if failing else 0
 
 
 def _print_sql_result(result) -> None:

@@ -32,10 +32,12 @@ equivalents (``mean_loss``, ``heatmap_loss``, ``regression_loss``,
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.analyzer import LossAnalysisResult, analyze_loss
+from repro.analysis.loss_passes import CROSS_AGGS as _CROSS_AGGS
 from repro.core.loss.base import GreedyLossState, LossFunction, pairwise_min_distance
 from repro.core.loss.distance import AvgMinDistanceGreedyState
 from repro.core.loss.regression import regression_angle
@@ -52,28 +54,34 @@ _SCALAR_FUNCS = {
     "POW": lambda a, b: math.pow(a, b),
 }
 
-_CROSS_AGGS = {
-    "AVG_MIN_DIST": "euclidean",
-    "AVG_MIN_DIST_MANHATTAN": "manhattan",
-}
 
-_SPECIAL_AGGS = {"ANGLE"}
+def compile_loss(stmt: ast.CreateAggregate, source: Optional[str] = None) -> "CompiledLossSpec":
+    """Validate and compile a parsed CREATE AGGREGATE statement.
 
-
-def compile_loss(stmt: ast.CreateAggregate) -> "CompiledLossSpec":
-    """Validate and compile a parsed CREATE AGGREGATE statement."""
-    if len(stmt.params) != 2:
-        raise LossFunctionError(
-            f"loss {stmt.name!r}: expected two parameters (Raw, Sam), got {stmt.params!r}"
+    The statement first goes through the static analyzer
+    (:func:`repro.analysis.analyze_loss`) as a mandatory gate: any
+    error-severity diagnostic aborts compilation with the matching
+    legacy exception (:class:`~repro.errors.NotAlgebraicError` for a
+    holistic aggregate, :class:`~repro.errors.LossFunctionError`
+    otherwise), carrying the offending span, the loss name and the full
+    diagnostic list. Warnings and notes ride along on the returned
+    spec's ``diagnostics`` for the session/linter to surface.
+    """
+    analysis = analyze_loss(stmt, source=source)
+    errors = analysis.errors()
+    if errors:
+        first = errors[0]
+        exc_type = NotAlgebraicError if first.code == "TAB101" else LossFunctionError
+        raise exc_type(
+            first.message,
+            span=first.span,
+            loss_name=stmt.name,
+            diagnostics=analysis.diagnostics,
         )
     raw_param, sam_param = stmt.params
-    agg_calls = _collect_agg_calls(stmt.body)
-    if not agg_calls:
-        raise LossFunctionError(f"loss {stmt.name!r}: body references no aggregate")
-    arity = 1
-    for call in agg_calls:
-        arity = max(arity, _validate_call(stmt.name, call, raw_param, sam_param))
-    return CompiledLossSpec(stmt.name, arity, stmt.body, raw_param, sam_param)
+    return CompiledLossSpec(
+        stmt.name, analysis.arity, stmt.body, raw_param, sam_param, analysis=analysis
+    )
 
 
 def _collect_agg_calls(expr: ast.ScalarExpr) -> List[ast.AggCall]:
@@ -93,45 +101,36 @@ def _collect_agg_calls(expr: ast.ScalarExpr) -> List[ast.AggCall]:
     return calls
 
 
-def _validate_call(loss_name: str, call: ast.AggCall, raw_param: str, sam_param: str) -> int:
-    """Check one aggregate call; returns the target arity it implies."""
-    known_params = {raw_param, sam_param}
-    for arg in call.args:
-        if arg not in known_params:
-            raise LossFunctionError(
-                f"loss {loss_name!r}: {call.func} references unknown dataset {arg!r}"
-            )
-    if call.func in _CROSS_AGGS:
-        if set(call.args) != known_params or len(call.args) != 2:
-            raise LossFunctionError(
-                f"loss {loss_name!r}: {call.func} must be called as "
-                f"{call.func}({raw_param}, {sam_param})"
-            )
-        return 1  # works at any arity; does not force 2
-    if len(call.args) != 1:
-        raise LossFunctionError(
-            f"loss {loss_name!r}: {call.func} takes exactly one dataset argument"
-        )
-    if call.func in _SPECIAL_AGGS:
-        return 2  # ANGLE needs (x, y)
-    engine_agg = agg.resolve(call.func)  # raises LossFunctionError if unknown
-    if not engine_agg.is_algebraic_or_better:
-        raise NotAlgebraicError(
-            f"loss {loss_name!r}: aggregate {call.func} is holistic; Tabula "
-            "requires the accuracy loss function to be algebraic (Section II)"
-        )
-    return 1
-
-
 class CompiledLossSpec(LossSpec):
-    """An unbound compiled loss; binds to concrete target attributes."""
+    """An unbound compiled loss; binds to concrete target attributes.
 
-    def __init__(self, name: str, arity: int, body: ast.ScalarExpr, raw_param: str, sam_param: str):
+    Carries the analyzer's verdict: ``diagnostics`` (warnings/notes that
+    survived the error gate), ``sufficient_stats`` (the inferred
+    per-cell state layout) and ``uses_angle``. ``exact_arity`` is False
+    because compiled losses accept *extra* target attributes beyond
+    their minimum arity.
+    """
+
+    exact_arity = False
+
+    def __init__(
+        self,
+        name: str,
+        arity: int,
+        body: ast.ScalarExpr,
+        raw_param: str,
+        sam_param: str,
+        analysis: Optional["LossAnalysisResult"] = None,
+    ):
         self.name = name
         self.arity = arity
         self.body = body
         self.raw_param = raw_param
         self.sam_param = sam_param
+        self.analysis = analysis
+        self.diagnostics = analysis.diagnostics if analysis is not None else ()
+        self.sufficient_stats = analysis.sufficient_stats if analysis is not None else None
+        self.uses_angle = analysis.uses_angle if analysis is not None else False
 
     def bind(self, target_attrs: Tuple[str, ...]) -> "CompiledLoss":
         if len(target_attrs) < self.arity:

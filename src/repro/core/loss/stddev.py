@@ -43,11 +43,18 @@ class StdDevLoss(LossFunction):
 
     # -- direct ---------------------------------------------------------
     def loss(self, raw: np.ndarray, sample: np.ndarray) -> float:
+        # Delegates to the sufficient-statistics path so the direct and
+        # algebraic evaluations agree bit-for-bit: two-pass np.std and
+        # the one-pass Σx² formula round differently on constant data
+        # (cancellation noise near std = 0 flips the relative error
+        # between 0, 1 and inf).
         if len(raw) == 0:
             return 0.0
         if len(sample) == 0:
             return math.inf
-        return _relative_std_error(float(np.std(raw)), float(np.std(sample)))
+        return self.loss_from_stats(
+            self.stats(raw, sample), self.prepare_sample(sample)
+        )
 
     # -- algebraic --------------------------------------------------------
     def prepare_sample(self, sample: np.ndarray) -> Tuple[float, float, float]:

@@ -1,0 +1,187 @@
+"""Source-anchored diagnostics shared by the parser and the analyzer.
+
+Everything that points at a piece of SQL text — syntax errors, the
+static analyzer's findings, DDL validation — goes through this module:
+
+- :class:`Span` — a half-open ``[start, end)`` character range;
+- :class:`Severity` — ``ERROR`` / ``WARNING`` / ``NOTE``;
+- :class:`Diagnostic` — one coded finding with a span and a hint;
+- :func:`line_col` — clamped position → 1-based (line, column) math;
+- :func:`render_span` — the caret/underline snippet renderer that both
+  :class:`~repro.errors.SQLSyntaxError` and ``repro lint`` use.
+
+The module deliberately imports nothing from the rest of the package so
+the lexer, the AST and the error hierarchy can all depend on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open character range ``[start, end)`` into some SQL text."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            object.__setattr__(self, "end", self.start)
+
+    @classmethod
+    def point(cls, position: int) -> "Span":
+        """A zero-width span (renders as a single caret)."""
+        return cls(position, position)
+
+    def merge(self, other: Optional["Span"]) -> "Span":
+        """The smallest span covering both operands."""
+        if other is None:
+            return self
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def merge_spans(left: Optional[Span], right: Optional[Span]) -> Optional[Span]:
+    """Covering span of two possibly-absent spans."""
+    if left is None:
+        return right
+    return left.merge(right)
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher values are more severe."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+def line_col(text: str, position: int) -> Tuple[int, int]:
+    """Clamped 1-based ``(line, column)`` of ``position`` in ``text``.
+
+    Positions past the end of the text clamp to the last character; a
+    position that lands exactly on the terminating newline of the final
+    line reports the end of that line instead of a phantom empty line.
+    Both were rendering wrong columns before this helper existed.
+    """
+    if not text:
+        return (1, 1)
+    pos = max(0, min(position, len(text)))
+    if pos == len(text) and text[pos - 1] == "\n":
+        pos -= 1
+    line = text.count("\n", 0, pos) + 1
+    col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+    return (line, col)
+
+
+def _line_bounds(text: str, position: int) -> Tuple[int, int]:
+    """Start/end offsets of the line containing ``position`` (clamped)."""
+    pos = max(0, min(position, len(text)))
+    if pos == len(text) and text and text[pos - 1] == "\n":
+        pos -= 1
+    start = text.rfind("\n", 0, pos) + 1
+    end = text.find("\n", pos)
+    if end < 0:
+        end = len(text)
+    return (start, end)
+
+
+def render_span(text: str, span: Span, *, context: int = 0) -> str:
+    """A gutter-prefixed snippet with a ``^~~~`` underline for ``span``.
+
+    Multi-line spans underline to the end of the first line. ``context``
+    adds that many preceding source lines above the flagged one.
+    """
+    if not text:
+        return ""
+    start = max(0, min(span.start, len(text)))
+    line_no, col = line_col(text, start)
+    line_start, line_end = _line_bounds(text, start)
+    gutter = max(len(str(line_no)), 2)
+    lines: List[str] = []
+    for back in range(context, 0, -1):
+        ctx_no = line_no - back
+        if ctx_no < 1:
+            continue
+        ctx_start, ctx_end = _line_bounds(text, _offset_of_line(text, ctx_no))
+        lines.append(f"  {ctx_no:>{gutter}} | {text[ctx_start:ctx_end]}")
+    source_line = text[line_start:line_end]
+    lines.append(f"  {line_no:>{gutter}} | {source_line}")
+    underline_end = min(max(span.end, start + 1), line_end)
+    width = max(underline_end - start, 1)
+    marker = "^" + "~" * (width - 1)
+    lines.append(f"  {'':>{gutter}} | {' ' * (col - 1)}{marker}")
+    return "\n".join(lines)
+
+
+def _offset_of_line(text: str, line_no: int) -> int:
+    """Character offset of the start of 1-based line ``line_no``."""
+    offset = 0
+    for _ in range(line_no - 1):
+        nl = text.find("\n", offset)
+        if nl < 0:
+            return offset
+        offset = nl + 1
+    return offset
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding, renderable as a caret snippet."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+    source: Optional[str] = field(default=None, compare=False, repr=False)
+    filename: str = field(default="<sql>", compare=False)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def with_source(self, source: Optional[str], filename: str = "<sql>") -> "Diagnostic":
+        """A copy anchored to ``source``/``filename`` (no-op for ``None``)."""
+        if source is None:
+            return self
+        return replace(self, source=source, filename=filename)
+
+    def location(self) -> str:
+        """``file:line:col`` when the span and source are known."""
+        if self.span is None or self.source is None:
+            return self.filename
+        line, col = line_col(self.source, self.span.start)
+        return f"{self.filename}:{line}:{col}"
+
+    def render(self) -> str:
+        """The full multi-line rendering (header, snippet, hint)."""
+        parts = [f"{self.location()}: {self.severity.label}[{self.code}]: {self.message}"]
+        if self.span is not None and self.source:
+            parts.append(render_span(self.source, self.span))
+        if self.hint:
+            parts.append(f"  hint: {self.hint}")
+        return "\n".join(parts)
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Stable order: by source position, then severity (worst first)."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.span.start if d.span is not None else -1,
+            -int(d.severity),
+            d.code,
+        ),
+    )

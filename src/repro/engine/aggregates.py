@@ -44,6 +44,18 @@ class AggregateFunction(abc.ABC):
 
     name: str = ""
     classification: AggregateClass = AggregateClass.HOLISTIC
+    #: Names of the components of the intermediate state tuple — the
+    #: sufficient statistic the dry run materializes per cell. Empty for
+    #: aggregates whose state is not a fixed-width tuple of scalars.
+    state_fields: Tuple[str, ...] = ()
+    #: False when the state can grow with the data (holistic, or bounded
+    #: only by a side condition such as dictionary encoding).
+    bounded_state: bool = True
+
+    @property
+    def state_size(self) -> int:
+        """Number of scalar slots in the intermediate state tuple."""
+        return len(self.state_fields)
 
     @abc.abstractmethod
     def init_state(self, values: np.ndarray) -> tuple:
@@ -70,6 +82,7 @@ class AggregateFunction(abc.ABC):
 class Sum(AggregateFunction):
     name = "SUM"
     classification = AggregateClass.DISTRIBUTIVE
+    state_fields = ("sum",)
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (float(np.sum(values)),)
@@ -84,6 +97,7 @@ class Sum(AggregateFunction):
 class Count(AggregateFunction):
     name = "COUNT"
     classification = AggregateClass.DISTRIBUTIVE
+    state_fields = ("count",)
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (float(len(values)),)
@@ -98,6 +112,7 @@ class Count(AggregateFunction):
 class Min(AggregateFunction):
     name = "MIN"
     classification = AggregateClass.DISTRIBUTIVE
+    state_fields = ("min",)
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (float(np.min(values)) if len(values) else np.inf,)
@@ -112,6 +127,7 @@ class Min(AggregateFunction):
 class Max(AggregateFunction):
     name = "MAX"
     classification = AggregateClass.DISTRIBUTIVE
+    state_fields = ("max",)
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (float(np.max(values)) if len(values) else -np.inf,)
@@ -126,6 +142,7 @@ class Max(AggregateFunction):
 class Avg(AggregateFunction):
     name = "AVG"
     classification = AggregateClass.ALGEBRAIC
+    state_fields = ("count", "sum")
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (float(len(values)), float(np.sum(values)))
@@ -139,23 +156,40 @@ class Avg(AggregateFunction):
 
 
 class StdDev(AggregateFunction):
-    """Population standard deviation, via (count, sum, sum of squares)."""
+    """Population standard deviation, via (count, mean, M2).
+
+    The textbook (count, Σx, Σx²) state is equally algebraic, but its
+    finalize subtracts two nearly equal O(mean²) terms, so on
+    low-variance data the merge law only holds to ~√eps·|mean|. Chan's
+    pairwise update keeps both paths accurate to machine precision.
+    """
 
     name = "STDDEV"
     classification = AggregateClass.ALGEBRAIC
+    state_fields = ("count", "mean", "m2")
 
     def init_state(self, values: np.ndarray) -> tuple:
-        return (float(len(values)), float(np.sum(values)), float(np.sum(values * values)))
+        if not len(values):
+            return (0.0, 0.0, 0.0)
+        mean = float(np.mean(values))
+        return (float(len(values)), mean, float(np.sum((values - mean) ** 2)))
 
     def merge(self, left: tuple, right: tuple) -> tuple:
-        return tuple(a + b for a, b in zip(left, right))
+        count_a, mean_a, m2_a = left
+        count_b, mean_b, m2_b = right
+        count = count_a + count_b
+        if not count:
+            return (0.0, 0.0, 0.0)
+        delta = mean_b - mean_a
+        mean = mean_a + delta * count_b / count
+        m2 = m2_a + m2_b + delta * delta * count_a * count_b / count
+        return (count, mean, m2)
 
     def finalize(self, state: tuple) -> float:
-        count, total, total_sq = state
+        count, _, m2 = state
         if not count:
             return float("nan")
-        variance = total_sq / count - (total / count) ** 2
-        return float(np.sqrt(max(variance, 0.0)))
+        return float(np.sqrt(max(m2, 0.0) / count))
 
 
 class CountDistinct(AggregateFunction):
@@ -165,6 +199,8 @@ class CountDistinct(AggregateFunction):
 
     name = "DISTINCT"
     classification = AggregateClass.ALGEBRAIC
+    state_fields = ("value_set",)
+    bounded_state = False  # bounded only for dictionary-encoded attributes
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (frozenset(np.unique(values).tolist()),)
@@ -181,6 +217,7 @@ class TopK(AggregateFunction):
 
     name = "TOPK"
     classification = AggregateClass.ALGEBRAIC
+    state_fields = ("top_k",)
 
     def __init__(self, k: int = 10):
         if k <= 0:
@@ -207,6 +244,8 @@ class Median(AggregateFunction):
 
     name = "MEDIAN"
     classification = AggregateClass.HOLISTIC
+    state_fields = ("values",)
+    bounded_state = False
 
     def init_state(self, values: np.ndarray) -> tuple:
         return (tuple(values.tolist()),)

@@ -18,8 +18,8 @@ against a :class:`~repro.engine.catalog.Catalog` and a Tabula
 middleware instance.
 """
 
-from repro.engine.sql.parser import parse_statement
+from repro.engine.sql.parser import parse_script, parse_statement
 from repro.engine.sql.printer import print_statement
 from repro.engine.sql.executor import SQLSession
 
-__all__ = ["SQLSession", "parse_statement", "print_statement"]
+__all__ = ["SQLSession", "parse_script", "parse_statement", "print_statement"]

@@ -4,13 +4,21 @@ Scalar expressions appear in ``CREATE AGGREGATE ... BEGIN <expr> END``
 bodies; they are later compiled into
 :class:`~repro.core.loss.base.LossFunction` objects by
 :mod:`repro.core.loss.compiler`.
+
+Every node carries an optional :class:`~repro.diagnostics.Span` into
+the source text it was parsed from. Spans are excluded from equality
+and hashing so value semantics are position-independent — two
+``AVG(Raw)`` calls at different offsets are still the same call for
+deduplication, round-trip tests and environment lookups; only the
+diagnostics layer reads the spans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
+from repro.diagnostics import Span
 from repro.engine.expressions import Predicate
 
 # ---------------------------------------------------------------------------
@@ -23,6 +31,7 @@ class NumberLit:
     """A numeric literal."""
 
     value: float
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -30,11 +39,14 @@ class AggCall:
     """An aggregate call over the Raw/Sam datasets, e.g. ``AVG(Raw)``.
 
     ``args`` are the declared parameter names of the loss function
-    (conventionally ``Raw`` and ``Sam``).
+    (conventionally ``Raw`` and ``Sam``); ``arg_spans`` point at each
+    argument in the source for per-argument diagnostics.
     """
 
     func: str
     args: Tuple[str, ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    arg_spans: Optional[Tuple[Span, ...]] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -43,6 +55,7 @@ class FuncCall:
 
     func: str
     args: Tuple["ScalarExpr", ...]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,7 @@ class BinOp:
     op: str
     left: "ScalarExpr"
     right: "ScalarExpr"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -60,9 +74,15 @@ class UnaryOp:
 
     op: str
     operand: "ScalarExpr"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 ScalarExpr = Union[NumberLit, AggCall, FuncCall, BinOp, UnaryOp]
+
+
+def expr_span(expr: ScalarExpr) -> Optional[Span]:
+    """The span of any scalar-expression node (``None`` if unparsed)."""
+    return expr.span
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +97,22 @@ class CreateAggregate:
     name: str
     params: Tuple[str, ...]
     body: ScalarExpr
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    name_span: Optional[Span] = field(default=None, compare=False, repr=False)
+    param_spans: Optional[Tuple[Span, ...]] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class DdlSpans:
+    """Source locations of the parts of a CREATE TABLE ... CUBE statement."""
+
+    name: Optional[Span] = None
+    sampling_threshold: Optional[Span] = None
+    source: Optional[Span] = None
+    cube_attrs: Tuple[Span, ...] = ()
+    loss_name: Optional[Span] = None
+    loss_args: Tuple[Span, ...] = ()
+    having_threshold: Optional[Span] = None
 
 
 @dataclass(frozen=True)
@@ -94,6 +130,8 @@ class CreateSamplingCube:
     loss_name: str
     target_attrs: Tuple[str, ...]
     global_sample_ref: str = "Sam_global"
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
+    spans: Optional[DdlSpans] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -102,6 +140,7 @@ class SelectSample:
 
     cube: str
     where: Optional[Predicate]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -116,6 +155,7 @@ class Select:
     where: Optional[Predicate]
     limit: Optional[int] = None
     order_by: Tuple[Tuple[str, bool], ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -142,6 +182,7 @@ class SelectAggregate:
     table: str
     where: Optional[Predicate]
     order_by: Tuple[Tuple[str, bool], ...] = ()
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
 
 Statement = Union[

@@ -15,11 +15,13 @@ full Section-II workflow end to end:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
+from repro.analysis.ddl import analyze_cube, raise_for_ddl_errors
 from repro.core.loss.compiler import compile_loss
 from repro.core.loss.registry import LossRegistry
 from repro.core.tabula import InitializationReport, QueryResult, Tabula, TabulaConfig
+from repro.diagnostics import Diagnostic
 from repro.engine.catalog import Catalog
 from repro.engine.sql import ast
 from repro.engine.sql.parser import parse_statement
@@ -50,6 +52,10 @@ class SQLSession:
         self.options = options if options is not None else SessionOptions()
         self.registry = LossRegistry()
         self.cubes: Dict[str, Tabula] = {}
+        #: Non-error findings from the analyzer gate, most recent last.
+        #: Errors raise; warnings and notes accumulate here for callers
+        #: (the CLI prints them after each statement).
+        self.diagnostics: List[Diagnostic] = []
 
     # ------------------------------------------------------------------
     def register_table(self, name: str, table: Table, replace: bool = False) -> None:
@@ -66,9 +72,9 @@ class SQLSession:
         """
         stmt = parse_statement(sql)
         if isinstance(stmt, ast.CreateAggregate):
-            return self._create_aggregate(stmt)
+            return self._create_aggregate(stmt, sql)
         if isinstance(stmt, ast.CreateSamplingCube):
-            return self._create_sampling_cube(stmt)
+            return self._create_sampling_cube(stmt, sql)
         if isinstance(stmt, ast.SelectSample):
             return self._select_sample(stmt)
         if isinstance(stmt, ast.SelectAggregate):
@@ -76,12 +82,18 @@ class SQLSession:
         return self._select(stmt)
 
     # ------------------------------------------------------------------
-    def _create_aggregate(self, stmt: ast.CreateAggregate) -> str:
-        spec = compile_loss(stmt)
+    def _create_aggregate(self, stmt: ast.CreateAggregate, sql: str) -> str:
+        spec = compile_loss(stmt, source=sql)  # analyzer gate; errors raise
+        self.diagnostics.extend(spec.diagnostics)
         self.registry.register(spec, replace=True)
         return spec.name
 
-    def _create_sampling_cube(self, stmt: ast.CreateSamplingCube) -> InitializationReport:
+    def _create_sampling_cube(self, stmt: ast.CreateSamplingCube, sql: str) -> InitializationReport:
+        findings = analyze_cube(
+            stmt, catalog=self.catalog, registry=self.registry, source=sql
+        )
+        raise_for_ddl_errors(findings, stmt)
+        self.diagnostics.extend(d for d in findings if not d.is_error)
         table = self.catalog.get(stmt.source)
         loss = self.registry.bind(stmt.loss_name, stmt.target_attrs)
         config = TabulaConfig(

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List
 
+from repro.diagnostics import Span
 from repro.errors import SQLSyntaxError
 
 KEYWORDS = frozenset(
@@ -21,11 +22,24 @@ SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "=", "<", ">", "+", "-", 
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token: ``kind`` ∈ {KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF}."""
+    """One lexical token: ``kind`` ∈ {KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF}.
+
+    ``end`` is the exclusive end offset of the raw lexeme (which can
+    differ from ``position + len(value)`` — string literals drop their
+    quotes, keywords are case-folded). It is excluded from equality so
+    hand-built tokens compare by (kind, value, position) as before.
+    """
 
     kind: str
     value: str
     position: int
+    end: int = field(default=-1, compare=False, repr=False)
+
+    @property
+    def span(self) -> Span:
+        """The source range this token covers."""
+        end = self.end if self.end >= 0 else self.position + len(self.value)
+        return Span(self.position, end)
 
 
 def tokenize(text: str) -> List[Token]:
@@ -49,7 +63,7 @@ def _scan(text: str) -> Iterator[Token]:
             end = text.find(ch, i + 1)
             if end < 0:
                 raise SQLSyntaxError("unterminated string literal", i, text)
-            yield Token("STRING", text[i + 1:end], i)
+            yield Token("STRING", text[i + 1:end], i, end + 1)
             i = end + 1
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
@@ -68,7 +82,7 @@ def _scan(text: str) -> Iterator[Token]:
                     while k < n and text[k].isdigit():
                         k += 1
                     j = k
-            yield Token("NUMBER", text[i:j], i)
+            yield Token("NUMBER", text[i:j], i, j)
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -78,15 +92,15 @@ def _scan(text: str) -> Iterator[Token]:
             word = text[i:j]
             kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
             value = word.upper() if kind == "KEYWORD" else word
-            yield Token(kind, value, i)
+            yield Token(kind, value, i, j)
             i = j
             continue
         for sym in SYMBOLS:
             if text.startswith(sym, i):
                 value = "!=" if sym == "<>" else sym
-                yield Token("SYMBOL", value, i)
+                yield Token("SYMBOL", value, i, i + len(sym))
                 i += len(sym)
                 break
         else:
             raise SQLSyntaxError(f"unexpected character {ch!r}", i, text)
-    yield Token("EOF", "", n)
+    yield Token("EOF", "", n, n)

@@ -1,9 +1,16 @@
-"""Recursive-descent parser for the Tabula SQL dialect."""
+"""Recursive-descent parser for the Tabula SQL dialect.
+
+Every AST node the parser builds carries a :class:`~repro.diagnostics.Span`
+into the input text, which is what lets the static analyzer
+(:mod:`repro.analysis`) and :class:`~repro.errors.SQLSyntaxError` render
+caret diagnostics with exact line/column positions.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
+from repro.diagnostics import Span, merge_spans
 from repro.engine import expressions as ex
 from repro.engine.sql import ast
 from repro.engine.sql.lexer import Token, tokenize
@@ -17,6 +24,30 @@ def parse_statement(text: str) -> ast.Statement:
     parser.accept_symbol(";")
     parser.expect_eof()
     return stmt
+
+
+def parse_script(text: str) -> List[ast.Statement]:
+    """Parse a sequence of statements.
+
+    Separating ``;`` are accepted but optional — every statement of the
+    dialect starts with ``CREATE`` or ``SELECT``, so statement
+    boundaries are unambiguous without them (documentation examples are
+    written that way). Spans on the returned statements index into the
+    full ``text``, so a diagnostic on the third statement still renders
+    with file-accurate line numbers.
+    """
+    parser = _Parser(text)
+    statements: List[ast.Statement] = []
+    while parser.peek().kind != "EOF":
+        statements.append(parser.statement())
+        parser.accept_symbol(";")
+    return statements
+
+
+# A parsed call argument: either a dataset reference with its span, or a
+# nested scalar expression.
+_DatasetArg = Tuple[str, Span]
+_CallArg = Union[_DatasetArg, ast.ScalarExpr]
 
 
 class _Parser:
@@ -36,7 +67,7 @@ class _Parser:
         return tok
 
     def error(self, message: str) -> SQLSyntaxError:
-        return SQLSyntaxError(message, self.peek().position, self.text)
+        return SQLSyntaxError(message, self.peek().position, self.text, span=self.peek().span)
 
     def accept_keyword(self, *words: str) -> Optional[Token]:
         tok = self.peek()
@@ -62,15 +93,19 @@ class _Parser:
             raise self.error(f"expected {symbol!r}, got {self.peek().value!r}")
         return tok
 
-    def expect_ident(self) -> str:
+    def expect_ident_token(self) -> Token:
         tok = self.peek()
         if tok.kind != "IDENT":
             raise self.error(f"expected identifier, got {tok.value!r}")
-        self.advance()
-        return tok.value
+        return self.advance()
 
-    def expect_number(self) -> float:
+    def expect_ident(self) -> str:
+        return self.expect_ident_token().value
+
+    def expect_number_token(self) -> Tuple[float, Span]:
+        """A possibly-signed numeric literal and its covering span."""
         tok = self.peek()
+        start = tok.position
         sign = 1.0
         if tok.kind == "SYMBOL" and tok.value == "-":
             self.advance()
@@ -79,7 +114,10 @@ class _Parser:
         if tok.kind != "NUMBER":
             raise self.error(f"expected number, got {tok.value!r}")
         self.advance()
-        return sign * float(tok.value)
+        return sign * float(tok.value), Span(start, tok.span.end)
+
+    def expect_number(self) -> float:
+        return self.expect_number_token()[0]
 
     def expect_eof(self) -> None:
         if self.peek().kind != "EOF":
@@ -87,36 +125,50 @@ class _Parser:
 
     # -- grammar ---------------------------------------------------------
     def statement(self) -> ast.Statement:
+        start = self.peek().position
         if self.accept_keyword("CREATE"):
             if self.accept_keyword("AGGREGATE"):
-                return self.create_aggregate()
+                return self.create_aggregate(start)
             self.expect_keyword("TABLE")
-            return self.create_sampling_cube()
+            return self.create_sampling_cube(start)
         if self.accept_keyword("SELECT"):
-            return self.select()
+            return self.select(start)
         raise self.error("expected CREATE or SELECT")
 
-    def create_aggregate(self) -> ast.CreateAggregate:
-        name = self.expect_ident()
+    def _statement_span(self, start: int) -> Span:
+        """Span from ``start`` to the end of the last consumed token."""
+        end = self.tokens[self.pos - 1].span.end if self.pos else start
+        return Span(start, end)
+
+    def create_aggregate(self, start: int) -> ast.CreateAggregate:
+        name_tok = self.expect_ident_token()
         self.expect_symbol("(")
-        params = [self.expect_ident()]
+        param_toks = [self.expect_ident_token()]
         while self.accept_symbol(","):
-            params.append(self.expect_ident())
+            param_toks.append(self.expect_ident_token())
         self.expect_symbol(")")
         self.expect_keyword("RETURN")
         self.expect_ident()  # return-type name, e.g. decimal_value; informational
         self.expect_keyword("AS")
         self.expect_keyword("BEGIN")
         body = self.scalar_expr()
-        self.expect_keyword("END")
-        return ast.CreateAggregate(name=name, params=tuple(params), body=body)
+        end_tok = self.expect_keyword("END")
+        return ast.CreateAggregate(
+            name=name_tok.value,
+            params=tuple(t.value for t in param_toks),
+            body=body,
+            span=Span(start, end_tok.span.end),
+            name_span=name_tok.span,
+            param_spans=tuple(t.span for t in param_toks),
+        )
 
-    def create_sampling_cube(self) -> ast.CreateSamplingCube:
-        name = self.expect_ident()
+    def create_sampling_cube(self, start: int) -> ast.CreateSamplingCube:
+        name_tok = self.expect_ident_token()
         self.expect_keyword("AS")
         self.expect_keyword("SELECT")
         attrs: List[str] = []
         sampling_threshold: Optional[float] = None
+        sampling_span: Optional[Span] = None
         while True:
             tok = self.peek()
             if tok.kind == "IDENT" and tok.value.upper() == "SAMPLING":
@@ -124,7 +176,7 @@ class _Parser:
                 self.expect_symbol("(")
                 self.expect_symbol("*")
                 self.expect_symbol(",")
-                sampling_threshold = self.expect_number()
+                sampling_threshold, sampling_span = self.expect_number_token()
                 self.expect_symbol(")")
                 self.expect_keyword("AS")
                 alias = self.expect_ident()
@@ -137,48 +189,60 @@ class _Parser:
         if sampling_threshold is None:
             raise self.error("initialization query must include SAMPLING(*, threshold) AS sample")
         self.expect_keyword("FROM")
-        source = self.expect_ident()
+        source_tok = self.expect_ident_token()
         if not self.accept_keyword("GROUPBY"):
             self.expect_keyword("GROUP")
             self.expect_keyword("BY")
         self.expect_keyword("CUBE")
         self.expect_symbol("(")
-        cube_attrs = [self.expect_ident()]
+        cube_attr_toks = [self.expect_ident_token()]
         while self.accept_symbol(","):
-            cube_attrs.append(self.expect_ident())
+            cube_attr_toks.append(self.expect_ident_token())
         self.expect_symbol(")")
+        cube_attrs = [t.value for t in cube_attr_toks]
         if tuple(cube_attrs) != tuple(attrs):
             raise self.error(
                 "the SELECT attribute list must match CUBE(...) "
                 f"({attrs} vs {cube_attrs})"
             )
         self.expect_keyword("HAVING")
-        loss_name = self.expect_ident()
+        loss_name_tok = self.expect_ident_token()
         self.expect_symbol("(")
-        loss_args = [self.expect_ident()]
+        loss_arg_toks = [self.expect_ident_token()]
         while self.accept_symbol(","):
-            loss_args.append(self.expect_ident())
+            loss_arg_toks.append(self.expect_ident_token())
         self.expect_symbol(")")
         self.expect_symbol(">")
-        threshold = self.expect_number()
+        threshold, having_span = self.expect_number_token()
         if abs(threshold - sampling_threshold) > 1e-12:
             raise self.error(
                 "SAMPLING threshold and HAVING threshold must agree "
                 f"({sampling_threshold} vs {threshold})"
             )
+        loss_args = [t.value for t in loss_arg_toks]
         if len(loss_args) < 2:
             raise self.error("HAVING loss(...) needs target attribute(s) and Sam_global")
         return ast.CreateSamplingCube(
-            name=name,
+            name=name_tok.value,
             cubed_attrs=tuple(cube_attrs),
             threshold=threshold,
-            source=source,
-            loss_name=loss_name,
+            source=source_tok.value,
+            loss_name=loss_name_tok.value,
             target_attrs=tuple(loss_args[:-1]),
             global_sample_ref=loss_args[-1],
+            span=self._statement_span(start),
+            spans=ast.DdlSpans(
+                name=name_tok.span,
+                sampling_threshold=sampling_span,
+                source=source_tok.span,
+                cube_attrs=tuple(t.span for t in cube_attr_toks),
+                loss_name=loss_name_tok.span,
+                loss_args=tuple(t.span for t in loss_arg_toks),
+                having_threshold=having_span,
+            ),
         )
 
-    def select(self) -> ast.Statement:
+    def select(self, start: int) -> ast.Statement:
         columns: List[str] = []
         aggregations: List[ast.Aggregation] = []
         if self.accept_symbol("*"):
@@ -228,15 +292,17 @@ class _Parser:
                 table=table,
                 where=where,
                 order_by=tuple(order_by),
+                span=self._statement_span(start),
             )
         if columns == ["sample"] and limit is None and not order_by:
-            return ast.SelectSample(cube=table, where=where)
+            return ast.SelectSample(cube=table, where=where, span=self._statement_span(start))
         return ast.Select(
             columns=tuple(columns),
             table=table,
             where=where,
             limit=limit,
             order_by=tuple(order_by),
+            span=self._statement_span(start),
         )
 
     def order_key(self) -> tuple:
@@ -333,9 +399,11 @@ class _Parser:
         node = self.multiplicative()
         while True:
             if self.accept_symbol("+"):
-                node = ast.BinOp("+", node, self.multiplicative())
+                right = self.multiplicative()
+                node = ast.BinOp("+", node, right, span=merge_spans(node.span, right.span))
             elif self.accept_symbol("-"):
-                node = ast.BinOp("-", node, self.multiplicative())
+                right = self.multiplicative()
+                node = ast.BinOp("-", node, right, span=merge_spans(node.span, right.span))
             else:
                 return node
 
@@ -343,40 +411,49 @@ class _Parser:
         node = self.unary_expr()
         while True:
             if self.accept_symbol("*"):
-                node = ast.BinOp("*", node, self.unary_expr())
+                right = self.unary_expr()
+                node = ast.BinOp("*", node, right, span=merge_spans(node.span, right.span))
             elif self.accept_symbol("/"):
-                node = ast.BinOp("/", node, self.unary_expr())
+                right = self.unary_expr()
+                node = ast.BinOp("/", node, right, span=merge_spans(node.span, right.span))
             else:
                 return node
 
     def unary_expr(self) -> ast.ScalarExpr:
+        tok = self.peek()
         if self.accept_symbol("-"):
-            return ast.UnaryOp("-", self.unary_expr())
+            operand = self.unary_expr()
+            return ast.UnaryOp(
+                "-", operand, span=merge_spans(tok.span, operand.span)
+            )
         return self.primary_expr()
 
     def primary_expr(self) -> ast.ScalarExpr:
         tok = self.peek()
         if tok.kind == "NUMBER":
             self.advance()
-            return ast.NumberLit(float(tok.value))
+            return ast.NumberLit(float(tok.value), span=tok.span)
         if self.accept_symbol("("):
             inner = self.scalar_expr()
             self.expect_symbol(")")
             return inner
         if tok.kind == "IDENT":
-            name = self.expect_ident()
+            name_tok = self.expect_ident_token()
             if self.accept_symbol("("):
-                args: List = []
-                if not self.accept_symbol(")"):
+                args: List[_CallArg] = []
+                end = self.peek().span.end
+                rparen = self.accept_symbol(")")
+                if rparen is None:
                     args.append(self.call_argument())
                     while self.accept_symbol(","):
                         args.append(self.call_argument())
-                    self.expect_symbol(")")
-                return self._classify_call(name, args)
-            raise self.error(f"bare identifier {name!r} not allowed in loss body")
+                    rparen = self.expect_symbol(")")
+                end = rparen.span.end
+                return self._classify_call(name_tok, args, Span(name_tok.position, end))
+            raise self.error(f"bare identifier {name_tok.value!r} not allowed in loss body")
         raise self.error(f"unexpected token in expression: {tok.value!r}")
 
-    def call_argument(self):
+    def call_argument(self) -> _CallArg:
         """A call argument: either a dataset name (IDENT) or a sub-expression."""
         tok = self.peek()
         if tok.kind == "IDENT":
@@ -384,18 +461,25 @@ class _Parser:
             is_call = nxt.kind == "SYMBOL" and nxt.value == "("
             if not is_call:
                 self.advance()
-                return tok.value  # dataset reference, e.g. Raw / Sam
+                return (tok.value, tok.span)  # dataset reference, e.g. Raw / Sam
         return self.scalar_expr()
 
-    def _classify_call(self, name: str, args: List) -> ast.ScalarExpr:
+    def _classify_call(self, name_tok: Token, args: List[_CallArg], span: Span) -> ast.ScalarExpr:
         """Split calls into aggregate calls (dataset args) vs scalar ones."""
-        if args and all(isinstance(a, str) for a in args):
-            return ast.AggCall(func=name.upper(), args=tuple(args))
-        exprs = tuple(
-            ast.NumberLit(float(a)) if isinstance(a, (int, float)) else a for a in args
-        )
-        if any(isinstance(a, str) for a in args):
-            raise self.error(
-                f"call {name}(...) mixes dataset references and expressions"
+        name = name_tok.value
+        dataset_args = [a for a in args if isinstance(a, tuple)]  # AST nodes are dataclasses
+        if args and len(dataset_args) == len(args):
+            return ast.AggCall(
+                func=name.upper(),
+                args=tuple(a[0] for a in dataset_args),
+                span=span,
+                arg_spans=tuple(a[1] for a in dataset_args),
             )
-        return ast.FuncCall(func=name.upper(), args=exprs)
+        if dataset_args:
+            raise SQLSyntaxError(
+                f"call {name}(...) mixes dataset references and expressions",
+                name_tok.position,
+                self.text,
+                span=span,
+            )
+        return ast.FuncCall(func=name.upper(), args=tuple(args), span=span)

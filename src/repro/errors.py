@@ -6,6 +6,10 @@ applications embedding the middleware can catch a single base class.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
+from repro.diagnostics import Span, line_col, render_span
+
 
 class TabulaError(Exception):
     """Base class for all errors raised by this package."""
@@ -44,21 +48,48 @@ class TypeMismatchError(EngineError):
 class SQLSyntaxError(EngineError):
     """The SQL text could not be parsed.
 
-    Carries the offending position so callers can render a caret
-    diagnostic.
+    Carries the offending position (and, when available, the source
+    text) so callers can render a caret diagnostic. Line/column math is
+    delegated to :func:`repro.diagnostics.line_col`, which clamps
+    positions past end-of-text and on a final unterminated line.
     """
 
-    def __init__(self, message: str, position: int = -1, text: str = ""):
-        if position >= 0 and text:
-            line = text.count("\n", 0, position) + 1
-            col = position - (text.rfind("\n", 0, position) + 1) + 1
-            message = f"{message} (line {line}, column {col})"
-        super().__init__(message)
+    def __init__(self, message: str, position: int = -1, text: str = "", span: Optional[Span] = None):
         self.position = position
+        self.text = text
+        self.span = span
+        self.snippet = ""
+        if span is None and position >= 0:
+            self.span = Span.point(min(max(position, 0), len(text)) if text else max(position, 0))
+        if position >= 0 and text:
+            line, col = line_col(text, position)
+            message = f"{message} (line {line}, column {col})"
+            self.snippet = render_span(text, self.span)
+        super().__init__(message)
 
 
 class LossFunctionError(TabulaError):
-    """A user-defined accuracy loss function is invalid."""
+    """A user-defined accuracy loss function is invalid.
+
+    ``span`` (the offending range in the declaration's SQL text),
+    ``loss_name`` and ``diagnostics`` are attached when the static
+    analyzer produced the error, so callers can render carets; all three
+    default to empty for plain message-only raises (backward
+    compatible).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        span: Optional[Span] = None,
+        loss_name: str = "",
+        diagnostics: Tuple = (),
+    ):
+        super().__init__(message)
+        self.span = span
+        self.loss_name = loss_name
+        self.diagnostics = tuple(diagnostics)
 
 
 class NotAlgebraicError(LossFunctionError):
@@ -83,5 +114,10 @@ class InvalidQueryError(TabulaError):
 
     Raised, for example, when the WHERE clause references attributes that
     are not a subset of the cubed attributes chosen at initialization
-    time.
+    time, or when the static analyzer rejects a ``CREATE TABLE ...
+    GROUPBY CUBE`` statement (``diagnostics`` then carries the findings).
     """
+
+    def __init__(self, message: str, *, diagnostics: Tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)

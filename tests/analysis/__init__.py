@@ -1,0 +1,1 @@
+"""Tests for the static semantic analyzer (repro.analysis)."""

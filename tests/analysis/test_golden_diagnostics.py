@@ -1,0 +1,189 @@
+"""Golden tests: one triggering and one clean input for every TAB code.
+
+Each case pins the code, the severity and (for body passes) the fact
+that the span lands on the offending construct, so diagnostics cannot
+silently drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_codes, analyze_cube, analyze_loss, info
+from repro.analysis.lint import lint_text
+from repro.core.loss.compiler import compile_loss
+from repro.core.loss.registry import LossRegistry
+from repro.diagnostics import Severity
+from repro.engine.catalog import Catalog
+from repro.engine.schema import ColumnType
+from repro.engine.sql.parser import parse_statement
+from repro.engine.table import Table
+
+
+def _loss_sql(body: str, params: str = "(Raw, Sam)", name: str = "l") -> str:
+    return (
+        f"CREATE AGGREGATE {name}{params} RETURN decimal_value AS\n"
+        f"BEGIN\n    {body}\nEND"
+    )
+
+
+def _analyze(sql: str):
+    return analyze_loss(parse_statement(sql), source=sql, filename="test.sql")
+
+
+def _codes(result) -> set:
+    return {d.code for d in result.diagnostics}
+
+
+# -- body-pass cases: (code, triggering body, clean body) -------------------
+BODY_CASES = [
+    ("TAB101", "ABS(MEDIAN(Raw) - MEDIAN(Sam))", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB102", "ABS(WEIRD(Raw) - AVG(Sam))", "ABS(SUM(Raw) - AVG(Sam))"),
+    ("TAB103", "ABS(AVG(Other) - AVG(Sam))", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB104", "AVG_MIN_DIST(Raw, Raw)", "AVG_MIN_DIST(Raw, Sam)"),
+    ("TAB105", "AVG(Raw, Sam)", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB106", "1 + 2", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB108", "FROB(AVG(Raw) - AVG(Sam))", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB109", "POW(AVG(Raw) - AVG(Sam))", "POW(AVG(Raw) - AVG(Sam), 2)"),
+    ("TAB201", "ABS((AVG(Raw) - AVG(Sam)) / AVG(Raw))",
+               "ABS(AVG(Raw) - AVG(Sam)) / (1 + COUNT(Raw))"),
+    ("TAB202", "SQRT(AVG(Raw) - AVG(Sam))", "SQRT(ABS(AVG(Raw) - AVG(Sam)))"),
+    ("TAB203", "ABS(LOG(COUNT(Sam)) - LOG(1 + COUNT(Raw)))",
+               "ABS(LOG(1 + COUNT(Sam)) - LOG(1 + COUNT(Raw)))"),
+    ("TAB204", "AVG(Raw) - AVG(Sam)", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB301", "ABS(AVG(Raw))", "ABS(AVG(Raw) - AVG(Sam))"),
+    ("TAB302", "ABS(AVG(Sam))", "ABS(AVG(Raw) - AVG(Sam))"),
+]
+
+
+@pytest.mark.parametrize("code,bad,good", BODY_CASES, ids=[c[0] for c in BODY_CASES])
+def test_body_code_golden(code, bad, good):
+    bad_sql = _loss_sql(bad)
+    result = _analyze(bad_sql)
+    hits = [d for d in result.diagnostics if d.code == code]
+    assert hits, f"{code} not emitted for {bad!r}; got {_codes(result)}"
+    diagnostic = hits[0]
+    assert diagnostic.severity == info(code).severity
+    assert diagnostic.span is not None, f"{code} carries no span"
+    assert 0 <= diagnostic.span.start < len(bad_sql)
+    assert code not in _codes(_analyze(_loss_sql(good))), f"{code} false positive on {good!r}"
+
+
+def test_tab107_parameter_count():
+    result = _analyze(_loss_sql("ABS(AVG(Raw) - AVG(Sam))", params="(Raw)"))
+    assert "TAB107" in _codes(result)
+    clean = _analyze(_loss_sql("ABS(AVG(Raw) - AVG(Sam))"))
+    assert "TAB107" not in _codes(clean)
+
+
+def test_tab001_syntax_error_from_lint():
+    result = lint_text("CREATE AGGREGATE broken(Raw, Sam", filename="x.sql")
+    assert [d.code for d in result.diagnostics] == ["TAB001"]
+    assert result.diagnostics[0].severity == Severity.ERROR
+    assert "TAB001" not in {
+        d.code
+        for d in lint_text(_loss_sql("ABS(AVG(Raw) - AVG(Sam))")).diagnostics
+    }
+
+
+# -- DDL cases --------------------------------------------------------------
+@pytest.fixture()
+def catalog():
+    table = Table.from_pydict(
+        {
+            "city": ["a", "b", "a", "b"],
+            "kind": ["x", "x", "y", "y"],
+            "fare": [1.0, 2.0, 3.0, 4.0],
+        },
+        types={"city": ColumnType.CATEGORY, "kind": ColumnType.CATEGORY},
+    )
+    cat = Catalog()
+    cat.register("rides", table)
+    return cat
+
+
+@pytest.fixture()
+def registry():
+    return LossRegistry()
+
+
+def _cube_sql(
+    *,
+    source: str = "rides",
+    cube: str = "city, kind",
+    theta: str = "0.1",
+    loss: str = "mean_loss",
+    targets: str = "fare",
+) -> str:
+    return (
+        f"CREATE TABLE c AS SELECT {cube}, SAMPLING(*, {theta}) AS sample "
+        f"FROM {source} GROUPBY CUBE({cube}) "
+        f"HAVING {loss}({targets}, Sam_global) > {theta}"
+    )
+
+
+def _ddl(sql: str, catalog, registry):
+    return analyze_cube(
+        parse_statement(sql), catalog=catalog, registry=registry, source=sql
+    )
+
+
+DDL_CASES = [
+    ("TAB401", {"source": "nope"}, {}),
+    ("TAB402", {"cube": "city, ghost"}, {}),
+    ("TAB403", {"targets": "ghost"}, {}),
+    ("TAB404", {"theta": "-0.5"}, {}),
+    ("TAB405", {"loss": "no_such_loss"}, {}),
+    ("TAB406", {"targets": "fare, fare"}, {}),
+    ("TAB407", {"targets": "city", "loss": "mean_loss"}, {"targets": "fare"}),
+]
+
+
+@pytest.mark.parametrize("code,bad_kw,good_kw", DDL_CASES, ids=[c[0] for c in DDL_CASES])
+def test_ddl_code_golden(code, bad_kw, good_kw, catalog, registry):
+    bad = _ddl(_cube_sql(**bad_kw), catalog, registry)
+    assert code in {d.code for d in bad}, f"{code} not emitted; got {[d.code for d in bad]}"
+    good = _ddl(_cube_sql(**good_kw), catalog, registry)
+    assert code not in {d.code for d in good}
+
+
+def test_tab403_non_numeric_target(catalog, registry):
+    found = _ddl(_cube_sql(targets="kind", cube="city"), catalog, registry)
+    hits = [d for d in found if d.code == "TAB403"]
+    assert hits and "CATEGORY" in hits[0].message
+
+
+def test_tab404_large_theta_is_warning_only(catalog, registry):
+    found = _ddl(_cube_sql(theta="1.5"), catalog, registry)
+    hits = [d for d in found if d.code == "TAB404"]
+    assert hits and hits[0].severity == Severity.WARNING
+
+
+def test_tab303_angle_loss_with_wrong_target_count(catalog, registry):
+    spec = compile_loss(parse_statement(
+        _loss_sql("ABS(ANGLE(Raw) - ANGLE(Sam))", name="angle_loss")
+    ))
+    registry.register(spec)
+    table = Table.from_pydict(
+        {"city": ["a", "b"], "x": [1.0, 2.0], "y": [3.0, 4.0], "z": [5.0, 6.0]},
+        types={"city": ColumnType.CATEGORY},
+    )
+    catalog.register("pts", table)
+    bad = _ddl(
+        _cube_sql(source="pts", cube="city", loss="angle_loss", targets="x, y, z"),
+        catalog, registry,
+    )
+    assert "TAB303" in {d.code for d in bad}
+    good = _ddl(
+        _cube_sql(source="pts", cube="city", loss="angle_loss", targets="x, y"),
+        catalog, registry,
+    )
+    assert "TAB303" not in {d.code for d in good}
+
+
+def test_every_code_has_a_golden_test():
+    """Completeness guard: a new TAB code must add a golden case."""
+    covered = {c for c, _, _ in BODY_CASES}
+    covered |= {c for c, _, _ in DDL_CASES}
+    covered |= {"TAB001", "TAB107", "TAB303"}
+    assert covered == set(all_codes())

@@ -1,0 +1,89 @@
+"""Unit tests for the interval lattice backing the hazard pass."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import intervals
+from repro.analysis.intervals import Interval
+
+
+def test_empty_interval_rejected():
+    with pytest.raises(ValueError):
+        Interval(1.0, 0.0)
+
+
+def test_predicates():
+    assert Interval(-1.0, 1.0).contains_zero
+    assert not Interval(0.5, 2.0).contains_zero
+    assert Interval(0.0, 3.0).is_nonnegative
+    assert not Interval(0.0, 3.0).is_positive
+    assert Interval(0.5, 3.0).is_positive
+    assert Interval(-2.0, 5.0).contains(5.0)
+    assert not Interval(-2.0, 5.0).contains(5.1)
+
+
+def test_arithmetic_soundness():
+    a = Interval(1.0, 2.0)
+    b = Interval(-3.0, 4.0)
+    # Every pointwise combination must land inside the abstract result.
+    for x in (1.0, 1.5, 2.0):
+        for y in (-3.0, 0.0, 4.0):
+            assert (a + b).contains(x + y)
+            assert (a - b).contains(x - y)
+            assert (a * b).contains(x * y)
+            assert (-b).contains(-y)
+
+
+def test_division_by_zero_containing_interval_is_top():
+    assert Interval(1.0, 2.0).divide(Interval(-1.0, 1.0)) == intervals.TOP
+
+
+def test_division_sound_when_denominator_nonzero():
+    result = Interval(1.0, 4.0).divide(Interval(2.0, 8.0))
+    for x in (1.0, 4.0):
+        for y in (2.0, 8.0):
+            assert result.contains(x / y)
+
+
+def test_zero_times_infinity_is_zero():
+    assert (intervals.point(0.0) * intervals.TOP) == intervals.point(0.0)
+
+
+def test_abs_transfer():
+    assert intervals.abs_(Interval(-3.0, 2.0)) == Interval(0.0, 3.0)
+    assert intervals.abs_(Interval(1.0, 2.0)) == Interval(1.0, 2.0)
+    assert intervals.abs_(Interval(-5.0, -1.0)) == Interval(1.0, 5.0)
+    assert intervals.abs_(intervals.TOP).is_nonnegative
+
+
+def test_sqrt_transfer():
+    assert intervals.sqrt_(Interval(4.0, 9.0)) == Interval(2.0, 3.0)
+    # Possibly-negative input: hi widens to inf (out-of-domain → inf).
+    widened = intervals.sqrt_(Interval(-1.0, 4.0))
+    assert widened.hi == math.inf
+    assert widened.is_nonnegative
+
+
+def test_log_transfer():
+    exact = intervals.log_(Interval(1.0, math.e))
+    assert exact.lo == 0.0 and abs(exact.hi - 1.0) < 1e-12
+    assert intervals.log_(Interval(0.0, 1.0)) == intervals.TOP
+
+
+def test_exp_transfer():
+    result = intervals.exp_(Interval(0.0, 1.0))
+    assert result.lo == 1.0 and abs(result.hi - math.e) < 1e-12
+    assert intervals.exp_(intervals.TOP).lo == 0.0
+
+
+def test_pow_transfer():
+    assert intervals.pow_(intervals.TOP, intervals.point(2.0)) == intervals.NON_NEGATIVE
+    assert intervals.pow_(Interval(0.0, 2.0), Interval(1.0, 3.0)) == intervals.NON_NEGATIVE
+    assert intervals.pow_(intervals.TOP, intervals.point(3.0)) == intervals.TOP
+
+
+def test_union():
+    assert Interval(0.0, 1.0).union(Interval(5.0, 6.0)) == Interval(0.0, 6.0)

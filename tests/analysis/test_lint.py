@@ -1,0 +1,130 @@
+"""Tests for the ``repro lint`` front end (library and CLI)."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import lint_inline, lint_path, lint_text
+from repro.cli import main
+from repro.diagnostics import line_col
+
+HOLISTIC_SQL = (
+    "CREATE AGGREGATE med_loss(Raw, Sam) RETURN decimal_value AS\n"
+    "BEGIN\n"
+    "    ABS(MEDIAN(Raw) - MEDIAN(Sam))\n"
+    "END"
+)
+
+
+class TestLintText:
+    def test_clean_script(self):
+        result = lint_text(
+            "CREATE AGGREGATE ok(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS(AVG(Raw) - AVG(Sam)) END"
+        )
+        assert result.error_count == 0
+
+    def test_holistic_flagged(self):
+        result = lint_text(HOLISTIC_SQL)
+        assert result.error_count == 2
+        assert all(d.code == "TAB101" for d in result.diagnostics)
+
+    def test_script_registry_accumulates(self):
+        # The DDL sees the loss declared earlier in the same script.
+        script = (
+            "CREATE AGGREGATE custom(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN ABS(AVG(Raw) - AVG(Sam)) END;\n"
+            "CREATE TABLE c AS SELECT a, SAMPLING(*, 0.1) AS sample "
+            "FROM t GROUPBY CUBE(a) HAVING custom(m, Sam_global) > 0.1"
+        )
+        assert lint_text(script).error_count == 0
+        # Without the declaration the same DDL is a TAB405.
+        ddl_only = script.split(";\n")[1]
+        codes = [d.code for d in lint_text(ddl_only).diagnostics]
+        assert codes == ["TAB405"]
+
+    def test_syntax_error_becomes_tab001(self):
+        result = lint_text("CREATE TABEL nope")
+        assert [d.code for d in result.diagnostics] == ["TAB001"]
+
+
+class TestLintInline:
+    def test_bare_expression_is_wrapped(self):
+        result = lint_inline("MEDIAN(Sam)")
+        assert [d.code for d in result.diagnostics] == ["TAB101"]
+
+    def test_full_statement_passes_through(self):
+        assert lint_inline(HOLISTIC_SQL).error_count == 2
+
+
+class TestLintPath:
+    def test_sql_file(self, tmp_path):
+        path = tmp_path / "loss.sql"
+        path.write_text(HOLISTIC_SQL)
+        result = lint_path(path)
+        assert result.files == 1 and result.error_count == 2
+        assert result.diagnostics[0].filename == str(path)
+
+    def test_markdown_extraction_with_line_fidelity(self, tmp_path):
+        path = tmp_path / "doc.md"
+        path.write_text("# Title\n\nProse.\n\n```sql\n" + HOLISTIC_SQL + "\n```\n")
+        result = lint_path(path)
+        assert result.error_count == 2
+        first = result.diagnostics[0]
+        # MEDIAN(Raw) is on line 3 of the block, which starts at file line 6.
+        line, _ = line_col(first.source, first.span.start)
+        assert line == 8
+
+    def test_markdown_template_blocks_skipped(self, tmp_path):
+        path = tmp_path / "doc.md"
+        path.write_text("```sql\nCREATE TABLE <cube> AS SELECT <attr>\n```\n")
+        result = lint_path(path)
+        assert result.chunks == 0 and result.error_count == 0
+
+    def test_python_string_extraction(self, tmp_path):
+        path = tmp_path / "example.py"
+        path.write_text(
+            "session = make()\n"
+            "session.execute(\n"
+            f"    '''{HOLISTIC_SQL}'''\n"
+            ")\n"
+        )
+        result = lint_path(path)
+        assert result.chunks == 1 and result.error_count == 2
+
+    def test_python_non_sql_strings_ignored(self, tmp_path):
+        path = tmp_path / "example.py"
+        path.write_text("x = 'hello world'\nprint(x)\n")
+        assert lint_path(path).chunks == 0
+
+
+class TestLintCli:
+    def test_median_prints_caret_and_fails(self, capsys):
+        exit_code = main(["lint", HOLISTIC_SQL])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "TAB101" in captured.out
+        assert "^~~~" in captured.out  # caret/underline snippet rendered
+        assert ":3:" in captured.out  # correct line for MEDIAN(Raw)
+
+    def test_clean_expression_passes(self, capsys):
+        exit_code = main(["lint", "ABS(AVG(Raw) - AVG(Sam))"])
+        assert exit_code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_strict_fails_on_warnings(self, capsys):
+        # Unsigned body: TAB204 warning, no errors.
+        expr = "AVG(Raw) - AVG(Sam)"
+        assert main(["lint", expr]) == 0
+        assert main(["lint", "--strict", expr]) == 1
+
+    def test_file_target(self, tmp_path, capsys):
+        path = tmp_path / "loss.sql"
+        path.write_text(HOLISTIC_SQL)
+        assert main(["lint", str(path)]) == 1
+        assert str(path) in capsys.readouterr().out
+
+
+def test_readme_documents_lint():
+    from pathlib import Path
+
+    readme = (Path(__file__).resolve().parents[2] / "README.md").read_text()
+    assert "repro lint" in readme

@@ -1,0 +1,87 @@
+"""Regression: the paper's loss functions must pass the analyzer cleanly.
+
+Two sources of truth are pinned:
+
+- the SQL-equivalent declarations of every registry built-in
+  (:mod:`repro.analysis.builtins_sql`);
+- every concrete ```sql block in ``docs/sql_dialect.md``.
+
+"Cleanly" means zero errors and zero warnings; NOTE-severity findings
+(e.g. the conservative division-by-zero note on ``mean_loss``) are
+allowed, matching the dialect's documented x/0 → inf semantics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_loss
+from repro.analysis.builtins_sql import BUILTIN_LOSS_SQL
+from repro.analysis.lint import lint_path
+from repro.core.loss.registry import LossRegistry
+from repro.diagnostics import Severity
+from repro.engine.sql.parser import parse_statement
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "sql_dialect.md"
+
+
+def test_builtins_sql_covers_every_registry_builtin():
+    assert set(BUILTIN_LOSS_SQL) == set(LossRegistry().names())
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_LOSS_SQL))
+def test_builtin_loss_analyzes_clean(name):
+    sql = BUILTIN_LOSS_SQL[name]
+    result = analyze_loss(parse_statement(sql), source=sql, filename=f"<{name}>")
+    loud = [d for d in result.diagnostics if d.severity >= Severity.WARNING]
+    assert not loud, "\n\n".join(d.render() for d in loud)
+
+
+@pytest.mark.parametrize("name", ["heatmap_loss", "regression_loss"])
+def test_paper_functions_2_and_3_are_note_free(name):
+    """The distance and regression losses have no hazards at all."""
+    sql = BUILTIN_LOSS_SQL[name]
+    result = analyze_loss(parse_statement(sql), source=sql)
+    assert result.diagnostics == ()
+
+
+def test_docs_sql_dialect_lints_clean():
+    result = lint_path(DOCS)
+    assert result.chunks >= 2, "docs lost their concrete ```sql examples"
+    loud = [d for d in result.diagnostics if d.severity >= Severity.WARNING]
+    assert not loud, "\n\n".join(d.render() for d in loud)
+
+
+def test_builtin_arities_match_analysis():
+    """The inferred minimum arity never exceeds the native spec's arity.
+
+    (They differ for the distance family: ``AVG_MIN_DIST`` works at any
+    dimensionality, so analysis infers 1, while the native heatmap
+    built-ins are fixed 2-D.)
+    """
+    registry = LossRegistry()
+    for name, sql in BUILTIN_LOSS_SQL.items():
+        result = analyze_loss(parse_statement(sql))
+        assert not result.has_errors
+        assert result.arity <= registry.get(name).arity, name
+        if result.uses_angle:
+            assert result.arity == 2 == registry.get(name).arity
+
+
+def test_docs_catalog_lists_every_code():
+    """The docs diagnostics catalog and codes.CODES stay in sync."""
+    from repro.analysis import all_codes
+
+    text = DOCS.read_text()
+    for code in all_codes():
+        assert f"`{code}`" in text, f"{code} missing from docs/sql_dialect.md"
+
+
+def test_builtin_sufficient_stats_are_bounded():
+    for name, sql in BUILTIN_LOSS_SQL.items():
+        result = analyze_loss(parse_statement(sql))
+        stats = result.sufficient_stats
+        assert stats is not None and stats.bounded, name
+        assert stats.total_size is not None and stats.total_size <= 12, name

@@ -1,0 +1,151 @@
+"""Span propagation through lexer → parser → AST, and error positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import Span, line_col, render_span
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import tokenize
+from repro.engine.sql.parser import parse_script, parse_statement
+from repro.errors import SQLSyntaxError
+
+
+class TestTokenSpans:
+    def test_token_spans_cover_their_text(self):
+        sql = "SELECT sample FROM cube WHERE a = 'x'"
+        for tok in tokenize(sql):
+            if tok.kind == "EOF":
+                continue
+            span = tok.span
+            if tok.kind == "STRING":
+                assert sql[span.start:span.end] == "'x'"
+            else:
+                # Keywords are case-normalized; the span still covers
+                # the original source text.
+                assert sql[span.start:span.end].upper() == tok.value.upper()
+
+    def test_end_offset_ignored_by_equality(self):
+        a, b = tokenize("AVG AVG")[:2]
+        assert (a.kind, a.value) == (b.kind, b.value)
+        assert a.span.start != b.span.start
+        assert a.span.length == b.span.length == 3
+
+
+class TestExprSpans:
+    def _body(self, body: str) -> ast.ScalarExpr:
+        sql = (
+            "CREATE AGGREGATE l(Raw, Sam) RETURN decimal_value AS "
+            f"BEGIN {body} END"
+        )
+        stmt = parse_statement(sql)
+        self.sql = sql
+        return stmt.body
+
+    def _text(self, node: ast.ScalarExpr) -> str:
+        return self.sql[node.span.start:node.span.end]
+
+    def test_agg_call_span(self):
+        body = self._body("AVG(Raw) - AVG(Sam)")
+        assert self._text(body.left) == "AVG(Raw)"
+        assert self._text(body.right) == "AVG(Sam)"
+        assert self._text(body) == "AVG(Raw) - AVG(Sam)"
+
+    def test_func_call_span_includes_closing_paren(self):
+        body = self._body("ABS(AVG(Raw) - AVG(Sam))")
+        assert self._text(body) == "ABS(AVG(Raw) - AVG(Sam))"
+
+    def test_arg_spans_point_at_each_dataset(self):
+        body = self._body("AVG_MIN_DIST(Raw, Sam)")
+        raw_span, sam_span = body.arg_spans
+        assert self.sql[raw_span.start:raw_span.end] == "Raw"
+        assert self.sql[sam_span.start:sam_span.end] == "Sam"
+
+    def test_unary_and_number_spans(self):
+        body = self._body("0.5 * (AVG(Raw) - AVG(Sam))")
+        assert self._text(body.left) == "0.5"
+
+    def test_spans_excluded_from_node_equality(self):
+        first = self._body("AVG(Raw) - AVG(Raw)")
+        assert first.left == first.right
+        assert first.left.span != first.right.span
+
+
+class TestStatementSpans:
+    def test_create_aggregate_statement_span(self):
+        sql = (
+            "CREATE AGGREGATE l(Raw, Sam) RETURN decimal_value AS "
+            "BEGIN AVG(Sam) END"
+        )
+        stmt = parse_statement(sql)
+        assert sql[stmt.span.start:stmt.span.end] == sql
+        assert sql[stmt.name_span.start:stmt.name_span.end] == "l"
+        p0, p1 = stmt.param_spans
+        assert sql[p0.start:p0.end] == "Raw"
+        assert sql[p1.start:p1.end] == "Sam"
+
+    def test_ddl_spans(self):
+        sql = (
+            "CREATE TABLE c AS SELECT a, b, SAMPLING(*, 0.1) AS sample "
+            "FROM t GROUPBY CUBE(a, b) HAVING mean_loss(m, Sam_global) > 0.1"
+        )
+        stmt = parse_statement(sql)
+        spans = stmt.spans
+        assert sql[spans.source.start:spans.source.end] == "t"
+        assert sql[spans.loss_name.start:spans.loss_name.end] == "mean_loss"
+        assert [sql[s.start:s.end] for s in spans.cube_attrs] == ["a", "b"]
+        # loss_args covers every HAVING argument incl. the global-sample ref.
+        assert [sql[s.start:s.end] for s in spans.loss_args] == ["m", "Sam_global"]
+
+    def test_parse_script_spans_index_full_text(self):
+        script = (
+            "CREATE AGGREGATE one(Raw, Sam) RETURN d AS BEGIN AVG(Sam) END;\n"
+            "CREATE AGGREGATE two(Raw, Sam) RETURN d AS BEGIN AVG(Raw) END"
+        )
+        first, second = parse_script(script)
+        assert script[first.name_span.start:first.name_span.end] == "one"
+        assert script[second.name_span.start:second.name_span.end] == "two"
+        assert second.span.start > first.span.end - 1
+
+    def test_parse_script_without_semicolons(self):
+        script = (
+            "CREATE AGGREGATE one(Raw, Sam) RETURN d AS BEGIN AVG(Sam) END\n"
+            "SELECT sample FROM c"
+        )
+        statements = parse_script(script)
+        assert len(statements) == 2
+
+
+class TestSyntaxErrorPositions:
+    def test_error_carries_line_and_column(self):
+        sql = "SELECT sample\nFROM tbl\nWHERE ="
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_statement(sql)
+        exc = excinfo.value
+        assert "(line 3" in str(exc)
+        assert exc.span is not None
+
+    def test_position_past_eof_is_clamped(self):
+        # EOF-position errors used to report a column past the text.
+        sql = "SELECT sample FROM"
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_statement(sql)
+        line, col = line_col(sql, excinfo.value.position)
+        assert line == 1 and col <= len(sql) + 1
+
+    def test_final_unterminated_line_column(self):
+        # Offset == len(text) on text ending without a newline.
+        assert line_col("ab", 2) == (1, 3 - 1 + 1) or line_col("ab", 2) == (1, 3)
+
+    def test_position_on_trailing_newline_reports_last_line(self):
+        assert line_col("ab\n", 3) == (1, 3)
+
+    def test_snippet_rendered(self):
+        sql = "SELECT sample FROM cube WHERE ="
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_statement(sql)
+        snippet = excinfo.value.snippet
+        assert "WHERE =" in snippet and "^" in snippet
+
+    def test_render_span_empty_text(self):
+        assert render_span("", Span.point(0)) == ""
