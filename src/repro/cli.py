@@ -6,6 +6,7 @@ Usage (``python -m repro.cli <command>``):
 - ``build`` — read a CSV table, initialize a sampling cube, save it;
 - ``query`` — answer a dashboard query from a saved cube;
 - ``info`` — summarize a saved cube;
+- ``cube verify`` — audit a saved cube's checksums and version;
 - ``sql`` — execute SQL statements against a CSV-backed session;
 - ``lint`` — run the static analyzer over SQL files or inline text.
 """
@@ -65,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--out", required=True, help="cube file to write")
+    build.add_argument(
+        "--checkpoint-dir",
+        help="journal build progress here; a killed build re-run with the "
+        "same directory resumes from the last completed cell",
+    )
     build.set_defaults(handler=cmd_build)
 
     query = commands.add_parser("query", help="answer a dashboard query from a cube")
@@ -82,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="summarize a saved cube")
     info.add_argument("--cube", required=True)
     info.set_defaults(handler=cmd_info)
+
+    cube = commands.add_parser("cube", help="operate on saved cube files")
+    cube_commands = cube.add_subparsers(dest="cube_command", required=True)
+    verify = cube_commands.add_parser(
+        "verify",
+        help="check a saved cube's format version and checksums; exits "
+        "non-zero on any corruption",
+    )
+    verify.add_argument("path", help="cube file to audit")
+    verify.add_argument(
+        "--quiet", action="store_true", help="print failures only"
+    )
+    verify.set_defaults(handler=cmd_cube_verify)
 
     sql = commands.add_parser("sql", help="run SQL statements against a CSV table")
     sql.add_argument("--table", required=True, help="CSV file registered as its basename")
@@ -144,7 +163,7 @@ def cmd_build(args) -> int:
             seed=args.seed,
         ),
     )
-    report = tabula.initialize()
+    report = tabula.initialize(checkpoint_dir=args.checkpoint_dir)
     declaration = None
     if args.loss_sql:
         with open(args.loss_sql) as handle:
@@ -202,6 +221,26 @@ def cmd_info(args) -> int:
     print(f"samples:          {len(samples)} ({sample_tuples} tuples)")
     print(f"global sample:    {document['global_sample']['table']['num_rows']} tuples")
     return 0
+
+
+def cmd_cube_verify(args) -> int:
+    from repro.core.persistence import verify_cube_file
+
+    report = verify_cube_file(args.path)
+    print(f"cube file:      {report.path}")
+    print(f"format version: {report.format_version}")
+    for status in report.sections:
+        if status.ok and args.quiet:
+            continue
+        mark = "ok  " if status.ok else "FAIL"
+        code = f" [{status.code}]" if status.code else ""
+        detail = f" — {status.detail}" if status.detail else ""
+        print(f"  {mark} {status.section}{code}{detail}")
+    if report.ok:
+        print("verdict: OK")
+        return 0
+    print(f"verdict: CORRUPT ({len(report.failures)} section(s) failed)")
+    return 1
 
 
 def cmd_sql(args) -> int:

@@ -46,12 +46,14 @@ class SamplingCubeStore:
         cell_to_sample_id: Dict[CellKey, int],
         samples: Dict[int, Table],
         known_cells: frozenset,
+        degraded_cells: Optional[Dict[CellKey, str]] = None,
     ):
         self.attrs = tuple(attrs)
         self.global_sample = global_sample
         self._cell_to_sample_id = dict(cell_to_sample_id)
         self._samples = dict(samples)
         self._known_cells = set(known_cells)
+        self._degraded_cells: Dict[CellKey, str] = dict(degraded_cells or {})
         self._next_sample_id = max(self._samples, default=-1) + 1
 
     # ------------------------------------------------------------------
@@ -68,9 +70,57 @@ class SamplingCubeStore:
     def sample_id_of(self, cell: CellKey) -> Optional[int]:
         return self._cell_to_sample_id.get(cell)
 
+    def sample_for_id(self, sample_id: int) -> Optional[Table]:
+        """The sample rows for an id, or ``None`` if the bytes are gone
+        (dropped at load after a checksum failure, or a dangling id)."""
+        return self._samples.get(sample_id)
+
     def is_known_cell(self, cell: CellKey) -> bool:
         """Whether the cell's population is non-empty in the raw table."""
         return cell in self._known_cells
+
+    # ------------------------------------------------------------------
+    # Degraded cells (corruption survivors served via the fallback ladder)
+    # ------------------------------------------------------------------
+    def is_degraded(self, cell: CellKey) -> bool:
+        return cell in self._degraded_cells
+
+    def degraded_reason(self, cell: CellKey) -> str:
+        return self._degraded_cells.get(cell, "")
+
+    @property
+    def degraded_cells(self) -> Dict[CellKey, str]:
+        return dict(self._degraded_cells)
+
+    def mark_degraded(self, cell: CellKey, reason: str) -> None:
+        """An iceberg cell whose certified sample is unavailable.
+
+        Its cube-table row is dropped (there is nothing to look up) but
+        the cell stays *known* and is remembered here so the query path
+        answers it via the fallback ladder with an honest
+        :class:`~repro.core.tabula.GuaranteeStatus` instead of raising.
+        """
+        old = self._cell_to_sample_id.pop(cell, None)
+        if old is not None:
+            self._collect_if_orphaned(old)
+        self._degraded_cells[cell] = reason
+        self._known_cells.add(cell)
+
+    def drop_sample(self, sample_id: int, reason: str) -> List[CellKey]:
+        """Remove a (corrupt) sample; every cell it served degrades."""
+        affected = [c for c, sid in self._cell_to_sample_id.items() if sid == sample_id]
+        for cell in affected:
+            self.mark_degraded(cell, reason)
+        self._samples.pop(sample_id, None)
+        return affected
+
+    def reassign(self, cell: CellKey, sample_id: int) -> None:
+        """Bind a degraded cell to an existing (re-verified) sample."""
+        if sample_id not in self._samples:
+            raise KeyError(f"no sample with id {sample_id}")
+        self._cell_to_sample_id[cell] = sample_id
+        self._degraded_cells.pop(cell, None)
+        self._known_cells.add(cell)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -124,6 +174,7 @@ class SamplingCubeStore:
         if old is not None:
             self._collect_if_orphaned(old)
         self._known_cells.add(cell)
+        self._degraded_cells.pop(cell, None)
         return sample_id
 
     def demote_to_global(self, cell: CellKey) -> None:
@@ -158,6 +209,35 @@ class SamplingCubeStore:
     def sample_table_entries(self) -> List[Tuple[int, Table]]:
         """The sample table as (id, rows) pairs (Figure 4b)."""
         return sorted(self._samples.items())
+
+    def content_digest(self) -> str:
+        """Digest of the store's *logical* content.
+
+        Sample ids are an internal allocation detail (replaying a
+        journaled batch re-allocates them), so equality is defined on
+        what queries can observe: each cell's answer rows, the known and
+        degraded cell sets, and the global sample. Two stores with equal
+        digests answer every dashboard query identically.
+        """
+        import hashlib
+        import json
+
+        def cell_key(cell: CellKey) -> str:
+            return repr(cell)
+
+        payload = {
+            "attrs": list(self.attrs),
+            "cells": {
+                cell_key(cell): self._samples[sid].to_pydict()
+                for cell, sid in self._cell_to_sample_id.items()
+                if sid in self._samples
+            },
+            "known": sorted(cell_key(c) for c in self._known_cells),
+            "degraded": {cell_key(c): r for c, r in self._degraded_cells.items()},
+            "global_sample": self.global_sample.table.to_pydict(),
+        }
+        text = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def describe(self, limit: int = 10) -> str:
         """Human-readable summary used by examples and debugging."""

@@ -31,6 +31,11 @@ from repro.core.loss.base import LossFunction
 from repro.engine.cube import CellKey, align_cell_key, grouping_sets
 from repro.engine.groupby import group_rows
 from repro.engine.table import Table
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_DRYRUN_DONE = register_fault_point(
+    "init.dryrun.done", "dry run derived every cuboid, result not yet returned"
+)
 
 
 @dataclass
@@ -157,6 +162,7 @@ def dry_run(
         for gset in grouping_sets(attrs)
     }
     lattice = CuboidLattice(attrs, nodes)
+    fault_point(FP_DRYRUN_DONE)
     return DryRunResult(
         attrs=attrs,
         threshold=threshold,

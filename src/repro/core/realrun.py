@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,14 @@ from repro.core.sampling import SamplingResult, sample_with_pool
 from repro.engine.cube import CellKey, align_cell_key
 from repro.engine.groupby import group_rows
 from repro.engine.table import Table
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_CELL_START = register_fault_point(
+    "init.realrun.cell_start", "before sampling one iceberg cell"
+)
+FP_CELL_SAMPLED = register_fault_point(
+    "init.realrun.cell_sampled", "cell sampled, before the on_cell hook runs"
+)
 
 
 @dataclass
@@ -74,6 +82,9 @@ def real_run(
     pool_size: Optional[int] = 2000,
     force_strategy: Optional[str] = None,
     skip_sampling: bool = False,
+    completed: Optional[Mapping[CellKey, "object"]] = None,
+    cell_rng: Optional[Callable[[CellKey], np.random.Generator]] = None,
+    on_cell: Optional[Callable[["IcebergCellEntry"], None]] = None,
 ) -> RealRunResult:
     """Materialize local samples for every iceberg cell.
 
@@ -89,6 +100,16 @@ def real_run(
         skip_sampling: only retrieve each iceberg cell's raw rows, do
             not draw samples — isolates the retrieval cost the cost
             model reasons about (ablation use only).
+        completed: checkpointed cells (objects with ``sample_indices``,
+            ``achieved_loss``, ``rounds``, ``evaluations``); their
+            recorded samples are adopted instead of re-drawn, which is
+            how a killed build resumes without redoing finished work.
+        cell_rng: when given, each cell is sampled with its own
+            generator (``cell_rng(cell)``) instead of the shared stream,
+            making the drawn sample independent of visit order — the
+            property that lets resumed and uninterrupted builds agree.
+        on_cell: called after each *newly sampled* cell (checkpoint
+            recording hook); not called for adopted ``completed`` cells.
     """
     started = time.perf_counter()
     values = loss.extract(table)
@@ -124,18 +145,30 @@ def real_run(
                     )
                 )
                 continue
+            record = completed.get(key) if completed else None
+            if record is not None:
+                cells.append(_adopt_checkpointed(key, idx, dry, record))
+                continue
+            fault_point(FP_CELL_START)
             result = sample_with_pool(
-                loss, values[idx], dry.threshold, rng, pool_size=pool_size, lazy=lazy
+                loss,
+                values[idx],
+                dry.threshold,
+                cell_rng(key) if cell_rng is not None else rng,
+                pool_size=pool_size,
+                lazy=lazy,
             )
-            cells.append(
-                IcebergCellEntry(
-                    key=key,
-                    raw_indices=idx,
-                    sample_indices=idx[result.indices],
-                    stats=dry.iceberg_stats[key],
-                    sampling=result,
-                )
+            entry = IcebergCellEntry(
+                key=key,
+                raw_indices=idx,
+                sample_indices=idx[result.indices],
+                stats=dry.iceberg_stats[key],
+                sampling=result,
             )
+            fault_point(FP_CELL_SAMPLED)
+            if on_cell is not None:
+                on_cell(entry)
+            cells.append(entry)
     return RealRunResult(
         cells=cells,
         decisions=decisions,
@@ -183,6 +216,25 @@ def _cuboid_cell_rows(
             key = align_cell_key(gset, projected, all_attrs)
             out[key] = groups.group_indices[g]
     return out
+
+
+def _adopt_checkpointed(key: CellKey, idx: np.ndarray, dry: DryRunResult, record) -> IcebergCellEntry:
+    """Rebuild a cell entry from its checkpoint record (sample order kept)."""
+    sample_raw = np.asarray(record.sample_indices, dtype=np.int64)
+    position_of = {int(raw): pos for pos, raw in enumerate(idx)}
+    positions = np.asarray([position_of[int(r)] for r in sample_raw], dtype=np.int64)
+    return IcebergCellEntry(
+        key=key,
+        raw_indices=idx,
+        sample_indices=sample_raw,
+        stats=dry.iceberg_stats[key],
+        sampling=SamplingResult(
+            indices=positions,
+            achieved_loss=record.achieved_loss,
+            rounds=record.rounds,
+            evaluations=record.evaluations,
+        ),
+    )
 
 
 def _project_key(key: CellKey, gset: Tuple[str, ...], all_attrs: Tuple[str, ...]) -> Tuple:

@@ -11,8 +11,10 @@ with ``TabulaConfig.sample_selection=False``.
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
@@ -38,6 +40,15 @@ from repro.engine.expressions import (
 )
 from repro.engine.table import Table
 from repro.errors import CubeNotInitializedError, InvalidQueryError
+from repro.resilience.checkpoint import InitCheckpoint, rng_for_cell, table_fingerprint
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_GLOBAL_SAMPLE = register_fault_point(
+    "init.global_sample.drawn", "global sample drawn, dry run not started"
+)
+FP_SELECTION_DONE = register_fault_point(
+    "init.selection.done", "representatives selected, store not yet assembled"
+)
 
 
 @dataclass
@@ -55,6 +66,14 @@ class TabulaConfig:
         samgraph_max_pairs: optional cap making the representation join
             non-exhaustive (correct but less compact).
         seed: randomness seed (global sample, pools).
+        degraded_rebind: when a cell's sample is missing/corrupt, try to
+            re-verify a surviving representative against the cell's raw
+            population before downgrading (self-healing; costs one raw
+            scan of the affected cell only).
+        degraded_fallback: which rung follows a failed rebind for a
+            degraded cell — ``"global"`` (cheap, answer is honest but
+            carries no θ-certificate → ``DOWNGRADED``) or ``"raw"``
+            (exact full scan → ``CERTIFIED``, at raw-scan cost).
     """
 
     cubed_attrs: Tuple[str, ...]
@@ -67,6 +86,15 @@ class TabulaConfig:
     pool_size: Optional[int] = 2000
     samgraph_max_pairs: Optional[int] = None
     seed: int = 0
+    degraded_rebind: bool = True
+    degraded_fallback: str = "global"
+
+    def __post_init__(self):
+        if self.degraded_fallback not in ("global", "raw"):
+            raise ValueError(
+                f"degraded_fallback must be 'global' or 'raw', got "
+                f"{self.degraded_fallback!r}"
+            )
 
 
 @dataclass
@@ -87,19 +115,60 @@ class InitializationReport:
     cost_decisions: Dict[Tuple[str, ...], costmodel.CostDecision] = field(default_factory=dict)
 
 
+class GuaranteeStatus(enum.Enum):
+    """Whether the θ-certificate held for one query's answer.
+
+    The query path *never* silently returns an unguaranteed answer: any
+    fallback below a certified sample is recorded here.
+
+    - ``CERTIFIED`` — ``loss(raw answer, returned sample) <= θ`` holds
+      by construction (materialized sample, the global sample for a
+      certified non-iceberg cell, an exact raw scan, or an exact empty
+      answer for an empty population);
+    - ``DOWNGRADED`` — the certificate is void but an honest approximate
+      answer was still served (e.g. the global sample for an iceberg
+      cell whose local sample was lost to corruption);
+    - ``VOID`` — no answer could be produced; the returned table is a
+      placeholder and must not be trusted.
+    """
+
+    CERTIFIED = "certified"
+    DOWNGRADED = "downgraded"
+    VOID = "void"
+
+    @property
+    def rank(self) -> int:
+        return ("certified", "downgraded", "void").index(self.value)
+
+    @classmethod
+    def worst(cls, statuses) -> "GuaranteeStatus":
+        """The weakest status in an iterable (for union answers)."""
+        worst = cls.CERTIFIED
+        for status in statuses:
+            if status.rank > worst.rank:
+                worst = status
+        return worst
+
+
 @dataclass
 class QueryResult:
     """One dashboard interaction's answer.
 
     ``source`` is ``"local"`` (a materialized representative sample),
-    ``"global"`` (the cell is not iceberg), or ``"empty"`` (the selected
-    population has no rows).
+    ``"global"`` (the global sample), ``"representative"`` (a surviving
+    representative re-verified for a degraded cell), ``"raw"`` (exact
+    raw-scan fallback), ``"empty"`` (the selected population has no
+    rows), or ``"void"`` (degraded cell with every fallback exhausted).
+    ``guarantee`` records whether the θ-certificate held for this
+    answer; ``detail`` carries the degradation reason when it did not.
     """
 
     sample: Table
     source: str
     cell: CellKey
     data_system_seconds: float
+    guarantee: GuaranteeStatus = GuaranteeStatus.CERTIFIED
+    detail: str = ""
 
 
 def _cartesian_queries(sets: Mapping[str, list]):
@@ -129,21 +198,74 @@ class Tabula:
     # ------------------------------------------------------------------
     # Initialization (the CREATE TABLE ... GROUPBY CUBE ... query)
     # ------------------------------------------------------------------
-    def initialize(self) -> InitializationReport:
-        """Build the partially materialized sampling cube."""
+    def initialize(
+        self, checkpoint_dir: Optional[Union[str, Path]] = None
+    ) -> InitializationReport:
+        """Build the partially materialized sampling cube.
+
+        Args:
+            checkpoint_dir: when given, the build journals its progress
+                there (dry-run partition statistics, then one record per
+                materialized cell) and a killed build *resumes* from the
+                last completed cell on the next call with the same
+                directory. A resumed build produces a cube store
+                identical to an uninterrupted one: the global sample is
+                replayed from the checkpoint and every cell is sampled
+                with its own seed derived from ``(config.seed, cell)``,
+                so nothing depends on where the crash happened. Discard
+                the directory once the cube is persisted
+                (:meth:`repro.resilience.checkpoint.InitCheckpoint.discard`).
+        """
         cfg = self.config
         started = time.perf_counter()
 
-        global_sample = draw_global_sample(self.table, self._rng, cfg.epsilon, cfg.delta)
-        dry = dry_run(self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample)
-        real = real_run(
-            self.table,
-            dry,
-            cfg.loss,
-            self._rng,
-            lazy=cfg.lazy_sampling,
-            pool_size=cfg.pool_size,
-        )
+        if checkpoint_dir is None:
+            global_sample = draw_global_sample(self.table, self._rng, cfg.epsilon, cfg.delta)
+            fault_point(FP_GLOBAL_SAMPLE)
+            dry = dry_run(self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample)
+            real = real_run(
+                self.table,
+                dry,
+                cfg.loss,
+                self._rng,
+                lazy=cfg.lazy_sampling,
+                pool_size=cfg.pool_size,
+            )
+        else:
+            checkpoint = InitCheckpoint(checkpoint_dir)
+            checkpoint.open(self._checkpoint_fingerprint())
+            loaded = checkpoint.load_dryrun(self.table)
+            if loaded is None:
+                # The global draw uses a dedicated generator (not the
+                # shared stream): on resume the sample is *loaded*, so no
+                # generator state may depend on having drawn it.
+                global_sample = draw_global_sample(
+                    self.table, np.random.default_rng(cfg.seed), cfg.epsilon, cfg.delta
+                )
+                fault_point(FP_GLOBAL_SAMPLE)
+                dry = dry_run(
+                    self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample
+                )
+                checkpoint.save_dryrun(global_sample, dry)
+            else:
+                global_sample, dry = loaded
+            real = real_run(
+                self.table,
+                dry,
+                cfg.loss,
+                self._rng,
+                lazy=cfg.lazy_sampling,
+                pool_size=cfg.pool_size,
+                completed=checkpoint.completed_cells(),
+                cell_rng=lambda cell: rng_for_cell(cfg.seed, cell),
+                on_cell=lambda e: checkpoint.record_cell(
+                    e.key,
+                    e.sample_indices,
+                    e.sampling.achieved_loss,
+                    e.sampling.rounds,
+                    e.sampling.evaluations,
+                ),
+            )
 
         selection_seconds = 0.0
         if cfg.sample_selection and real.cells:
@@ -170,6 +292,7 @@ class Tabula:
                 sid: self.table.take(cell.sample_indices)
                 for sid, cell in enumerate(real.cells)
             }
+        fault_point(FP_SELECTION_DONE)
 
         self._store = SamplingCubeStore(
             attrs=cfg.cubed_attrs,
@@ -195,6 +318,24 @@ class Tabula:
             cost_decisions=real.decisions,
         )
         return self._report
+
+    def _checkpoint_fingerprint(self) -> Dict[str, object]:
+        """What must match for a checkpointed build to be resumable."""
+        cfg = self.config
+        return {
+            "attrs": list(cfg.cubed_attrs),
+            "threshold": cfg.threshold,
+            "loss": cfg.loss.name,
+            "target_attrs": list(cfg.loss.target_attrs),
+            "epsilon": cfg.epsilon,
+            "delta": cfg.delta,
+            "lazy_sampling": cfg.lazy_sampling,
+            "sample_selection": cfg.sample_selection,
+            "pool_size": cfg.pool_size,
+            "samgraph_max_pairs": cfg.samgraph_max_pairs,
+            "seed": cfg.seed,
+            "table": table_fingerprint(self.table),
+        }
 
     def attach_store(self, store: SamplingCubeStore) -> None:
         """Adopt an externally built (e.g. persisted) sampling cube.
@@ -236,20 +377,92 @@ class Tabula:
                     return self.query_union(_cartesian_queries(sets))
         started = time.perf_counter()
         cell = self._cell_for(where)
-        sample = store.lookup(cell)
-        if sample is not None:
-            source = "local"
-        elif store.is_known_cell(cell):
-            sample = store.global_sample.table
-            source = "global"
-        else:
-            sample = Table.empty_like(self.table)
-            source = "empty"
+        sample_id = store.sample_id_of(cell)
+        if sample_id is not None:
+            sample = store.sample_for_id(sample_id)
+            if sample is not None:
+                return QueryResult(
+                    sample=sample,
+                    source="local",
+                    cell=cell,
+                    data_system_seconds=time.perf_counter() - started,
+                    guarantee=GuaranteeStatus.CERTIFIED,
+                )
+            # Dangling sample id (corruption survivor): degrade rather
+            # than raise — the dashboard still gets an honest answer.
+            store.mark_degraded(cell, f"sample {sample_id} is missing from the store")
+        if store.is_degraded(cell):
+            return self._degraded_answer(cell, started)
+        if store.is_known_cell(cell):
+            return QueryResult(
+                sample=store.global_sample.table,
+                source="global",
+                cell=cell,
+                data_system_seconds=time.perf_counter() - started,
+                guarantee=GuaranteeStatus.CERTIFIED,
+            )
         return QueryResult(
-            sample=sample,
-            source=source,
+            sample=Table.empty_like(self.table),
+            source="empty",
             cell=cell,
             data_system_seconds=time.perf_counter() - started,
+            guarantee=GuaranteeStatus.CERTIFIED,
+        )
+
+    def _degraded_answer(self, cell: CellKey, started: float) -> QueryResult:
+        """The fallback ladder for a cell whose certified sample is gone.
+
+        local sample → (re-verified) representative sample → global
+        sample → raw scan, with :class:`GuaranteeStatus` recording how
+        far the answer fell. The ladder never raises: the worst outcome
+        is an explicit ``VOID``.
+        """
+        cfg = self.config
+        store = self._require_store()
+        reason = store.degraded_reason(cell) or "sample unavailable"
+        if cfg.degraded_rebind:
+            raw_indices = self._cell_row_indices(cell)
+            if raw_indices.size:
+                cell_values = cfg.loss.extract(self.table.take(raw_indices))
+                for sid, sample in store.sample_table_entries():
+                    if cfg.loss.loss(cell_values, cfg.loss.extract(sample)) <= cfg.threshold:
+                        store.reassign(cell, sid)
+                        return QueryResult(
+                            sample=sample,
+                            source="representative",
+                            cell=cell,
+                            data_system_seconds=time.perf_counter() - started,
+                            guarantee=GuaranteeStatus.CERTIFIED,
+                            detail=f"rebound to re-verified sample {sid} after: {reason}",
+                        )
+        rungs = ("global", "raw") if cfg.degraded_fallback == "global" else ("raw", "global")
+        for rung in rungs:
+            if rung == "global" and store.global_sample.size > 0:
+                return QueryResult(
+                    sample=store.global_sample.table,
+                    source="global",
+                    cell=cell,
+                    data_system_seconds=time.perf_counter() - started,
+                    guarantee=GuaranteeStatus.DOWNGRADED,
+                    detail=f"θ-certificate void for this cell: {reason}",
+                )
+            if rung == "raw" and self.table.num_rows:
+                raw = self.table.take(self._cell_row_indices(cell))
+                return QueryResult(
+                    sample=raw,
+                    source="raw",
+                    cell=cell,
+                    data_system_seconds=time.perf_counter() - started,
+                    guarantee=GuaranteeStatus.CERTIFIED,
+                    detail=f"exact raw-scan fallback after: {reason}",
+                )
+        return QueryResult(
+            sample=Table.empty_like(self.table),
+            source="void",
+            cell=cell,
+            data_system_seconds=time.perf_counter() - started,
+            guarantee=GuaranteeStatus.VOID,
+            detail=f"no fallback could answer this cell: {reason}",
         )
 
     def query_union(self, cell_queries) -> QueryResult:
@@ -273,10 +486,15 @@ class Tabula:
         started = time.perf_counter()
         pieces = []
         cells = []
+        statuses = []
+        details = []
         for query in cell_queries:
             result = self.query(query)
             cells.append(result.cell)
-            if result.source != "empty":
+            statuses.append(result.guarantee)
+            if result.detail:
+                details.append(result.detail)
+            if result.source not in ("empty", "void"):
                 pieces.append(result.sample)
         if pieces:
             combined = pieces[0]
@@ -291,6 +509,8 @@ class Tabula:
             source=source,
             cell=cells[0] if len(cells) == 1 else tuple(cells),
             data_system_seconds=time.perf_counter() - started,
+            guarantee=GuaranteeStatus.worst(statuses),
+            detail="; ".join(details),
         )
 
     def explain(self, where: Union[Predicate, Mapping[str, object], None]) -> Dict[str, object]:
@@ -306,9 +526,13 @@ class Tabula:
         store = self._require_store()
         cell = self._cell_for(where)
         sample_id = store.sample_id_of(cell)
-        if sample_id is not None:
+        sample = store.sample_for_id(sample_id) if sample_id is not None else None
+        if sample is not None:
             source = "local"
-            rows = store.lookup(cell).num_rows
+            rows = sample.num_rows
+        elif sample_id is not None or store.is_degraded(cell):
+            source = "degraded"
+            rows = None
         elif store.is_known_cell(cell):
             source = "global"
             rows = store.global_sample.size
@@ -325,6 +549,7 @@ class Tabula:
             "answer_rows": rows,
             "threshold": self.config.threshold,
             "certified_loss": certified,
+            "degraded_reason": store.degraded_reason(cell) or None,
         }
 
     def raw_answer(self, where: Union[Predicate, Mapping[str, object], None]) -> Table:
@@ -335,13 +560,17 @@ class Tabula:
         returned samples.
         """
         cell = self._cell_for(where)
+        return self.table.take(self._cell_row_indices(cell))
+
+    def _cell_row_indices(self, cell: CellKey) -> np.ndarray:
+        """Raw-table row indices of a cell's population."""
         mask = np.ones(self.table.num_rows, dtype=bool)
         for attr, value in zip(self.config.cubed_attrs, cell):
             if value is None:
                 continue
             col = self.table.column(attr)
             mask &= col.data == col.encode(value)
-        return self.table.filter(mask)
+        return np.nonzero(mask)[0]
 
     def actual_loss(self, where: Union[Predicate, Mapping[str, object], None]) -> float:
         """The realized ``loss(raw answer, returned sample)`` for a query."""

@@ -12,9 +12,13 @@ generator's.
 
 from __future__ import annotations
 
+import time
+import urllib.error
+import urllib.request
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,7 +26,8 @@ from repro.engine.column import Column
 from repro.engine.io import read_csv
 from repro.engine.schema import ColumnType
 from repro.engine.table import Table
-from repro.errors import SchemaError
+from repro.errors import SchemaError, TabulaError
+from repro.resilience.atomic import atomic_write_bytes
 
 #: TLC export column -> our column, for the fields used in this repo.
 TLC_COLUMN_MAP: Dict[str, str] = {
@@ -60,6 +65,105 @@ _RATE_CODES = {"1": "standard", "2": "jfk", "3": "newark", "5": "negotiated"}
 
 #: NYC bounding box used to normalize coordinates to the unit square.
 NYC_BBOX: Tuple[float, float, float, float] = (-74.3, -73.7, 40.5, 41.0)
+
+
+class FetchError(TabulaError):
+    """Downloading a TLC export failed after every retry attempt."""
+
+    def __init__(self, message: str, *, url: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.url = url
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class FetchReport:
+    """How one :func:`fetch_tlc_csv` download went."""
+
+    url: str
+    destination: str
+    bytes_written: int
+    attempts: int
+    #: seconds slept between attempts (one entry per retry).
+    backoffs: Tuple[float, ...]
+
+
+def fetch_tlc_csv(
+    url: str,
+    destination: Union[str, Path],
+    *,
+    timeout: float = 30.0,
+    max_attempts: int = 5,
+    base_delay: float = 0.5,
+    max_delay: float = 8.0,
+    jitter: float = 0.25,
+    transport: Optional[Callable[[str, float], bytes]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[np.random.Generator] = None,
+) -> FetchReport:
+    """Download a TLC CSV export with retry, backoff and a timeout.
+
+    TLC's public endpoints throttle and drop connections routinely, so a
+    bare ``urlretrieve`` makes dataset bootstrap flaky. This fetcher
+    retries transient transport failures (``OSError``/``URLError``,
+    which includes timeouts and connection resets) with capped
+    exponential backoff plus deterministic jitter, enforces a
+    per-request timeout, and lands the bytes via an atomic write — a
+    failed or interrupted download never leaves a truncated file at
+    ``destination``, and a previously downloaded good file survives.
+
+    Args:
+        timeout: per-request timeout in seconds.
+        max_attempts: total tries before giving up with
+            :class:`FetchError`.
+        base_delay / max_delay: the retry after attempt ``k`` (1-based)
+            waits ``min(max_delay, base_delay * 2**(k-1))`` seconds,
+            scaled by jitter.
+        jitter: each delay is multiplied by ``1 + jitter * u`` with
+            ``u ~ U[0, 1)`` drawn from ``rng`` (seeded from the URL by
+            default, so test runs are reproducible).
+        transport: override for testing — ``transport(url, timeout)``
+            returning the payload bytes.
+        sleep: override for testing the backoff schedule.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    if transport is None:
+        transport = _http_get
+    if rng is None:
+        rng = np.random.default_rng(zlib.crc32(url.encode("utf-8")))
+    backoffs = []
+    last_error: Optional[Exception] = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            payload = transport(url, timeout)
+        except (OSError, urllib.error.URLError) as exc:
+            last_error = exc
+            if attempt == max_attempts:
+                break
+            delay = min(max_delay, base_delay * 2 ** (attempt - 1))
+            delay *= 1.0 + jitter * float(rng.random())
+            backoffs.append(delay)
+            sleep(delay)
+            continue
+        atomic_write_bytes(destination, payload)
+        return FetchReport(
+            url=url,
+            destination=str(destination),
+            bytes_written=len(payload),
+            attempts=attempt,
+            backoffs=tuple(backoffs),
+        )
+    raise FetchError(
+        f"failed to fetch {url} after {max_attempts} attempts: {last_error}",
+        url=url,
+        attempts=max_attempts,
+    )
+
+
+def _http_get(url: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:  # noqa: S310
+        return response.read()
 
 
 @dataclass(frozen=True)

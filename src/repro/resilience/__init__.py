@@ -1,0 +1,39 @@
+"""Fault tolerance for the cube lifecycle (build / persist / maintain / query).
+
+The sampling cube is built once and is expensive; everything in this
+package exists so a crash at any point of its lifecycle cannot destroy
+it or silently void the θ-guarantee:
+
+- :mod:`repro.resilience.faults` — deterministic fault-injection
+  harness (named fault points, ``CrashPoint``/``IOFault``/``SlowIO``);
+- :mod:`repro.resilience.atomic` — atomic file replacement (temp file +
+  fsync + ``os.replace``) used by persistence, journals and fetches;
+- :mod:`repro.resilience.journal` — checksummed append-only logs and
+  the maintenance write-ahead journal;
+- :mod:`repro.resilience.checkpoint` — the resumable-initialization
+  checkpoint protocol.
+"""
+
+from repro.resilience.faults import (
+    CrashPoint,
+    InjectedCrash,
+    InjectedIOError,
+    IOFault,
+    SlowIO,
+    fault_point,
+    inject,
+    register_fault_point,
+    registered_fault_points,
+)
+
+__all__ = [
+    "CrashPoint",
+    "InjectedCrash",
+    "InjectedIOError",
+    "IOFault",
+    "SlowIO",
+    "fault_point",
+    "inject",
+    "register_fault_point",
+    "registered_fault_points",
+]

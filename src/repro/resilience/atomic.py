@@ -1,0 +1,82 @@
+"""Crash-safe file replacement: temp file + fsync + ``os.replace``.
+
+A plain ``path.write_text(...)`` killed mid-write leaves a truncated
+file *in place of* the previous good one — the worst outcome for a
+persisted cube. The helpers here guarantee that at every instant the
+destination path holds either the complete old contents or the complete
+new contents, never a torn mixture:
+
+1. write the payload to a unique sibling temp file;
+2. flush + ``os.fsync`` the temp file (bytes durable before the swap);
+3. ``os.replace`` — atomic within a filesystem by POSIX/NTFS contract;
+4. best-effort fsync of the parent directory (the rename itself).
+
+Fault points bracket each step so the fault-injection tests can kill
+the process at every stage and assert the old file survives.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_TMP_WRITTEN = register_fault_point(
+    "persist.atomic.tmp_written", "temp file written+fsynced, not yet swapped in"
+)
+FP_BEFORE_REPLACE = register_fault_point(
+    "persist.atomic.before_replace", "immediately before os.replace"
+)
+FP_AFTER_REPLACE = register_fault_point(
+    "persist.atomic.after_replace", "after os.replace, before directory fsync"
+)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Atomically replace ``path``'s contents with ``data``."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point(FP_TMP_WRITTEN)
+        fault_point(FP_BEFORE_REPLACE)
+        os.replace(tmp, path)
+    except BaseException:
+        # The destination is untouched; drop the partial temp file. The
+        # bare unlink stays best-effort: cleanup must not mask the
+        # original failure (including an injected crash).
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    fault_point(FP_AFTER_REPLACE)
+    fsync_directory(path.parent)
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path``'s contents with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def fsync_directory(directory: Union[str, Path]) -> None:
+    """Best-effort fsync of a directory (persists renames on POSIX)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,199 @@
+"""Deterministic fault-injection harness.
+
+Production code threads *named fault points* through the crash-sensitive
+paths of the cube lifecycle (``fault_point("persist.atomic.tmp_written")``
+and friends). In normal operation a fault point is a no-op costing one
+list check. Under test, :func:`inject` arms faults that trip at the Nth
+hit of a point:
+
+    with inject(CrashPoint("persist.atomic.before_replace")):
+        with pytest.raises(InjectedCrash):
+            save_cube(tabula, path)
+
+Fault kinds:
+
+- :class:`CrashPoint` — raises :class:`InjectedCrash` (simulated process
+  death; derives from ``BaseException`` so no library ``except
+  Exception`` can accidentally swallow the "kill");
+- :class:`IOFault` — raises :class:`InjectedIOError` (an ``OSError``
+  subclass, simulating EIO/ENOSPC-style failures that code is expected
+  to surface or recover from);
+- :class:`SlowIO` — sleeps at the hit, then continues (latency probe).
+
+Every instrumented site registers its point at import time via
+:func:`register_fault_point`, so tests can *enumerate* the registry and
+prove recovery at every point (the kill-at-every-point property).
+Injection is process-local and deterministic: same code path, same hit
+counts, same trip.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death at a fault point.
+
+    Deliberately a ``BaseException``: recovery code must never be able
+    to "handle" a kill — only a restart (or the test harness) sees it.
+    """
+
+    def __init__(self, point: str, hit: int):
+        super().__init__(f"injected crash at fault point {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+class InjectedIOError(OSError):
+    """A simulated I/O failure at a fault point."""
+
+    def __init__(self, point: str, message: str):
+        super().__init__(f"{message} (injected at fault point {point!r})")
+        self.point = point
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, str] = {}
+
+
+def register_fault_point(name: str, description: str = "") -> str:
+    """Declare a named fault point (idempotent; returns the name).
+
+    Instrumented modules call this at import time so the full set of
+    points is discoverable without executing any lifecycle code.
+    """
+    _REGISTRY.setdefault(name, description)
+    if description and not _REGISTRY[name]:
+        _REGISTRY[name] = description
+    return name
+
+
+def registered_fault_points() -> Tuple[str, ...]:
+    """All declared fault points, sorted (the kill-at-every-point set)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def fault_point_description(name: str) -> str:
+    return _REGISTRY.get(name, "")
+
+
+# ---------------------------------------------------------------------------
+# Fault specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base spec: trip at the ``at``-th hit (1-based) of ``point``."""
+
+    point: str
+    at: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 1:
+            raise ValueError(f"'at' must be >= 1, got {self.at}")
+
+
+@dataclass(frozen=True)
+class CrashPoint(FaultSpec):
+    """Simulate process death at the Nth hit of a point."""
+
+
+@dataclass(frozen=True)
+class IOFault(FaultSpec):
+    """Raise an OSError at the Nth hit of a point."""
+
+    message: str = "injected I/O fault"
+
+
+@dataclass(frozen=True)
+class SlowIO(FaultSpec):
+    """Sleep ``seconds`` at the Nth hit of a point, then continue."""
+
+    seconds: float = 0.01
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+
+class _Armed:
+    """One armed fault: hit counting plus one-shot trip bookkeeping."""
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.hits = 0
+        self.tripped = False
+
+    def visit(self, name: str) -> None:
+        if name != self.spec.point:
+            return
+        self.hits += 1
+        if self.tripped or self.hits != self.spec.at:
+            return
+        self.tripped = True
+        if isinstance(self.spec, CrashPoint):
+            raise InjectedCrash(name, self.hits)
+        if isinstance(self.spec, IOFault):
+            raise InjectedIOError(name, self.spec.message)
+        if isinstance(self.spec, SlowIO):
+            self.spec.sleep(self.spec.seconds)
+
+
+class InjectionHandle:
+    """Introspection over the faults armed by one :func:`inject` block."""
+
+    def __init__(self, armed: List[_Armed]):
+        self._armed = armed
+
+    def hits(self, point: str) -> int:
+        """Total hits observed for ``point`` inside the block."""
+        return sum(a.hits for a in self._armed if a.spec.point == point)
+
+    def tripped(self, point: str) -> bool:
+        return any(a.tripped for a in self._armed if a.spec.point == point)
+
+    def any_tripped(self) -> bool:
+        return any(a.tripped for a in self._armed)
+
+
+_ACTIVE: List[_Armed] = []
+
+
+def fault_point(name: str) -> None:
+    """Hit a named fault point (no-op unless a matching fault is armed)."""
+    if not _ACTIVE:
+        return
+    if name not in _REGISTRY:
+        raise RuntimeError(
+            f"fault_point({name!r}) hit but the point was never registered; "
+            "call register_fault_point at module import"
+        )
+    for armed in tuple(_ACTIVE):
+        armed.visit(name)
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[InjectionHandle]:
+    """Arm faults for the duration of the block (re-entrant, one-shot).
+
+    Arming an unregistered point is an error — it would silently never
+    trip (the classic typo'd-test false negative).
+    """
+    for spec in specs:
+        if spec.point not in _REGISTRY:
+            raise ValueError(
+                f"unknown fault point {spec.point!r}; registered points: "
+                f"{', '.join(registered_fault_points()) or '(none)'}"
+            )
+    armed = [_Armed(spec) for spec in specs]
+    _ACTIVE.extend(armed)
+    try:
+        yield InjectionHandle(armed)
+    finally:
+        for a in armed:
+            _ACTIVE.remove(a)

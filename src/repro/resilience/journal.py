@@ -1,0 +1,150 @@
+"""Checksummed append-only logs and the maintenance write-ahead journal.
+
+Two layers:
+
+- :class:`AppendOnlyLog` — a JSONL file where every line carries a
+  CRC32 of its canonical payload. Appends are flushed and fsynced per
+  record; reads stop at the first unparseable/CRC-failing line, so a
+  torn tail (the signature of a mid-append crash) silently truncates to
+  the last durable record instead of poisoning replay.
+
+- :class:`MaintenanceJournal` — the write-ahead journal for
+  :func:`repro.core.maintenance.append_rows`. A delta batch is logged
+  (with every cell-level decision *and* the drawn sample indices, so
+  replay needs no randomness) **before** the store is mutated, and a
+  commit marker is logged after. Replay applies logged-but-uncommitted
+  plans; committed batch ids make re-submission of the same batch a
+  no-op — a batch is never double-applied.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_LOG_BEFORE_APPEND = register_fault_point(
+    "journal.before_append", "record serialized, nothing written yet"
+)
+FP_LOG_APPENDED = register_fault_point(
+    "journal.appended", "record written+fsynced to the log"
+)
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON used for checksums (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def crc_of(payload: object) -> int:
+    return zlib.crc32(canonical_json(payload).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class LogReadResult:
+    """Records recovered from a log plus how much tail was dropped."""
+
+    records: Tuple[dict, ...]
+    dropped_lines: int
+
+
+class AppendOnlyLog:
+    """A crash-tolerant JSONL log with per-record CRC32 framing."""
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        line = json.dumps({"crc": crc_of(record), "rec": record}) + "\n"
+        fault_point(FP_LOG_BEFORE_APPEND)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        fault_point(FP_LOG_APPENDED)
+
+    def read(self) -> LogReadResult:
+        """All durable records; stops at the first torn/corrupt line."""
+        if not self.path.exists():
+            return LogReadResult((), 0)
+        records: List[dict] = []
+        dropped = 0
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                frame = json.loads(line)
+                record = frame["rec"]
+                if frame.get("crc") != crc_of(record):
+                    raise ValueError("crc mismatch")
+            except (ValueError, KeyError, TypeError):
+                # Torn or corrupt: everything from here on is untrusted.
+                dropped = sum(1 for rest in lines[i:] if rest.strip())
+                break
+            records.append(record)
+        return LogReadResult(tuple(records), dropped)
+
+
+# ---------------------------------------------------------------------------
+# Maintenance write-ahead journal
+# ---------------------------------------------------------------------------
+
+
+class MaintenanceJournal:
+    """Idempotent WAL for incremental cube maintenance.
+
+    Protocol per batch: ``log_plan`` (everything needed to redo the
+    mutation deterministically) → mutate the store → ``commit``. After a
+    crash, :meth:`uncommitted_plans` yields exactly the batches whose
+    effects may be partial; re-applying a plan is convergent because the
+    plan stores post-states (merged statistics, drawn sample indices),
+    not deltas.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self._log = AppendOnlyLog(path, fsync=fsync)
+
+    def log_plan(self, batch_id: str, payload: dict) -> None:
+        self._log.append({"kind": "plan", "batch_id": batch_id, "payload": payload})
+
+    def commit(self, batch_id: str, report: Optional[dict] = None) -> None:
+        self._log.append({"kind": "commit", "batch_id": batch_id, "report": report or {}})
+
+    def _scan(self) -> Tuple[Dict[str, dict], Dict[str, dict], List[str]]:
+        plans: Dict[str, dict] = {}
+        commits: Dict[str, dict] = {}
+        order: List[str] = []
+        for record in self._log.read().records:
+            batch_id = record.get("batch_id", "")
+            if record.get("kind") == "plan":
+                if batch_id not in plans:
+                    order.append(batch_id)
+                plans[batch_id] = record.get("payload", {})
+            elif record.get("kind") == "commit":
+                commits[batch_id] = record.get("report", {})
+        return plans, commits, order
+
+    def is_committed(self, batch_id: str) -> bool:
+        _, commits, _ = self._scan()
+        return batch_id in commits
+
+    def committed_report(self, batch_id: str) -> Optional[dict]:
+        _, commits, _ = self._scan()
+        return commits.get(batch_id)
+
+    def uncommitted_plans(self) -> List[Tuple[str, dict]]:
+        """(batch_id, payload) of logged batches with no commit marker."""
+        plans, commits, order = self._scan()
+        return [(b, plans[b]) for b in order if b not in commits]

@@ -14,7 +14,6 @@ from repro.core.persistence import (
 )
 from repro.core.tabula import Tabula, TabulaConfig
 from repro.engine.cube import CubeCells
-from repro.engine.table import Table
 from repro.errors import TabulaError
 
 ATTRS = ("passenger_count", "payment_type")
@@ -104,13 +103,29 @@ class TestErrors:
             load_cube(path, rides_small)
 
     def test_unregistered_loss(self, initialized, rides_small, tmp_path):
+        from repro.core.persistence import _section_crc
+
         path = tmp_path / "cube.json"
         save_cube(initialized, path, loss_declaration="CREATE AGGREGATE ...")
         payload = json.loads(path.read_text())
         payload["loss"]["name"] = "custom_loss_not_registered"
+        # Keep the envelope consistent: this test is about the registry,
+        # not corruption detection.
+        payload["envelope"]["checksums"]["loss"] = _section_crc(payload["loss"])
         path.write_text(json.dumps(payload))
         with pytest.raises(PersistenceError, match="not registered"):
             load_cube(path, rides_small)
+
+    def test_persistence_error_names_section_and_path(self):
+        error = PersistenceError(
+            "bad bytes", code="TAB505", section="cube_table", path="/tmp/c.json"
+        )
+        assert error.code == "TAB505"
+        assert error.section == "cube_table"
+        assert "TAB505" in str(error)
+        assert "cube_table" in str(error)
+        assert "/tmp/c.json" in str(error)
+        assert isinstance(error, TabulaError)
 
     def test_attach_store_attr_mismatch(self, initialized, rides_small, tmp_path):
         from repro.errors import InvalidQueryError
@@ -126,3 +141,125 @@ class TestErrors:
         restored = load_cube(path, rides_small)
         with pytest.raises(InvalidQueryError):
             other.attach_store(restored.store)
+
+
+def _corrupt_one_sample(path):
+    """Flip a value inside one persisted sample without fixing its CRC.
+
+    Returns the (int) sample id that was tampered with.
+    """
+    document = json.loads(path.read_text())
+    sid, payload = next(iter(document["sample_table"].items()))
+    column = next(c for c in payload["columns"] if c["name"] == "fare_amount")
+    column["data"][0] = float(column["data"][0]) + 1e6
+    path.write_text(json.dumps(document))
+    return int(sid)
+
+
+class TestCrashSafety:
+    """A crash mid-save must never clobber the existing cube file."""
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("point", ["persist.atomic.tmp_written", "persist.atomic.before_replace"])
+    def test_partial_save_preserves_previous_cube(
+        self, initialized, rides_small, tmp_path, point
+    ):
+        from repro.resilience.faults import CrashPoint, InjectedCrash, inject
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        before = path.read_bytes()
+        with inject(CrashPoint(point)):
+            with pytest.raises(InjectedCrash):
+                save_cube(initialized, path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        load_cube(path, rides_small)  # still a valid cube
+
+
+class TestCorruptionRecovery:
+    def test_raise_mode_names_the_sample_and_path(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        sid = _corrupt_one_sample(path)
+        with pytest.raises(PersistenceError) as excinfo:
+            load_cube(path, rides_small)
+        assert excinfo.value.code == "TAB506"
+        assert excinfo.value.section == f"sample_table/{sid}"
+        assert str(path) in str(excinfo.value)
+
+    def test_degrade_mode_loads_and_answers_without_raising(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        sid = _corrupt_one_sample(path)
+        restored = load_cube(path, rides_small, on_corruption="degrade")
+        report = restored.last_load_report
+        assert report.corrupt_samples == {sid: "TAB506"}
+        assert report.degraded_cells and not report.repaired_cells
+        for cell in report.degraded_cells:
+            query = {a: v for a, v in zip(ATTRS, cell) if v is not None}
+            result = restored.query(query)
+            assert result.source in ("representative", "global", "raw")
+            assert result.guarantee.name in ("CERTIFIED", "DOWNGRADED")
+
+    def test_repair_mode_redraws_a_certified_sample(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        _corrupt_one_sample(path)
+        restored = load_cube(path, rides_small, on_corruption="repair")
+        report = restored.last_load_report
+        assert report.repaired_cells
+        for cell in report.repaired_cells:
+            query = {a: v for a, v in zip(ATTRS, cell) if v is not None}
+            result = restored.query(query)
+            assert result.source == "local"
+            assert restored.actual_loss(query) <= 0.05 + 1e-12
+
+    def test_v1_legacy_file_loads_without_checksums(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        document = json.loads(path.read_text())
+        del document["envelope"]
+        document["format_version"] = 1
+        path.write_text(json.dumps(document))
+        restored = load_cube(path, rides_small)
+        result = restored.query({"payment_type": "cash"})
+        assert result.sample.num_rows > 0
+
+
+class TestVerifyCubeFile:
+    def test_intact_file_verifies(self, initialized, tmp_path):
+        from repro.core.persistence import verify_cube_file
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        report = verify_cube_file(path)
+        assert report.ok
+        assert report.format_version == 2
+        assert report.failures == ()
+
+    def test_corrupt_sample_is_flagged_not_raised(self, initialized, tmp_path):
+        from repro.core.persistence import verify_cube_file
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        sid = _corrupt_one_sample(path)
+        report = verify_cube_file(path)
+        assert not report.ok
+        assert [f.code for f in report.failures] == ["TAB506"]
+        assert f"sample_table/{sid}" in report.failures[0].section
+
+    def test_missing_file_reports_tab501(self, tmp_path):
+        from repro.core.persistence import verify_cube_file
+
+        report = verify_cube_file(tmp_path / "nope.json")
+        assert not report.ok
+        assert report.failures[0].code == "TAB501"

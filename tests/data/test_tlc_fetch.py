@@ -1,0 +1,108 @@
+"""Retry/backoff behavior of the TLC dataset fetcher (fake transport)."""
+
+import pytest
+
+from repro.data.tlc import FetchError, fetch_tlc_csv
+
+URL = "https://example.org/yellow_tripdata_2009-01.csv"
+
+
+class FlakyTransport:
+    """Fails the first ``failures`` calls with OSError, then succeeds."""
+
+    def __init__(self, failures, payload=b"vendor_name,fare\ncash,1.0\n"):
+        self.failures = failures
+        self.payload = payload
+        self.calls = []
+
+    def __call__(self, url, timeout):
+        self.calls.append((url, timeout))
+        if len(self.calls) <= self.failures:
+            raise OSError("connection reset by peer")
+        return self.payload
+
+
+class TestSuccess:
+    def test_first_try_writes_destination(self, tmp_path):
+        transport = FlakyTransport(failures=0)
+        slept = []
+        report = fetch_tlc_csv(
+            URL, tmp_path / "data.csv", transport=transport, sleep=slept.append
+        )
+        assert (tmp_path / "data.csv").read_bytes() == transport.payload
+        assert report.attempts == 1
+        assert report.bytes_written == len(transport.payload)
+        assert report.backoffs == ()
+        assert slept == []
+
+    def test_timeout_is_forwarded_to_every_attempt(self, tmp_path):
+        transport = FlakyTransport(failures=2)
+        fetch_tlc_csv(
+            URL, tmp_path / "data.csv", timeout=7.5,
+            transport=transport, sleep=lambda s: None,
+        )
+        assert [t for _, t in transport.calls] == [7.5, 7.5, 7.5]
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self, tmp_path):
+        transport = FlakyTransport(failures=2)
+        slept = []
+        report = fetch_tlc_csv(
+            URL, tmp_path / "data.csv", jitter=0.0,
+            transport=transport, sleep=slept.append,
+        )
+        assert report.attempts == 3
+        assert slept == [0.5, 1.0]  # base_delay * 2**(k-1)
+        assert report.backoffs == (0.5, 1.0)
+
+    def test_backoff_is_capped(self, tmp_path):
+        transport = FlakyTransport(failures=4)
+        slept = []
+        fetch_tlc_csv(
+            URL, tmp_path / "data.csv", jitter=0.0, base_delay=1.0, max_delay=2.0,
+            max_attempts=6, transport=transport, sleep=slept.append,
+        )
+        assert slept == [1.0, 2.0, 2.0, 2.0]
+
+    def test_jitter_scales_within_bounds_and_is_deterministic(self, tmp_path):
+        def run():
+            slept = []
+            fetch_tlc_csv(
+                URL, tmp_path / "data.csv", jitter=0.25,
+                transport=FlakyTransport(failures=3), sleep=slept.append,
+            )
+            return slept
+
+        first, second = run(), run()
+        assert first == second  # rng is seeded from the URL
+        for base, actual in zip([0.5, 1.0, 2.0], first):
+            assert base <= actual <= base * 1.25
+
+
+class TestFailure:
+    def test_gives_up_after_max_attempts(self, tmp_path):
+        transport = FlakyTransport(failures=99)
+        with pytest.raises(FetchError, match="after 3 attempts") as excinfo:
+            fetch_tlc_csv(
+                URL, tmp_path / "data.csv", max_attempts=3,
+                transport=transport, sleep=lambda s: None,
+            )
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.url == URL
+        assert len(transport.calls) == 3
+        assert not (tmp_path / "data.csv").exists()  # nothing partial
+
+    def test_failed_refresh_preserves_previous_download(self, tmp_path):
+        destination = tmp_path / "data.csv"
+        destination.write_bytes(b"previous good download")
+        with pytest.raises(FetchError):
+            fetch_tlc_csv(
+                URL, destination, max_attempts=2,
+                transport=FlakyTransport(failures=99), sleep=lambda s: None,
+            )
+        assert destination.read_bytes() == b"previous good download"
+
+    def test_zero_attempts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_attempts"):
+            fetch_tlc_csv(URL, tmp_path / "d.csv", max_attempts=0)

@@ -6,7 +6,6 @@ eventually hit; none may produce a silently wrong answer.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core.loss import MeanLoss
@@ -118,17 +117,38 @@ class TestCorruptPersistence:
         with pytest.raises((PersistenceError, KeyError)):
             load_cube(cube_path, rides_tiny)
 
-    def test_dangling_sample_id_fails_on_lookup(self, cube_path, rides_tiny):
+    def test_tampered_cube_table_detected_by_checksum(self, cube_path, rides_tiny):
         payload = json.loads(cube_path.read_text())
         if not payload["cube_table"]:
             pytest.skip("no iceberg cells to corrupt")
         payload["cube_table"][0]["sample_id"] = 999_999
         cube_path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="cube_table"):
+            load_cube(cube_path, rides_tiny)
+
+    def test_dangling_sample_id_degrades_instead_of_raising(self, cube_path, rides_tiny):
+        """A cube-table row pointing at a sample that no longer exists
+        must not crash the dashboard: the query degrades down the
+        fallback ladder with an explicit guarantee status."""
+        from repro.core.persistence import _section_crc
+        from repro.core.tabula import GuaranteeStatus
+
+        payload = json.loads(cube_path.read_text())
+        if not payload["cube_table"]:
+            pytest.skip("no iceberg cells to corrupt")
+        payload["cube_table"][0]["sample_id"] = 999_999
+        payload["envelope"]["checksums"]["cube_table"] = _section_crc(payload["cube_table"])
+        cube_path.write_text(json.dumps(payload))
         restored = load_cube(cube_path, rides_tiny)
         cell = tuple(payload["cube_table"][0]["cell"])
         query = {a: v for a, v in zip(ATTRS, cell) if v is not None}
-        with pytest.raises(KeyError):
-            restored.query(query)
+        result = restored.query(query)
+        assert result.source in ("representative", "global", "raw")
+        if result.source == "global":
+            assert result.guarantee is GuaranteeStatus.DOWNGRADED
+            assert "999999" in result.detail or "void" in result.detail
+        else:
+            assert result.guarantee is GuaranteeStatus.CERTIFIED
 
     def test_truncated_file(self, cube_path, rides_tiny):
         text = cube_path.read_text()

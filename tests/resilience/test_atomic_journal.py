@@ -1,0 +1,141 @@
+"""Atomic writes and the CRC-framed append-only log under crashes."""
+
+import json
+
+import pytest
+
+from repro.resilience.atomic import (
+    FP_AFTER_REPLACE,
+    FP_BEFORE_REPLACE,
+    FP_TMP_WRITTEN,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.resilience.faults import CrashPoint, InjectedCrash, IOFault, inject
+from repro.resilience.journal import (
+    FP_LOG_APPENDED,
+    FP_LOG_BEFORE_APPEND,
+    AppendOnlyLog,
+    MaintenanceJournal,
+    crc_of,
+)
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_overwrite(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new contents")
+        assert path.read_text() == "new contents"
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("point", [FP_TMP_WRITTEN, FP_BEFORE_REPLACE])
+    def test_crash_before_replace_preserves_old_file(self, tmp_path, point):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "precious")
+        with inject(CrashPoint(point)):
+            with pytest.raises(InjectedCrash):
+                atomic_write_text(path, "half-written garbage")
+        assert path.read_text() == "precious"
+        assert list(tmp_path.glob("*.tmp")) == []  # partial temp cleaned up
+
+    @pytest.mark.faults
+    def test_crash_after_replace_lands_new_contents(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "old")
+        with inject(CrashPoint(FP_AFTER_REPLACE)):
+            with pytest.raises(InjectedCrash):
+                atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    @pytest.mark.faults
+    def test_io_fault_surfaces_and_preserves_old_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"old")
+        with inject(IOFault(FP_TMP_WRITTEN, message="ENOSPC")):
+            with pytest.raises(OSError, match="ENOSPC"):
+                atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"old"
+
+
+class TestAppendOnlyLog:
+    def test_append_read_round_trip(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"a": 1})
+        log.append({"b": [1, 2]})
+        result = log.read()
+        assert result.records == ({"a": 1}, {"b": [1, 2]})
+        assert result.dropped_lines == 0
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert AppendOnlyLog(tmp_path / "nope.jsonl").read().records == ()
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = AppendOnlyLog(path)
+        log.append({"ok": 1})
+        with open(path, "a") as handle:
+            handle.write('{"crc": 0, "rec": {"torn"')  # no newline, cut mid-record
+        result = log.read()
+        assert result.records == ({"ok": 1},)
+        assert result.dropped_lines == 1
+
+    def test_corrupt_middle_record_truncates_suffix(self, tmp_path):
+        """A flipped byte invalidates everything after it — replay must
+        not trust records that follow an unverifiable one."""
+        path = tmp_path / "log.jsonl"
+        log = AppendOnlyLog(path)
+        for i in range(3):
+            log.append({"i": i})
+        lines = path.read_text().splitlines()
+        frame = json.loads(lines[1])
+        frame["rec"]["i"] = 99  # payload no longer matches its CRC
+        lines[1] = json.dumps(frame)
+        path.write_text("\n".join(lines) + "\n")
+        result = log.read()
+        assert result.records == ({"i": 0},)
+        assert result.dropped_lines == 2
+
+    def test_crc_framing_is_canonical(self):
+        assert crc_of({"b": 1, "a": 2}) == crc_of({"a": 2, "b": 1})
+
+    @pytest.mark.faults
+    def test_crash_before_append_loses_only_that_record(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"i": 0})
+        with inject(CrashPoint(FP_LOG_BEFORE_APPEND)):
+            with pytest.raises(InjectedCrash):
+                log.append({"i": 1})
+        assert log.read().records == ({"i": 0},)
+
+    @pytest.mark.faults
+    def test_crash_after_append_keeps_the_record(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        with inject(CrashPoint(FP_LOG_APPENDED)):
+            with pytest.raises(InjectedCrash):
+                log.append({"i": 0})
+        assert log.read().records == ({"i": 0},)
+
+
+class TestMaintenanceJournal:
+    def test_plan_commit_protocol(self, tmp_path):
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        journal.log_plan("batch-1", {"rows": 5})
+        assert not journal.is_committed("batch-1")
+        assert journal.uncommitted_plans() == [("batch-1", {"rows": 5})]
+        journal.commit("batch-1", {"appended_rows": 5})
+        assert journal.is_committed("batch-1")
+        assert journal.uncommitted_plans() == []
+        assert journal.committed_report("batch-1") == {"appended_rows": 5}
+
+    def test_uncommitted_plans_preserve_order(self, tmp_path):
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        journal.log_plan("a", {})
+        journal.log_plan("b", {})
+        journal.commit("a")
+        assert [b for b, _ in journal.uncommitted_plans()] == ["b"]

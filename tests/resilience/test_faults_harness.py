@@ -1,0 +1,121 @@
+"""Unit tests for the deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.resilience.faults import (
+    CrashPoint,
+    FaultSpec,
+    InjectedCrash,
+    InjectedIOError,
+    IOFault,
+    SlowIO,
+    fault_point,
+    inject,
+    register_fault_point,
+    registered_fault_points,
+)
+
+POINT = register_fault_point("test.harness.point", "used by the harness tests")
+OTHER = register_fault_point("test.harness.other")
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        before = registered_fault_points()
+        register_fault_point("test.harness.point", "different text ignored")
+        assert registered_fault_points() == before
+
+    def test_lifecycle_points_are_registered_at_import(self):
+        import repro.core.maintenance  # noqa: F401
+        import repro.core.tabula  # noqa: F401
+
+        points = set(registered_fault_points())
+        for expected in (
+            "init.global_sample.drawn",
+            "init.dryrun.done",
+            "init.realrun.cell_start",
+            "init.checkpoint.cell",
+            "persist.atomic.before_replace",
+            "journal.before_append",
+            "maintain.journal.planned",
+            "maintain.apply.decision",
+            "maintain.commit",
+        ):
+            assert expected in points
+
+    def test_unarmed_point_is_a_noop(self):
+        fault_point(POINT)  # must not raise
+
+    def test_unknown_point_rejected_when_armed(self):
+        with inject(CrashPoint(POINT)):
+            with pytest.raises(RuntimeError, match="never registered"):
+                fault_point("test.harness.never_registered")
+
+
+class TestInjection:
+    def test_crash_at_first_hit(self):
+        with inject(CrashPoint(POINT)) as handle:
+            with pytest.raises(InjectedCrash) as excinfo:
+                fault_point(POINT)
+            assert excinfo.value.point == POINT
+            assert handle.tripped(POINT)
+
+    def test_crash_at_nth_hit(self):
+        with inject(CrashPoint(POINT, at=3)) as handle:
+            fault_point(POINT)
+            fault_point(POINT)
+            with pytest.raises(InjectedCrash) as excinfo:
+                fault_point(POINT)
+            assert excinfo.value.hit == 3
+            assert handle.hits(POINT) == 3
+
+    def test_one_shot_never_retrips(self):
+        with inject(CrashPoint(POINT)):
+            with pytest.raises(InjectedCrash):
+                fault_point(POINT)
+            fault_point(POINT)  # already tripped: passes through
+
+    def test_other_points_unaffected(self):
+        with inject(CrashPoint(POINT)) as handle:
+            fault_point(OTHER)
+            assert handle.hits(OTHER) == 0
+            assert not handle.any_tripped()
+
+    def test_disarmed_after_block(self):
+        with inject(CrashPoint(POINT)):
+            pass
+        fault_point(POINT)  # no longer armed
+
+    def test_io_fault_is_oserror(self):
+        with inject(IOFault(POINT, message="disk full")):
+            with pytest.raises(OSError, match="disk full"):
+                fault_point(POINT)
+
+    def test_crash_is_not_an_exception_subclass(self):
+        """``except Exception`` must never swallow a simulated kill."""
+        assert not issubclass(InjectedCrash, Exception)
+        assert issubclass(InjectedIOError, OSError)
+
+    def test_slow_io_calls_sleep_then_continues(self):
+        slept = []
+        with inject(SlowIO(POINT, seconds=0.5, sleep=slept.append)):
+            fault_point(POINT)
+        assert slept == [0.5]
+
+    def test_arming_unknown_point_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            with inject(CrashPoint("test.harness.typo")):
+                pass
+
+    def test_at_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultSpec(POINT, at=0)
+
+    def test_multiple_faults_in_one_block(self):
+        with inject(CrashPoint(POINT, at=2), IOFault(OTHER)) as handle:
+            fault_point(POINT)
+            with pytest.raises(InjectedIOError):
+                fault_point(OTHER)
+            with pytest.raises(InjectedCrash):
+                fault_point(POINT)
+            assert handle.tripped(POINT) and handle.tripped(OTHER)

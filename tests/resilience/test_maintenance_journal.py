@@ -1,0 +1,189 @@
+"""Maintenance write-ahead journaling: crash anywhere, recover, converge.
+
+The acceptance properties: a journaled ``append_rows`` killed at any
+registered maintenance fault point can be recovered (``recover_journal``
++ re-submission) to exactly the cube an uninterrupted append produces;
+replaying is idempotent; a committed batch is never double-applied.
+"""
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.maintenance import append_rows, recover_journal
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.data import generate_nyctaxi
+from repro.engine.table import Table
+from repro.resilience.faults import (
+    CrashPoint,
+    InjectedCrash,
+    inject,
+    registered_fault_points,
+)
+from repro.resilience.journal import MaintenanceJournal
+
+ATTRS = ("passenger_count", "payment_type")
+THETA = 0.1
+
+MAINTAIN_POINTS = [
+    p for p in registered_fault_points() if p.startswith(("maintain.", "journal."))
+]
+
+
+def build(table, theta=THETA):
+    tabula = Tabula(
+        table,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=theta, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+@pytest.fixture(scope="module")
+def delta():
+    return generate_nyctaxi(num_rows=200, seed=42)
+
+
+@pytest.fixture(scope="module")
+def reference(rides_tiny, delta):
+    """Rows + digest after an uninterrupted (journal-less) append."""
+    tabula = build(rides_tiny)
+    report = append_rows(tabula, delta, seed=3)
+    return tabula.table.num_rows, tabula.store.content_digest(), report
+
+
+class TestKillAtEveryPoint:
+    @pytest.mark.faults
+    @pytest.mark.parametrize("point", MAINTAIN_POINTS)
+    def test_kill_recover_resubmit_converges(
+        self, rides_tiny, delta, tmp_path, reference, point
+    ):
+        ref_rows, ref_digest, _ = reference
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        tabula = build(rides_tiny)
+        crashed = False
+        try:
+            with inject(CrashPoint(point)):
+                append_rows(tabula, delta, seed=3, journal=journal)
+        except InjectedCrash:
+            crashed = True
+        if crashed:
+            # Simulated restart: the in-memory instance is gone; the
+            # journal is all that survived.
+            tabula = build(rides_tiny)
+            recover_journal(tabula, journal)
+            # The client retries its batch (exactly-once via the ledger).
+            append_rows(tabula, delta, seed=3, journal=journal)
+        assert tabula.table.num_rows == ref_rows
+        assert tabula.store.content_digest() == ref_digest
+
+    @pytest.mark.faults
+    def test_recovery_is_idempotent(self, rides_tiny, delta, tmp_path, reference):
+        """Replaying an already-recovered journal is a no-op."""
+        ref_rows, ref_digest, _ = reference
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        with inject(CrashPoint("maintain.commit")):
+            with pytest.raises(InjectedCrash):
+                append_rows(build(rides_tiny), delta, seed=3, journal=journal)
+        tabula = build(rides_tiny)
+        first = recover_journal(tabula, journal)
+        assert len(first) == 1
+        assert recover_journal(tabula, journal) == []
+        assert tabula.table.num_rows == ref_rows
+        assert tabula.store.content_digest() == ref_digest
+
+
+class TestExactlyOnce:
+    def test_committed_batch_is_never_reapplied(
+        self, rides_tiny, delta, tmp_path, reference
+    ):
+        ref_rows, ref_digest, _ = reference
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        tabula = build(rides_tiny)
+        report = append_rows(tabula, delta, seed=3, journal=journal)
+        again = append_rows(tabula, delta, seed=3, journal=journal)
+        assert again == report  # the recorded report, not a re-run
+        assert tabula.table.num_rows == ref_rows
+        assert tabula.store.content_digest() == ref_digest
+
+    def test_journaled_append_matches_plain_append(
+        self, rides_tiny, delta, tmp_path, reference
+    ):
+        ref_rows, ref_digest, ref_report = reference
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        tabula = build(rides_tiny)
+        report = append_rows(tabula, delta, seed=3, journal=journal)
+        assert tabula.table.num_rows == ref_rows
+        assert tabula.store.content_digest() == ref_digest
+        assert report.affected_cells == ref_report.affected_cells
+        assert report.demoted_cells == ref_report.demoted_cells
+
+
+class TestEdgeCases:
+    def test_empty_delta_is_a_noop_and_idempotent(self, rides_tiny, tmp_path):
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        tabula = build(rides_tiny)
+        digest = tabula.store.content_digest()
+        empty = rides_tiny.head(0)
+        report = append_rows(tabula, empty, journal=journal)
+        assert report.appended_rows == 0
+        assert report.affected_cells == 0
+        again = append_rows(tabula, empty, journal=journal)
+        assert again.appended_rows == 0
+        assert tabula.table.num_rows == rides_tiny.num_rows
+        assert tabula.store.content_digest() == digest
+
+    def test_demoting_the_last_materialized_cell_collects_its_sample(self):
+        """A delta that pulls every iceberg cell back under θ must leave
+        zero materialized samples behind (orphaned-sample GC)."""
+        import numpy as np
+
+        base = {
+            "passenger_count": [], "payment_type": [], "fare_amount": [],
+        }
+        for pc in ("1", "2", "3"):
+            for pt in ("cash", "credit"):
+                base["passenger_count"] += [pc] * 50
+                base["payment_type"] += [pt] * 50
+                base["fare_amount"] += [20.0] * 50
+        # One outlier population, reachable only through labels no other
+        # row uses — its cell and both ancestor cells are the icebergs.
+        base["passenger_count"] += ["5"] * 30
+        base["payment_type"] += ["dispute"] * 30
+        base["fare_amount"] += [80.0] * 30
+        tabula = build(Table.from_pydict(base), theta=0.35)
+        assert tabula.store.num_samples >= 1
+        gs_mean = float(
+            np.mean(tabula.config.loss.extract(tabula.store.global_sample.table))
+        )
+        n = 300
+        delta = Table.from_pydict(
+            {
+                "passenger_count": ["5"] * n,
+                "payment_type": ["dispute"] * n,
+                "fare_amount": [gs_mean] * n,
+            }
+        )
+        report = append_rows(tabula, delta, seed=1)
+        assert report.demoted_cells >= 1
+        assert tabula.store.num_iceberg_cells == 0
+        assert tabula.store.num_samples == 0  # nothing orphaned survives
+        result = tabula.query({"passenger_count": "5", "payment_type": "dispute"})
+        assert result.source == "global"
+
+    def test_replayed_plan_tolerates_already_concatenated_table(
+        self, rides_tiny, delta, tmp_path, reference
+    ):
+        """In-process recovery: apply crashed after the concat, the
+        instance survived, and the journal is replayed on it."""
+        ref_rows, ref_digest, _ = reference
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        tabula = build(rides_tiny)
+        with inject(CrashPoint("maintain.apply.decision", at=2)):
+            try:
+                append_rows(tabula, delta, seed=3, journal=journal)
+            except InjectedCrash:
+                pass
+        assert tabula.table.num_rows == ref_rows  # concat already happened
+        recover_journal(tabula, journal)
+        assert tabula.table.num_rows == ref_rows
+        assert tabula.store.content_digest() == ref_digest

@@ -48,6 +48,25 @@ class TestBuild:
         assert document["cubed_attrs"] == ["passenger_count", "payment_type"]
         assert document["threshold"] == 0.1
 
+    def test_build_with_checkpoint_dir(self, rides_csv, tmp_path):
+        out = tmp_path / "cube.json"
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            [
+                "build",
+                "--table", str(rides_csv),
+                "--attrs", "passenger_count,payment_type",
+                "--loss", "mean_loss",
+                "--target", "fare_amount",
+                "--theta", "0.1",
+                "--out", str(out),
+                "--checkpoint-dir", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert ckpt.is_dir() and any(ckpt.iterdir())
+
     def test_build_with_custom_loss_sql(self, rides_csv, tmp_path, capsys):
         loss_sql = tmp_path / "loss.sql"
         loss_sql.write_text(
@@ -107,6 +126,28 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "threshold θ:      0.1" in out
         assert "iceberg cells:" in out
+
+
+class TestCubeVerify:
+    def test_intact_cube_verifies_clean(self, cube_file, capsys):
+        assert main(["cube", "verify", str(cube_file)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_corrupted_sample_is_reported(self, cube_file, capsys):
+        document = json.loads(cube_file.read_text())
+        sid, payload = next(iter(document["sample_table"].items()))
+        column = next(c for c in payload["columns"] if c["name"] == "fare_amount")
+        column["data"][0] = 999999.0
+        cube_file.write_text(json.dumps(document))
+        assert main(["cube", "verify", str(cube_file)]) == 1
+        out = capsys.readouterr().out
+        assert "TAB506" in out
+        assert "verdict: CORRUPT" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["cube", "verify", str(tmp_path / "nope.json")]) == 1
+        assert "TAB501" in capsys.readouterr().out
 
 
 class TestSQL:
