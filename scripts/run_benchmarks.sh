@@ -1,4 +1,9 @@
 #!/bin/bash
 cd /root/repo
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+# Machine-readable perf trajectory (see benchmarks/README.md).
+PYTHONPATH=src python -m repro.cli bench cube --rows 20000 --workers 4 \
+  --out /root/repo/BENCH_cube_init.json --check 2>&1 | tee -a /root/repo/bench_output.txt
+PYTHONPATH=src python -m repro.cli bench query --rows 20000 --queries 100 \
+  --out /root/repo/BENCH_query.json --check 2>&1 | tee -a /root/repo/bench_output.txt
 echo "BENCH_RUN_COMPLETE" >> /root/repo/bench_output.txt

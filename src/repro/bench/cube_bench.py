@@ -1,0 +1,302 @@
+"""Machine-readable cube benchmarks (``repro bench cube`` / ``bench query``).
+
+These benches seed the repo's performance trajectory: each run emits a
+JSON document (``BENCH_cube_init.json`` / ``BENCH_query.json``) with
+wall-clock numbers, a per-phase breakdown, the parallel speedup over a
+``workers=1`` baseline, and the cube-quality invariants that must NOT
+move when only the worker count changes:
+
+- iceberg-cell count and known-cell count,
+- number of local samples and total sample tuples,
+- per-iceberg-cell achieved loss ``<= θ`` (the paper's guarantee),
+- the store content digest — byte-level determinism across workers.
+
+Timings drift with hardware; invariants never may. ``check_cube_doc``
+separates the two so CI can gate on drift without flaking on slow
+runners. Schema details live in ``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.loss.registry import LossRegistry
+from repro.core.tabula import GuaranteeStatus, Tabula, TabulaConfig
+from repro.data.nyctaxi import generate_nyctaxi
+from repro.data.workload import generate_workload
+from repro.engine.cube import CubeCells
+
+#: Bump when the emitted JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Everything that determines a bench run's workload (not its speed)."""
+
+    num_rows: int = 20_000
+    seed: int = 0
+    attrs: Tuple[str, ...] = ("payment_type", "rate_code", "passenger_count")
+    loss_name: str = "mean_loss"
+    target: Tuple[str, ...] = ("fare_amount",)
+    theta: float = 0.05
+    partitions: int = 16
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_rows": self.num_rows,
+            "seed": self.seed,
+            "attrs": list(self.attrs),
+            "loss": self.loss_name,
+            "target": list(self.target),
+            "theta": self.theta,
+            "partitions": self.partitions,
+        }
+
+
+def _make_tabula(table, settings: BenchSettings) -> Tabula:
+    loss = LossRegistry().bind(settings.loss_name, settings.target)
+    config = TabulaConfig(
+        cubed_attrs=settings.attrs,
+        threshold=settings.theta,
+        loss=loss,
+        seed=settings.seed,
+        partitions=settings.partitions,
+    )
+    return Tabula(table, config)
+
+
+def _build(table, settings: BenchSettings, workers: int):
+    """Initialize one cube; returns ``(tabula, report, wall_seconds)``."""
+    tabula = _make_tabula(table, settings)
+    started = time.perf_counter()
+    report = tabula.initialize(workers=workers)
+    return tabula, report, time.perf_counter() - started
+
+
+def cube_invariants(tabula: Tabula, table) -> Dict[str, object]:
+    """Quality invariants of a built cube — identical across worker counts.
+
+    ``max_achieved_loss`` re-measures every materialized iceberg-cell
+    sample against its raw population, so the reported θ-guarantee is a
+    fact about the artifact, not a replay of the builder's bookkeeping.
+    """
+    store = tabula.store
+    loss = tabula.config.loss
+    values = loss.extract(table)
+    cube = CubeCells(table, tabula.config.cubed_attrs)
+    max_loss = 0.0
+    for cell in store._cell_to_sample_id:
+        sample = store.lookup(cell)
+        if sample is None:
+            continue
+        raw = values[cube.cell_indices(cell)]
+        max_loss = max(max_loss, loss.loss(raw, loss.extract(sample)))
+    total_sample_tuples = sum(
+        sample.num_rows for _, sample in store.sample_table_entries()
+    )
+    return {
+        "iceberg_cells": store.num_iceberg_cells,
+        "known_cells": len(store._known_cells),
+        "num_samples": store.num_samples,
+        "total_sample_tuples": total_sample_tuples,
+        "global_sample_size": store.global_sample.size,
+        "max_achieved_loss": max_loss,
+        "threshold": tabula.config.threshold,
+        "loss_bound_ok": bool(max_loss <= tabula.config.threshold + 1e-9),
+        "content_digest": store.content_digest(),
+    }
+
+
+def _phase_breakdown(report) -> Dict[str, float]:
+    return {
+        "dry_run_seconds": report.dry_run_seconds,
+        "real_run_seconds": report.real_run_seconds,
+        "selection_seconds": report.selection_seconds,
+        "total_seconds": report.total_seconds,
+    }
+
+
+def bench_cube(
+    settings: Optional[BenchSettings] = None,
+    workers: int = 4,
+) -> Dict[str, object]:
+    """Benchmark cube construction: ``workers=1`` baseline vs ``workers=N``.
+
+    Both runs go through the parallel engine (the serial baseline is
+    ``workers=1``), so the byte-identity invariant is exact rather than
+    subject to chunked-summation float drift.
+    """
+    settings = settings or BenchSettings()
+    table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
+
+    serial_tabula, serial_report, serial_wall = _build(table, settings, workers=1)
+    parallel_tabula, parallel_report, parallel_wall = _build(
+        table, settings, workers=workers
+    )
+
+    serial_inv = cube_invariants(serial_tabula, table)
+    parallel_inv = cube_invariants(parallel_tabula, table)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "cube_init",
+        "settings": settings.as_dict(),
+        "environment": _environment(),
+        "workers": workers,
+        "serial": {
+            "workers": 1,
+            "wall_seconds": serial_wall,
+            "phases": _phase_breakdown(serial_report),
+            "invariants": serial_inv,
+        },
+        "parallel": {
+            "workers": workers,
+            "wall_seconds": parallel_wall,
+            "phases": _phase_breakdown(parallel_report),
+            "invariants": parallel_inv,
+        },
+        "speedup_vs_serial": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "digests_equal": serial_inv["content_digest"] == parallel_inv["content_digest"],
+    }
+
+
+def bench_query(
+    settings: Optional[BenchSettings] = None,
+    workers: int = 1,
+    num_queries: int = 100,
+    workload_seed: int = 0,
+) -> Dict[str, object]:
+    """Benchmark the dashboard query path over a fixed random workload."""
+    settings = settings or BenchSettings()
+    table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
+    tabula, report, _ = _build(table, settings, workers=workers)
+
+    workload = generate_workload(
+        table, settings.attrs, num_queries=num_queries, seed=workload_seed
+    )
+    latencies: List[float] = []
+    sources: Dict[str, int] = {}
+    guarantees: Dict[str, int] = {}
+    for query in workload:
+        result = tabula.query(query)
+        latencies.append(result.data_system_seconds)
+        sources[result.source] = sources.get(result.source, 0) + 1
+        name = result.guarantee.name
+        guarantees[name] = guarantees.get(name, 0) + 1
+
+    lat = np.asarray(latencies)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "query",
+        "settings": settings.as_dict(),
+        "environment": _environment(),
+        "workers": workers,
+        "num_queries": len(workload),
+        "latency_seconds": {
+            "mean": float(lat.mean()),
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "max": float(lat.max()),
+            "total": float(lat.sum()),
+        },
+        "source_mix": sources,
+        "guarantee_mix": guarantees,
+        "void_answers": guarantees.get(GuaranteeStatus.VOID.name, 0),
+        "init_total_seconds": report.total_seconds,
+        "invariants": cube_invariants(tabula, table),
+    }
+
+
+def check_cube_doc(doc: Dict[str, object]) -> List[str]:
+    """Validate a ``bench cube`` document's quality invariants.
+
+    Returns human-readable failure strings (empty = healthy). Timings
+    are deliberately NOT checked — only determinism and the θ-bound,
+    which must hold on any hardware.
+    """
+    failures: List[str] = []
+    if not doc.get("digests_equal"):
+        failures.append(
+            "content digest drifted between workers=1 and workers=N builds"
+        )
+    for side in ("serial", "parallel"):
+        inv = doc.get(side, {}).get("invariants", {})
+        if not inv.get("loss_bound_ok"):
+            failures.append(
+                f"{side}: max achieved loss {inv.get('max_achieved_loss')} "
+                f"exceeds threshold {inv.get('threshold')}"
+            )
+    serial_inv = doc.get("serial", {}).get("invariants", {})
+    parallel_inv = doc.get("parallel", {}).get("invariants", {})
+    for key in ("iceberg_cells", "known_cells", "num_samples", "total_sample_tuples"):
+        if serial_inv.get(key) != parallel_inv.get(key):
+            failures.append(
+                f"invariant {key!r} differs: serial={serial_inv.get(key)} "
+                f"parallel={parallel_inv.get(key)}"
+            )
+    return failures
+
+
+def check_query_doc(doc: Dict[str, object]) -> List[str]:
+    """Validate a ``bench query`` document: θ-bound holds, no VOID answers."""
+    failures: List[str] = []
+    inv = doc.get("invariants", {})
+    if not inv.get("loss_bound_ok"):
+        failures.append(
+            f"max achieved loss {inv.get('max_achieved_loss')} exceeds "
+            f"threshold {inv.get('threshold')}"
+        )
+    if doc.get("void_answers", 0):
+        failures.append(f"{doc['void_answers']} VOID answer(s) in the workload")
+    return failures
+
+
+def write_bench_doc(doc: Dict[str, object], path: Union[str, Path]) -> Path:
+    """Write a bench document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _environment() -> Dict[str, object]:
+    import multiprocessing
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": multiprocessing.cpu_count(),
+    }
+
+
+def compare_runs(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Compare two ``bench cube`` documents from the same settings.
+
+    Invariant drift is reported as failures; timing movement is reported
+    as ratios (after/before) for the trajectory, never as a failure.
+    """
+    failures: List[str] = []
+    b_inv = before.get("parallel", {}).get("invariants", {})
+    a_inv = after.get("parallel", {}).get("invariants", {})
+    if before.get("settings") != after.get("settings"):
+        failures.append("settings differ; timings are not comparable")
+    for key in ("iceberg_cells", "num_samples", "total_sample_tuples", "content_digest"):
+        if b_inv.get(key) != a_inv.get(key):
+            failures.append(
+                f"invariant {key!r} drifted: {b_inv.get(key)} -> {a_inv.get(key)}"
+            )
+    ratios = {}
+    for side in ("serial", "parallel"):
+        b = before.get(side, {}).get("wall_seconds")
+        a = after.get(side, {}).get("wall_seconds")
+        if b and a:
+            ratios[side] = a / b
+    return {"failures": failures, "wall_ratio_after_over_before": ratios}

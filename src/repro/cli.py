@@ -7,6 +7,8 @@ Usage (``python -m repro.cli <command>``):
 - ``query`` — answer a dashboard query from a saved cube;
 - ``info`` — summarize a saved cube;
 - ``cube verify`` — audit a saved cube's checksums and version;
+- ``bench cube`` / ``bench query`` — reproducible benchmarks emitting
+  machine-readable ``BENCH_*.json`` documents;
 - ``sql`` — execute SQL statements against a CSV-backed session;
 - ``lint`` — run the static analyzer over SQL files or inline text.
 """
@@ -71,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal build progress here; a killed build re-run with the "
         "same directory resumes from the last completed cell",
     )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel build with N worker processes (bit-identical to "
+        "--workers 1 for any N); default: classic serial build",
+    )
+    build.add_argument(
+        "--partitions",
+        type=int,
+        default=16,
+        help="dry-run partition grid size (fixed per table, independent "
+        "of --workers, so partial sums merge identically)",
+    )
     build.set_defaults(handler=cmd_build)
 
     query = commands.add_parser("query", help="answer a dashboard query from a cube")
@@ -101,6 +117,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="print failures only"
     )
     verify.set_defaults(handler=cmd_cube_verify)
+
+    bench = commands.add_parser(
+        "bench", help="run reproducible benchmarks, emit machine-readable JSON"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_cube = bench_commands.add_parser(
+        "cube",
+        help="time cube construction (workers=1 baseline vs --workers) and "
+        "record quality invariants",
+    )
+    bench_cube.add_argument("--rows", type=int, default=20_000)
+    bench_cube.add_argument("--seed", type=int, default=0)
+    bench_cube.add_argument("--workers", type=int, default=4)
+    bench_cube.add_argument("--partitions", type=int, default=16)
+    bench_cube.add_argument("--theta", type=float, default=0.05)
+    bench_cube.add_argument(
+        "--attrs",
+        default="payment_type,rate_code,passenger_count",
+        help="comma-separated cubed attributes of the synthetic table",
+    )
+    bench_cube.add_argument("--loss", default="mean_loss")
+    bench_cube.add_argument("--target", default="fare_amount")
+    bench_cube.add_argument("--out", default="BENCH_cube_init.json")
+    bench_cube.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if quality invariants drift (digest mismatch "
+        "between worker counts, θ-bound violation)",
+    )
+    bench_cube.set_defaults(handler=cmd_bench_cube)
+    bench_query = bench_commands.add_parser(
+        "query", help="time the dashboard query path over a random workload"
+    )
+    bench_query.add_argument("--rows", type=int, default=20_000)
+    bench_query.add_argument("--seed", type=int, default=0)
+    bench_query.add_argument("--workers", type=int, default=1)
+    bench_query.add_argument("--queries", type=int, default=100)
+    bench_query.add_argument("--theta", type=float, default=0.05)
+    bench_query.add_argument(
+        "--attrs", default="payment_type,rate_code,passenger_count"
+    )
+    bench_query.add_argument("--loss", default="mean_loss")
+    bench_query.add_argument("--target", default="fare_amount")
+    bench_query.add_argument("--out", default="BENCH_query.json")
+    bench_query.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on invariant drift (θ-bound violation or any "
+        "VOID answer)",
+    )
+    bench_query.set_defaults(handler=cmd_bench_query)
 
     sql = commands.add_parser("sql", help="run SQL statements against a CSV table")
     sql.add_argument("--table", required=True, help="CSV file registered as its basename")
@@ -161,9 +228,12 @@ def cmd_build(args) -> int:
             threshold=args.theta,
             loss=loss,
             seed=args.seed,
+            partitions=args.partitions,
         ),
     )
-    report = tabula.initialize(checkpoint_dir=args.checkpoint_dir)
+    report = tabula.initialize(
+        checkpoint_dir=args.checkpoint_dir, workers=args.workers
+    )
     declaration = None
     if args.loss_sql:
         with open(args.loss_sql) as handle:
@@ -241,6 +311,62 @@ def cmd_cube_verify(args) -> int:
         return 0
     print(f"verdict: CORRUPT ({len(report.failures)} section(s) failed)")
     return 1
+
+
+def _bench_settings(args):
+    from repro.bench.cube_bench import BenchSettings
+
+    return BenchSettings(
+        num_rows=args.rows,
+        seed=args.seed,
+        attrs=tuple(args.attrs.split(",")),
+        loss_name=args.loss,
+        target=tuple(args.target.split(",")),
+        theta=args.theta,
+        partitions=getattr(args, "partitions", 16),
+    )
+
+
+def cmd_bench_cube(args) -> int:
+    from repro.bench.cube_bench import bench_cube, check_cube_doc, write_bench_doc
+
+    doc = bench_cube(_bench_settings(args), workers=args.workers)
+    write_bench_doc(doc, args.out)
+    print(
+        f"wrote {args.out}: serial {format_seconds(doc['serial']['wall_seconds'])}, "
+        f"workers={args.workers} {format_seconds(doc['parallel']['wall_seconds'])}, "
+        f"speedup {doc['speedup_vs_serial']:.2f}x, "
+        f"digests {'equal' if doc['digests_equal'] else 'DIFFER'}"
+    )
+    if args.check:
+        failures = check_cube_doc(doc)
+        for failure in failures:
+            print(f"invariant drift: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+def cmd_bench_query(args) -> int:
+    from repro.bench.cube_bench import bench_query, check_query_doc, write_bench_doc
+
+    doc = bench_query(
+        _bench_settings(args), workers=args.workers, num_queries=args.queries
+    )
+    write_bench_doc(doc, args.out)
+    lat = doc["latency_seconds"]
+    print(
+        f"wrote {args.out}: {doc['num_queries']} queries, "
+        f"mean {format_seconds(lat['mean'])}, p95 {format_seconds(lat['p95'])}, "
+        f"sources {doc['source_mix']}"
+    )
+    if args.check:
+        failures = check_query_doc(doc)
+        for failure in failures:
+            print(f"invariant drift: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
 
 
 def cmd_sql(args) -> int:

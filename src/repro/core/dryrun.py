@@ -76,29 +76,38 @@ class DryRunResult:
         return list(self.iceberg_stats)
 
 
-def dry_run(
-    table: Table,
-    attrs: Sequence[str],
+@dataclass
+class CuboidDerivation:
+    """Output of :func:`derive_cuboids` — every per-cell artifact of the
+    upward merge, before lattice assembly."""
+
+    iceberg_stats: Dict[CellKey, tuple]
+    iceberg_by_cuboid: Dict[Tuple[str, ...], List[CellKey]]
+    cell_counts: Dict[Tuple[str, ...], int]
+    cell_losses: Dict[CellKey, float]
+    cell_stats: Dict[CellKey, tuple]
+    known: set
+
+
+def derive_cuboids(
+    attrs: Tuple[str, ...],
+    base_keys: List[Tuple],
+    base_stats: List[tuple],
+    key_codes: np.ndarray,
     loss: LossFunction,
     threshold: float,
-    global_sample: GlobalSample,
-) -> DryRunResult:
-    """Identify every iceberg cell with a single raw-table pass."""
-    started = time.perf_counter()
-    attrs = tuple(attrs)
-    table.schema.require(attrs)
+    sample_summary: tuple,
+) -> CuboidDerivation:
+    """Derive every cuboid from base-cell statistics (no raw-data access).
 
-    values = loss.extract(table)
-    sample_values = loss.extract(global_sample.table)
-    sample_summary = loss.prepare_sample(sample_values)
-
-    # Single full-table GroupBy: the base cuboid.
-    base = group_rows(table, attrs)
-    base_keys: List[Tuple] = [base.decode_key(g) for g in range(base.num_groups)]
-    base_stats: List[tuple] = [
-        loss.stats(values[idx], sample_values) for idx in base.group_indices
-    ]
-
+    Shared by the serial dry run (which feeds it the full-table GroupBy)
+    and the parallel engine (which feeds it merged per-partition
+    accumulators). ``key_codes`` is the ``(G, len(attrs))`` physical
+    code matrix of the base cells; it only steers the grouping of the
+    additive fast path, so any encoding that separates distinct keys is
+    correct — but the *order* of ``base_keys`` fixes merge order and
+    therefore must itself be deterministic for reproducible builds.
+    """
     iceberg_stats: Dict[CellKey, tuple] = {}
     iceberg_by_cuboid: Dict[Tuple[str, ...], List[CellKey]] = {}
     cell_counts: Dict[Tuple[str, ...], int] = {}
@@ -110,10 +119,9 @@ def dry_run(
     # Fast path: additive statistics accumulate with np.add.at instead of
     # a Python merge loop — the difference between seconds and minutes on
     # many-attribute cubes.
-    additive = loss.additive_stats and base.num_groups > 0
+    additive = loss.additive_stats and len(base_keys) > 0
     if additive:
         stats_matrix = np.asarray(base_stats, dtype=float)
-        key_codes = base.key_codes
     for gset in grouping_sets(attrs):
         # Derive this cuboid by merging base-cell statistics upward.
         projector = [positions[a] for a in gset]
@@ -152,27 +160,73 @@ def dry_run(
                 iceberg_stats[cell] = stats
                 cuboid_icebergs.append(cell)
         iceberg_by_cuboid[gset] = cuboid_icebergs
+    return CuboidDerivation(
+        iceberg_stats=iceberg_stats,
+        iceberg_by_cuboid=iceberg_by_cuboid,
+        cell_counts=cell_counts,
+        cell_losses=cell_losses,
+        cell_stats=all_cell_stats,
+        known=known,
+    )
 
+
+def result_from_derivation(
+    attrs: Tuple[str, ...],
+    threshold: float,
+    derived: CuboidDerivation,
+    seconds: float,
+) -> DryRunResult:
+    """Assemble the lattice and package a :class:`DryRunResult`."""
     nodes = {
         gset: LatticeNode(
             grouping_set=gset,
-            total_cells=cell_counts[gset],
-            iceberg_cells=len(iceberg_by_cuboid[gset]),
+            total_cells=derived.cell_counts[gset],
+            iceberg_cells=len(derived.iceberg_by_cuboid[gset]),
         )
         for gset in grouping_sets(attrs)
     }
-    lattice = CuboidLattice(attrs, nodes)
-    fault_point(FP_DRYRUN_DONE)
     return DryRunResult(
         attrs=attrs,
         threshold=threshold,
-        lattice=lattice,
-        iceberg_stats=iceberg_stats,
-        iceberg_cells_by_cuboid=iceberg_by_cuboid,
-        cell_counts=cell_counts,
-        known_cells=frozenset(known),
-        cell_losses=cell_losses,
-        cell_stats=all_cell_stats,
-        seconds=time.perf_counter() - started,
+        lattice=CuboidLattice(attrs, nodes),
+        iceberg_stats=derived.iceberg_stats,
+        iceberg_cells_by_cuboid=derived.iceberg_by_cuboid,
+        cell_counts=derived.cell_counts,
+        known_cells=frozenset(derived.known),
+        cell_losses=derived.cell_losses,
+        cell_stats=derived.cell_stats,
+        seconds=seconds,
         raw_table_passes=1,
+    )
+
+
+def dry_run(
+    table: Table,
+    attrs: Sequence[str],
+    loss: LossFunction,
+    threshold: float,
+    global_sample: GlobalSample,
+) -> DryRunResult:
+    """Identify every iceberg cell with a single raw-table pass."""
+    started = time.perf_counter()
+    attrs = tuple(attrs)
+    table.schema.require(attrs)
+
+    values = loss.extract(table)
+    sample_values = loss.extract(global_sample.table)
+    sample_summary = loss.prepare_sample(sample_values)
+
+    # Single full-table GroupBy: the base cuboid.
+    base = group_rows(table, attrs)
+    base_keys: List[Tuple] = [base.decode_key(g) for g in range(base.num_groups)]
+    base_stats: List[tuple] = [
+        loss.stats(values[idx], sample_values) for idx in base.group_indices
+    ]
+
+    derived = derive_cuboids(
+        attrs, base_keys, base_stats, base.key_codes, loss, threshold, sample_summary
+    )
+    fault_point(FP_DRYRUN_DONE)
+    return result_from_derivation(
+        attrs, threshold, derived, time.perf_counter() - started
     )

@@ -1,0 +1,397 @@
+"""Parallel cube-construction engine.
+
+Cube initialization is the dominant cost of the whole middleware: a dry
+run over the raw table (Algorithms 1–3's single-pass iceberg lookup)
+followed by greedy sampling of every iceberg cell. Both stages
+decompose cleanly:
+
+- **Dry run** — the loss functions are algebraic by construction (the
+  PR-1 analyzer proves decomposability for compiled losses; built-ins
+  declare it), so the raw table is cut into a *fixed partition grid*
+  and each partition contributes mergeable sufficient-statistic
+  accumulators: per base cell, ``stats(partition ∩ cell, Sam_global)``.
+  The coordinator folds partitions together **in grid order** with
+  ``merge_stats`` and derives the full lattice from the merged base
+  cuboid exactly like the serial dry run.
+- **Real run** — per-iceberg-cell greedy sampling fans out as one task
+  per cell. Every cell is sampled with its own seeded generator
+  (:func:`repro.resilience.checkpoint.rng_for_cell`), so the drawn
+  sample depends only on ``(seed, cell)`` — never on which worker ran
+  it or in what order tasks completed.
+
+**Determinism contract.** The partition grid depends only on the table
+size and the ``partitions`` setting — *not* on ``workers`` — and
+partition accumulators are merged in grid order; sampling randomness is
+per-cell. Consequently a build with ``workers=4`` is bit-identical to a
+build with ``workers=1``: same iceberg cells, same sample tuples, same
+representative assignment, byte-identical persisted cube. (The
+equivalence-test suite asserts exactly this, including under a
+mid-build kill/resume.)
+
+Zero-row partitions (possible when ``partitions`` exceeds the table
+size) contribute no accumulators, which is the merge identity — the
+merge must tolerate them, and the regression tests pin that down.
+
+Worker processes are plain ``multiprocessing`` pools, preferring the
+``fork`` start method so neither the raw table nor the loss function
+needs to be pickled. Where ``fork`` is unavailable (or the loss proves
+unpicklable — e.g. a closure-bearing compiled loss under ``spawn``),
+the engine degrades to in-process execution of the *same* partitioned
+code path, so results never change — only the speedup does.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import costmodel
+from repro.core.dryrun import (
+    DryRunResult,
+    derive_cuboids,
+    result_from_derivation,
+)
+from repro.core.global_sample import GlobalSample
+from repro.core.loss.base import LossFunction
+from repro.core.realrun import (
+    FP_CELL_SAMPLED,
+    FP_CELL_START,
+    IcebergCellEntry,
+    RealRunResult,
+    _adopt_checkpointed,
+    _cuboid_cell_rows,
+)
+from repro.core.sampling import SamplingResult, sample_with_pool
+from repro.engine.cube import CellKey
+from repro.engine.table import Table
+from repro.resilience.checkpoint import rng_for_cell
+from repro.resilience.faults import fault_point
+
+#: Default number of dry-run partitions. Fixed (not derived from the
+#: worker count) so the merge order — and therefore every floating-point
+#: accumulator — is identical whatever parallelism executes the build.
+DEFAULT_PARTITIONS = 16
+
+#: Tasks per worker below which a pool is not worth its start-up cost.
+_MIN_TASKS_PER_WORKER = 1
+
+
+def check_workers(workers: int) -> int:
+    """Validate a worker count (used by the engine and the CLI)."""
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ValueError(f"workers must be an integer >= 1, got {workers!r}")
+    return workers
+
+
+def partition_bounds(num_rows: int, partitions: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal row ranges covering ``[0, num_rows)``.
+
+    Deterministic in ``(num_rows, partitions)`` alone. When
+    ``partitions > num_rows`` the tail ranges are empty — legal: an
+    empty partition contributes the merge identity (no accumulators).
+    """
+    if partitions < 1:
+        raise ValueError(f"partitions must be >= 1, got {partitions}")
+    base, remainder = divmod(num_rows, partitions)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(partitions):
+        hi = lo + base + (1 if i < remainder else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state.
+#
+# Workers are primed by a pool initializer writing module globals; with
+# the fork start method the large objects (raw table, loss, global-
+# sample values) are inherited by the child instead of pickled. Task
+# payloads and results stay small (row ranges, index arrays).
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_dryrun_worker(table, attrs, loss, sample_values) -> None:
+    _WORKER_STATE["dryrun"] = (table, attrs, loss, sample_values)
+
+
+def _dryrun_partition(bounds: Tuple[int, int]):
+    """One partition's mergeable accumulators: ``[(base key, stats)]``.
+
+    A zero-row partition returns no pairs — the identity contribution.
+    """
+    table, attrs, loss, sample_values = _WORKER_STATE["dryrun"]
+    lo, hi = bounds
+    if hi <= lo:
+        return []
+    from repro.engine.groupby import group_rows
+
+    chunk = table.take(np.arange(lo, hi, dtype=np.int64))
+    values = loss.extract(chunk)
+    groups = group_rows(chunk, attrs)
+    return [
+        (groups.decode_key(g), loss.stats(values[groups.group_indices[g]], sample_values))
+        for g in range(groups.num_groups)
+    ]
+
+
+def _init_sampling_worker(values, loss, threshold, seed, lazy, pool_size) -> None:
+    _WORKER_STATE["sampling"] = (values, loss, threshold, seed, lazy, pool_size)
+
+
+def _sample_one_cell(task):
+    """Greedy-sample one iceberg cell with its per-cell RNG stream."""
+    values, loss, threshold, seed, lazy, pool_size = _WORKER_STATE["sampling"]
+    slot, key, idx = task
+    result = sample_with_pool(
+        loss,
+        values[idx],
+        threshold,
+        rng_for_cell(seed, key),
+        pool_size=pool_size,
+        lazy=lazy,
+    )
+    return slot, result
+
+
+# ---------------------------------------------------------------------------
+# Pool plumbing
+# ---------------------------------------------------------------------------
+
+
+def _preferred_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _map_with_pool(
+    workers: int,
+    num_tasks: int,
+    initializer: Callable,
+    initargs: tuple,
+    func: Callable,
+    tasks: Sequence,
+    ordered: bool,
+):
+    """Run ``func`` over ``tasks`` on a worker pool, or inline.
+
+    Falls back to in-process execution — same code, same results — when
+    a pool is pointless (one effective worker) or unusable (pickling
+    failure under a non-fork start method). Inline results preserve
+    task order, which is fine for both call sites: the dry run requires
+    grid order, the sampler re-orders by slot anyway.
+    """
+    effective = max(1, min(workers, num_tasks))
+    if effective <= 1 or num_tasks < effective * _MIN_TASKS_PER_WORKER:
+        initializer(*initargs)
+        return [func(t) for t in tasks]
+    ctx = _preferred_context()
+    try:
+        with ctx.Pool(effective, initializer=initializer, initargs=initargs) as pool:
+            if ordered:
+                return pool.map(func, tasks)
+            return list(pool.imap_unordered(func, tasks))
+    except (pickle.PicklingError, TypeError, AttributeError, OSError, ImportError) as exc:
+        # Unpicklable loss under spawn, fd exhaustion, restricted
+        # environments: degrade to the identical in-process path.
+        import warnings
+
+        warnings.warn(
+            f"parallel engine fell back to in-process execution: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        initializer(*initargs)
+        return [func(t) for t in tasks]
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: partition-parallel dry run
+# ---------------------------------------------------------------------------
+
+
+def merge_partition_stats(
+    loss: LossFunction,
+    partition_results: Sequence[Sequence[Tuple[Tuple, tuple]]],
+) -> Dict[Tuple, tuple]:
+    """Fold per-partition base-cell accumulators together, in grid order.
+
+    Empty partitions (no pairs) are the merge identity. The returned
+    mapping's insertion order is first-appearance order across the grid;
+    callers needing the serial dry run's canonical order re-sort by
+    physical key codes.
+    """
+    merged: Dict[Tuple, tuple] = {}
+    for pairs in partition_results:
+        for key, stats in pairs:
+            previous = merged.get(key)
+            merged[key] = stats if previous is None else loss.merge_stats(previous, stats)
+    return merged
+
+
+def parallel_dry_run(
+    table: Table,
+    attrs: Sequence[str],
+    loss: LossFunction,
+    threshold: float,
+    global_sample: GlobalSample,
+    workers: int = 1,
+    partitions: int = DEFAULT_PARTITIONS,
+) -> DryRunResult:
+    """Partition-parallel iceberg-cell lookup.
+
+    Produces a :class:`DryRunResult` whose content is a function of
+    ``(table, attrs, loss, threshold, global_sample, partitions)`` only:
+    the worker count changes wall-clock, never bytes.
+    """
+    started = time.perf_counter()
+    attrs = tuple(attrs)
+    table.schema.require(attrs)
+    check_workers(workers)
+
+    sample_values = loss.extract(global_sample.table)
+    sample_summary = loss.prepare_sample(sample_values)
+
+    bounds = partition_bounds(table.num_rows, partitions)
+    non_empty = sum(1 for lo, hi in bounds if hi > lo)
+    partition_results = _map_with_pool(
+        workers=min(workers, max(non_empty, 1)),
+        num_tasks=len(bounds),
+        initializer=_init_dryrun_worker,
+        initargs=(table, attrs, loss, sample_values),
+        func=_dryrun_partition,
+        tasks=bounds,
+        ordered=True,  # merge order must follow the grid
+    )
+    merged = merge_partition_stats(loss, partition_results)
+
+    # Canonical base order: sort by physical key codes, matching the
+    # serial dry run's full-table GroupBy (np.unique over code rows).
+    columns = [table.column(a) for a in attrs]
+
+    def codes_of(key: Tuple) -> Tuple[int, ...]:
+        return tuple(int(col.encode(v)) for col, v in zip(columns, key))
+
+    ordered_keys = sorted(merged, key=codes_of)
+    base_keys: List[Tuple] = list(ordered_keys)
+    base_stats: List[tuple] = [merged[k] for k in ordered_keys]
+    key_codes = (
+        np.asarray([codes_of(k) for k in ordered_keys], dtype=np.int64)
+        if ordered_keys
+        else np.empty((0, len(attrs)), dtype=np.int64)
+    )
+
+    derived = derive_cuboids(
+        attrs, base_keys, base_stats, key_codes, loss, threshold, sample_summary
+    )
+    return result_from_derivation(
+        attrs, threshold, derived, time.perf_counter() - started
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: per-cell fan-out sampling
+# ---------------------------------------------------------------------------
+
+
+def parallel_real_run(
+    table: Table,
+    dry: DryRunResult,
+    loss: LossFunction,
+    seed: int,
+    workers: int = 1,
+    lazy: bool = True,
+    pool_size: Optional[int] = 2000,
+    completed: Optional[Mapping[CellKey, object]] = None,
+    on_cell: Optional[Callable[[IcebergCellEntry], None]] = None,
+) -> RealRunResult:
+    """Materialize every iceberg cell's sample across a worker pool.
+
+    Cell retrieval (the cost-model-guided GroupBy / semi-join of
+    Algorithm 2) stays on the coordinator — it is cheap relative to
+    greedy sampling and its output fixes the canonical cell order. The
+    sampling itself fans out one task per cell; results slot back into
+    the canonical order, so completion order is irrelevant.
+
+    ``completed`` and ``on_cell`` carry the PR-3 checkpoint protocol:
+    adopted cells are never re-sampled, and each freshly sampled cell is
+    journaled from the coordinator as its result arrives — a killed
+    parallel build resumes exactly like a serial one.
+    """
+    started = time.perf_counter()
+    check_workers(workers)
+    values = loss.extract(table)
+    n = table.num_rows
+
+    entries: List[Optional[IcebergCellEntry]] = []
+    tasks: List[Tuple[int, CellKey, np.ndarray]] = []
+    decisions: Dict[Tuple[str, ...], costmodel.CostDecision] = {}
+    skipped = 0
+    for gset, iceberg_keys in dry.iceberg_cells_by_cuboid.items():
+        if not iceberg_keys:
+            skipped += 1
+            continue
+        decision = costmodel.evaluate(n, len(iceberg_keys), dry.cell_counts[gset])
+        decisions[gset] = decision
+        cell_rows = _cuboid_cell_rows(
+            table, gset, dry.attrs, iceberg_keys, decision.use_join_prune
+        )
+        for key in iceberg_keys:
+            idx = cell_rows.get(key)
+            if idx is None:  # pragma: no cover - dry run and real run agree
+                continue
+            slot = len(entries)
+            record = completed.get(key) if completed else None
+            if record is not None:
+                entries.append(_adopt_checkpointed(key, idx, dry, record))
+            else:
+                entries.append(None)
+                tasks.append((slot, key, idx))
+
+    if tasks:
+        fault_point(FP_CELL_START)
+        results = _map_with_pool(
+            workers=workers,
+            num_tasks=len(tasks),
+            initializer=_init_sampling_worker,
+            initargs=(values, loss, dry.threshold, seed, lazy, pool_size),
+            func=_sample_one_cell,
+            tasks=tasks,
+            ordered=False,  # checkpoint as results arrive; slots restore order
+        )
+        task_of = {slot: (key, idx) for slot, key, idx in tasks}
+        for slot, sampling in results:
+            key, idx = task_of[slot]
+            entry = IcebergCellEntry(
+                key=key,
+                raw_indices=idx,
+                sample_indices=idx[sampling.indices],
+                stats=dry.iceberg_stats[key],
+                sampling=SamplingResult(
+                    indices=sampling.indices,
+                    achieved_loss=sampling.achieved_loss,
+                    rounds=sampling.rounds,
+                    evaluations=sampling.evaluations,
+                ),
+            )
+            fault_point(FP_CELL_SAMPLED)
+            if on_cell is not None:
+                on_cell(entry)
+            entries[slot] = entry
+
+    cells = [e for e in entries if e is not None]
+    return RealRunResult(
+        cells=cells,
+        decisions=decisions,
+        skipped_cuboids=skipped,
+        seconds=time.perf_counter() - started,
+    )

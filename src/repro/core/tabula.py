@@ -66,6 +66,10 @@ class TabulaConfig:
         samgraph_max_pairs: optional cap making the representation join
             non-exhaustive (correct but less compact).
         seed: randomness seed (global sample, pools).
+        partitions: dry-run partition-grid size for parallel builds
+            (``initialize(workers=N)``). Fixed independently of the
+            worker count so a build's content depends only on the grid,
+            never on the parallelism that executed it.
         degraded_rebind: when a cell's sample is missing/corrupt, try to
             re-verify a surviving representative against the cell's raw
             population before downgrading (self-healing; costs one raw
@@ -86,6 +90,7 @@ class TabulaConfig:
     pool_size: Optional[int] = 2000
     samgraph_max_pairs: Optional[int] = None
     seed: int = 0
+    partitions: int = 16
     degraded_rebind: bool = True
     degraded_fallback: str = "global"
 
@@ -95,6 +100,8 @@ class TabulaConfig:
                 f"degraded_fallback must be 'global' or 'raw', got "
                 f"{self.degraded_fallback!r}"
             )
+        if self.partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {self.partitions}")
 
 
 @dataclass
@@ -199,7 +206,9 @@ class Tabula:
     # Initialization (the CREATE TABLE ... GROUPBY CUBE ... query)
     # ------------------------------------------------------------------
     def initialize(
-        self, checkpoint_dir: Optional[Union[str, Path]] = None
+        self,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        workers: Optional[int] = None,
     ) -> InitializationReport:
         """Build the partially materialized sampling cube.
 
@@ -215,11 +224,24 @@ class Tabula:
                 so nothing depends on where the crash happened. Discard
                 the directory once the cube is persisted
                 (:meth:`repro.resilience.checkpoint.InitCheckpoint.discard`).
+            workers: ``None`` (default) runs the classic serial build.
+                Any integer ``>= 1`` routes both stages through the
+                parallel engine (:mod:`repro.core.parallel`): the dry
+                run is partitioned over a fixed grid
+                (``config.partitions``) with mergeable accumulators and
+                every iceberg cell is sampled with its own
+                ``(seed, cell)`` RNG stream. The build's content is a
+                function of the configuration only — ``workers=1`` and
+                ``workers=8`` produce byte-identical persisted cubes —
+                and composes with ``checkpoint_dir``: a killed parallel
+                build resumes per-cell, with any worker count.
         """
         cfg = self.config
         started = time.perf_counter()
 
-        if checkpoint_dir is None:
+        if workers is not None:
+            global_sample, dry, real = self._build_parallel(workers, checkpoint_dir)
+        elif checkpoint_dir is None:
             global_sample = draw_global_sample(self.table, self._rng, cfg.epsilon, cfg.delta)
             fault_point(FP_GLOBAL_SAMPLE)
             dry = dry_run(self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample)
@@ -234,21 +256,12 @@ class Tabula:
         else:
             checkpoint = InitCheckpoint(checkpoint_dir)
             checkpoint.open(self._checkpoint_fingerprint())
-            loaded = checkpoint.load_dryrun(self.table)
-            if loaded is None:
-                # The global draw uses a dedicated generator (not the
-                # shared stream): on resume the sample is *loaded*, so no
-                # generator state may depend on having drawn it.
-                global_sample = draw_global_sample(
-                    self.table, np.random.default_rng(cfg.seed), cfg.epsilon, cfg.delta
-                )
-                fault_point(FP_GLOBAL_SAMPLE)
-                dry = dry_run(
-                    self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, global_sample
-                )
-                checkpoint.save_dryrun(global_sample, dry)
-            else:
-                global_sample, dry = loaded
+            global_sample, dry = self._checkpointed_dryrun(
+                checkpoint,
+                lambda gs: dry_run(
+                    self.table, cfg.cubed_attrs, cfg.loss, cfg.threshold, gs
+                ),
+            )
             real = real_run(
                 self.table,
                 dry,
@@ -319,6 +332,85 @@ class Tabula:
         )
         return self._report
 
+    def _checkpointed_dryrun(self, checkpoint: InitCheckpoint, run_dry):
+        """Load stage 1 from the checkpoint, or run it and persist it.
+
+        The global draw uses a dedicated generator (not the shared
+        stream): on resume the sample is *loaded*, so no generator state
+        may depend on having drawn it.
+        """
+        cfg = self.config
+        loaded = checkpoint.load_dryrun(self.table)
+        if loaded is not None:
+            return loaded
+        global_sample = draw_global_sample(
+            self.table, np.random.default_rng(cfg.seed), cfg.epsilon, cfg.delta
+        )
+        fault_point(FP_GLOBAL_SAMPLE)
+        dry = run_dry(global_sample)
+        checkpoint.save_dryrun(global_sample, dry)
+        return global_sample, dry
+
+    def _build_parallel(
+        self, workers: int, checkpoint_dir: Optional[Union[str, Path]]
+    ):
+        """Both initialization stages through the parallel engine.
+
+        Content is worker-count-invariant: the dry run partitions over
+        the fixed ``config.partitions`` grid and merges in grid order;
+        sampling draws from per-cell RNG streams. The global sample uses
+        a dedicated ``default_rng(seed)`` (like the checkpointed serial
+        path), so checkpointed and direct parallel builds agree too.
+        """
+        from repro.core.parallel import check_workers, parallel_dry_run, parallel_real_run
+
+        cfg = self.config
+        check_workers(workers)
+        run_dry = lambda gs: parallel_dry_run(
+            self.table,
+            cfg.cubed_attrs,
+            cfg.loss,
+            cfg.threshold,
+            gs,
+            workers=workers,
+            partitions=cfg.partitions,
+        )
+        if checkpoint_dir is None:
+            checkpoint = None
+            global_sample = draw_global_sample(
+                self.table, np.random.default_rng(cfg.seed), cfg.epsilon, cfg.delta
+            )
+            fault_point(FP_GLOBAL_SAMPLE)
+            dry = run_dry(global_sample)
+        else:
+            checkpoint = InitCheckpoint(checkpoint_dir)
+            checkpoint.open(self._checkpoint_fingerprint())
+            global_sample, dry = self._checkpointed_dryrun(checkpoint, run_dry)
+        real = parallel_real_run(
+            self.table,
+            dry,
+            cfg.loss,
+            seed=cfg.seed,
+            workers=workers,
+            lazy=cfg.lazy_sampling,
+            pool_size=cfg.pool_size,
+            completed=checkpoint.completed_cells() if checkpoint else None,
+            on_cell=(
+                (
+                    lambda e: checkpoint.record_cell(
+                        e.key,
+                        e.sample_indices,
+                        e.sampling.achieved_loss,
+                        e.sampling.rounds,
+                        e.sampling.evaluations,
+                    )
+                )
+                if checkpoint
+                else None
+            ),
+        )
+        return global_sample, dry, real
+
     def _checkpoint_fingerprint(self) -> Dict[str, object]:
         """What must match for a checkpointed build to be resumable."""
         cfg = self.config
@@ -380,6 +472,16 @@ class Tabula:
         sample_id = store.sample_id_of(cell)
         if sample_id is not None:
             sample = store.sample_for_id(sample_id)
+            if sample is None:
+                # Concurrent maintenance may have swapped the cell's
+                # sample between the two reads (pointer updated, old
+                # sample collected). Re-resolve once before concluding
+                # the store is damaged: a cell with a valid pre-swap
+                # sample must never degrade because of a racing append.
+                refreshed = store.sample_id_of(cell)
+                if refreshed is not None and refreshed != sample_id:
+                    sample_id = refreshed
+                    sample = store.sample_for_id(refreshed)
             if sample is not None:
                 return QueryResult(
                     sample=sample,

@@ -1,0 +1,152 @@
+"""Property-based tests for the sufficient-statistic merge contract.
+
+The parallel dry run rests on one algebraic identity per loss function:
+
+    merge(stats(A, S), stats(B, S)) == stats(A ∪ B, S)
+
+for any split of a cell's rows into partitions A, B, ... — plus the
+empty-partition identity and the requirement that the loss computed
+*from merged statistics* agrees with the loss computed directly, so the
+iceberg decision (``loss > θ``) is partition-invariant. Hypothesis
+drives random values and random partition cuts through every built-in.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.loss.heatmap import HeatmapLoss  # noqa: E402
+from repro.core.loss.histogram import HistogramLoss  # noqa: E402
+from repro.core.loss.mean import MeanLoss  # noqa: E402
+from repro.core.loss.regression import RegressionLoss  # noqa: E402
+from repro.core.loss.stddev import StdDevLoss  # noqa: E402
+from repro.core.sampling import sample_with_pool  # noqa: E402
+
+#: (name, factory, point dimension of the extracted values).
+BUILTINS = [
+    ("mean_loss", lambda: MeanLoss("v"), 1),
+    ("stddev_loss", lambda: StdDevLoss("v"), 1),
+    ("histogram_loss", lambda: HistogramLoss("v"), 1),
+    ("heatmap_loss", lambda: HeatmapLoss("x", "y"), 2),
+    ("heatmap_loss_manhattan", lambda: HeatmapLoss("x", "y", metric="manhattan"), 2),
+    ("regression_loss", lambda: RegressionLoss("x", "y"), 2),
+]
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def _values(draw, dim, min_size, max_size):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    flat = draw(
+        st.lists(finite, min_size=n * dim, max_size=n * dim).map(np.asarray)
+    )
+    array = np.asarray(flat, dtype=float)
+    return array.reshape(n, dim) if dim > 1 else array
+
+
+@st.composite
+def partitioned_case(draw, dim):
+    """Raw values, a non-empty sample, and a random partition of the raw."""
+    raw = _values(draw, dim, min_size=1, max_size=24)
+    sample = _values(draw, dim, min_size=1, max_size=8)
+    num_cuts = draw(st.integers(min_value=0, max_value=4))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(raw)),
+                min_size=num_cuts,
+                max_size=num_cuts,
+            )
+        )
+    )
+    edges = [0, *cuts, len(raw)]
+    chunks = [raw[lo:hi] for lo, hi in zip(edges, edges[1:])]
+    return raw, sample, chunks
+
+
+def _merge_chunks(loss, chunks, sample):
+    """Fold non-empty chunks the way the parallel engine does (empty
+    partitions contribute nothing — the merge identity)."""
+    merged = None
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        stats = loss.stats(chunk, sample)
+        merged = stats if merged is None else loss.merge_stats(merged, stats)
+    return merged
+
+
+@pytest.mark.parametrize("name,factory,dim", BUILTINS)
+class TestMergeContract:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_merge_equals_stats_of_union(self, name, factory, dim, data):
+        loss = factory()
+        raw, sample, chunks = data.draw(partitioned_case(dim))
+        merged = _merge_chunks(loss, chunks, sample)
+        direct = loss.stats(raw, sample)
+        assert merged is not None
+        np.testing.assert_allclose(
+            np.asarray(merged, dtype=float),
+            np.asarray(direct, dtype=float),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_loss_from_merged_stats_matches_direct_loss(
+        self, name, factory, dim, data
+    ):
+        loss = factory()
+        raw, sample, chunks = data.draw(partitioned_case(dim))
+        merged = _merge_chunks(loss, chunks, sample)
+        summary = loss.prepare_sample(sample)
+        from_stats = loss.loss_from_stats(merged, summary)
+        direct = loss.loss(raw, sample)
+        assert from_stats == pytest.approx(direct, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_iceberg_decision_is_partition_invariant(self, name, factory, dim, data):
+        # The decision the dry run actually takes: loss > θ. Skip draws
+        # that land on the float boundary — both sides are then defensible.
+        loss = factory()
+        raw, sample, chunks = data.draw(partitioned_case(dim))
+        theta = data.draw(st.floats(min_value=1e-3, max_value=10.0))
+        merged = _merge_chunks(loss, chunks, sample)
+        summary = loss.prepare_sample(sample)
+        from_stats = loss.loss_from_stats(merged, summary)
+        direct = loss.loss(raw, sample)
+        hypothesis.assume(abs(direct - theta) > 1e-6)
+        assert (from_stats > theta) == (direct > theta)
+
+    def test_empty_stats_is_merge_identity(self, name, factory, dim):
+        loss = factory()
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(12, dim)).squeeze()
+        sample = rng.normal(size=(4, dim)).squeeze()
+        stats = loss.stats(raw, sample)
+        identity = loss.empty_stats()
+        assert loss.merge_stats(identity, stats) == pytest.approx(stats)
+        assert loss.merge_stats(stats, identity) == pytest.approx(stats)
+
+
+@pytest.mark.parametrize("name,factory,dim", BUILTINS)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_greedy_sample_achieves_threshold(name, factory, dim, data):
+    """The θ-guarantee downstream of the merge: greedy sampling on any
+    population terminates with ``achieved_loss <= θ``."""
+    loss = factory()
+    raw = data.draw(partitioned_case(dim))[0]
+    theta = data.draw(st.floats(min_value=0.05, max_value=5.0))
+    result = sample_with_pool(
+        loss, raw, theta, np.random.default_rng(7), pool_size=50, lazy=True
+    )
+    assert result.achieved_loss <= theta + 1e-9
+    assert len(result.indices) >= 1

@@ -1,0 +1,142 @@
+"""Query fallback ladder under concurrent maintenance.
+
+The dangerous window: ``append_rows`` re-points a cell at a fresh
+sample and collects the orphaned old one. A reader that resolved the
+old sample id just before the swap would find ``sample_for_id`` empty
+— and must *re-resolve the pointer*, not mark the cell degraded (let
+alone answer VOID): the cell had a valid sample the whole time.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.maintenance import append_rows
+from repro.core.tabula import GuaranteeStatus, Tabula, TabulaConfig
+from repro.data import generate_nyctaxi
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+def make_tabula(rows=800, seed=3, theta=0.05):
+    table = generate_nyctaxi(num_rows=rows, seed=seed)
+    tabula = Tabula(
+        table,
+        TabulaConfig(
+            cubed_attrs=ATTRS, threshold=theta, loss=MeanLoss("fare_amount"), seed=7
+        ),
+    )
+    tabula.initialize()
+    return tabula
+
+
+def _query_of(cell):
+    return {attr: value for attr, value in zip(ATTRS, cell) if value is not None}
+
+
+class TestStalePointerRetry:
+    def test_swapped_sample_mid_read_is_retried_not_degraded(self, monkeypatch):
+        """Deterministic replay of the race: the reader sees the
+        pre-swap sample id, the swap lands, the old sample is collected.
+        The query must retry the pointer and stay CERTIFIED."""
+        tabula = make_tabula()
+        store = tabula.store
+        cell = next(iter(store._cell_to_sample_id))
+        old_sid = store.sample_id_of(cell)
+        sample = store.sample_for_id(old_sid)
+        new_sid = store.assign_new_sample(cell, sample)  # the concurrent swap
+        assert new_sid != old_sid
+
+        real_id_of = store.sample_id_of
+        real_for_id = store.sample_for_id
+        seen = {"calls": 0}
+
+        def stale_once(c):
+            seen["calls"] += 1
+            return old_sid if seen["calls"] == 1 else real_id_of(c)
+
+        # The old sample id resolves to nothing, as after orphan
+        # collection (the old sample may survive here only because the
+        # selection stage shares samples between cells).
+        monkeypatch.setattr(store, "sample_id_of", stale_once)
+        monkeypatch.setattr(
+            store,
+            "sample_for_id",
+            lambda sid: None if sid == old_sid else real_for_id(sid),
+        )
+        result = tabula.query(_query_of(cell))
+        assert result.guarantee is GuaranteeStatus.CERTIFIED
+        assert result.source == "local"
+        assert not store.is_degraded(cell)
+        assert seen["calls"] == 2  # the retry resolved the fresh pointer
+
+    def test_truly_dangling_pointer_still_degrades_honestly(self, monkeypatch):
+        """The retry must not paper over real corruption: a pointer that
+        stays dangling after re-resolution degrades as before."""
+        tabula = make_tabula()
+        store = tabula.store
+        cell = next(iter(store._cell_to_sample_id))
+        sid = store.sample_id_of(cell)
+        monkeypatch.setattr(store, "sample_for_id", lambda _sid: None)
+        result = tabula.query(_query_of(cell))
+        # The ladder still answers (never VOID for a populated cell) and
+        # the degradation is recorded honestly, not silently retried away.
+        assert result.guarantee is not GuaranteeStatus.VOID
+        assert result.source in {"representative", "global", "raw"}
+        assert str(sid) in result.detail
+
+
+class TestAppendRacingReader:
+    def test_reader_never_sees_void_during_appends(self):
+        tabula = make_tabula()
+        store = tabula.store
+        queries = [_query_of(cell) for cell in list(store._cell_to_sample_id)]
+        assert queries
+
+        stop = threading.Event()
+        violations = []
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                for query in queries:
+                    try:
+                        result = tabula.query(query)
+                    except Exception as exc:  # noqa: BLE001 - fail the test
+                        errors.append(repr(exc))
+                        return
+                    if result.guarantee is GuaranteeStatus.VOID:
+                        violations.append((query, result.detail))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for batch in range(4):
+                delta = generate_nyctaxi(num_rows=150, seed=100 + batch)
+                append_rows(tabula, delta, seed=batch)
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert errors == []
+        assert violations == []
+
+    def test_quiescent_queries_certified_after_appends(self):
+        tabula = make_tabula()
+        cells = list(tabula.store._cell_to_sample_id)
+        for batch in range(2):
+            append_rows(tabula, generate_nyctaxi(num_rows=150, seed=50 + batch))
+        for cell in cells:
+            result = tabula.query(_query_of(cell))
+            assert result.guarantee is GuaranteeStatus.CERTIFIED
+            assert result.source in {"local", "global"}
+
+
+@pytest.mark.parametrize("point_count", [1])
+def test_void_requires_empty_population(point_count):
+    """Sanity: VOID is reserved for the no-answer-possible case and a
+    populated cell can always be answered some way."""
+    tabula = make_tabula(rows=300)
+    result = tabula.query({"payment_type": "credit"})
+    assert result.guarantee is not GuaranteeStatus.VOID

@@ -175,3 +175,95 @@ class TestSQL:
         )
         assert code == 0
         assert "fare_amount" in capsys.readouterr().out
+
+
+class TestBuildWorkers:
+    def _build(self, rides_csv, out, extra):
+        return main(
+            [
+                "build",
+                "--table", str(rides_csv),
+                "--attrs", "passenger_count,payment_type",
+                "--loss", "mean_loss",
+                "--target", "fare_amount",
+                "--theta", "0.1",
+                "--out", str(out),
+                *extra,
+            ]
+        )
+
+    def test_workers_flag_builds_identical_cube(self, rides_csv, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert self._build(rides_csv, serial, ["--workers", "1"]) == 0
+        assert self._build(rides_csv, parallel, ["--workers", "3"]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_workers_with_checkpoint_dir(self, rides_csv, tmp_path):
+        out = tmp_path / "cube.json"
+        code = self._build(
+            rides_csv,
+            out,
+            ["--workers", "2", "--checkpoint-dir", str(tmp_path / "ckpt")],
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_rejects_zero_workers(self, rides_csv, tmp_path, capsys):
+        with pytest.raises(ValueError):
+            self._build(rides_csv, tmp_path / "cube.json", ["--workers", "0"])
+
+
+class TestBench:
+    def test_bench_cube_emits_json_and_passes_check(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_cube_init.json"
+        code = main(
+            [
+                "bench", "cube",
+                "--rows", "1200",
+                "--workers", "2",
+                "--out", str(out),
+                "--check",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["digests_equal"] is True
+        assert doc["serial"]["phases"]["dry_run_seconds"] >= 0
+        assert doc["parallel"]["invariants"]["loss_bound_ok"] is True
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bench_query_emits_json_and_passes_check(self, tmp_path):
+        out = tmp_path / "BENCH_query.json"
+        code = main(
+            [
+                "bench", "query",
+                "--rows", "1200",
+                "--queries", "20",
+                "--out", str(out),
+                "--check",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["num_queries"] == 20
+        assert doc["void_answers"] == 0
+        assert set(doc["latency_seconds"]) >= {"mean", "p50", "p95"}
+
+    def test_bench_cube_check_fails_on_drift(self, tmp_path):
+        from repro.bench.cube_bench import check_cube_doc
+
+        healthy = {
+            "digests_equal": True,
+            "serial": {"invariants": {"loss_bound_ok": True, "iceberg_cells": 3}},
+            "parallel": {"invariants": {"loss_bound_ok": True, "iceberg_cells": 3}},
+        }
+        assert check_cube_doc(healthy) == []
+        drifted = {
+            "digests_equal": False,
+            "serial": {"invariants": {"loss_bound_ok": True, "iceberg_cells": 3}},
+            "parallel": {"invariants": {"loss_bound_ok": False, "iceberg_cells": 4}},
+        }
+        failures = check_cube_doc(drifted)
+        assert len(failures) == 3
