@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""CI smoke test for ``repro serve``: boot, overload, verify shedding.
+
+Boots the HTTP gateway as a real subprocess over a tiny cube with a
+deliberately small worker pool, a tight admission queue, and an
+artificial per-request service floor; then fires a burst of concurrent
+stdlib clients well past the queue bound. Asserts that
+
+- the endpoint answers health/readiness checks,
+- overflow requests are *shed* with well-formed 503 JSON bodies
+  (typed outcome, VOID guarantee, no rows, Retry-After header),
+- served requests carry a certified/degraded guarantee and generation,
+- ``/stats`` accounting is complete (every request disposed once),
+- hot reload works over HTTP and a corrupted replacement rolls back.
+
+Exits non-zero on any violation. Stdlib only — no test framework, no
+HTTP client dependency — so it runs anywhere the repo does.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+HOST = "127.0.0.1"
+PORT = 18788
+BASE = f"http://{HOST}:{PORT}"
+WORKERS = 1
+QUEUE_DEPTH = 2
+BURST = 16
+SERVICE_FLOOR = 0.15  # seconds per request: makes the burst overload
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url, timeout=10.0):
+    """(status, json_body, headers) — HTTP errors returned, not raised."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error), dict(error.headers)
+
+
+def post(url, payload, timeout=10.0):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def wait_ready(deadline_seconds=30.0) -> None:
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        try:
+            status, body, _ = get(f"{BASE}/readyz", timeout=2.0)
+            if status == 200 and body.get("ok"):
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    fail("server never became ready")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="serving_smoke_"))
+    rides = workdir / "rides.csv"
+    cube = workdir / "cube.json"
+    run = lambda *args: subprocess.run(  # noqa: E731
+        [sys.executable, "-m", "repro.cli", *args], check=True
+    )
+    run("generate", "--rows", "2000", "--seed", "0", "--out", str(rides))
+    run(
+        "build", "--table", str(rides),
+        "--attrs", "passenger_count,payment_type",
+        "--loss", "mean_loss", "--target", "fare_amount",
+        "--theta", "0.1", "--out", str(cube),
+    )
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--cube", str(cube), "--table", str(rides),
+            "--host", HOST, "--port", str(PORT),
+            "--workers", str(WORKERS), "--queue-depth", str(QUEUE_DEPTH),
+            "--min-service-seconds", str(SERVICE_FLOOR),
+            "--quiet",
+        ]
+    )
+    try:
+        wait_ready()
+        status, body, _ = get(f"{BASE}/healthz")
+        if status != 200 or not body.get("ok"):
+            fail(f"healthz: {status} {body}")
+
+        # Burst far past workers + queue: overflow must shed, fast.
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            outcome = get(f"{BASE}/query?payment_type=cash&limit=2")
+            with lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=client) for _ in range(BURST)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        shed = [r for r in results if r[0] == 503]
+        served = [r for r in results if r[0] == 200]
+        if len(shed) + len(served) != BURST:
+            fail(f"burst accounting: {len(shed)} shed + {len(served)} served != {BURST}")
+        if not shed:
+            fail(
+                f"no shed responses from a {BURST}-client burst against "
+                f"workers={WORKERS} queue={QUEUE_DEPTH}"
+            )
+        for status, body, headers in shed:
+            if body.get("outcome") != "shed":
+                fail(f"shed body malformed: {body}")
+            if body.get("guarantee") != "VOID" or body.get("rows") is not None:
+                fail(f"shed response must carry no answer: {body}")
+            if headers.get("Retry-After") != "1":
+                fail(f"shed response missing Retry-After: {headers}")
+        for status, body, _ in served:
+            if body.get("outcome") not in ("ok", "degraded", "circuit_open"):
+                fail(f"served body malformed: {body}")
+            if body.get("generation") != 1:
+                fail(f"unexpected generation: {body}")
+
+        status, stats, _ = get(f"{BASE}/stats")
+        if status != 200:
+            fail(f"stats: {status}")
+        disposed = sum(stats["outcomes"].values())
+        if disposed != stats["requests_total"]:
+            fail(f"stats accounting: {stats['outcomes']} vs {stats['requests_total']}")
+        if stats["outcomes"]["shed"] != len(shed):
+            fail(f"shed count mismatch: {stats['outcomes']['shed']} != {len(shed)}")
+
+        # Hot reload over HTTP: same file swaps in as generation 2...
+        status, body = post(f"{BASE}/reload", {})
+        if status != 200 or not body.get("ok") or body.get("generation") != 2:
+            fail(f"reload: {status} {body}")
+        # ...and a corrupted replacement rolls back with gen 2 serving.
+        document = json.loads(cube.read_text())
+        document["cube_table"] = []
+        cube.write_text(json.dumps(document))
+        status, body = post(f"{BASE}/reload", {})
+        if status != 409 or body.get("ok") or body.get("generation") != 2:
+            fail(f"corrupt reload did not roll back: {status} {body}")
+        status, body, _ = get(f"{BASE}/query?payment_type=cash&limit=1")
+        if status != 200 or body.get("generation") != 2:
+            fail(f"old cube not serving after rollback: {status} {body}")
+
+        print(
+            f"serving smoke OK: {len(served)} served, {len(shed)} shed "
+            f"(burst {BURST}, workers {WORKERS}, queue {QUEUE_DEPTH}); "
+            "reload + rollback verified"
+        )
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()

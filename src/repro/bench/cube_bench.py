@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import platform
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,7 +35,10 @@ from repro.data.workload import generate_workload
 from repro.engine.cube import CubeCells
 
 #: Bump when the emitted JSON layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2 (additive): ``latency_seconds`` gained ``p99``; ``bench query``
+#: gained ``clients``/``throughput_qps``; new ``bench serving`` document.
+#: Every v1 field is still emitted under its v1 name.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -167,13 +171,35 @@ def bench_cube(
     }
 
 
+def _latency_stats(latencies: List[float]) -> Dict[str, float]:
+    """v1 latency fields plus the v2 tail (p99)."""
+    if not latencies:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0, "total": 0.0}
+    lat = np.asarray(latencies)
+    return {
+        "mean": float(lat.mean()),
+        "p50": float(np.percentile(lat, 50)),
+        "p95": float(np.percentile(lat, 95)),
+        "p99": float(np.percentile(lat, 99)),
+        "max": float(lat.max()),
+        "total": float(lat.sum()),
+    }
+
+
 def bench_query(
     settings: Optional[BenchSettings] = None,
     workers: int = 1,
     num_queries: int = 100,
     workload_seed: int = 0,
+    clients: int = 1,
 ) -> Dict[str, object]:
-    """Benchmark the dashboard query path over a fixed random workload."""
+    """Benchmark the dashboard query path over a fixed random workload.
+
+    With ``clients > 1`` the same workload is drained by that many
+    threads hammering one shared ``Tabula`` — the dashboard's actual
+    deployment shape — which exercises the store's swap-generation
+    guards and reports aggregate throughput alongside the latency tail.
+    """
     settings = settings or BenchSettings()
     table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
     tabula, report, _ = _build(table, settings, workers=workers)
@@ -184,33 +210,172 @@ def bench_query(
     latencies: List[float] = []
     sources: Dict[str, int] = {}
     guarantees: Dict[str, int] = {}
-    for query in workload:
-        result = tabula.query(query)
-        latencies.append(result.data_system_seconds)
-        sources[result.source] = sources.get(result.source, 0) + 1
-        name = result.guarantee.name
-        guarantees[name] = guarantees.get(name, 0) + 1
+    record_lock = threading.Lock()
 
-    lat = np.asarray(latencies)
+    def run_one(query) -> None:
+        started = time.perf_counter()
+        result = tabula.query(query)
+        elapsed = time.perf_counter() - started
+        with record_lock:
+            latencies.append(elapsed)
+            sources[result.source] = sources.get(result.source, 0) + 1
+            name = result.guarantee.name
+            guarantees[name] = guarantees.get(name, 0) + 1
+
+    wall_started = time.perf_counter()
+    if clients <= 1:
+        for query in workload:
+            run_one(query)
+    else:
+        pending = list(workload)
+        cursor = {"next": 0}
+
+        def client() -> None:
+            while True:
+                with record_lock:
+                    index = cursor["next"]
+                    if index >= len(pending):
+                        return
+                    cursor["next"] = index + 1
+                run_one(pending[index])
+
+        threads = [threading.Thread(target=client) for _ in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall = time.perf_counter() - wall_started
+
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "query",
         "settings": settings.as_dict(),
         "environment": _environment(),
         "workers": workers,
+        "clients": clients,
         "num_queries": len(workload),
-        "latency_seconds": {
-            "mean": float(lat.mean()),
-            "p50": float(np.percentile(lat, 50)),
-            "p95": float(np.percentile(lat, 95)),
-            "max": float(lat.max()),
-            "total": float(lat.sum()),
-        },
+        "latency_seconds": _latency_stats(latencies),
+        "throughput_qps": len(workload) / wall if wall > 0 else 0.0,
         "source_mix": sources,
         "guarantee_mix": guarantees,
         "void_answers": guarantees.get(GuaranteeStatus.VOID.name, 0),
         "init_total_seconds": report.total_seconds,
         "invariants": cube_invariants(tabula, table),
+    }
+
+
+def bench_serving(
+    settings: Optional[BenchSettings] = None,
+    workers: int = 2,
+    queue_depth: int = 4,
+    clients: int = 16,
+    num_queries: int = 200,
+    min_service_seconds: float = 0.002,
+    deadline_seconds: Optional[float] = None,
+    workload_seed: int = 0,
+) -> Dict[str, object]:
+    """Benchmark the serving gateway in a steady and an overloaded regime.
+
+    Two phases over the same workload:
+
+    - **steady** — a well-provisioned gateway (no artificial service
+      floor, clients ≤ workers): the baseline latency tail.
+    - **overload** — a deliberately under-provisioned gateway
+      (``min_service_seconds`` service floor, ``clients`` ≫ workers +
+      queue): offered load exceeds capacity, so the gateway *must* shed;
+      the document records throughput, shed rate and the p99 of the
+      requests that were actually served.
+
+    Shedding is the designed overload response, so ``shed_rate`` is a
+    descriptive metric here — ``check_serving_doc`` gates the accounting
+    invariants (every request disposed exactly once, outcomes well
+    formed), never the timing- and scheduler-dependent rate itself.
+    """
+    from repro.serving.breaker import BreakerConfig
+    from repro.serving.gateway import ServingConfig, ServingGateway
+
+    settings = settings or BenchSettings()
+    table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
+    tabula, _, _ = _build(table, settings, workers=1)
+    workload = generate_workload(
+        table, settings.attrs, num_queries=num_queries, seed=workload_seed
+    )
+
+    def run_phase(config: ServingConfig, phase_clients: int) -> Dict[str, object]:
+        gateway = ServingGateway(tabula, config=config)
+        outcomes: Dict[str, int] = {}
+        served_latencies: List[float] = []
+        lock = threading.Lock()
+        cursor = {"next": 0}
+
+        def client() -> None:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(workload):
+                        return
+                    cursor["next"] = index + 1
+                response = gateway.query(
+                    workload[index], deadline_seconds=deadline_seconds
+                )
+                with lock:
+                    outcomes[response.outcome.value] = (
+                        outcomes.get(response.outcome.value, 0) + 1
+                    )
+                    if response.answered:
+                        served_latencies.append(response.elapsed_seconds)
+
+        threads = [threading.Thread(target=client) for _ in range(phase_clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats = gateway.stats()
+        gateway.close()
+        served = sum(
+            count for name, count in outcomes.items() if name not in ("shed",)
+        )
+        return {
+            "clients": phase_clients,
+            "workers": config.workers,
+            "queue_depth": config.queue_depth,
+            "min_service_seconds": config.min_service_seconds,
+            "offered": len(workload),
+            "outcomes": outcomes,
+            "served": served,
+            "shed": outcomes.get("shed", 0),
+            "shed_rate": outcomes.get("shed", 0) / len(workload) if workload else 0.0,
+            "throughput_rps": len(workload) / wall if wall > 0 else 0.0,
+            "latency_seconds": _latency_stats(served_latencies),
+            "breaker": stats["breaker"],
+        }
+
+    steady = run_phase(
+        ServingConfig(
+            workers=max(workers, 4),
+            queue_depth=max(queue_depth, len(workload)),
+            breaker=BreakerConfig(),
+        ),
+        phase_clients=min(clients, max(workers, 4)),
+    )
+    overload = run_phase(
+        ServingConfig(
+            workers=workers,
+            queue_depth=queue_depth,
+            min_service_seconds=min_service_seconds,
+            breaker=BreakerConfig(),
+        ),
+        phase_clients=clients,
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "serving",
+        "settings": settings.as_dict(),
+        "environment": _environment(),
+        "deadline_seconds": deadline_seconds,
+        "phases": {"steady": steady, "overload": overload},
     }
 
 
@@ -255,6 +420,33 @@ def check_query_doc(doc: Dict[str, object]) -> List[str]:
         )
     if doc.get("void_answers", 0):
         failures.append(f"{doc['void_answers']} VOID answer(s) in the workload")
+    return failures
+
+
+def check_serving_doc(doc: Dict[str, object]) -> List[str]:
+    """Validate a ``bench serving`` document's accounting invariants.
+
+    Gated: every offered request disposed exactly once, outcome names
+    well formed, shed count consistent. NOT gated: shed rate, throughput
+    and latencies — those are scheduler- and hardware-dependent.
+    """
+    valid_outcomes = {"ok", "degraded", "shed", "deadline_exceeded", "circuit_open"}
+    failures: List[str] = []
+    for name, phase in doc.get("phases", {}).items():
+        outcomes = phase.get("outcomes", {})
+        unknown = set(outcomes) - valid_outcomes
+        if unknown:
+            failures.append(f"{name}: unknown outcome(s) {sorted(unknown)}")
+        disposed = sum(outcomes.values())
+        if disposed != phase.get("offered"):
+            failures.append(
+                f"{name}: {phase.get('offered')} requests offered but "
+                f"{disposed} disposed — requests lost or double-counted"
+            )
+        if phase.get("shed") != outcomes.get("shed", 0):
+            failures.append(f"{name}: shed count inconsistent with outcomes")
+        if phase.get("served", 0) + phase.get("shed", 0) != disposed:
+            failures.append(f"{name}: served + shed != disposed")
     return failures
 
 

@@ -7,8 +7,10 @@ Usage (``python -m repro.cli <command>``):
 - ``query`` — answer a dashboard query from a saved cube;
 - ``info`` — summarize a saved cube;
 - ``cube verify`` — audit a saved cube's checksums and version;
-- ``bench cube`` / ``bench query`` — reproducible benchmarks emitting
-  machine-readable ``BENCH_*.json`` documents;
+- ``serve`` — run the concurrent dashboard gateway over HTTP (bounded
+  admission queue, deadlines, circuit-broken fallback, hot reload);
+- ``bench cube`` / ``bench query`` / ``bench serving`` — reproducible
+  benchmarks emitting machine-readable ``BENCH_*.json`` documents;
 - ``sql`` — execute SQL statements against a CSV-backed session;
 - ``lint`` — run the static analyzer over SQL files or inline text.
 """
@@ -101,6 +103,42 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=10, help="rows to print")
     query.set_defaults(handler=cmd_query)
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a saved cube over HTTP with admission control, "
+        "deadlines, a circuit-broken raw fallback and hot reload",
+    )
+    serve.add_argument("--cube", required=True, help="cube file to serve (and reload)")
+    serve.add_argument("--table", required=True, help="CSV file with the raw data")
+    serve.add_argument("--loss-sql", help="replay a CREATE AGGREGATE before loading")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--workers", type=int, default=4, help="request executor threads")
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="bounded admission queue; beyond it requests are shed",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (requests may "
+        "carry their own)",
+    )
+    serve.add_argument(
+        "--min-service-seconds",
+        type=float,
+        default=0.0,
+        help="artificial per-request service floor (overload drills "
+        "and smoke tests only; keep 0 in production)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logs"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
     info = commands.add_parser("info", help="summarize a saved cube")
     info.add_argument("--cube", required=True)
     info.set_defaults(handler=cmd_info)
@@ -162,12 +200,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench_query.add_argument("--target", default="fare_amount")
     bench_query.add_argument("--out", default="BENCH_query.json")
     bench_query.add_argument(
+        "--clients",
+        type=int,
+        default=1,
+        help="concurrent client threads draining the workload against "
+        "one shared cube (1 = the classic serial loop)",
+    )
+    bench_query.add_argument(
         "--check",
         action="store_true",
         help="exit non-zero on invariant drift (θ-bound violation or any "
         "VOID answer)",
     )
     bench_query.set_defaults(handler=cmd_bench_query)
+    bench_serving = bench_commands.add_parser(
+        "serving",
+        help="drive the serving gateway through a steady and an "
+        "overloaded phase; records throughput, shed rate and the p99 tail",
+    )
+    bench_serving.add_argument("--rows", type=int, default=20_000)
+    bench_serving.add_argument("--seed", type=int, default=0)
+    bench_serving.add_argument("--queries", type=int, default=200)
+    bench_serving.add_argument("--theta", type=float, default=0.05)
+    bench_serving.add_argument(
+        "--attrs", default="payment_type,rate_code,passenger_count"
+    )
+    bench_serving.add_argument("--loss", default="mean_loss")
+    bench_serving.add_argument("--target", default="fare_amount")
+    bench_serving.add_argument(
+        "--workers", type=int, default=2, help="gateway workers in the overload phase"
+    )
+    bench_serving.add_argument(
+        "--queue-depth", type=int, default=4, help="admission bound in the overload phase"
+    )
+    bench_serving.add_argument(
+        "--clients", type=int, default=16, help="concurrent clients in the overload phase"
+    )
+    bench_serving.add_argument(
+        "--deadline", type=float, default=None, help="per-request deadline in seconds"
+    )
+    bench_serving.add_argument("--out", default="BENCH_serving.json")
+    bench_serving.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if the accounting invariants break (requests "
+        "lost/double-counted, malformed outcomes); rates are never gated",
+    )
+    bench_serving.set_defaults(handler=cmd_bench_serving)
 
     sql = commands.add_parser("sql", help="run SQL statements against a CSV table")
     sql.add_argument("--table", required=True, help="CSV file registered as its basename")
@@ -278,6 +357,36 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.engine.schema import ColumnType
+    from repro.serving import ServingConfig, ServingGateway
+    from repro.serving.http import serve_http
+
+    document = json.loads(open(args.cube).read())
+    attrs = document.get("cubed_attrs", [])
+    table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
+    registry = _registry_with_declaration(args.loss_sql)
+    gateway = ServingGateway.from_cube_file(
+        args.cube,
+        table,
+        registry=registry,
+        config=ServingConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline_seconds=args.deadline,
+            min_service_seconds=args.min_service_seconds,
+        ),
+    )
+    print(
+        f"serving {args.cube} on http://{args.host}:{args.port} "
+        f"(workers={args.workers}, queue={args.queue_depth}, "
+        f"deadline={args.deadline if args.deadline is not None else 'none'})"
+    )
+    print("routes: POST/GET /query, GET /healthz /readyz /stats, POST /reload")
+    serve_http(gateway, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
 def cmd_info(args) -> int:
     document = json.loads(open(args.cube).read())
     samples = document["sample_table"]
@@ -351,17 +460,50 @@ def cmd_bench_query(args) -> int:
     from repro.bench.cube_bench import bench_query, check_query_doc, write_bench_doc
 
     doc = bench_query(
-        _bench_settings(args), workers=args.workers, num_queries=args.queries
+        _bench_settings(args),
+        workers=args.workers,
+        num_queries=args.queries,
+        clients=args.clients,
     )
     write_bench_doc(doc, args.out)
     lat = doc["latency_seconds"]
     print(
-        f"wrote {args.out}: {doc['num_queries']} queries, "
+        f"wrote {args.out}: {doc['num_queries']} queries, clients={doc['clients']}, "
         f"mean {format_seconds(lat['mean'])}, p95 {format_seconds(lat['p95'])}, "
-        f"sources {doc['source_mix']}"
+        f"p99 {format_seconds(lat['p99'])}, sources {doc['source_mix']}"
     )
     if args.check:
         failures = check_query_doc(doc)
+        for failure in failures:
+            print(f"invariant drift: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+def cmd_bench_serving(args) -> int:
+    from repro.bench.cube_bench import bench_serving, check_serving_doc, write_bench_doc
+
+    settings = _bench_settings(args)
+    doc = bench_serving(
+        settings,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        clients=args.clients,
+        num_queries=args.queries,
+        deadline_seconds=args.deadline,
+    )
+    write_bench_doc(doc, args.out)
+    overload = doc["phases"]["overload"]
+    print(
+        f"wrote {args.out}: overload {overload['offered']} requests via "
+        f"{overload['clients']} clients -> {overload['served']} served, "
+        f"{overload['shed']} shed ({overload['shed_rate']:.0%}), "
+        f"p99 {format_seconds(overload['latency_seconds']['p99'])}, "
+        f"{overload['throughput_rps']:.0f} req/s"
+    )
+    if args.check:
+        failures = check_serving_doc(doc)
         for failure in failures:
             print(f"invariant drift: {failure}", file=sys.stderr)
         if failures:

@@ -11,6 +11,7 @@ sample table).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -55,6 +56,18 @@ class SamplingCubeStore:
         self._known_cells = set(known_cells)
         self._degraded_cells: Dict[CellKey, str] = dict(degraded_cells or {})
         self._next_sample_id = max(self._samples, default=-1) + 1
+        # Swap guard: every mutation of the cell→sample pointers or the
+        # sample table happens under this lock and bumps the generation,
+        # so a reader that raced a swap (pointer resolved, sample gone)
+        # can distinguish "concurrent maintenance moved it" (generation
+        # advanced → re-resolve) from "genuinely dangling" (degrade).
+        self._swap_lock = threading.RLock()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (bumped under the swap lock)."""
+        return self._generation
 
     # ------------------------------------------------------------------
     # Query path
@@ -100,27 +113,33 @@ class SamplingCubeStore:
         answers it via the fallback ladder with an honest
         :class:`~repro.core.tabula.GuaranteeStatus` instead of raising.
         """
-        old = self._cell_to_sample_id.pop(cell, None)
-        if old is not None:
-            self._collect_if_orphaned(old)
-        self._degraded_cells[cell] = reason
-        self._known_cells.add(cell)
+        with self._swap_lock:
+            self._generation += 1
+            old = self._cell_to_sample_id.pop(cell, None)
+            if old is not None:
+                self._collect_if_orphaned(old)
+            self._degraded_cells[cell] = reason
+            self._known_cells.add(cell)
 
     def drop_sample(self, sample_id: int, reason: str) -> List[CellKey]:
         """Remove a (corrupt) sample; every cell it served degrades."""
-        affected = [c for c, sid in self._cell_to_sample_id.items() if sid == sample_id]
-        for cell in affected:
-            self.mark_degraded(cell, reason)
-        self._samples.pop(sample_id, None)
-        return affected
+        with self._swap_lock:
+            affected = [c for c, sid in self._cell_to_sample_id.items() if sid == sample_id]
+            for cell in affected:
+                self.mark_degraded(cell, reason)
+            self._generation += 1
+            self._samples.pop(sample_id, None)
+            return affected
 
     def reassign(self, cell: CellKey, sample_id: int) -> None:
         """Bind a degraded cell to an existing (re-verified) sample."""
-        if sample_id not in self._samples:
-            raise KeyError(f"no sample with id {sample_id}")
-        self._cell_to_sample_id[cell] = sample_id
-        self._degraded_cells.pop(cell, None)
-        self._known_cells.add(cell)
+        with self._swap_lock:
+            if sample_id not in self._samples:
+                raise KeyError(f"no sample with id {sample_id}")
+            self._generation += 1
+            self._cell_to_sample_id[cell] = sample_id
+            self._degraded_cells.pop(cell, None)
+            self._known_cells.add(cell)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,7 +177,8 @@ class SamplingCubeStore:
     # ------------------------------------------------------------------
     def add_known_cell(self, cell: CellKey) -> None:
         """Record a newly non-empty cell (appends can create cells)."""
-        self._known_cells.add(cell)
+        with self._swap_lock:
+            self._known_cells.add(cell)
 
     def assign_new_sample(self, cell: CellKey, sample: Table) -> int:
         """Materialize a fresh local sample for ``cell``; returns its id.
@@ -166,22 +186,26 @@ class SamplingCubeStore:
         Orphaned samples (no longer referenced by any cell) are garbage
         collected so repeated maintenance cannot leak memory.
         """
-        sample_id = self._next_sample_id
-        self._next_sample_id += 1
-        self._samples[sample_id] = sample
-        old = self._cell_to_sample_id.get(cell)
-        self._cell_to_sample_id[cell] = sample_id
-        if old is not None:
-            self._collect_if_orphaned(old)
-        self._known_cells.add(cell)
-        self._degraded_cells.pop(cell, None)
-        return sample_id
+        with self._swap_lock:
+            self._generation += 1
+            sample_id = self._next_sample_id
+            self._next_sample_id += 1
+            self._samples[sample_id] = sample
+            old = self._cell_to_sample_id.get(cell)
+            self._cell_to_sample_id[cell] = sample_id
+            if old is not None:
+                self._collect_if_orphaned(old)
+            self._known_cells.add(cell)
+            self._degraded_cells.pop(cell, None)
+            return sample_id
 
     def demote_to_global(self, cell: CellKey) -> None:
         """Stop materializing ``cell`` (its loss fell back under θ)."""
-        old = self._cell_to_sample_id.pop(cell, None)
-        if old is not None:
-            self._collect_if_orphaned(old)
+        with self._swap_lock:
+            self._generation += 1
+            old = self._cell_to_sample_id.pop(cell, None)
+            if old is not None:
+                self._collect_if_orphaned(old)
 
     def _collect_if_orphaned(self, sample_id: int) -> None:
         if sample_id not in self._cell_to_sample_id.values():

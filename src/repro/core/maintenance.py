@@ -268,31 +268,32 @@ def apply_plan(tabula: Tabula, plan: MaintenancePlan) -> None:
     dry = tabula._dry
     if dry is None:
         raise TabulaError("cannot apply a maintenance plan without dry-run statistics")
-    fault_point(FP_APPLY_CONCAT)
-    if tabula.table.num_rows == plan.base_rows:
-        tabula.table = tabula.table.concat(plan.delta)
-    elif tabula.table.num_rows != plan.base_rows + plan.delta_rows:
-        raise TabulaError(
-            f"maintenance plan {plan.batch_id} expects a base of "
-            f"{plan.base_rows} rows (or {plan.base_rows + plan.delta_rows} "
-            f"after concat); the table has {tabula.table.num_rows}"
-        )
-    known: Set[CellKey] = set(dry.known_cells)
-    for decision in plan.decisions:
-        fault_point(FP_APPLY_DECISION)
-        cell = decision.cell
-        dry.cell_stats[cell] = decision.stats
-        dry.cell_losses[cell] = decision.loss
-        if decision.newly_known:
-            known.add(cell)
-            store.add_known_cell(cell)
-        if decision.action == "demote":
-            store.demote_to_global(cell)
-        elif decision.action == "resample":
-            indices = np.asarray(decision.sample_indices, dtype=np.int64)
-            store.assign_new_sample(cell, tabula.table.take(indices))
-        # "retain"/"none": certificates unchanged.
-    dry.known_cells = frozenset(known)
+    with tabula.write_lock:
+        fault_point(FP_APPLY_CONCAT)
+        if tabula.table.num_rows == plan.base_rows:
+            tabula.table = tabula.table.concat(plan.delta)
+        elif tabula.table.num_rows != plan.base_rows + plan.delta_rows:
+            raise TabulaError(
+                f"maintenance plan {plan.batch_id} expects a base of "
+                f"{plan.base_rows} rows (or {plan.base_rows + plan.delta_rows} "
+                f"after concat); the table has {tabula.table.num_rows}"
+            )
+        known: Set[CellKey] = set(dry.known_cells)
+        for decision in plan.decisions:
+            fault_point(FP_APPLY_DECISION)
+            cell = decision.cell
+            dry.cell_stats[cell] = decision.stats
+            dry.cell_losses[cell] = decision.loss
+            if decision.newly_known:
+                known.add(cell)
+                store.add_known_cell(cell)
+            if decision.action == "demote":
+                store.demote_to_global(cell)
+            elif decision.action == "resample":
+                indices = np.asarray(decision.sample_indices, dtype=np.int64)
+                store.assign_new_sample(cell, tabula.table.take(indices))
+            # "retain"/"none": certificates unchanged.
+        dry.known_cells = frozenset(known)
 
 
 def _report_from(plan: MaintenancePlan, seconds: float) -> MaintenanceReport:
@@ -343,21 +344,26 @@ def append_rows(
             lacks dry-run statistics, or on a schema mismatch.
     """
     started = time.perf_counter()
-    plan = plan_append(tabula, new_rows, seed)
-    if journal is not None:
-        if journal.is_committed(plan.batch_id):
-            recorded = journal.committed_report(plan.batch_id)
-            if recorded:
-                return MaintenanceReport(**recorded)
-            return _report_from(plan, 0.0)
-        journal.log_plan(plan.batch_id, _plan_payload(plan))
-        fault_point(FP_PLAN_LOGGED)
-    apply_plan(tabula, plan)
-    report = _report_from(plan, time.perf_counter() - started)
-    if journal is not None:
-        fault_point(FP_COMMIT)
-        journal.commit(plan.batch_id, asdict(report))
-    return report
+    # One writer at a time: planning reads the table/store state that
+    # apply mutates, so plan+apply must be atomic against other writers
+    # (readers are unaffected — they ride the store's generation
+    # counter). The RLock keeps direct apply_plan calls re-entrant.
+    with tabula.write_lock:
+        plan = plan_append(tabula, new_rows, seed)
+        if journal is not None:
+            if journal.is_committed(plan.batch_id):
+                recorded = journal.committed_report(plan.batch_id)
+                if recorded:
+                    return MaintenanceReport(**recorded)
+                return _report_from(plan, 0.0)
+            journal.log_plan(plan.batch_id, _plan_payload(plan))
+            fault_point(FP_PLAN_LOGGED)
+        apply_plan(tabula, plan)
+        report = _report_from(plan, time.perf_counter() - started)
+        if journal is not None:
+            fault_point(FP_COMMIT)
+            journal.commit(plan.batch_id, asdict(report))
+        return report
 
 
 def recover_journal(tabula: Tabula, journal: MaintenanceJournal) -> List[MaintenanceReport]:
@@ -370,12 +376,13 @@ def recover_journal(tabula: Tabula, journal: MaintenanceJournal) -> List[Mainten
     original apply.
     """
     reports: List[MaintenanceReport] = []
-    for batch_id, payload in journal.uncommitted_plans():
-        plan = _plan_from_payload(payload)
-        apply_plan(tabula, plan)
-        report = _report_from(plan, 0.0)
-        journal.commit(batch_id, asdict(report))
-        reports.append(report)
+    with tabula.write_lock:
+        for batch_id, payload in journal.uncommitted_plans():
+            plan = _plan_from_payload(payload)
+            apply_plan(tabula, plan)
+            report = _report_from(plan, 0.0)
+            journal.commit(batch_id, asdict(report))
+            reports.append(report)
     return reports
 
 

@@ -81,6 +81,11 @@ class PersistenceError(TabulaError):
         code: the TAB5xx error code of the failure class.
         section: the document section that failed validation (or "").
         path: the cube file involved (or "").
+        failures: every ``(section, code)`` that failed in this pass.
+            Validation reports *all* corrupt sections at once rather
+            than stopping at the first, so an operator repairs a damaged
+            file in one round trip; ``code``/``section`` above remain
+            the first (most severe) entry.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class PersistenceError(TabulaError):
         code: str = "",
         section: str = "",
         path: Union[str, Path, None] = None,
+        failures: Optional[List[Tuple[str, str]]] = None,
     ):
         prefix = f"[{code}] " if code else ""
         where = f" (section {section!r} of {path})" if section else ""
@@ -97,6 +103,12 @@ class PersistenceError(TabulaError):
         self.code = code
         self.section = section
         self.path = str(path) if path is not None else ""
+        if failures is not None:
+            self.failures = tuple(failures)
+        elif section:
+            self.failures = ((section, code),)
+        else:
+            self.failures = ()
 
 
 # ---------------------------------------------------------------------------
@@ -239,45 +251,67 @@ def _read_document(path: Union[str, Path]) -> dict:
     return document
 
 
+def _raise_collected(
+    problems: List[Tuple[str, str, str]], path: Union[str, Path]
+) -> None:
+    """Raise one PersistenceError naming every (section, code, detail).
+
+    ``code``/``section`` of the raised error stay the first failure (the
+    stable single-failure API); ``failures`` carries the complete list so
+    an operator fixes a damaged file in one round trip instead of
+    replaying load-fail-fix cycles section by section.
+    """
+    first_section, first_code, _ = problems[0]
+    summary = "; ".join(
+        f"{section} [{code}]: {detail}" for section, code, detail in problems
+    )
+    raise PersistenceError(
+        f"{len(problems)} unrecoverable failure(s): {summary}",
+        code=first_code,
+        section=first_section,
+        path=path,
+        failures=[(section, code) for section, code, _ in problems],
+    )
+
+
 def _verify_sections(document: dict, path: Union[str, Path]) -> Dict[str, str]:
     """Validate the envelope; returns {sample_id: TAB code} for samples
-    that failed their checksum. Fatal-section failures raise."""
-    for name in _FATAL_SECTIONS:
+    that failed their checksum. Fatal-section failures raise — after the
+    whole document has been audited, so the error names *every* corrupt
+    section, not just the first one encountered."""
+    problems: List[Tuple[str, str, str]] = []  # (section, code, detail)
+    missing = set()
+    for name in _FATAL_SECTIONS + ("sample_table",):
         if name not in document:
-            raise PersistenceError(
-                "required section is missing from the cube document",
-                code=TAB504_MISSING_SECTION,
-                section=name,
-                path=path,
+            missing.add(name)
+            problems.append(
+                (name, TAB504_MISSING_SECTION, "required section is missing")
             )
-    if "sample_table" not in document:
-        raise PersistenceError(
-            "required section is missing from the cube document",
-            code=TAB504_MISSING_SECTION,
-            section="sample_table",
-            path=path,
-        )
     if document.get("format_version") == 1:
+        if problems:
+            _raise_collected(problems, path)
         return {}  # legacy file: nothing to verify against
     envelope = document.get("envelope")
     if not isinstance(envelope, dict) or "checksums" not in envelope:
-        raise PersistenceError(
-            "version-2 document has no checksum envelope",
-            code=TAB504_MISSING_SECTION,
-            section="envelope",
-            path=path,
+        problems.append(
+            ("envelope", TAB504_MISSING_SECTION, "version-2 document has no checksum envelope")
         )
+        _raise_collected(problems, path)
     for name in _FATAL_SECTIONS:
+        if name in missing:
+            continue
         expected = envelope["checksums"].get(name)
         actual = _section_crc(document[name])
         if expected != actual:
-            raise PersistenceError(
-                f"checksum mismatch: recorded {expected}, computed {actual} — "
-                "the cube file is corrupt and this section is not recoverable",
-                code=TAB505_SECTION_CORRUPT,
-                section=name,
-                path=path,
+            problems.append(
+                (
+                    name,
+                    TAB505_SECTION_CORRUPT,
+                    f"checksum mismatch: recorded {expected}, computed {actual}",
+                )
             )
+    if problems:
+        _raise_collected(problems, path)
     corrupt: Dict[str, str] = {}
     sample_checksums = envelope.get("sample_checksums", {})
     for sid, payload in document["sample_table"].items():
@@ -349,28 +383,41 @@ def load_cube(
     )
 
     samples: Dict[int, Table] = {}
+    bad_samples: List[Tuple[str, str, str]] = []  # (section, code, detail)
     for sid, payload in document["sample_table"].items():
         if sid in corrupt_samples:
-            if on_corruption == "raise":
-                raise PersistenceError(
-                    "sample failed its checksum; reload with "
-                    "on_corruption='degrade' or 'repair' to recover",
-                    code=TAB506_SAMPLE_CORRUPT,
-                    section=f"sample_table/{sid}",
-                    path=path,
+            bad_samples.append(
+                (
+                    f"sample_table/{sid}",
+                    TAB506_SAMPLE_CORRUPT,
+                    "sample failed its checksum",
                 )
+            )
             continue  # degrade/repair: handled below, after the store exists
         try:
             samples[int(sid)] = table_from_json(payload)
         except (KeyError, TypeError, ValueError) as exc:
-            if on_corruption == "raise":
-                raise PersistenceError(
+            bad_samples.append(
+                (
+                    f"sample_table/{sid}",
+                    TAB506_SAMPLE_CORRUPT,
                     f"sample payload is undecodable: {exc}",
-                    code=TAB506_SAMPLE_CORRUPT,
-                    section=f"sample_table/{sid}",
-                    path=path,
-                ) from None
+                )
+            )
             corrupt_samples[sid] = TAB506_SAMPLE_CORRUPT
+    if bad_samples and on_corruption == "raise":
+        # One pass, every corrupt sample named — then the recovery hint.
+        summary = "; ".join(
+            f"{section} [{code}]: {detail}" for section, code, detail in bad_samples
+        )
+        raise PersistenceError(
+            f"{len(bad_samples)} corrupt sample(s): {summary}; reload with "
+            "on_corruption='degrade' or 'repair' to recover",
+            code=bad_samples[0][1],
+            section=bad_samples[0][0],
+            path=path,
+            failures=[(section, code) for section, code, _ in bad_samples],
+        )
 
     cell_to_sample = {
         _cell_from_list(entry["cell"]): entry["sample_id"]

@@ -12,6 +12,7 @@ with ``TabulaConfig.sample_selection=False``.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,8 +40,9 @@ from repro.engine.expressions import (
     conjunction_to_equality_sets,
 )
 from repro.engine.table import Table
-from repro.errors import CubeNotInitializedError, InvalidQueryError
+from repro.errors import CubeNotInitializedError, DeadlineExceeded, InvalidQueryError
 from repro.resilience.checkpoint import InitCheckpoint, rng_for_cell, table_fingerprint
+from repro.resilience.deadline import Deadline
 from repro.resilience.faults import fault_point, register_fault_point
 
 FP_GLOBAL_SAMPLE = register_fault_point(
@@ -48,6 +50,17 @@ FP_GLOBAL_SAMPLE = register_fault_point(
 )
 FP_SELECTION_DONE = register_fault_point(
     "init.selection.done", "representatives selected, store not yet assembled"
+)
+FP_RAW_SCAN = register_fault_point(
+    "query.fallback.raw_scan",
+    "before the exact raw-table scan of the fallback ladder (the "
+    "expensive backend rung; SlowIO here simulates a slow data system, "
+    "IOFault a failing one)",
+)
+FP_REBIND_SCAN = register_fault_point(
+    "query.rebind.raw_scan",
+    "before the single-cell raw scan that re-verifies a surviving "
+    "representative for a degraded cell",
 )
 
 
@@ -78,6 +91,11 @@ class TabulaConfig:
             degraded cell — ``"global"`` (cheap, answer is honest but
             carries no θ-certificate → ``DOWNGRADED``) or ``"raw"``
             (exact full scan → ``CERTIFIED``, at raw-scan cost).
+        stale_pointer_retries: how many times the query path re-resolves
+            a cell→sample pointer that raced a concurrent maintenance
+            swap before concluding the store is damaged. The default of
+            1 suffices for a single writer; raise it when several
+            maintenance writers share the instance.
     """
 
     cubed_attrs: Tuple[str, ...]
@@ -93,6 +111,7 @@ class TabulaConfig:
     partitions: int = 16
     degraded_rebind: bool = True
     degraded_fallback: str = "global"
+    stale_pointer_retries: int = 1
 
     def __post_init__(self):
         if self.degraded_fallback not in ("global", "raw"):
@@ -102,6 +121,10 @@ class TabulaConfig:
             )
         if self.partitions < 1:
             raise ValueError(f"partitions must be >= 1, got {self.partitions}")
+        if self.stale_pointer_retries < 0:
+            raise ValueError(
+                f"stale_pointer_retries must be >= 0, got {self.stale_pointer_retries}"
+            )
 
 
 @dataclass
@@ -168,6 +191,10 @@ class QueryResult:
     rows), or ``"void"`` (degraded cell with every fallback exhausted).
     ``guarantee`` records whether the θ-certificate held for this
     answer; ``detail`` carries the degradation reason when it did not.
+    ``raw_blocked`` is set when the raw-scan rung was available but a
+    caller-supplied policy (e.g. the serving gateway's circuit breaker)
+    refused it — the serving layer reports such answers as
+    ``CIRCUIT_OPEN`` rather than plain ``DEGRADED``.
     """
 
     sample: Table
@@ -176,6 +203,7 @@ class QueryResult:
     data_system_seconds: float
     guarantee: GuaranteeStatus = GuaranteeStatus.CERTIFIED
     detail: str = ""
+    raw_blocked: bool = False
 
 
 def _cartesian_queries(sets: Mapping[str, list]):
@@ -201,6 +229,10 @@ class Tabula:
         self._report: Optional[InitializationReport] = None
         self._dry: Optional[DryRunResult] = None
         self._real: Optional[RealRunResult] = None
+        # Serializes mutating maintenance (append_rows / apply_plan /
+        # recover_journal) against each other; readers stay lock-free
+        # and rely on the store's generation counter instead.
+        self.write_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Initialization (the CREATE TABLE ... GROUPBY CUBE ... query)
@@ -447,18 +479,37 @@ class Tabula:
     # ------------------------------------------------------------------
     # Query path (SELECT sample FROM cube WHERE ...)
     # ------------------------------------------------------------------
-    def query(self, where: Union[Predicate, Mapping[str, object], None]) -> QueryResult:
+    def query(
+        self,
+        where: Union[Predicate, Mapping[str, object], None],
+        deadline: Optional[Deadline] = None,
+        raw_policy=None,
+    ) -> QueryResult:
         """Answer one dashboard interaction from the materialized cube.
 
         Args:
             where: either a mapping ``{attr: value}`` over (a subset of)
                 the cubed attributes, or an equality-conjunction
                 predicate, or ``None`` for the whole table.
+            deadline: optional request budget. The cheap rungs (sample /
+                global lookups) always run; the expensive raw-scan rung
+                is cut off once the budget is spent — the answer then
+                falls to a cheaper rung with an honest downgrade, or the
+                query raises :class:`~repro.errors.DeadlineExceeded`
+                when no rung is left.
+            raw_policy: optional guard for the raw-table fallback rung —
+                any object with ``allow() -> bool``,
+                ``record_success()`` and ``record_failure()`` (the
+                serving gateway passes its circuit breaker). When
+                ``allow()`` is false the raw rung is skipped and the
+                result carries ``raw_blocked=True``.
 
         Raises:
             CubeNotInitializedError: before :meth:`initialize`.
             InvalidQueryError: when the WHERE clause is not a pure
                 equality conjunction over the cubed attributes.
+            DeadlineExceeded: the deadline expired and no fallback rung
+                could answer within it.
         """
         store = self._require_store()
         if isinstance(where, Predicate):
@@ -466,22 +517,37 @@ class Tabula:
             if flattened is None:
                 sets = conjunction_to_equality_sets(where)
                 if sets is not None:
-                    return self.query_union(_cartesian_queries(sets))
+                    return self.query_union(
+                        _cartesian_queries(sets), deadline=deadline, raw_policy=raw_policy
+                    )
         started = time.perf_counter()
+        if deadline is not None:
+            deadline.check("before the cube lookup")
         cell = self._cell_for(where)
         sample_id = store.sample_id_of(cell)
         if sample_id is not None:
+            generation = store.generation
             sample = store.sample_for_id(sample_id)
-            if sample is None:
+            retries = self.config.stale_pointer_retries
+            while sample is None and retries > 0:
                 # Concurrent maintenance may have swapped the cell's
                 # sample between the two reads (pointer updated, old
-                # sample collected). Re-resolve once before concluding
-                # the store is damaged: a cell with a valid pre-swap
-                # sample must never degrade because of a racing append.
+                # sample collected). Re-resolve before concluding the
+                # store is damaged: a cell with a valid pre-swap sample
+                # must never degrade because of a racing append. The
+                # store's generation counter bounds the retries — an
+                # unchanged pointer in an unchanged generation is
+                # genuinely dangling, not racing.
+                retries -= 1
                 refreshed = store.sample_id_of(cell)
-                if refreshed is not None and refreshed != sample_id:
-                    sample_id = refreshed
-                    sample = store.sample_for_id(refreshed)
+                refreshed_generation = store.generation
+                if refreshed is None:
+                    break  # demoted/degraded mid-read; the ladder decides
+                if refreshed == sample_id and refreshed_generation == generation:
+                    break
+                generation = refreshed_generation
+                sample_id = refreshed
+                sample = store.sample_for_id(refreshed)
             if sample is not None:
                 return QueryResult(
                     sample=sample,
@@ -494,7 +560,9 @@ class Tabula:
             # than raise — the dashboard still gets an honest answer.
             store.mark_degraded(cell, f"sample {sample_id} is missing from the store")
         if store.is_degraded(cell):
-            return self._degraded_answer(cell, started)
+            return self._degraded_answer(
+                cell, started, deadline=deadline, raw_policy=raw_policy
+            )
         if store.is_known_cell(cell):
             return QueryResult(
                 sample=store.global_sample.table,
@@ -511,45 +579,95 @@ class Tabula:
             guarantee=GuaranteeStatus.CERTIFIED,
         )
 
-    def _degraded_answer(self, cell: CellKey, started: float) -> QueryResult:
+    def _degraded_answer(
+        self,
+        cell: CellKey,
+        started: float,
+        deadline: Optional[Deadline] = None,
+        raw_policy=None,
+    ) -> QueryResult:
         """The fallback ladder for a cell whose certified sample is gone.
 
         local sample → (re-verified) representative sample → global
         sample → raw scan, with :class:`GuaranteeStatus` recording how
-        far the answer fell. The ladder never raises: the worst outcome
-        is an explicit ``VOID``.
+        far the answer fell. Raw-backend failures (``OSError``) are
+        tolerated — the ladder records them and keeps descending — and
+        the expensive raw rungs are cut off by an expired ``deadline``
+        or a denying ``raw_policy``. The ladder only raises when the
+        deadline (not the data) is what prevented an answer; otherwise
+        the worst outcome is an explicit ``VOID``.
         """
         cfg = self.config
         store = self._require_store()
         reason = store.degraded_reason(cell) or "sample unavailable"
+        details = []
+        raw_blocked = False
+        deadline_cut = False
         if cfg.degraded_rebind:
-            raw_indices = self._cell_row_indices(cell)
-            if raw_indices.size:
-                cell_values = cfg.loss.extract(self.table.take(raw_indices))
-                for sid, sample in store.sample_table_entries():
-                    if cfg.loss.loss(cell_values, cfg.loss.extract(sample)) <= cfg.threshold:
-                        store.reassign(cell, sid)
-                        return QueryResult(
-                            sample=sample,
-                            source="representative",
-                            cell=cell,
-                            data_system_seconds=time.perf_counter() - started,
-                            guarantee=GuaranteeStatus.CERTIFIED,
-                            detail=f"rebound to re-verified sample {sid} after: {reason}",
-                        )
+            if deadline is not None and deadline.expired:
+                deadline_cut = True
+                details.append("rebind scan skipped: deadline expired")
+            else:
+                try:
+                    fault_point(FP_REBIND_SCAN)
+                    raw_indices = self._cell_row_indices(cell)
+                except OSError as exc:
+                    raw_indices = np.empty(0, dtype=np.int64)
+                    details.append(f"rebind scan failed: {exc}")
+                if raw_indices.size:
+                    cell_values = cfg.loss.extract(self.table.take(raw_indices))
+                    for sid, sample in store.sample_table_entries():
+                        if cfg.loss.loss(cell_values, cfg.loss.extract(sample)) <= cfg.threshold:
+                            store.reassign(cell, sid)
+                            return QueryResult(
+                                sample=sample,
+                                source="representative",
+                                cell=cell,
+                                data_system_seconds=time.perf_counter() - started,
+                                guarantee=GuaranteeStatus.CERTIFIED,
+                                detail=f"rebound to re-verified sample {sid} after: {reason}",
+                            )
         rungs = ("global", "raw") if cfg.degraded_fallback == "global" else ("raw", "global")
         for rung in rungs:
             if rung == "global" and store.global_sample.size > 0:
+                detail = f"θ-certificate void for this cell: {reason}"
+                if details:
+                    detail += "; " + "; ".join(details)
                 return QueryResult(
                     sample=store.global_sample.table,
                     source="global",
                     cell=cell,
                     data_system_seconds=time.perf_counter() - started,
                     guarantee=GuaranteeStatus.DOWNGRADED,
-                    detail=f"θ-certificate void for this cell: {reason}",
+                    detail=detail,
+                    raw_blocked=raw_blocked,
                 )
             if rung == "raw" and self.table.num_rows:
-                raw = self.table.take(self._cell_row_indices(cell))
+                if raw_policy is not None and not raw_policy.allow():
+                    raw_blocked = True
+                    details.append("raw-scan fallback blocked by policy (circuit open)")
+                    continue
+                if deadline is not None and deadline.expired:
+                    deadline_cut = True
+                    details.append("raw-scan fallback skipped: deadline expired")
+                    continue
+                try:
+                    fault_point(FP_RAW_SCAN)
+                    # SlowIO lands on the fault point above: re-check the
+                    # budget so a stalled backend cuts the scan off
+                    # rather than serving a too-late exact answer.
+                    if deadline is not None and deadline.expired:
+                        deadline_cut = True
+                        details.append("raw-scan fallback cut off mid-flight: deadline expired")
+                        continue
+                    raw = self.table.take(self._cell_row_indices(cell))
+                except OSError as exc:
+                    if raw_policy is not None:
+                        raw_policy.record_failure()
+                    details.append(f"raw-scan fallback failed: {exc}")
+                    continue
+                if raw_policy is not None:
+                    raw_policy.record_success()
                 return QueryResult(
                     sample=raw,
                     source="raw",
@@ -558,16 +676,31 @@ class Tabula:
                     guarantee=GuaranteeStatus.CERTIFIED,
                     detail=f"exact raw-scan fallback after: {reason}",
                 )
+        if deadline_cut:
+            raise DeadlineExceeded(
+                f"deadline expired before any fallback rung could answer "
+                f"cell {cell!r} ({reason})",
+                elapsed=time.perf_counter() - started,
+            )
+        detail = f"no fallback could answer this cell: {reason}"
+        if details:
+            detail += "; " + "; ".join(details)
         return QueryResult(
             sample=Table.empty_like(self.table),
             source="void",
             cell=cell,
             data_system_seconds=time.perf_counter() - started,
             guarantee=GuaranteeStatus.VOID,
-            detail=f"no fallback could answer this cell: {reason}",
+            detail=detail,
+            raw_blocked=raw_blocked,
         )
 
-    def query_union(self, cell_queries) -> QueryResult:
+    def query_union(
+        self,
+        cell_queries,
+        deadline: Optional[Deadline] = None,
+        raw_policy=None,
+    ) -> QueryResult:
         """Answer a query covering several cube cells at once (extension).
 
         ``IN`` predicates over cubed attributes select a *union* of cube
@@ -590,10 +723,12 @@ class Tabula:
         cells = []
         statuses = []
         details = []
+        raw_blocked = False
         for query in cell_queries:
-            result = self.query(query)
+            result = self.query(query, deadline=deadline, raw_policy=raw_policy)
             cells.append(result.cell)
             statuses.append(result.guarantee)
+            raw_blocked = raw_blocked or result.raw_blocked
             if result.detail:
                 details.append(result.detail)
             if result.source not in ("empty", "void"):
@@ -613,6 +748,7 @@ class Tabula:
             data_system_seconds=time.perf_counter() - started,
             guarantee=GuaranteeStatus.worst(statuses),
             detail="; ".join(details),
+            raw_blocked=raw_blocked,
         )
 
     def explain(self, where: Union[Predicate, Mapping[str, object], None]) -> Dict[str, object]:

@@ -105,6 +105,20 @@ class SamplingError(TabulaError):
     """The accuracy-loss-aware sampler could not satisfy its contract."""
 
 
+class DeadlineExceeded(TabulaError):
+    """A request's deadline expired before an answer could be produced.
+
+    Raised by the query path when the remaining budget cannot cover the
+    next fallback rung (most importantly the raw-table scan), and by the
+    serving gateway when a queued request times out. ``elapsed`` is the
+    seconds the request had been running when the deadline cut it off.
+    """
+
+    def __init__(self, message: str, *, elapsed: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+
+
 class CubeNotInitializedError(TabulaError):
     """A dashboard query was issued before the sampling cube was built."""
 

@@ -1,0 +1,33 @@
+"""Dashboard serving layer: a robust concurrent gateway over Tabula.
+
+The paper's middleware answers one query at a time, in process. This
+package is the production rim around it — admission control with load
+shedding, per-request deadlines, a circuit breaker on the raw-table
+fallback, hot cube reload — exposed as a Python API
+(:class:`ServingGateway`), a stdlib HTTP endpoint
+(:func:`~repro.serving.http.serve_http`) and the ``repro serve`` CLI.
+"""
+
+from repro.resilience.deadline import Deadline
+from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serving.gateway import (
+    CubeSnapshot,
+    ReloadResult,
+    ServingConfig,
+    ServingGateway,
+    ServingOutcome,
+    ServingResponse,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "CubeSnapshot",
+    "Deadline",
+    "ReloadResult",
+    "ServingConfig",
+    "ServingGateway",
+    "ServingOutcome",
+    "ServingResponse",
+]

@@ -1,0 +1,494 @@
+"""Concurrent dashboard-serving gateway around a :class:`Tabula` cube.
+
+The paper's value proposition is answering ``SELECT sample FROM cube``
+in milliseconds for *many concurrent users*. This module turns the
+in-process middleware into a serving layer with explicit robustness
+semantics:
+
+- **admission control + load shedding** — a fixed worker pool pulls
+  requests from a bounded queue; once the queue is full new requests
+  are fast-rejected with a typed ``SHED`` outcome instead of queueing
+  unboundedly (overload degrades throughput, never memory);
+- **deadlines** — each request carries a budget that propagates into
+  ``Tabula.query`` (cutting off the expensive raw-scan rung) and bounds
+  how long the submitting caller waits on the queue + execution;
+- **circuit breaker** — the raw-table fallback is guarded by a shared
+  :class:`~repro.serving.breaker.CircuitBreaker`: when the backend
+  misbehaves, degraded cells are answered from the sample rungs with
+  ``CIRCUIT_OPEN`` rather than stalling the whole pool;
+- **hot reload** — the cube is held as an immutable generation-stamped
+  snapshot; ``reload()`` verifies a new cube file with
+  ``verify_cube_file`` *before* loading and atomically swaps the
+  snapshot only on success, so a corrupt file rolls back with the old
+  cube still serving. In-flight requests keep the generation they
+  pinned at dispatch.
+
+Every response carries the core :class:`GuaranteeStatus` plus a
+:class:`ServingOutcome` so dashboards can render partial results
+honestly.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.core.tabula import GuaranteeStatus, QueryResult, Tabula
+from repro.engine.table import Table
+from repro.errors import DeadlineExceeded, TabulaError
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import fault_point, register_fault_point
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
+
+FP_EXECUTE = register_fault_point(
+    "serve.request.execute",
+    "worker picked a request off the admission queue, query not started "
+    "(SlowIO here stalls workers → queue saturation)",
+)
+FP_RELOAD_SWAP = register_fault_point(
+    "serve.reload.swap",
+    "replacement cube verified and loaded, snapshot not yet swapped",
+)
+
+
+class ServingOutcome(enum.Enum):
+    """How the gateway disposed of one request.
+
+    - ``OK`` — certified answer;
+    - ``DEGRADED`` — honest answer without the θ-certificate
+      (``DOWNGRADED``/``VOID`` guarantee);
+    - ``SHED`` — fast-rejected at admission: the queue was full;
+    - ``DEADLINE_EXCEEDED`` — the budget expired before an answer;
+    - ``CIRCUIT_OPEN`` — answered from the sample rungs because the
+      breaker refused the raw-table fallback.
+    """
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    SHED = "shed"
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+    CIRCUIT_OPEN = "circuit_open"
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Gateway sizing and robustness knobs.
+
+    Attributes:
+        workers: request-executor threads.
+        queue_depth: bounded admission queue; a full queue sheds.
+        default_deadline_seconds: budget applied to requests that do not
+            carry their own (``None`` = unlimited).
+        breaker: circuit-breaker parameters for the raw-scan fallback.
+        stats_window: ring-buffer size for latency percentiles.
+        min_service_seconds: artificial per-request service-time floor.
+            Zero in production; overload benchmarks and tests raise it
+            to create deterministic queue pressure.
+    """
+
+    workers: int = 4
+    queue_depth: int = 32
+    default_deadline_seconds: Optional[float] = None
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    stats_window: int = 1024
+    min_service_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+
+
+@dataclass(frozen=True)
+class CubeSnapshot:
+    """One immutable generation of the served cube."""
+
+    generation: int
+    tabula: Tabula
+    path: Optional[str] = None
+
+
+@dataclass
+class ServingResponse:
+    """One request's disposal: the answer (if any) plus both statuses."""
+
+    outcome: ServingOutcome
+    guarantee: GuaranteeStatus
+    source: str
+    sample: Optional[Table]
+    cell: object
+    generation: int
+    elapsed_seconds: float
+    detail: str = ""
+
+    @property
+    def answered(self) -> bool:
+        """Whether ``sample`` carries a usable (possibly degraded) answer."""
+        return self.sample is not None and self.outcome in (
+            ServingOutcome.OK,
+            ServingOutcome.DEGRADED,
+            ServingOutcome.CIRCUIT_OPEN,
+        )
+
+
+@dataclass(frozen=True)
+class ReloadResult:
+    """Outcome of one :meth:`ServingGateway.reload` attempt."""
+
+    ok: bool
+    generation: int
+    path: str
+    error: str = ""
+
+
+class _Request:
+    __slots__ = ("where", "deadline", "future")
+
+    def __init__(self, where, deadline: Optional[Deadline]):
+        self.where = where
+        self.deadline = deadline
+        self.future: Future = Future()
+
+
+_SENTINEL = object()
+
+
+class ServingGateway:
+    """Thread-pooled query gateway with shedding, deadlines and reload.
+
+    Usage::
+
+        gateway = ServingGateway.from_cube_file("cube.json", raw_table)
+        with gateway:
+            response = gateway.query({"payment_type": "cash"},
+                                     deadline_seconds=0.05)
+
+    The gateway starts its workers on construction; ``close()`` (or the
+    context manager) drains them. A gateway constructed from a cube
+    *file* supports :meth:`reload`.
+    """
+
+    def __init__(
+        self,
+        tabula: Tabula,
+        config: Optional[ServingConfig] = None,
+        cube_path: Union[str, Path, None] = None,
+        registry=None,
+    ):
+        self.config = config or ServingConfig()
+        self.breaker = CircuitBreaker(self.config.breaker)
+        self._registry = registry
+        self._snapshot = CubeSnapshot(
+            generation=1,
+            tabula=tabula,
+            path=str(cube_path) if cube_path is not None else None,
+        )
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_depth)
+        self._stats_lock = threading.Lock()
+        self._counters: Dict[str, int] = {o.value: 0 for o in ServingOutcome}
+        self._errors = 0
+        self._requests_total = 0
+        self._latencies: Deque[float] = deque(maxlen=self.config.stats_window)
+        self._reloads = {"attempted": 0, "succeeded": 0, "failed": 0}
+        self._last_reload_error = ""
+        self._reload_lock = threading.Lock()
+        self._closed = False
+        self._workers: List[threading.Thread] = []
+        for i in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"tabula-serve-{i}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    @classmethod
+    def from_cube_file(
+        cls,
+        path: Union[str, Path],
+        table: Table,
+        registry=None,
+        config: Optional[ServingConfig] = None,
+    ) -> "ServingGateway":
+        """Boot a gateway from a persisted cube (restart recovery path)."""
+        from repro.core.persistence import load_cube
+
+        tabula = load_cube(path, table, registry=registry)
+        return cls(tabula, config=config, cube_path=path, registry=registry)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        where,
+        deadline_seconds: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> ServingResponse:
+        """Admit, execute and disposition one dashboard request.
+
+        Never blocks past the request's deadline: a full queue sheds
+        immediately and an expired budget abandons the slot (the worker
+        double-checks the deadline before doing any work).
+
+        Raises:
+            TabulaError: the gateway is closed, or the request itself is
+                invalid (``InvalidQueryError`` from the query path).
+        """
+        if self._closed:
+            raise TabulaError("serving gateway is closed")
+        started = time.perf_counter()
+        if deadline is None:
+            seconds = (
+                deadline_seconds
+                if deadline_seconds is not None
+                else self.config.default_deadline_seconds
+            )
+            if seconds is not None:
+                deadline = Deadline.after(seconds)
+        request = _Request(where, deadline)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            return self._disposed(
+                ServingOutcome.SHED,
+                started,
+                detail=(
+                    f"admission queue full ({self.config.queue_depth} waiting); "
+                    "request shed"
+                ),
+            )
+        timeout = deadline.remaining() if deadline is not None else None
+        try:
+            result, generation = request.future.result(timeout=timeout)
+        except FutureTimeout:
+            return self._disposed(
+                ServingOutcome.DEADLINE_EXCEEDED,
+                started,
+                detail="deadline expired while queued or executing",
+            )
+        except DeadlineExceeded as exc:
+            return self._disposed(
+                ServingOutcome.DEADLINE_EXCEEDED, started, detail=str(exc)
+            )
+        except Exception:
+            with self._stats_lock:
+                self._errors += 1
+                self._requests_total += 1
+            raise
+        return self._answered(result, generation, started)
+
+    def _answered(
+        self, result: QueryResult, generation: int, started: float
+    ) -> ServingResponse:
+        if result.guarantee is GuaranteeStatus.CERTIFIED:
+            outcome = ServingOutcome.OK
+        elif result.raw_blocked:
+            outcome = ServingOutcome.CIRCUIT_OPEN
+        else:
+            outcome = ServingOutcome.DEGRADED
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._counters[outcome.value] += 1
+            self._requests_total += 1
+            self._latencies.append(elapsed)
+        return ServingResponse(
+            outcome=outcome,
+            guarantee=result.guarantee,
+            source=result.source,
+            sample=result.sample,
+            cell=result.cell,
+            generation=generation,
+            elapsed_seconds=elapsed,
+            detail=result.detail,
+        )
+
+    def _disposed(
+        self, outcome: ServingOutcome, started: float, detail: str
+    ) -> ServingResponse:
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._counters[outcome.value] += 1
+            self._requests_total += 1
+        return ServingResponse(
+            outcome=outcome,
+            guarantee=GuaranteeStatus.VOID,
+            source="",
+            sample=None,
+            cell=None,
+            generation=self._snapshot.generation,
+            elapsed_seconds=elapsed,
+            detail=detail,
+        )
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                return
+            snapshot = self._snapshot  # pin a generation for this request
+            try:
+                fault_point(FP_EXECUTE)
+                if self.config.min_service_seconds:
+                    time.sleep(self.config.min_service_seconds)
+                if request.deadline is not None:
+                    request.deadline.check("while queued for a worker")
+                result = snapshot.tabula.query(
+                    request.where,
+                    deadline=request.deadline,
+                    raw_policy=self.breaker,
+                )
+            except Exception as exc:
+                request.future.set_exception(exc)
+            else:
+                request.future.set_result((result, snapshot.generation))
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def reload(self, path: Union[str, Path, None] = None) -> ReloadResult:
+        """Atomically swap in a (verified) replacement cube file.
+
+        The replacement is audited with ``verify_cube_file`` and then
+        fully loaded *before* the swap; any corruption or load failure
+        rolls back — the previous snapshot keeps serving and the attempt
+        is recorded in :meth:`stats`. In-flight requests finish on the
+        generation they pinned.
+        """
+        from repro.core.persistence import PersistenceError, load_cube, verify_cube_file
+
+        with self._reload_lock:
+            target = str(path) if path is not None else self._snapshot.path
+            if target is None:
+                raise TabulaError(
+                    "this gateway was not built from a cube file; pass an "
+                    "explicit path to reload from"
+                )
+            with self._stats_lock:
+                self._reloads["attempted"] += 1
+            report = verify_cube_file(target)
+            if not report.ok:
+                failures = ", ".join(
+                    f"{s.section}[{s.code}]" for s in report.failures
+                )
+                return self._reload_failed(
+                    target, f"verification failed: {failures}"
+                )
+            try:
+                tabula = load_cube(target, self._snapshot.tabula.table, registry=self._registry)
+            except (PersistenceError, TabulaError) as exc:
+                return self._reload_failed(target, f"load failed: {exc}")
+            fault_point(FP_RELOAD_SWAP)
+            new = CubeSnapshot(
+                generation=self._snapshot.generation + 1,
+                tabula=tabula,
+                path=target,
+            )
+            self._snapshot = new  # atomic reference swap; readers pin
+            with self._stats_lock:
+                self._reloads["succeeded"] += 1
+                self._last_reload_error = ""
+            return ReloadResult(ok=True, generation=new.generation, path=target)
+
+    def _reload_failed(self, target: str, error: str) -> ReloadResult:
+        with self._stats_lock:
+            self._reloads["failed"] += 1
+            self._last_reload_error = error
+        return ReloadResult(
+            ok=False,
+            generation=self._snapshot.generation,
+            path=target,
+            error=f"reload rolled back, generation "
+            f"{self._snapshot.generation} still serving: {error}",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection & lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        return self._snapshot.generation
+
+    @property
+    def tabula(self) -> Tabula:
+        """The currently served snapshot's middleware instance."""
+        return self._snapshot.tabula
+
+    @property
+    def healthy(self) -> bool:
+        """Liveness: the process accepts work (even if it must shed)."""
+        return not self._closed
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: a cube snapshot is loaded and workers are running."""
+        return (
+            not self._closed
+            and self._snapshot is not None
+            and any(t.is_alive() for t in self._workers)
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the ``/stats`` endpoint and the serving bench."""
+        with self._stats_lock:
+            latencies = sorted(self._latencies)
+            counters = dict(self._counters)
+            stats: Dict[str, object] = {
+                "requests_total": self._requests_total,
+                "outcomes": counters,
+                "errors": self._errors,
+                "reloads": dict(self._reloads),
+                "last_reload_error": self._last_reload_error,
+            }
+        stats.update(
+            {
+                "generation": self._snapshot.generation,
+                "queue_depth": self.config.queue_depth,
+                "queued_now": self._queue.qsize(),
+                "workers": self.config.workers,
+                "breaker": self.breaker.snapshot(),
+                "latency_seconds": _percentiles(latencies),
+            }
+        )
+        return stats
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting requests and drain the worker pool."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _percentiles(latencies: List[float]) -> Dict[str, float]:
+    if not latencies:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+    def at(q: float) -> float:
+        index = min(len(latencies) - 1, int(round(q * (len(latencies) - 1))))
+        return latencies[index]
+
+    return {
+        "count": len(latencies),
+        "p50": at(0.50),
+        "p95": at(0.95),
+        "p99": at(0.99),
+        "max": latencies[-1],
+    }

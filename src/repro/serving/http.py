@@ -1,0 +1,206 @@
+"""Stdlib HTTP surface for the serving gateway (``repro serve``).
+
+A deliberately dependency-free JSON endpoint on
+:class:`http.server.ThreadingHTTPServer` — one OS thread per connection
+feeding the gateway's *bounded* admission queue, so concurrency is
+capped by the gateway, not the listener.
+
+Routes:
+
+- ``POST /query`` — body ``{"where": {...}, "deadline_seconds": 0.05,
+  "limit": 20}``; also reachable as ``GET /query?attr=value&...`` with
+  reserved params ``deadline_seconds`` / ``limit`` (dashboards and
+  smoke tests can curl it).
+- ``GET /healthz`` — liveness (200 while the process accepts work).
+- ``GET /readyz`` — readiness (cube snapshot loaded, workers alive).
+- ``GET /stats`` — counters, breaker state, latency percentiles.
+- ``POST /reload`` — hot-swap the cube file (body ``{"path": ...}``
+  optional); a corrupt replacement rolls back and reports 409.
+
+Status mapping: answered requests (``OK`` / ``DEGRADED`` /
+``CIRCUIT_OPEN``) are 200 — degradation is carried in the body, the
+dashboard still renders; ``SHED`` is 503 with ``Retry-After``;
+``DEADLINE_EXCEEDED`` is 504; malformed requests are 400.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import TabulaError
+from repro.serving.gateway import ServingGateway, ServingOutcome
+
+_STATUS = {
+    ServingOutcome.OK: 200,
+    ServingOutcome.DEGRADED: 200,
+    ServingOutcome.CIRCUIT_OPEN: 200,
+    ServingOutcome.SHED: 503,
+    ServingOutcome.DEADLINE_EXCEEDED: 504,
+}
+
+_RESERVED_PARAMS = ("deadline_seconds", "limit")
+
+
+def response_to_json(response, limit: int = 20) -> Dict[str, object]:
+    """Wire shape of one gateway response (rows capped at ``limit``)."""
+    rows: Optional[Dict[str, list]] = None
+    num_rows = 0
+    if response.sample is not None:
+        num_rows = response.sample.num_rows
+        data = response.sample.to_pydict()
+        rows = {name: values[:limit] for name, values in data.items()}
+    return {
+        "outcome": response.outcome.value,
+        "guarantee": response.guarantee.name,
+        "source": response.source,
+        "cell": list(response.cell) if response.cell is not None else None,
+        "generation": response.generation,
+        "elapsed_seconds": response.elapsed_seconds,
+        "detail": response.detail,
+        "num_rows": num_rows,
+        "rows": rows,
+    }
+
+
+def _parse_query_request(handler: "_GatewayHandler") -> Tuple[dict, Optional[float], int]:
+    """(where, deadline_seconds, limit) from either verb."""
+    if handler.command == "POST":
+        length = int(handler.headers.get("Content-Length") or 0)
+        body = json.loads(handler.rfile.read(length) or b"{}")
+        if not isinstance(body, dict) or not isinstance(body.get("where", {}), dict):
+            raise ValueError("body must be a JSON object with a 'where' object")
+        return (
+            body.get("where", {}),
+            body.get("deadline_seconds"),
+            int(body.get("limit", 20)),
+        )
+    params = dict(parse_qsl(urlsplit(handler.path).query))
+    deadline = params.pop("deadline_seconds", None)
+    limit = int(params.pop("limit", 20))
+    return params, (float(deadline) if deadline is not None else None), limit
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    gateway: ServingGateway  # bound by make_server
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # pragma: no cover - noise control
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: dict, retry_after: Optional[int] = None):
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):
+        route = urlsplit(self.path).path
+        if route == "/healthz":
+            ok = self.gateway.healthy
+            self._send_json(200 if ok else 503, {"ok": ok})
+        elif route == "/readyz":
+            ok = self.gateway.ready
+            self._send_json(200 if ok else 503, {"ok": ok})
+        elif route == "/stats":
+            self._send_json(200, self.gateway.stats())
+        elif route == "/query":
+            self._handle_query()
+        else:
+            self._send_json(404, {"error": f"no route {route!r}"})
+
+    def do_POST(self):
+        route = urlsplit(self.path).path
+        if route == "/query":
+            self._handle_query()
+        elif route == "/reload":
+            self._handle_reload()
+        else:
+            self._send_json(404, {"error": f"no route {route!r}"})
+
+    def _handle_query(self):
+        try:
+            where, deadline_seconds, limit = _parse_query_request(self)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"malformed request: {exc}"})
+            return
+        try:
+            response = self.gateway.query(where, deadline_seconds=deadline_seconds)
+        except TabulaError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        status = _STATUS[response.outcome]
+        self._send_json(
+            status,
+            response_to_json(response, limit=limit),
+            retry_after=1 if response.outcome is ServingOutcome.SHED else None,
+        )
+
+    def _handle_reload(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, {"error": f"malformed request: {exc}"})
+            return
+        try:
+            result = self.gateway.reload(body.get("path"))
+        except TabulaError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(
+            200 if result.ok else 409,
+            {
+                "ok": result.ok,
+                "generation": result.generation,
+                "path": result.path,
+                "error": result.error,
+            },
+        )
+
+
+def make_server(
+    gateway: ServingGateway,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``gateway``.
+
+    Returned (not started) so callers control the lifecycle — tests run
+    it on a daemon thread, the CLI calls ``serve_forever`` directly.
+    """
+
+    class Handler(_GatewayHandler):
+        pass
+
+    Handler.gateway = gateway
+    Handler.quiet = quiet
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def serve_http(
+    gateway: ServingGateway,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    quiet: bool = False,
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    server = make_server(gateway, host, port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+        gateway.close()

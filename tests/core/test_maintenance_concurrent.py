@@ -140,3 +140,81 @@ def test_void_requires_empty_population(point_count):
     tabula = make_tabula(rows=300)
     result = tabula.query({"payment_type": "credit"})
     assert result.guarantee is not GuaranteeStatus.VOID
+
+
+class TestMultiWriterSerialization:
+    """Concurrent ``append_rows`` callers must serialize on the
+    instance write lock: interleaved planning and application would
+    plan against a base table another writer is mutating."""
+
+    def test_concurrent_appends_serialize_and_converge(self):
+        tabula = make_tabula()
+        initial_rows = tabula.table.num_rows
+        deltas = [generate_nyctaxi(num_rows=120, seed=200 + i) for i in range(4)]
+        errors = []
+        barrier = threading.Barrier(len(deltas))
+
+        def writer(delta, seed):
+            try:
+                barrier.wait(timeout=10)
+                append_rows(tabula, delta, seed=seed)
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(delta, i))
+            for i, delta in enumerate(deltas)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == []
+        assert tabula.table.num_rows == initial_rows + sum(
+            d.num_rows for d in deltas
+        )
+        # Post-quiescence, the θ-guarantee holds for every cube cell.
+        for cell in list(tabula.store._cell_to_sample_id):
+            result = tabula.query(_query_of(cell))
+            assert result.guarantee is GuaranteeStatus.CERTIFIED
+
+    def test_writers_and_readers_mixed(self):
+        """Writers serialize while readers keep getting honest answers
+        (the stale-pointer retry absorbs mid-swap reads)."""
+        tabula = make_tabula()
+        cells = list(tabula.store._cell_to_sample_id)[:4]
+        stop = threading.Event()
+        problems = []
+
+        def reader():
+            while not stop.is_set():
+                for cell in cells:
+                    result = tabula.query(_query_of(cell))
+                    if result.guarantee is GuaranteeStatus.VOID:
+                        problems.append(("void", cell))
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+
+        def writer(offset):
+            try:
+                for batch in range(2):
+                    delta = generate_nyctaxi(num_rows=80, seed=offset + batch)
+                    append_rows(tabula, delta, seed=offset + batch)
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                problems.append(("writer", exc))
+
+        writers = [threading.Thread(target=writer, args=(300 + 10 * i,)) for i in range(2)]
+        try:
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join(timeout=60)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        assert not any(t.is_alive() for t in writers + readers)
+        assert problems == []

@@ -263,3 +263,98 @@ class TestVerifyCubeFile:
         report = verify_cube_file(tmp_path / "nope.json")
         assert not report.ok
         assert report.failures[0].code == "TAB501"
+
+
+def _corrupt_samples(path, count):
+    """Tamper ``count`` persisted samples without fixing their CRCs.
+
+    Returns the (int) sample ids touched, in document order.
+    """
+    document = json.loads(path.read_text())
+    touched = []
+    for sid, payload in list(document["sample_table"].items())[:count]:
+        column = next(c for c in payload["columns"] if c["name"] == "fare_amount")
+        column["data"][0] = float(column["data"][0]) + 1e6
+        touched.append(int(sid))
+    path.write_text(json.dumps(document))
+    return touched
+
+
+class TestMultiCorruptionReporting:
+    """Validation reports *every* corrupt section in one pass, so an
+    operator repairs a damaged file in one round trip instead of
+    replaying load-fail-fix cycles section by section."""
+
+    def test_raise_mode_names_every_corrupt_sample(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        touched = _corrupt_samples(path, count=2)
+        assert len(touched) == 2
+        with pytest.raises(PersistenceError) as excinfo:
+            load_cube(path, rides_small)
+        error = excinfo.value
+        # Single-failure API unchanged: code/section are the first hit.
+        assert error.code == "TAB506"
+        assert error.section == f"sample_table/{touched[0]}"
+        # But the error carries (and the message names) every failure.
+        assert set(error.failures) == {
+            (f"sample_table/{sid}", "TAB506") for sid in touched
+        }
+        for sid in touched:
+            assert f"sample_table/{sid}" in str(error)
+
+    def test_fatal_sections_collected_not_first_only(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        document = json.loads(path.read_text())
+        document["cube_table"] = []  # checksum now stale
+        document["known_cells"] = []  # this one too
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError) as excinfo:
+            load_cube(path, rides_small)
+        error = excinfo.value
+        failed_sections = {section for section, _ in error.failures}
+        assert failed_sections == {"cube_table", "known_cells"}
+        assert all(code == "TAB505" for _, code in error.failures)
+        assert "cube_table" in str(error) and "known_cells" in str(error)
+
+    def test_missing_and_corrupt_sections_combine(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        document = json.loads(path.read_text())
+        del document["known_cells"]  # missing (TAB504)
+        document["cube_table"] = []  # corrupt (TAB505)
+        path.write_text(json.dumps(document))
+        with pytest.raises(PersistenceError) as excinfo:
+            load_cube(path, rides_small)
+        codes = dict(excinfo.value.failures)
+        assert codes["known_cells"] == "TAB504"
+        assert codes["cube_table"] == "TAB505"
+
+    def test_degrade_mode_recovers_every_corrupt_sample(
+        self, initialized, rides_small, tmp_path
+    ):
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        touched = _corrupt_samples(path, count=2)
+        restored = load_cube(path, rides_small, on_corruption="degrade")
+        assert set(restored.last_load_report.corrupt_samples) == set(touched)
+
+    def test_verify_cube_file_also_lists_every_failure(
+        self, initialized, tmp_path
+    ):
+        from repro.core.persistence import verify_cube_file
+
+        path = tmp_path / "cube.json"
+        save_cube(initialized, path)
+        touched = _corrupt_samples(path, count=2)
+        report = verify_cube_file(path)
+        assert not report.ok
+        failed = {f.section for f in report.failures}
+        assert failed == {f"sample_table/{sid}" for sid in touched}

@@ -1,0 +1,142 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, **overrides):
+    defaults = dict(
+        failure_threshold=0.5, window=4, min_calls=2, cooldown_seconds=10.0
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_single_failure_does_not_trip_a_cold_breaker(self, clock):
+        breaker = make_breaker(clock, min_calls=3)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_failure_rate_threshold(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_success()
+        breaker.record_failure()  # 1/2 = 50% ≥ threshold, min_calls met
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_successes_dilute_failures_below_threshold(self, clock):
+        breaker = make_breaker(clock, window=10, min_calls=2)
+        for _ in range(8):
+            breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()  # 2/10 < 50%
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_window_slides(self, clock):
+        """Old outcomes age out: 4 early failures then 4 successes must
+        not keep the breaker counting the stale failures."""
+        breaker = make_breaker(clock, window=4, min_calls=5)  # never trips
+        for _ in range(4):
+            breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        assert breaker.snapshot()["window_failures"] == 0
+
+
+class TestOpen:
+    def test_rejects_until_cooldown(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)  # cooldown elapsed
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe
+
+
+class TestHalfOpen:
+    def _opened(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        return breaker
+
+    def test_exactly_one_probe(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()
+        assert not breaker.allow()  # probe slot taken
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        # The window was cleared: one new failure must not instantly trip.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self, clock):
+        breaker = self._opened(clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(5.0)
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+
+class TestSnapshot:
+    def test_counts_opens_and_rejections(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["opens_total"] == 1
+        assert snapshot["rejected_total"] == 1
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0.0},
+            {"failure_threshold": 1.5},
+            {"window": 0},
+            {"min_calls": 0},
+            {"cooldown_seconds": -1},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)

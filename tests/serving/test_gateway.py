@@ -1,0 +1,400 @@
+"""Serving-gateway robustness under deterministic fault injection.
+
+The acceptance scenarios of the serving layer: an overloaded gateway
+sheds instead of queueing unboundedly, deadlines cut requests off
+within one scheduling quantum, an open circuit answers from the sample
+rungs without blocking, and hot reload against a corrupted file rolls
+back with the old cube still serving.
+"""
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.persistence import save_cube
+from repro.core.tabula import GuaranteeStatus, Tabula, TabulaConfig
+from repro.resilience.faults import CrashPoint, IOFault, InjectedCrash, SlowIO, inject
+from repro.serving import BreakerConfig, BreakerState, ServingConfig, ServingGateway, ServingOutcome
+from repro.serving.gateway import FP_EXECUTE, FP_RELOAD_SWAP
+
+ATTRS = ("passenger_count", "payment_type")
+
+pytestmark = pytest.mark.faults
+
+
+def build_tabula(table, theta=0.1, **overrides):
+    tabula = Tabula(
+        table,
+        TabulaConfig(
+            cubed_attrs=ATTRS, threshold=theta, loss=MeanLoss("fare_amount"), **overrides
+        ),
+    )
+    tabula.initialize()
+    return tabula
+
+
+def iceberg_query(tabula):
+    """A query hitting some materialized iceberg cell."""
+    cell = next(iter(tabula.store._cell_to_sample_id))
+    return cell, {a: v for a, v in zip(ATTRS, cell) if v is not None}
+
+
+@contextmanager
+def stalled_workers(count=1, timeout=10.0):
+    """Deterministically park the next ``count`` requests at the
+    ``serve.request.execute`` fault point until the event is set."""
+    release = threading.Event()
+    specs = [
+        SlowIO(FP_EXECUTE, at=i + 1, sleep=lambda _: release.wait(timeout=timeout))
+        for i in range(count)
+    ]
+    with inject(*specs) as handle:
+        try:
+            yield release, handle
+        finally:
+            release.set()
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestLoadShedding:
+    def test_full_queue_sheds_fast_with_typed_outcome(self, rides_tiny):
+        """queue_depth waiting + all workers busy → instant SHED, not an
+        unbounded queue or a blocked caller."""
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula, config=ServingConfig(workers=1, queue_depth=2)
+        )
+        try:
+            with stalled_workers(count=1) as (release, handle):
+                background = [
+                    threading.Thread(target=gateway.query, args=(where,))
+                    for _ in range(3)
+                ]
+                background[0].start()
+                # The worker must be parked on the request before we fill
+                # the queue behind it.
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                for thread in background[1:]:
+                    thread.start()
+                assert wait_until(lambda: gateway._queue.qsize() == 2)
+
+                response = gateway.query(where)  # 4th request: queue full
+                assert response.outcome is ServingOutcome.SHED
+                assert response.guarantee is GuaranteeStatus.VOID
+                assert response.sample is None
+                assert "shed" in response.detail
+                assert response.elapsed_seconds < 0.25  # fast reject
+                assert gateway._queue.qsize() <= 2  # bound held
+
+                release.set()
+                for thread in background:
+                    thread.join(timeout=5)
+            stats = gateway.stats()
+            assert stats["outcomes"]["shed"] == 1
+            assert stats["outcomes"]["ok"] == 3
+        finally:
+            gateway.close()
+
+    def test_shedding_recovers_once_load_drains(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula, config=ServingConfig(workers=1, queue_depth=1)
+        )
+        try:
+            with stalled_workers(count=1) as (release, handle):
+                blocked = threading.Thread(target=gateway.query, args=(where,))
+                blocked.start()
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                filler = threading.Thread(target=gateway.query, args=(where,))
+                filler.start()
+                assert wait_until(lambda: gateway._queue.qsize() == 1)
+                assert gateway.query(where).outcome is ServingOutcome.SHED
+                release.set()
+                blocked.join(timeout=5)
+                filler.join(timeout=5)
+            # Load drained: the same request is served again.
+            assert gateway.query(where).outcome is ServingOutcome.OK
+        finally:
+            gateway.close()
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_within_one_quantum(self, rides_tiny):
+        """A stalled backend must not hold the caller past its budget:
+        the response arrives within deadline + one scheduling quantum."""
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula, config=ServingConfig(workers=1, queue_depth=4)
+        )
+        try:
+            with stalled_workers(count=1) as (release, handle):
+                occupier = threading.Thread(target=gateway.query, args=(where,))
+                occupier.start()
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+
+                deadline = 0.1
+                started = time.perf_counter()
+                response = gateway.query(where, deadline_seconds=deadline)
+                elapsed = time.perf_counter() - started
+                assert response.outcome is ServingOutcome.DEADLINE_EXCEEDED
+                assert response.guarantee is GuaranteeStatus.VOID
+                assert response.sample is None
+                assert elapsed < deadline + 0.9  # deadline + a quantum
+                release.set()
+                occupier.join(timeout=5)
+        finally:
+            gateway.close()
+
+    def test_expired_deadline_never_executes(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=1))
+        try:
+            response = gateway.query(where, deadline_seconds=0.0)
+            assert response.outcome is ServingOutcome.DEADLINE_EXCEEDED
+        finally:
+            gateway.close()
+
+    def test_default_deadline_from_config(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula,
+            config=ServingConfig(workers=1, default_deadline_seconds=5.0),
+        )
+        try:
+            assert gateway.query(where).outcome is ServingOutcome.OK
+        finally:
+            gateway.close()
+
+
+class TestCircuitBreaker:
+    def _degraded_gateway(self, table, **breaker_overrides):
+        """A gateway over a cube with one degraded cell whose fallback
+        ladder tries the raw rung first."""
+        tabula = build_tabula(
+            table, degraded_fallback="raw", degraded_rebind=False
+        )
+        cell, where = iceberg_query(tabula)
+        tabula.store.mark_degraded(cell, "sample lost in test")
+        breaker = dict(
+            failure_threshold=0.5, window=4, min_calls=1, cooldown_seconds=60.0
+        )
+        breaker.update(breaker_overrides)
+        gateway = ServingGateway(
+            tabula,
+            config=ServingConfig(workers=1, breaker=BreakerConfig(**breaker)),
+        )
+        return gateway, where
+
+    def test_open_circuit_answers_from_samples_without_blocking(self, rides_tiny):
+        from repro.core.tabula import FP_RAW_SCAN
+
+        gateway, where = self._degraded_gateway(rides_tiny)
+        try:
+            # One injected raw-backend failure trips the breaker
+            # (min_calls=1, threshold 50%).
+            with inject(IOFault(FP_RAW_SCAN)):
+                first = gateway.query(where)
+            assert first.outcome is ServingOutcome.DEGRADED
+            assert first.guarantee is GuaranteeStatus.DOWNGRADED
+            assert gateway.breaker.state is BreakerState.OPEN
+
+            # Circuit open: the raw rung is refused outright — the query
+            # answers from the global sample, fast, flagged CIRCUIT_OPEN.
+            started = time.perf_counter()
+            second = gateway.query(where)
+            elapsed = time.perf_counter() - started
+            assert second.outcome is ServingOutcome.CIRCUIT_OPEN
+            assert second.guarantee is GuaranteeStatus.DOWNGRADED
+            assert second.source == "global"
+            assert second.sample is not None
+            assert elapsed < 0.5  # answered, not blocked on the backend
+            assert "circuit open" in second.detail
+        finally:
+            gateway.close()
+
+    def test_never_certified_after_failed_fallback(self, rides_tiny):
+        from repro.core.tabula import FP_RAW_SCAN
+
+        gateway, where = self._degraded_gateway(rides_tiny)
+        try:
+            with inject(IOFault(FP_RAW_SCAN)):
+                response = gateway.query(where)
+            assert response.guarantee is not GuaranteeStatus.CERTIFIED
+            for _ in range(3):  # breaker now open: still never CERTIFIED
+                assert (
+                    gateway.query(where).guarantee is not GuaranteeStatus.CERTIFIED
+                )
+        finally:
+            gateway.close()
+
+    def test_breaker_state_reported_in_stats(self, rides_tiny):
+        from repro.core.tabula import FP_RAW_SCAN
+
+        gateway, where = self._degraded_gateway(rides_tiny)
+        try:
+            with inject(IOFault(FP_RAW_SCAN)):
+                gateway.query(where)
+            gateway.query(where)
+            stats = gateway.stats()
+            assert stats["breaker"]["state"] == "open"
+            assert stats["outcomes"]["circuit_open"] == 1
+        finally:
+            gateway.close()
+
+
+class TestHotReload:
+    def _gateway_from_file(self, table, tmp_path, **config_overrides):
+        tabula = build_tabula(table)
+        path = tmp_path / "cube.json"
+        save_cube(tabula, path)
+        gateway = ServingGateway.from_cube_file(
+            path, table, config=ServingConfig(workers=1, **config_overrides)
+        )
+        return gateway, path
+
+    def test_reload_swaps_generation_atomically(self, rides_tiny, tmp_path):
+        gateway, path = self._gateway_from_file(rides_tiny, tmp_path)
+        try:
+            _, where = iceberg_query(gateway.tabula)
+            assert gateway.query(where).generation == 1
+            result = gateway.reload()
+            assert result.ok and result.generation == 2
+            response = gateway.query(where)
+            assert response.generation == 2
+            assert response.outcome is ServingOutcome.OK
+        finally:
+            gateway.close()
+
+    def test_corrupt_replacement_rolls_back_and_old_cube_serves(
+        self, rides_tiny, tmp_path
+    ):
+        gateway, path = self._gateway_from_file(rides_tiny, tmp_path)
+        try:
+            _, where = iceberg_query(gateway.tabula)
+            payload = json.loads(path.read_text())
+            # Tamper with the cube table without fixing its checksum.
+            payload["cube_table"], payload["known_cells"] = [], []
+            path.write_text(json.dumps(payload))
+
+            result = gateway.reload()
+            assert not result.ok
+            assert result.generation == 1
+            assert "rolled back" in result.error
+            assert "cube_table" in result.error
+
+            response = gateway.query(where)  # old snapshot still serving
+            assert response.outcome is ServingOutcome.OK
+            assert response.generation == 1
+            stats = gateway.stats()
+            assert stats["reloads"] == {"attempted": 1, "succeeded": 0, "failed": 1}
+            assert "cube_table" in stats["last_reload_error"]
+        finally:
+            gateway.close()
+
+    def test_inflight_request_keeps_its_pinned_generation(
+        self, rides_tiny, tmp_path
+    ):
+        gateway, path = self._gateway_from_file(rides_tiny, tmp_path)
+        try:
+            _, where = iceberg_query(gateway.tabula)
+            results = []
+            with stalled_workers(count=1) as (release, handle):
+                inflight = threading.Thread(
+                    target=lambda: results.append(gateway.query(where))
+                )
+                inflight.start()
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                assert gateway.reload().generation == 2
+                release.set()
+                inflight.join(timeout=5)
+            # The stalled request finished on the snapshot it pinned.
+            assert results[0].generation == 1
+            assert gateway.query(where).generation == 2
+        finally:
+            gateway.close()
+
+    def test_crash_mid_reload_then_restart_recovers_from_file(
+        self, rides_tiny, tmp_path
+    ):
+        """A kill between load and swap leaves the old snapshot serving;
+        a restarted gateway recovers the cube from the persisted file."""
+        gateway, path = self._gateway_from_file(rides_tiny, tmp_path)
+        _, where = iceberg_query(gateway.tabula)
+        baseline = gateway.query(where)
+        try:
+            with inject(CrashPoint(FP_RELOAD_SWAP)):
+                with pytest.raises(InjectedCrash):
+                    gateway.reload()
+            survivor = gateway.query(where)
+            assert survivor.outcome is ServingOutcome.OK
+            assert survivor.generation == 1
+        finally:
+            gateway.close()
+
+        # "Restart": a fresh gateway boots from the same persisted cube
+        # and answers the query identically.
+        restarted = ServingGateway.from_cube_file(
+            path, rides_tiny, config=ServingConfig(workers=1)
+        )
+        try:
+            recovered = restarted.query(where)
+            assert recovered.outcome is ServingOutcome.OK
+            assert recovered.sample.num_rows == baseline.sample.num_rows
+        finally:
+            restarted.close()
+
+    def test_reload_without_file_requires_explicit_path(self, rides_tiny):
+        from repro.errors import TabulaError
+
+        gateway = ServingGateway(build_tabula(rides_tiny))
+        try:
+            with pytest.raises(TabulaError, match="path"):
+                gateway.reload()
+        finally:
+            gateway.close()
+
+
+class TestLifecycle:
+    def test_closed_gateway_rejects_queries(self, rides_tiny):
+        from repro.errors import TabulaError
+
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        with ServingGateway(tabula, config=ServingConfig(workers=1)) as gateway:
+            assert gateway.healthy and gateway.ready
+        assert not gateway.healthy
+        with pytest.raises(TabulaError, match="closed"):
+            gateway.query(where)
+
+    def test_stats_accounting_is_complete(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=2))
+        try:
+            for _ in range(5):
+                gateway.query(where)
+            stats = gateway.stats()
+            assert stats["requests_total"] == 5
+            assert sum(stats["outcomes"].values()) == 5
+            assert stats["latency_seconds"]["count"] == 5
+            assert stats["latency_seconds"]["p99"] >= stats["latency_seconds"]["p50"]
+            assert stats["generation"] == 1
+        finally:
+            gateway.close()

@@ -1,0 +1,225 @@
+"""HTTP surface of the serving gateway (stdlib client, in-process server)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.persistence import save_cube
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.resilience.faults import SlowIO, inject
+from repro.serving import ServingConfig, ServingGateway
+from repro.serving.gateway import FP_EXECUTE
+from repro.serving.http import make_server
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+def build_tabula(table):
+    tabula = Tabula(
+        table,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=0.1, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+@pytest.fixture()
+def served(rides_tiny, tmp_path):
+    """(base_url, gateway) for a live in-process server on a free port."""
+    tabula = build_tabula(rides_tiny)
+    path = tmp_path / "cube.json"
+    save_cube(tabula, path)
+    gateway = ServingGateway.from_cube_file(
+        path, rides_tiny, config=ServingConfig(workers=2, queue_depth=4)
+    )
+    server = make_server(gateway, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", gateway
+    finally:
+        server.shutdown()
+        server.server_close()
+        gateway.close()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def post_json(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+def iceberg_where(gateway):
+    cell = next(iter(gateway.tabula.store._cell_to_sample_id))
+    return {a: v for a, v in zip(ATTRS, cell) if v is not None}
+
+
+class TestQueryRoutes:
+    def test_get_query_with_params(self, served):
+        base, gateway = served
+        where = iceberg_where(gateway)
+        params = "&".join(f"{a}={v}" for a, v in where.items())
+        status, body = get_json(f"{base}/query?{params}&limit=3")
+        assert status == 200
+        assert body["outcome"] == "ok"
+        assert body["guarantee"] == "CERTIFIED"
+        assert body["generation"] == 1
+        assert body["num_rows"] >= 1
+        assert all(len(values) <= 3 for values in body["rows"].values())
+
+    def test_post_query_with_body(self, served):
+        base, gateway = served
+        status, body = post_json(
+            f"{base}/query",
+            {"where": iceberg_where(gateway), "deadline_seconds": 5.0},
+        )
+        assert status == 200
+        assert body["outcome"] == "ok"
+
+    def test_malformed_body_is_400(self, served):
+        base, _ = served
+        request = urllib.request.Request(
+            f"{base}/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "error" in json.load(excinfo.value)
+
+    def test_unknown_attribute_is_400(self, served):
+        base, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/query?nonexistent=1", timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, served):
+        base, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestHealthAndStats:
+    def test_healthz_readyz(self, served):
+        base, _ = served
+        assert get_json(f"{base}/healthz") == (200, {"ok": True})
+        assert get_json(f"{base}/readyz") == (200, {"ok": True})
+
+    def test_stats_document(self, served):
+        base, gateway = served
+        get_json(f"{base}/query?" + "&".join(
+            f"{a}={v}" for a, v in iceberg_where(gateway).items()
+        ))
+        status, stats = get_json(f"{base}/stats")
+        assert status == 200
+        for key in ("requests_total", "outcomes", "breaker", "latency_seconds",
+                    "generation", "queue_depth", "reloads"):
+            assert key in stats
+        assert stats["requests_total"] >= 1
+
+
+@pytest.mark.faults
+class TestSheddingOverHTTP:
+    def test_shed_is_503_with_retry_after_and_wellformed_body(self, served):
+        """Saturate the bounded queue past its depth with concurrent
+        stdlib clients: overflow requests get a well-formed 503."""
+        base, gateway = served
+        where = iceberg_where(gateway)
+        params = "&".join(f"{a}={v}" for a, v in where.items())
+        url = f"{base}/query?{params}"
+        workers = gateway.config.workers
+        depth = gateway.config.queue_depth
+        outcomes = []
+        lock = threading.Lock()
+
+        def client():
+            try:
+                status, body = get_json(url)
+            except urllib.error.HTTPError as error:
+                status, body = error.code, json.load(error)
+                retry_after = error.headers.get("Retry-After")
+            else:
+                retry_after = None
+            with lock:
+                outcomes.append((status, body, retry_after))
+
+        release = threading.Event()
+        specs = [
+            SlowIO(FP_EXECUTE, at=i + 1, sleep=lambda _: release.wait(timeout=10))
+            for i in range(workers)
+        ]
+        with inject(*specs) as handle:
+            try:
+                stallers = [threading.Thread(target=client) for _ in range(workers)]
+                for thread in stallers:
+                    thread.start()
+                # Both workers parked; now fill the queue and overflow it.
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= workers)
+                rest = [
+                    threading.Thread(target=client) for _ in range(depth + 4)
+                ]
+                for thread in rest:
+                    thread.start()
+                for thread in rest:
+                    thread.join(timeout=10)
+            finally:
+                release.set()
+            for thread in stallers:
+                thread.join(timeout=10)
+
+        shed = [entry for entry in outcomes if entry[0] == 503]
+        served_ok = [entry for entry in outcomes if entry[0] == 200]
+        assert len(shed) >= 1  # overflow had to be rejected
+        assert len(served_ok) >= workers
+        for status, body, retry_after in shed:
+            assert body["outcome"] == "shed"
+            assert body["guarantee"] == "VOID"
+            assert body["rows"] is None
+            assert retry_after == "1"
+
+
+class TestReloadRoute:
+    def test_reload_ok_then_corrupt_is_409(self, served, tmp_path):
+        base, gateway = served
+        status, body = post_json(f"{base}/reload", {})
+        assert status == 200 and body["ok"] and body["generation"] == 2
+
+        cube_path = gateway._snapshot.path
+        payload = json.loads(open(cube_path).read())
+        payload["cube_table"] = []
+        with open(cube_path, "w") as handle:
+            json.dump(payload, handle)
+        request = urllib.request.Request(
+            f"{base}/reload", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 409
+        body = json.load(excinfo.value)
+        assert not body["ok"]
+        assert body["generation"] == 2  # rollback: generation unchanged
+        assert "cube_table" in body["error"]

@@ -228,7 +228,7 @@ class TestBench:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert doc["digests_equal"] is True
         assert doc["serial"]["phases"]["dry_run_seconds"] >= 0
         assert doc["parallel"]["invariants"]["loss_bound_ok"] is True
@@ -249,7 +249,8 @@ class TestBench:
         doc = json.loads(out.read_text())
         assert doc["num_queries"] == 20
         assert doc["void_answers"] == 0
-        assert set(doc["latency_seconds"]) >= {"mean", "p50", "p95"}
+        assert set(doc["latency_seconds"]) >= {"mean", "p50", "p95", "p99"}
+        assert doc["clients"] == 1
 
     def test_bench_cube_check_fails_on_drift(self, tmp_path):
         from repro.bench.cube_bench import check_cube_doc
@@ -267,3 +268,115 @@ class TestBench:
         }
         failures = check_cube_doc(drifted)
         assert len(failures) == 3
+
+
+class TestBenchServing:
+    def test_emits_json_and_passes_check(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serving.json"
+        code = main(
+            [
+                "bench", "serving",
+                "--rows", "1500",
+                "--queries", "40",
+                "--clients", "8",
+                "--workers", "2",
+                "--queue-depth", "3",
+                "--out", str(out),
+                "--check",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 2
+        assert doc["bench"] == "serving"
+        assert set(doc["phases"]) == {"steady", "overload"}
+        overload = doc["phases"]["overload"]
+        assert overload["offered"] == 40
+        assert sum(overload["outcomes"].values()) == 40
+        assert overload["served"] + overload["shed"] == 40
+        assert "p99" in overload["latency_seconds"]
+        assert "shed" in capsys.readouterr().out
+
+    def test_check_fails_on_lost_requests(self):
+        from repro.bench.cube_bench import check_serving_doc
+
+        broken = {
+            "phases": {
+                "overload": {
+                    "offered": 10,
+                    "outcomes": {"ok": 4, "shed": 5},  # one request lost
+                    "served": 4,
+                    "shed": 5,
+                }
+            }
+        }
+        assert any("lost" in f for f in check_serving_doc(broken))
+        healthy = {
+            "phases": {
+                "overload": {
+                    "offered": 10,
+                    "outcomes": {"ok": 5, "shed": 5},
+                    "served": 5,
+                    "shed": 5,
+                }
+            }
+        }
+        assert check_serving_doc(healthy) == []
+
+
+class TestServeCommand:
+    def test_serve_arguments_parse_and_wire(self, cube_file, rides_csv):
+        """The serve command is wired with its robustness knobs; the
+        blocking server itself is exercised by tests/serving/test_http.py
+        and scripts/serving_smoke.py."""
+        from repro.cli import build_parser, cmd_serve
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--cube", str(cube_file),
+                "--table", str(rides_csv),
+                "--port", "18999",
+                "--workers", "2",
+                "--queue-depth", "5",
+                "--deadline", "0.5",
+            ]
+        )
+        assert args.handler is cmd_serve
+        assert args.queue_depth == 5
+        assert args.deadline == 0.5
+        assert args.min_service_seconds == 0.0
+
+    def test_serve_boots_and_answers_over_http(self, cube_file, rides_csv):
+        import threading
+        import urllib.request
+
+        from repro.cli import _registry_with_declaration
+        from repro.engine.schema import ColumnType
+        from repro.serving import ServingConfig, ServingGateway
+        from repro.serving.http import make_server
+
+        attrs = json.loads(cube_file.read_text())["cubed_attrs"]
+        table = read_csv(rides_csv, types={a: ColumnType.CATEGORY for a in attrs})
+        gateway = ServingGateway.from_cube_file(
+            cube_file,
+            table,
+            registry=_registry_with_declaration(None),
+            config=ServingConfig(workers=1, queue_depth=4),
+        )
+        server = make_server(gateway, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = (
+                f"http://127.0.0.1:{server.server_address[1]}"
+                "/query?payment_type=cash&limit=2"
+            )
+            with urllib.request.urlopen(url, timeout=10) as response:
+                body = json.load(response)
+            assert response.status == 200
+            assert body["outcome"] in ("ok", "degraded")
+        finally:
+            server.shutdown()
+            server.server_close()
+            gateway.close()
