@@ -37,8 +37,10 @@ from repro.engine.cube import CubeCells
 #: Bump when the emitted JSON layout changes incompatibly.
 #: v2 (additive): ``latency_seconds`` gained ``p99``; ``bench query``
 #: gained ``clients``/``throughput_qps``; new ``bench serving`` document.
-#: Every v1 field is still emitted under its v1 name.
-SCHEMA_VERSION = 2
+#: v3 (additive): ``bench cube`` gained per-stage ``execution`` audit
+#: records and the ``speedup_gate`` block; ``bench query`` gained the
+#: ``batch`` section (``--batch``). Every earlier field keeps its name.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -128,6 +130,53 @@ def _phase_breakdown(report) -> Dict[str, float]:
     }
 
 
+def _execution_audit(report) -> Dict[str, Optional[Dict[str, object]]]:
+    """Per-stage :class:`~repro.core.parallel.PoolExecution` records.
+
+    ``None`` for a stage means it ran on the serial code path (no pool
+    engine involved); a record with ``fallback_kind == "error"`` means
+    the pool engine *tried* to fan out and silently fell back inline —
+    the regression this bench exists to catch.
+    """
+    out: Dict[str, Optional[Dict[str, object]]] = {}
+    for stage, execution in (
+        ("dry_run", getattr(report, "dry_run_execution", None)),
+        ("real_run", getattr(report, "real_run_execution", None)),
+    ):
+        out[stage] = execution.to_dict() if execution is not None else None
+    return out
+
+
+def _speedup_gate(workers: int) -> Dict[str, object]:
+    """Whether ``check_cube_doc`` should enforce ``speedup_vs_serial > 1``.
+
+    A 1-core runner cannot show wall-clock speedup from process
+    parallelism, so the gate is recorded as not-enforced there (the
+    invariant-digest gate stays unconditional). CI pins the bench-smoke
+    job to a multi-core runner precisely so this gate is live somewhere.
+    """
+    import multiprocessing
+
+    cpu_count = multiprocessing.cpu_count()
+    if workers < 2:
+        return {
+            "enforced": False,
+            "cpu_count": cpu_count,
+            "reason": f"workers={workers} < 2: no parallel run to gate",
+        }
+    if cpu_count < 2:
+        return {
+            "enforced": False,
+            "cpu_count": cpu_count,
+            "reason": f"cpu_count={cpu_count} < 2: speedup unobservable on this machine",
+        }
+    return {
+        "enforced": True,
+        "cpu_count": cpu_count,
+        "reason": f"cpu_count={cpu_count} >= 2 and workers={workers} >= 2",
+    }
+
+
 def bench_cube(
     settings: Optional[BenchSettings] = None,
     workers: int = 4,
@@ -159,15 +208,18 @@ def bench_cube(
             "wall_seconds": serial_wall,
             "phases": _phase_breakdown(serial_report),
             "invariants": serial_inv,
+            "execution": _execution_audit(serial_report),
         },
         "parallel": {
             "workers": workers,
             "wall_seconds": parallel_wall,
             "phases": _phase_breakdown(parallel_report),
             "invariants": parallel_inv,
+            "execution": _execution_audit(parallel_report),
         },
         "speedup_vs_serial": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
         "digests_equal": serial_inv["content_digest"] == parallel_inv["content_digest"],
+        "speedup_gate": _speedup_gate(workers),
     }
 
 
@@ -192,6 +244,7 @@ def bench_query(
     num_queries: int = 100,
     workload_seed: int = 0,
     clients: int = 1,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """Benchmark the dashboard query path over a fixed random workload.
 
@@ -199,6 +252,18 @@ def bench_query(
     threads hammering one shared ``Tabula`` — the dashboard's actual
     deployment shape — which exercises the store's swap-generation
     guards and reports aggregate throughput alongside the latency tail.
+
+    With ``batch_size`` set, a second phase replays the same workload
+    through a single-worker :class:`ServingGateway` twice — once as
+    individual requests, once via ``query_many`` in viewport-sized
+    batches (the multi-cell fetch a dashboard pan/zoom issues). Each
+    individual request pays one admission-queue round-trip and one
+    future handoff; a batch pays that once for ``batch_size`` answers,
+    which is the speedup being measured. The document gains a ``batch``
+    section: both throughputs, the speedup, and
+    ``answers_match_single`` — the equivalence fact ``--check`` gates
+    on (throughput is hardware-dependent; the answers never may
+    differ).
     """
     settings = settings or BenchSettings()
     table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
@@ -246,6 +311,49 @@ def bench_query(
             thread.join()
     wall = time.perf_counter() - wall_started
 
+    batch_section: Optional[Dict[str, object]] = None
+    if batch_size is not None and batch_size > 0:
+        from repro.serving.gateway import ServingConfig, ServingGateway
+
+        gateway = ServingGateway(
+            tabula,
+            config=ServingConfig(workers=1, queue_depth=max(batch_size, 64)),
+        )
+        with gateway:
+            # Warm pass so both measured passes see the same caches.
+            gateway.query_many(workload[:batch_size])
+
+            single_started = time.perf_counter()
+            single_results = [gateway.query(query) for query in workload]
+            single_wall = time.perf_counter() - single_started
+
+            batch_started = time.perf_counter()
+            batch_results: List = []
+            for start in range(0, len(workload), batch_size):
+                batch_results.extend(
+                    gateway.query_many(workload[start : start + batch_size])
+                )
+            batch_wall = time.perf_counter() - batch_started
+
+        answers_match = len(single_results) == len(batch_results) and all(
+            s.source == b.source
+            and s.guarantee == b.guarantee
+            and s.outcome == b.outcome
+            and s.cell == b.cell
+            and s.sample.to_pydict() == b.sample.to_pydict()
+            for s, b in zip(single_results, batch_results)
+        )
+        batch_section = {
+            "batch_size": batch_size,
+            "num_queries": len(workload),
+            "single_wall_seconds": single_wall,
+            "single_throughput_qps": len(workload) / single_wall if single_wall > 0 else 0.0,
+            "batch_wall_seconds": batch_wall,
+            "batch_throughput_qps": len(workload) / batch_wall if batch_wall > 0 else 0.0,
+            "speedup_vs_single": single_wall / batch_wall if batch_wall > 0 else 0.0,
+            "answers_match_single": answers_match,
+        }
+
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": "query",
@@ -261,6 +369,7 @@ def bench_query(
         "void_answers": guarantees.get(GuaranteeStatus.VOID.name, 0),
         "init_total_seconds": report.total_seconds,
         "invariants": cube_invariants(tabula, table),
+        "batch": batch_section,
     }
 
 
@@ -406,6 +515,21 @@ def check_cube_doc(doc: Dict[str, object]) -> List[str]:
                 f"invariant {key!r} differs: serial={serial_inv.get(key)} "
                 f"parallel={parallel_inv.get(key)}"
             )
+    # A parallel build that silently degraded to inline execution is the
+    # regression this bench exists to catch — fail it even though the
+    # invariants (necessarily) still hold.
+    for stage, execution in (doc.get("parallel", {}).get("execution") or {}).items():
+        if execution and execution.get("fallback_kind") == "error":
+            failures.append(
+                f"parallel {stage}: pool fan-out silently degraded to inline "
+                f"({execution.get('fallback_reason', 'unknown reason')})"
+            )
+    gate = doc.get("speedup_gate", {})
+    if gate.get("enforced") and doc.get("speedup_vs_serial", 0.0) <= 1.0:
+        failures.append(
+            f"speedup_vs_serial={doc.get('speedup_vs_serial'):.3f} <= 1.0 on a "
+            f"{gate.get('cpu_count')}-core machine — parallel build is a regression"
+        )
     return failures
 
 
@@ -420,6 +544,11 @@ def check_query_doc(doc: Dict[str, object]) -> List[str]:
         )
     if doc.get("void_answers", 0):
         failures.append(f"{doc['void_answers']} VOID answer(s) in the workload")
+    batch = doc.get("batch")
+    if batch and not batch.get("answers_match_single"):
+        failures.append(
+            "batched query_many answers diverged from sequential query answers"
+        )
     return failures
 
 

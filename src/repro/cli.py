@@ -207,10 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
         "one shared cube (1 = the classic serial loop)",
     )
     bench_query.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="also replay the workload through query_many in batches of B "
+        "(the dashboard viewport fetch) and record throughput vs the "
+        "single-query loop plus an answers-match equivalence bit",
+    )
+    bench_query.add_argument(
         "--check",
         action="store_true",
-        help="exit non-zero on invariant drift (θ-bound violation or any "
-        "VOID answer)",
+        help="exit non-zero on invariant drift (θ-bound violation, any "
+        "VOID answer, or batched answers diverging from single-query "
+        "answers under --batch)",
     )
     bench_query.set_defaults(handler=cmd_bench_query)
     bench_serving = bench_commands.add_parser(
@@ -441,12 +451,22 @@ def cmd_bench_cube(args) -> int:
 
     doc = bench_cube(_bench_settings(args), workers=args.workers)
     write_bench_doc(doc, args.out)
+    gate = doc.get("speedup_gate", {})
     print(
         f"wrote {args.out}: serial {format_seconds(doc['serial']['wall_seconds'])}, "
         f"workers={args.workers} {format_seconds(doc['parallel']['wall_seconds'])}, "
-        f"speedup {doc['speedup_vs_serial']:.2f}x, "
+        f"speedup {doc['speedup_vs_serial']:.2f}x "
+        f"({'gated' if gate.get('enforced') else 'ungated: ' + str(gate.get('reason', ''))}), "
         f"digests {'equal' if doc['digests_equal'] else 'DIFFER'}"
     )
+    for side in ("serial", "parallel"):
+        for stage, execution in (doc[side].get("execution") or {}).items():
+            if execution and execution.get("fallback_kind") == "error":
+                print(
+                    f"WARNING: {side} {stage} fell back to inline execution: "
+                    f"{execution.get('fallback_reason')}",
+                    file=sys.stderr,
+                )
     if args.check:
         failures = check_cube_doc(doc)
         for failure in failures:
@@ -464,6 +484,7 @@ def cmd_bench_query(args) -> int:
         workers=args.workers,
         num_queries=args.queries,
         clients=args.clients,
+        batch_size=args.batch,
     )
     write_bench_doc(doc, args.out)
     lat = doc["latency_seconds"]
@@ -472,6 +493,15 @@ def cmd_bench_query(args) -> int:
         f"mean {format_seconds(lat['mean'])}, p95 {format_seconds(lat['p95'])}, "
         f"p99 {format_seconds(lat['p99'])}, sources {doc['source_mix']}"
     )
+    batch = doc.get("batch")
+    if batch:
+        print(
+            f"batch={batch['batch_size']}: "
+            f"{batch['batch_throughput_qps']:.0f} q/s batched vs "
+            f"{batch['single_throughput_qps']:.0f} q/s single "
+            f"({batch['speedup_vs_single']:.2f}x), answers "
+            f"{'match' if batch['answers_match_single'] else 'DIVERGE'}"
+        )
     if args.check:
         failures = check_query_doc(doc)
         for failure in failures:

@@ -92,6 +92,39 @@ class SamplingCubeStore:
         """Whether the cell's population is non-empty in the raw table."""
         return cell in self._known_cells
 
+    def resolve_many(
+        self, cells: Sequence[CellKey]
+    ) -> List[Tuple[str, Optional[Table]]]:
+        """Classify a batch of cells in one pass under the swap lock.
+
+        Returns, per cell, ``(kind, sample)`` where ``kind`` is one of
+        ``"local"`` (sample attached), ``"stale"`` (pointer resolved but
+        the sample bytes are gone — the caller's per-query retry/degrade
+        protocol owns that case), ``"degraded"``, ``"global"`` (known
+        non-iceberg cell) or ``"empty"`` (unknown cell).
+
+        Because every store mutation takes the swap lock and this reads
+        the whole batch under it, a batch observes one consistent store
+        state: concurrent maintenance can never interleave a pointer
+        swap *inside* a batch the way it can between two sequential
+        lookups. That single acquisition — instead of two per query —
+        is also the point: it is what makes the batched query path cheap.
+        """
+        with self._swap_lock:
+            out: List[Tuple[str, Optional[Table]]] = []
+            for cell in cells:
+                sample_id = self._cell_to_sample_id.get(cell)
+                if sample_id is not None:
+                    sample = self._samples.get(sample_id)
+                    out.append(("local", sample) if sample is not None else ("stale", None))
+                elif cell in self._degraded_cells:
+                    out.append(("degraded", None))
+                elif cell in self._known_cells:
+                    out.append(("global", None))
+                else:
+                    out.append(("empty", None))
+            return out
+
     # ------------------------------------------------------------------
     # Degraded cells (corruption survivors served via the fallback ladder)
     # ------------------------------------------------------------------

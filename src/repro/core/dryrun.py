@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +62,10 @@ class DryRunResult:
     seconds: float = 0.0
     #: number of full raw-table passes performed (should stay 1).
     raw_table_passes: int = 1
+    #: how the parallel engine actually executed this stage
+    #: (:class:`repro.core.parallel.PoolExecution`); ``None`` for the
+    #: serial path, which never fans out.
+    execution: Optional[object] = None
 
     @property
     def iceberg_cells(self) -> List[CellKey]:
@@ -175,6 +179,7 @@ def result_from_derivation(
     threshold: float,
     derived: CuboidDerivation,
     seconds: float,
+    execution: Optional[object] = None,
 ) -> DryRunResult:
     """Assemble the lattice and package a :class:`DryRunResult`."""
     nodes = {
@@ -197,6 +202,7 @@ def result_from_derivation(
         cell_stats=derived.cell_stats,
         seconds=seconds,
         raw_table_passes=1,
+        execution=execution,
     )
 
 

@@ -104,7 +104,10 @@ class LossFunction(abc.ABC):
                     "losses measure numeric/spatial values (computing on "
                     "dictionary codes would be silently meaningless)"
                 )
-        columns = [table.column(a).data.astype(float) for a in self.target_attrs]
+        # asarray instead of astype: float64 columns (the common case)
+        # pass through as views — no copy per extract call, which matters
+        # when the table is a shared-memory segment in a build worker.
+        columns = [np.asarray(table.column(a).data, dtype=float) for a in self.target_attrs]
         if self.target_arity == 1:
             return columns[0]
         return np.column_stack(columns)

@@ -64,6 +64,10 @@ class RealRunResult:
     decisions: Dict[Tuple[str, ...], costmodel.CostDecision]
     skipped_cuboids: int
     seconds: float
+    #: how the parallel engine actually executed this stage
+    #: (:class:`repro.core.parallel.PoolExecution`); ``None`` for the
+    #: serial path, which never fans out.
+    execution: Optional[object] = None
 
     @property
     def num_cells(self) -> int:

@@ -20,7 +20,6 @@ Two execution strategies:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import Optional
 
@@ -143,15 +142,19 @@ def _naive_greedy(
 ) -> SamplingResult:
     state = loss.greedy_state(values)
     n = len(values)
-    remaining = (
+    pool = (
         np.arange(n, dtype=np.int64)
         if candidates is None
         else np.asarray(candidates, dtype=np.int64)
     )
+    # Alive-mask bookkeeping instead of np.delete: deleting reallocates
+    # the whole remaining array every round (O(k·N) copies overall).
+    alive = np.ones(len(pool), dtype=bool)
     chosen: list = []
     evaluations = 0
     current = state.current_loss()
     while current > threshold:
+        remaining = pool[alive]
         if len(remaining) == 0 or (max_size is not None and len(chosen) >= max_size):
             raise SamplingError(
                 f"greedy sampling exhausted candidates at loss {current:.6g} > θ={threshold:.6g}"
@@ -162,7 +165,7 @@ def _naive_greedy(
         index = int(remaining[best])
         state.add(index)
         chosen.append(index)
-        remaining = np.delete(remaining, best)
+        alive[np.nonzero(alive)[0][best]] = False
         current = state.current_loss()
     return SamplingResult(np.asarray(chosen, dtype=np.int64), current, len(chosen), evaluations)
 
@@ -179,75 +182,72 @@ def _lazy_greedy(
     current = state.current_loss()
     if current <= threshold:
         return SamplingResult(np.empty(0, dtype=np.int64), current, 0, 0)
-    # The queue orders candidates by *marginal gain* (loss reduction),
-    # which for submodular losses only shrinks as the sample grows — so
-    # a stale gain is an upper bound and the classic CELF test applies.
+    # Candidates are ranked by *marginal gain* (loss reduction), which
+    # for submodular losses only shrinks as the sample grows — so a
+    # stale gain is an upper bound and the classic CELF test applies.
     # Absolute losses would not work: they shift with the current loss
     # every round and stale entries would become incomparable.
+    #
+    # Bookkeeping is array-based rather than a Python heap: stale gains
+    # live in one float vector alongside an alive mask, and each round
+    # ranks candidates with a single ``np.lexsort`` — the pure-python
+    # heap push/pop loop was the dominant cost of sampling small cells.
     pool = (
         np.arange(n, dtype=np.int64)
         if candidates is None
         else np.asarray(candidates, dtype=np.int64)
     )
-    # Seed with one batch evaluation against the empty sample. The empty
-    # sample has infinite loss for non-empty raw data, so seed gains use
-    # the first finite comparison point: the candidate losses themselves
-    # (ordering by -loss == ordering by gain when current is constant).
+    # Seed with one batch evaluation against the empty sample, then
+    # select the first tuple outright: it is the exact greedy choice.
+    # Ties break toward the smaller row index.
     initial = state.losses_if_added(pool)
     evaluations = len(pool)
-    heap = [(float(initial[j]), int(pool[j])) for j in range(len(pool))]
-    heapq.heapify(heap)
-    # Select the first tuple outright: it is the exact greedy choice.
-    first_loss, first = heapq.heappop(heap)
+    first_pos = int(np.lexsort((pool, initial))[0])
+    first = int(pool[first_pos])
     state.add(first)
     chosen = [first]
     current = state.current_loss()
-    in_sample = np.zeros(n, dtype=bool)
-    in_sample[first] = True
     # Seed true marginal gains with one more batch pass against the
     # one-tuple sample. (Gains vs the *empty* sample are all infinite —
     # they carry no upper-bound information.) From here on, stale gains
     # only overestimate for submodular losses, which is what CELF needs.
-    rest = pool[pool != first]
+    alive = np.ones(len(pool), dtype=bool)
+    alive[first_pos] = False
+    stale_gains = np.full(len(pool), -np.inf)
+    rest = np.nonzero(alive)[0]
     if len(rest):
-        seeded = state.losses_if_added(rest)
+        seeded = state.losses_if_added(pool[rest])
         evaluations += len(rest)
-        heap = [(-(current - float(seeded[j])), int(rest[j])) for j in range(len(rest))]
-        heapq.heapify(heap)
-    else:
-        heap = []
+        stale_gains[rest] = current - seeded
     # Re-evaluate stale entries in small batches: a vectorized
     # losses_if_added over B candidates costs barely more than one
     # scalar call for the distance losses, and near-tied gains (dense
-    # 1-D data) otherwise force many pops per selection.
+    # 1-D data) otherwise force many refreshes per selection.
     refresh_batch = 32
     while current > threshold:
-        if not heap or (max_size is not None and len(chosen) >= max_size):
+        positions = np.nonzero(alive)[0]
+        if len(positions) == 0 or (max_size is not None and len(chosen) >= max_size):
             raise SamplingError(
                 f"greedy sampling exhausted candidates at loss {current:.6g} > θ={threshold:.6g}"
             )
-        batch = []
-        while heap and len(batch) < refresh_batch:
-            neg_stale_gain, index = heapq.heappop(heap)
-            if not in_sample[index]:
-                batch.append(index)
-        if not batch:
-            continue
-        fresh_losses = state.losses_if_added(np.asarray(batch, dtype=np.int64))
-        evaluations += len(batch)
+        # Top candidates by (stale gain desc, row index asc) — the same
+        # total order the CELF priority queue maintained.
+        ranked = positions[np.lexsort((pool[positions], -stale_gains[positions]))]
+        batch_positions = ranked[:refresh_batch]
+        fresh_losses = state.losses_if_added(pool[batch_positions])
+        evaluations += len(batch_positions)
         fresh_gains = current - fresh_losses
+        stale_gains[batch_positions] = fresh_gains
         best = int(np.argmax(fresh_gains))
-        next_bound = -heap[0][0] if heap else -np.inf
+        next_bound = (
+            float(stale_gains[ranked[refresh_batch]])
+            if len(ranked) > refresh_batch
+            else -np.inf
+        )
         if fresh_gains[best] >= next_bound - 1e-12:
-            index = batch[best]
-            state.add(index)
-            in_sample[index] = True
-            chosen.append(index)
+            best_pos = int(batch_positions[best])
+            state.add(int(pool[best_pos]))
+            alive[best_pos] = False
+            chosen.append(int(pool[best_pos]))
             current = float(fresh_losses[best])
-            for j, candidate in enumerate(batch):
-                if j != best:
-                    heapq.heappush(heap, (-float(fresh_gains[j]), candidate))
-        else:
-            for j, candidate in enumerate(batch):
-                heapq.heappush(heap, (-float(fresh_gains[j]), candidate))
     return SamplingResult(np.asarray(chosen, dtype=np.int64), current, len(chosen), evaluations)

@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.core.samgraph import SamGraph
 
 
@@ -51,26 +53,38 @@ def select_representatives(graph: SamGraph) -> SelectionResult:
     tie randomly.
     """
     started = time.perf_counter()
-    # Group edges by head and sort heads by descending out-degree.
-    # Vertices with zero out-edges still get an entry: they must be able
+    n = graph.num_vertices
+    if n == 0:
+        return SelectionResult([], {}, time.perf_counter() - started)
+    # Heads in descending out-degree order (ties toward the smaller
+    # vertex id) — the LinkedHashMap insertion order of the pseudocode.
+    # Vertices with zero out-edges still participate: they must be able
     # to represent at least themselves.
-    order = sorted(
-        range(graph.num_vertices),
-        key=lambda v: (-graph.out_degree(v), v),
+    out_degrees = np.fromiter(
+        (graph.out_degree(v) for v in range(n)), dtype=np.int64, count=n
     )
-    linked_map: Dict[int, List[int]] = {v: list(graph.out_edges[v]) for v in order}
-
+    order = np.lexsort((np.arange(n), -out_degrees))
+    # Array-based sweep replacing the dict-of-lists pop loop: ``removed``
+    # models membership of the LinkedHashMap, ``assigned`` the
+    # ``setdefault`` first-covering rule. Per head, tails are masked and
+    # assigned in bulk instead of a Python loop per edge.
+    removed = np.zeros(n, dtype=bool)
+    assigned_to = np.full(n, -1, dtype=np.int64)
     representatives: List[int] = []
-    assignment: Dict[int, int] = {}
-    while linked_map:
-        head = next(iter(linked_map))
-        tails = linked_map.pop(head)
+    for head in order:
+        if removed[head]:
+            continue
+        head = int(head)
+        removed[head] = True
         representatives.append(head)
-        assignment.setdefault(head, head)
-        for tail in tails:
-            if tail in linked_map:
-                del linked_map[tail]
-            assignment.setdefault(tail, head)
+        if assigned_to[head] < 0:
+            assigned_to[head] = head
+        tails = np.asarray(graph.out_edges[head], dtype=np.int64)
+        if len(tails):
+            unassigned = tails[assigned_to[tails] < 0]
+            assigned_to[unassigned] = head
+            removed[tails] = True
+    assignment: Dict[int, int] = {v: int(assigned_to[v]) for v in range(n)}
     return SelectionResult(
         representatives=representatives,
         assignment=assignment,

@@ -133,6 +133,18 @@ class Column:
         """Return a new column holding only the rows where ``mask`` is true."""
         return Column(self.name, self.ctype, self.data[mask], self.dictionary)
 
+    def slice(self, lo: int, hi: int) -> "Column":
+        """A zero-copy view of rows ``[lo, hi)``.
+
+        The returned column shares the underlying buffer — no data is
+        copied, unlike ``take``/``filter`` which use fancy indexing.
+        """
+        if not (0 <= lo <= hi <= len(self.data)):
+            raise SchemaError(
+                f"column {self.name!r}: slice [{lo}, {hi}) out of range for {len(self.data)} rows"
+            )
+        return Column(self.name, self.ctype, self.data[lo:hi], self.dictionary)
+
     def concat(self, other: "Column") -> "Column":
         """Append ``other``'s rows to this column, reconciling dictionaries."""
         if self.ctype is not other.ctype:

@@ -1,0 +1,286 @@
+"""Zero-copy shared-memory views of tables and arrays.
+
+The parallel build engine fans work out to ``multiprocessing`` workers.
+Shipping the raw table (or the per-cell row-index arrays) through the
+pool's pickle channel costs a serialize + copy per worker — at bench
+scale that overhead alone exceeds the compute being parallelized. This
+module serializes the columnar data **once** into a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment; workers
+attach to the segment *by name* and reconstruct numpy views over the
+same physical pages. Nothing is copied on attach, and the pickled task
+payloads shrink to names, offsets and lengths.
+
+Two symmetric pairs:
+
+- :func:`share_arrays` / :func:`attach_arrays` — a named bundle of
+  ndarrays (the sampling stage's value vector and the concatenated
+  per-cell row indices);
+- :func:`share_table` / :func:`attach_table` — a whole engine
+  :class:`~repro.engine.table.Table`, dictionaries included (the dry
+  run's raw-table view).
+
+Ownership protocol: the coordinator creates the segment and must call
+``close()`` + ``unlink()`` when the pool is done (``SharedBundle`` is a
+context manager doing exactly that). Workers call :func:`attach_arrays`
+/ :func:`attach_table` and keep the returned :class:`AttachedSegment`
+alive for as long as they use the views; attached segments deliberately
+unregister themselves from the ``resource_tracker`` so that a forked
+worker's exit does not try to double-destroy the coordinator's segment.
+
+The arrays exposed on both sides are marked read-only: the raw table is
+immutable by contract, and a silent write through a shared view would
+corrupt every other process' copy of the "immutable" data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+
+#: Byte alignment for each array inside the segment. 64 keeps every
+#: view cache-line aligned whatever dtype precedes it.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one ndarray lives inside a shared segment (picklable)."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArrayPackDescriptor:
+    """Everything a worker needs to attach a bundle of shared arrays."""
+
+    shm_name: str
+    arrays: Tuple[ArraySpec, ...]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Physical layout of one shared table column (picklable)."""
+
+    name: str
+    ctype: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    dictionary: Optional[Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class TableDescriptor:
+    """Everything a worker needs to attach a shared table by name."""
+
+    shm_name: str
+    columns: Tuple[ColumnSpec, ...]
+    num_rows: int
+
+
+class SharedBundle:
+    """Coordinator-side owner of one shared-memory segment.
+
+    Context-manager semantics: ``close()`` releases this process'
+    mapping, ``unlink()`` destroys the segment. Exiting the ``with``
+    block does both — the coordinator only keeps a segment alive while
+    a worker pool is running against it.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, descriptor):
+        self._shm = shm
+        self.descriptor = descriptor
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+    def unlink(self) -> None:
+        # Attaches (ours or a forked worker's) untrack the name from the
+        # resource tracker, which is shared across fork. Re-register just
+        # before destroying so unlink's internal unregister finds it and
+        # the tracker's registry ends balanced.
+        try:  # pragma: no cover - tracker layout is a CPython detail
+            from multiprocessing import resource_tracker
+
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already destroyed
+            pass
+
+    def __enter__(self) -> "SharedBundle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.unlink()
+
+
+class AttachedSegment:
+    """Worker-side mapping of a segment someone else owns.
+
+    Holds the :class:`SharedMemory` object so the numpy views built on
+    its buffer stay valid; ``close()`` drops the mapping (the views must
+    no longer be touched afterwards). Attaching unregisters the segment
+    from the resource tracker: the *coordinator* owns cleanup, and a
+    tracked duplicate would make worker exit (or interpreter shutdown)
+    attempt to destroy a segment still in use.
+
+    ``untrack=False`` keeps the tracker registration: a forked worker
+    shares its parent's tracker process, so unregistering there would
+    strip the *coordinator's* registration out from under it (and two
+    forked workers racing the shared registry lose either way). Fork
+    children pass ``untrack=False``; spawn children (own tracker) and
+    same-process attaches keep the default.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, untrack: bool = True):
+        self._shm = shm
+        if untrack:
+            _untrack(shm)
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove ``shm`` from this process' resource-tracker registry."""
+    try:  # pragma: no cover - tracker layout is a CPython detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _view(buf, spec_dtype: str, shape: Tuple[int, ...], offset: int) -> np.ndarray:
+    view = np.ndarray(shape, dtype=np.dtype(spec_dtype), buffer=buf, offset=offset)
+    view.flags.writeable = False
+    return view
+
+
+# ---------------------------------------------------------------------------
+# Array bundles
+# ---------------------------------------------------------------------------
+
+
+def share_arrays(arrays: Dict[str, np.ndarray]) -> SharedBundle:
+    """Copy a named bundle of ndarrays into one shared segment.
+
+    The one-time copy here replaces a per-worker (or per-task) pickle
+    copy; attach cost on the other side is zero.
+    """
+    specs: List[ArraySpec] = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = _aligned(offset)
+        specs.append(ArraySpec(name, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for spec, arr in zip(specs, arrays.values()):
+        arr = np.ascontiguousarray(arr)
+        target = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec.offset)
+        target[...] = arr
+    return SharedBundle(shm, ArrayPackDescriptor(shm.name, tuple(specs)))
+
+
+def attach_arrays(
+    descriptor: ArrayPackDescriptor, untrack: bool = True
+) -> Tuple[Dict[str, np.ndarray], AttachedSegment]:
+    """Zero-copy read-only views of a shared array bundle, by name."""
+    segment = AttachedSegment(
+        shared_memory.SharedMemory(name=descriptor.shm_name), untrack=untrack
+    )
+    views = {
+        spec.name: _view(segment.buf, spec.dtype, spec.shape, spec.offset)
+        for spec in descriptor.arrays
+    }
+    return views, segment
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def share_table(table: Table) -> SharedBundle:
+    """Copy a table's physical columns into one shared segment.
+
+    Dictionaries (CATEGORY label tuples) travel in the descriptor —
+    they are small and immutable; only the fixed-width code/value
+    arrays occupy shared memory.
+    """
+    specs: List[ColumnSpec] = []
+    offset = 0
+    for col in table.columns():
+        data = np.ascontiguousarray(col.data)
+        offset = _aligned(offset)
+        specs.append(
+            ColumnSpec(
+                name=col.name,
+                ctype=col.ctype.value,
+                dtype=data.dtype.str,
+                shape=data.shape,
+                offset=offset,
+                dictionary=col.dictionary,
+            )
+        )
+        offset += data.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for spec, col in zip(specs, table.columns()):
+        data = np.ascontiguousarray(col.data)
+        target = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf, offset=spec.offset)
+        target[...] = data
+    return SharedBundle(
+        shm, TableDescriptor(shm.name, tuple(specs), table.num_rows)
+    )
+
+
+def attach_table(
+    descriptor: TableDescriptor, untrack: bool = True
+) -> Tuple[Table, AttachedSegment]:
+    """Rebuild a table whose columns are views into the shared segment."""
+    segment = AttachedSegment(
+        shared_memory.SharedMemory(name=descriptor.shm_name), untrack=untrack
+    )
+    columns = [
+        Column(
+            spec.name,
+            ColumnType(spec.ctype),
+            _view(segment.buf, spec.dtype, spec.shape, spec.offset),
+            spec.dictionary,
+        )
+        for spec in descriptor.columns
+    ]
+    return Table(columns), segment

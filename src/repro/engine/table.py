@@ -112,6 +112,15 @@ class Table:
             raise SchemaError(f"mask length {len(mask)} != table rows {self._nrows}")
         return Table([col.filter(mask) for col in self._columns.values()])
 
+    def slice(self, lo: int, hi: int) -> "Table":
+        """A zero-copy view of the contiguous row range ``[lo, hi)``.
+
+        Columns share their buffers with this table — the partitioned
+        build uses this instead of ``take(np.arange(lo, hi))`` to avoid
+        materializing a copy of every partition.
+        """
+        return Table([col.slice(lo, hi) for col in self._columns.values()])
+
     def project(self, names: Sequence[str]) -> "Table":
         """Columns ``names`` only, in the given order."""
         return Table([self.column(n) for n in names])

@@ -151,11 +151,12 @@ class ReloadResult:
 
 
 class _Request:
-    __slots__ = ("where", "deadline", "future")
+    __slots__ = ("where", "deadline", "future", "batch")
 
-    def __init__(self, where, deadline: Optional[Deadline]):
-        self.where = where
+    def __init__(self, where, deadline: Optional[Deadline], batch: bool = False):
+        self.where = where  # one WHERE clause, or a list of them when batch
         self.deadline = deadline
+        self.batch = batch
         self.future: Future = Future()
 
 
@@ -286,6 +287,69 @@ class ServingGateway:
             raise
         return self._answered(result, generation, started)
 
+    def query_many(
+        self,
+        wheres,
+        deadline_seconds: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[ServingResponse]:
+        """Admit and execute a batch of requests as one unit of work.
+
+        The whole batch occupies a single admission-queue slot and runs
+        through :meth:`Tabula.query_many` on one worker — one snapshot
+        pin and one store-lock acquisition for the common certified
+        path, which is what makes viewport-sized batches cheap. The
+        deadline covers the batch as a whole. Admission is
+        all-or-nothing: a full queue sheds every item (per-item
+        admission would defeat the amortization and reorder outcomes).
+
+        Returns one :class:`ServingResponse` per input, in order.
+        Counters treat the batch as ``len(wheres)`` requests.
+        """
+        if self._closed:
+            raise TabulaError("serving gateway is closed")
+        wheres = list(wheres)
+        if not wheres:
+            return []
+        started = time.perf_counter()
+        if deadline is None:
+            seconds = (
+                deadline_seconds
+                if deadline_seconds is not None
+                else self.config.default_deadline_seconds
+            )
+            if seconds is not None:
+                deadline = Deadline.after(seconds)
+        request = _Request(wheres, deadline, batch=True)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            detail = (
+                f"admission queue full ({self.config.queue_depth} waiting); "
+                f"batch of {len(wheres)} shed"
+            )
+            return [self._disposed(ServingOutcome.SHED, started, detail) for _ in wheres]
+        timeout = deadline.remaining() if deadline is not None else None
+        try:
+            results, generation = request.future.result(timeout=timeout)
+        except FutureTimeout:
+            detail = "deadline expired while queued or executing"
+            return [
+                self._disposed(ServingOutcome.DEADLINE_EXCEEDED, started, detail)
+                for _ in wheres
+            ]
+        except DeadlineExceeded as exc:
+            return [
+                self._disposed(ServingOutcome.DEADLINE_EXCEEDED, started, str(exc))
+                for _ in wheres
+            ]
+        except Exception:
+            with self._stats_lock:
+                self._errors += 1
+                self._requests_total += len(wheres)
+            raise
+        return [self._answered(result, generation, started) for result in results]
+
     def _answered(
         self, result: QueryResult, generation: int, started: float
     ) -> ServingResponse:
@@ -341,11 +405,18 @@ class ServingGateway:
                     time.sleep(self.config.min_service_seconds)
                 if request.deadline is not None:
                     request.deadline.check("while queued for a worker")
-                result = snapshot.tabula.query(
-                    request.where,
-                    deadline=request.deadline,
-                    raw_policy=self.breaker,
-                )
+                if request.batch:
+                    result = snapshot.tabula.query_many(
+                        request.where,
+                        deadline=request.deadline,
+                        raw_policy=self.breaker,
+                    )
+                else:
+                    result = snapshot.tabula.query(
+                        request.where,
+                        deadline=request.deadline,
+                        raw_policy=self.breaker,
+                    )
             except Exception as exc:
                 request.future.set_exception(exc)
             else:

@@ -10,7 +10,11 @@ Routes:
 - ``POST /query`` — body ``{"where": {...}, "deadline_seconds": 0.05,
   "limit": 20}``; also reachable as ``GET /query?attr=value&...`` with
   reserved params ``deadline_seconds`` / ``limit`` (dashboards and
-  smoke tests can curl it).
+  smoke tests can curl it). Batched form: ``{"queries": [{...}, ...]}``
+  (a list of WHERE objects) answers the whole viewport in one request →
+  ``{"results": [...]}``; the batch is 200 unless every item was shed
+  (503) or deadline-expired (504), since a dashboard can render the
+  answered tiles either way.
 - ``GET /healthz`` — liveness (200 while the process accepts work).
 - ``GET /readyz`` — readiness (cube snapshot loaded, workers alive).
 - ``GET /stats`` — counters, breaker state, latency percentiles.
@@ -65,22 +69,29 @@ def response_to_json(response, limit: int = 20) -> Dict[str, object]:
     }
 
 
-def _parse_query_request(handler: "_GatewayHandler") -> Tuple[dict, Optional[float], int]:
-    """(where, deadline_seconds, limit) from either verb."""
+def _parse_query_request(handler: "_GatewayHandler"):
+    """(where_or_batch, is_batch, deadline_seconds, limit) from either verb."""
     if handler.command == "POST":
         length = int(handler.headers.get("Content-Length") or 0)
         body = json.loads(handler.rfile.read(length) or b"{}")
-        if not isinstance(body, dict) or not isinstance(body.get("where", {}), dict):
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+        deadline = body.get("deadline_seconds")
+        limit = int(body.get("limit", 20))
+        if "queries" in body:
+            queries = body["queries"]
+            if not isinstance(queries, list) or not all(
+                isinstance(q, dict) for q in queries
+            ):
+                raise ValueError("'queries' must be a list of 'where' objects")
+            return queries, True, deadline, limit
+        if not isinstance(body.get("where", {}), dict):
             raise ValueError("body must be a JSON object with a 'where' object")
-        return (
-            body.get("where", {}),
-            body.get("deadline_seconds"),
-            int(body.get("limit", 20)),
-        )
+        return body.get("where", {}), False, deadline, limit
     params = dict(parse_qsl(urlsplit(handler.path).query))
     deadline = params.pop("deadline_seconds", None)
     limit = int(params.pop("limit", 20))
-    return params, (float(deadline) if deadline is not None else None), limit
+    return params, False, (float(deadline) if deadline is not None else None), limit
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -130,14 +141,33 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self):
         try:
-            where, deadline_seconds, limit = _parse_query_request(self)
+            where, is_batch, deadline_seconds, limit = _parse_query_request(self)
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": f"malformed request: {exc}"})
             return
         try:
-            response = self.gateway.query(where, deadline_seconds=deadline_seconds)
+            if is_batch:
+                responses = self.gateway.query_many(
+                    where, deadline_seconds=deadline_seconds
+                )
+            else:
+                response = self.gateway.query(where, deadline_seconds=deadline_seconds)
         except TabulaError as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        if is_batch:
+            outcomes = {r.outcome for r in responses}
+            if responses and outcomes == {ServingOutcome.SHED}:
+                status, retry_after = 503, 1
+            elif responses and outcomes == {ServingOutcome.DEADLINE_EXCEEDED}:
+                status, retry_after = 504, None
+            else:
+                status, retry_after = 200, None
+            self._send_json(
+                status,
+                {"results": [response_to_json(r, limit=limit) for r in responses]},
+                retry_after=retry_after,
+            )
             return
         status = _STATUS[response.outcome]
         self._send_json(

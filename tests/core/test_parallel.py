@@ -18,6 +18,7 @@ from repro.core.parallel import (
     parallel_dry_run,
     parallel_real_run,
     partition_bounds,
+    task_chunks,
 )
 from repro.core.tabula import Tabula, TabulaConfig
 
@@ -61,6 +62,53 @@ class TestPartitionBounds:
             partition_bounds(100, 0)
         with pytest.raises(ValueError):
             partition_bounds(100, -3)
+
+    def test_rejects_negative_rows(self):
+        with pytest.raises(ValueError):
+            partition_bounds(-1, 4)
+
+    def test_degenerate_shapes_pinned_exactly(self):
+        """The grid IS the determinism contract: these exact lists are
+        load-bearing (a resumed build must see the same cell→partition
+        map the crashed build wrote), so they are pinned, not just
+        property-checked."""
+        assert partition_bounds(3, 8) == [
+            (0, 1), (1, 2), (2, 3), (3, 3), (3, 3), (3, 3), (3, 3), (3, 3),
+        ]
+        assert partition_bounds(5, 3) == [(0, 2), (2, 4), (4, 5)]
+        assert partition_bounds(0, 4) == [(0, 0), (0, 0), (0, 0), (0, 0)]
+        assert partition_bounds(7, 7) == [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+        ]
+        assert partition_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert partition_bounds(1, 1) == [(0, 1)]
+
+
+class TestTaskChunks:
+    def test_never_empty_never_overlapping(self):
+        for num_tasks in (0, 1, 2, 3, 17, 100, 1000):
+            for workers in (1, 2, 4, 8, 64):
+                chunks = task_chunks(num_tasks, workers)
+                assert all(hi > lo for lo, hi in chunks), "empty chunk emitted"
+                covered = 0
+                for lo, hi in chunks:
+                    assert lo == covered, "gap or overlap between chunks"
+                    covered = hi
+                assert covered == num_tasks
+
+    def test_fewer_tasks_than_slots_one_task_per_chunk(self):
+        assert task_chunks(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        assert task_chunks(1, 4) == [(0, 1)]
+
+    def test_zero_tasks_zero_chunks(self):
+        assert task_chunks(0, 4) == []
+
+    def test_oversubscribes_workers_to_amortize_stragglers(self):
+        # 4x chunks per worker by default: slow cells stop serializing
+        # the pool only if there are more chunks than workers.
+        chunks = task_chunks(100, 3)
+        assert len(chunks) == 12
+        assert chunks[0] == (0, 9) and chunks[-1] == (92, 100)
 
 
 class TestCheckWorkers:
@@ -202,3 +250,86 @@ class TestTabulaWorkersAPI:
             tabula.initialize(workers=workers)
             digests.add(tabula.store.content_digest())
         assert len(digests) == 1
+
+
+class TestFallbackAudit:
+    """A pool that cannot start must degrade loudly, not silently: the
+    run still completes (inline, identical results) but the execution
+    record says so and ``bench cube --check`` fails on it."""
+
+    class _BrokenContext:
+        """Stub multiprocessing context whose Pool always fails."""
+
+        def get_start_method(self):
+            return "fork"
+
+        def Pool(self, *args, **kwargs):
+            raise OSError("forced pool failure (test)")
+
+    def test_dry_run_records_error_fallback(self, rides_tiny, monkeypatch):
+        import repro.core.parallel as parallel_mod
+
+        loss = MeanLoss("fare_amount")
+        gs = _global_sample(rides_tiny)
+        healthy = parallel_dry_run(rides_tiny, ATTRS, loss, 0.05, gs, workers=2)
+        assert healthy.execution.mode == "pool"
+        assert not healthy.execution.degraded
+
+        monkeypatch.setattr(parallel_mod, "_preferred_context", self._BrokenContext)
+        with pytest.warns(RuntimeWarning, match="fell back to in-process"):
+            degraded = parallel_dry_run(rides_tiny, ATTRS, loss, 0.05, gs, workers=2)
+        execution = degraded.execution
+        assert execution.mode == "inline"
+        assert execution.fallback_kind == "error"
+        assert "OSError" in execution.fallback_reason
+        assert execution.effective_workers == 1
+        assert execution.requested_workers == 2
+        assert execution.degraded
+        # Degraded, not wrong: the inline rerun is the same computation.
+        assert degraded.cell_losses == healthy.cell_losses
+
+    def test_execution_record_round_trips_to_dict(self, rides_tiny):
+        loss = MeanLoss("fare_amount")
+        gs = _global_sample(rides_tiny)
+        result = parallel_dry_run(rides_tiny, ATTRS, loss, 0.05, gs, workers=2)
+        doc = result.execution.to_dict()
+        assert doc["mode"] == "pool"
+        assert doc["used_shared_memory"] is True
+        assert doc["fallback_kind"] == ""
+        assert doc["shared_bytes"] > 0
+
+    def test_check_cube_doc_fails_on_degraded_parallel_run(self):
+        from repro.bench.cube_bench import check_cube_doc
+
+        doc = {
+            "digests_equal": True,
+            "serial": {"invariants": {"loss_bound_ok": True}},
+            "parallel": {
+                "invariants": {"loss_bound_ok": True},
+                "execution": {
+                    "dry_run": {
+                        "mode": "inline",
+                        "fallback_kind": "error",
+                        "fallback_reason": "OSError: forced",
+                    },
+                    "real_run": None,
+                },
+            },
+        }
+        failures = check_cube_doc(doc)
+        assert any("silently degraded" in f for f in failures)
+
+    def test_check_cube_doc_enforces_speedup_only_when_gated(self):
+        from repro.bench.cube_bench import check_cube_doc
+
+        base = {
+            "digests_equal": True,
+            "serial": {"invariants": {"loss_bound_ok": True}},
+            "parallel": {"invariants": {"loss_bound_ok": True}},
+            "speedup_vs_serial": 0.4,
+        }
+        ungated = dict(base, speedup_gate={"enforced": False, "cpu_count": 1})
+        assert check_cube_doc(ungated) == []
+        gated = dict(base, speedup_gate={"enforced": True, "cpu_count": 8})
+        failures = check_cube_doc(gated)
+        assert any("regression" in f for f in failures)

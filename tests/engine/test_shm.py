@@ -1,0 +1,168 @@
+"""Shared-memory table/array bundles and zero-copy slice views."""
+
+import multiprocessing as mp
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.column import Column
+from repro.engine.schema import ColumnType
+from repro.engine.shm import (
+    attach_arrays,
+    attach_table,
+    share_arrays,
+    share_table,
+)
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+
+def _toy():
+    return Table.from_pydict(
+        {
+            "city": ["nyc", "sf", "nyc", "la", "sf"],
+            "fare": [1.5, 2.0, 0.5, 3.25, 1.0],
+            "count": [1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestShareTable:
+    def test_round_trip_preserves_logical_content(self):
+        table = _toy()
+        with share_table(table) as bundle:
+            attached, segment = attach_table(bundle.descriptor)
+            try:
+                assert attached.num_rows == table.num_rows
+                assert attached.column_names == table.column_names
+                assert attached.to_pydict() == table.to_pydict()
+                for name in table.column_names:
+                    assert attached[name].ctype is table[name].ctype
+                    assert attached[name].dictionary == table[name].dictionary
+            finally:
+                del attached
+                segment.close()
+
+    def test_descriptor_is_picklable_and_small(self):
+        table = _toy()
+        with share_table(table) as bundle:
+            blob = pickle.dumps(bundle.descriptor)
+            # The whole point: descriptor size is independent of row count.
+            assert len(blob) < 2048
+            assert pickle.loads(blob) == bundle.descriptor
+
+    def test_attached_columns_are_views_not_copies(self):
+        table = _toy()
+        with share_table(table) as bundle:
+            attached, segment = attach_table(bundle.descriptor)
+            try:
+                for col in attached.columns():
+                    assert col.data.base is not None  # backed by the segment
+                    assert not col.data.flags.writeable
+            finally:
+                del attached
+                segment.close()
+
+    def test_empty_table_round_trips(self):
+        table = Table.empty_like(_toy())
+        with share_table(table) as bundle:
+            attached, segment = attach_table(bundle.descriptor)
+            try:
+                assert attached.num_rows == 0
+                assert attached.column_names == table.column_names
+            finally:
+                del attached
+                segment.close()
+
+    def test_unlink_destroys_segment(self):
+        from multiprocessing import shared_memory
+
+        bundle = share_table(_toy())
+        name = bundle.descriptor.shm_name
+        bundle.close()
+        bundle.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attach_works_in_child_process(self):
+        table = _toy()
+        with share_table(table) as bundle:
+            ctx = mp.get_context()
+            with ctx.Pool(1) as pool:
+                result = pool.apply(_child_sum_fare, (bundle.descriptor,))
+            assert result == pytest.approx(float(np.sum(table["fare"].data)))
+
+
+def _child_sum_fare(descriptor):
+    attached, segment = attach_table(descriptor)
+    try:
+        return float(np.sum(attached["fare"].data))
+    finally:
+        del attached
+        segment.close()
+
+
+class TestShareArrays:
+    def test_round_trip_mixed_dtypes(self):
+        arrays = {
+            "idx": np.arange(100, dtype=np.int64),
+            "values": np.linspace(0.0, 1.0, 33),
+            "codes": np.array([3, 1, 2], dtype=np.int32),
+        }
+        with share_arrays(arrays) as bundle:
+            views, segment = attach_arrays(bundle.descriptor)
+            try:
+                assert set(views) == set(arrays)
+                for name, arr in arrays.items():
+                    np.testing.assert_array_equal(views[name], arr)
+                    assert views[name].dtype == arr.dtype
+                    assert not views[name].flags.writeable
+            finally:
+                views.clear()
+                segment.close()
+
+    def test_offsets_are_aligned(self):
+        arrays = {
+            "a": np.array([1], dtype=np.int8),
+            "b": np.arange(7, dtype=np.float64),
+        }
+        with share_arrays(arrays) as bundle:
+            for spec in bundle.descriptor.arrays:
+                assert spec.offset % 64 == 0
+
+    def test_empty_bundle(self):
+        with share_arrays({}) as bundle:
+            views, segment = attach_arrays(bundle.descriptor)
+            try:
+                assert views == {}
+            finally:
+                segment.close()
+
+
+class TestSliceViews:
+    def test_table_slice_matches_take(self):
+        table = _toy()
+        sliced = table.slice(1, 4)
+        taken = table.take(np.arange(1, 4, dtype=np.int64))
+        assert sliced.to_pydict() == taken.to_pydict()
+
+    def test_slice_shares_buffers(self):
+        table = _toy()
+        sliced = table.slice(0, 3)
+        for name in table.column_names:
+            assert np.shares_memory(sliced[name].data, table[name].data)
+
+    def test_empty_and_full_slices(self):
+        table = _toy()
+        assert table.slice(2, 2).num_rows == 0
+        assert table.slice(0, table.num_rows).to_pydict() == table.to_pydict()
+
+    def test_out_of_range_rejected(self):
+        col = Column("x", ColumnType.INT64, np.arange(4))
+        with pytest.raises(SchemaError):
+            col.slice(2, 9)
+        with pytest.raises(SchemaError):
+            col.slice(-1, 2)
+        with pytest.raises(SchemaError):
+            col.slice(3, 1)

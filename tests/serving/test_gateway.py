@@ -398,3 +398,106 @@ class TestLifecycle:
             assert stats["generation"] == 1
         finally:
             gateway.close()
+
+
+class TestBatchedQueries:
+    def test_batch_matches_individual_responses(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        wheres = [where, {}, {"payment_type": "no_such_value"}]
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=2, queue_depth=8))
+        try:
+            batch = gateway.query_many(wheres)
+            singles = [gateway.query(w) for w in wheres]
+            assert len(batch) == len(wheres)
+            for b, s in zip(batch, singles):
+                assert b.outcome == s.outcome
+                assert b.guarantee == s.guarantee
+                assert b.source == s.source
+                assert b.cell == s.cell
+                assert b.sample.to_pydict() == s.sample.to_pydict()
+                assert b.generation == s.generation
+        finally:
+            gateway.close()
+
+    def test_empty_batch_is_noop(self, rides_tiny):
+        gateway = ServingGateway(build_tabula(rides_tiny))
+        try:
+            assert gateway.query_many([]) == []
+            assert gateway.stats()["requests_total"] == 0
+        finally:
+            gateway.close()
+
+    def test_batch_occupies_one_queue_slot(self, rides_tiny):
+        """A 50-query batch admits through a depth-1 queue: admission is
+        per unit of work, not per query — the amortization the batched
+        path exists for."""
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=1, queue_depth=1))
+        try:
+            responses = gateway.query_many([where] * 50)
+            assert all(r.outcome is ServingOutcome.OK for r in responses)
+            assert gateway.stats()["requests_total"] == 50
+        finally:
+            gateway.close()
+
+    def test_full_queue_sheds_whole_batch(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=1, queue_depth=1))
+        try:
+            with stalled_workers(count=1) as (_, handle):
+                # One request parks the worker; only once it is parked
+                # (hit observed, queue drained) does the second go in —
+                # started together they race put_nowait against the
+                # worker's dequeue and one can shed instead of queuing.
+                background = []
+                staller = threading.Thread(
+                    target=lambda: background.append(gateway.query(where))
+                )
+                staller.start()
+                background.append(staller)
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                filler = threading.Thread(
+                    target=lambda: background.append(gateway.query(where))
+                )
+                filler.start()
+                background.append(filler)
+                assert wait_until(lambda: gateway.stats()["queued_now"] >= 1)
+                # ...so the batch is shed as a unit, every item typed SHED.
+                responses = gateway.query_many([where] * 5)
+                assert len(responses) == 5
+                assert all(r.outcome is ServingOutcome.SHED for r in responses)
+                assert all(r.sample is None for r in responses)
+                assert all("batch of 5" in r.detail for r in responses)
+            for item in background:
+                if isinstance(item, threading.Thread):
+                    item.join(timeout=10)
+            assert gateway.stats()["outcomes"]["shed"] == 5
+        finally:
+            gateway.close()
+
+    def test_batch_deadline_expires_every_item(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(tabula, config=ServingConfig(workers=1, queue_depth=2))
+        try:
+            with stalled_workers(count=1):
+                parked = threading.Thread(target=lambda: gateway.query(where))
+                parked.start()
+                responses = gateway.query_many([where] * 3, deadline_seconds=0.05)
+                assert all(
+                    r.outcome is ServingOutcome.DEADLINE_EXCEEDED for r in responses
+                )
+            parked.join(timeout=10)
+        finally:
+            gateway.close()
+
+    def test_closed_gateway_rejects_batches(self, rides_tiny):
+        from repro.errors import TabulaError
+
+        gateway = ServingGateway(build_tabula(rides_tiny))
+        gateway.close()
+        with pytest.raises(TabulaError):
+            gateway.query_many([{}])

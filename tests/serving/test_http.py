@@ -223,3 +223,116 @@ class TestReloadRoute:
         assert not body["ok"]
         assert body["generation"] == 2  # rollback: generation unchanged
         assert "cube_table" in body["error"]
+
+
+class TestBatchedQueryRoute:
+    def test_post_batch_returns_results_in_order(self, served):
+        base, gateway = served
+        cell = next(iter(gateway.tabula.store._cell_to_sample_id))
+        where = {a: v for a, v in zip(ATTRS, cell) if v is not None}
+        status, body = post_json(
+            f"{base}/query",
+            {"queries": [where, {}, {"payment_type": "no_such"}], "limit": 5},
+        )
+        assert status == 200
+        results = body["results"]
+        assert len(results) == 3
+        assert results[0]["source"] == "local"
+        assert results[0]["outcome"] == "ok"
+        assert results[0]["guarantee"] == "CERTIFIED"
+        assert results[2]["source"] == "empty"
+        assert results[2]["num_rows"] == 0
+        for result in results:
+            assert len(next(iter(result["rows"].values()), [])) <= 5
+
+    def test_batch_matches_single_requests(self, served):
+        base, gateway = served
+        cell = next(iter(gateway.tabula.store._cell_to_sample_id))
+        where = {a: v for a, v in zip(ATTRS, cell) if v is not None}
+        _, batch_body = post_json(f"{base}/query", {"queries": [where]})
+        _, single_body = post_json(f"{base}/query", {"where": where})
+        batched = batch_body["results"][0]
+        for key in ("source", "guarantee", "cell", "num_rows", "rows"):
+            assert batched[key] == single_body[key]
+
+    def test_empty_batch_is_200_with_no_results(self, served):
+        base, _ = served
+        status, body = post_json(f"{base}/query", {"queries": []})
+        assert status == 200
+        assert body["results"] == []
+
+    def test_malformed_batch_is_400(self, served):
+        base, _ = served
+        for bad in ({"queries": "nope"}, {"queries": [{"ok": "yes"}, "nope"]}):
+            request = urllib.request.Request(
+                f"{base}/query",
+                data=json.dumps(bad).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_unknown_attribute_in_batch_is_400(self, served):
+        base, _ = served
+        request = urllib.request.Request(
+            f"{base}/query",
+            data=json.dumps({"queries": [{"not_cubed": "x"}]}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_fully_shed_batch_is_503(self, rides_tiny):
+        """A deterministically saturated single-worker gateway: the one
+        worker is parked, the depth-1 queue filled by a direct call, so
+        the HTTP batch must shed — 503 + Retry-After, every item typed
+        shed in a well-formed results list."""
+        gateway = ServingGateway(
+            build_tabula(rides_tiny),
+            config=ServingConfig(workers=1, queue_depth=1),
+        )
+        server = make_server(gateway, port=0)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        server_thread.start()
+        where = iceberg_where(gateway)
+        release = threading.Event()
+        threads = []
+        try:
+            with inject(
+                SlowIO(FP_EXECUTE, at=1, sleep=lambda _: release.wait(timeout=10))
+            ) as handle:
+                try:
+                    staller = threading.Thread(target=lambda: gateway.query(where))
+                    staller.start()
+                    threads.append(staller)
+                    assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                    filler = threading.Thread(target=lambda: gateway.query(where))
+                    filler.start()
+                    threads.append(filler)
+                    assert wait_until(lambda: gateway.stats()["queued_now"] >= 1)
+                    request = urllib.request.Request(
+                        f"{base}/query",
+                        data=json.dumps({"queries": [where] * 4}).encode("utf-8"),
+                        method="POST",
+                    )
+                    with pytest.raises(urllib.error.HTTPError) as excinfo:
+                        urllib.request.urlopen(request, timeout=10)
+                    assert excinfo.value.code == 503
+                    assert excinfo.value.headers.get("Retry-After") == "1"
+                    body = json.load(excinfo.value)
+                    assert len(body["results"]) == 4
+                    assert all(r["outcome"] == "shed" for r in body["results"])
+                    assert all(r["guarantee"] == "VOID" for r in body["results"])
+                finally:
+                    release.set()
+            for thread in threads:
+                thread.join(timeout=15)
+        finally:
+            server.shutdown()
+            server.server_close()
+            gateway.close()
