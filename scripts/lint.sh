@@ -33,4 +33,9 @@ echo "== repro lint =="
 # Gate the SQL embedded in docs and examples through the static analyzer.
 python -m repro.cli lint docs/sql_dialect.md examples/*.py || status=1
 
+echo "== repro check =="
+# Gate the repo's own concurrency/resource-lifecycle invariants
+# (TAB600 range; see docs/static_analysis.md). Strict: warnings fail.
+python -m repro.cli check --strict src/ || status=1
+
 exit $status

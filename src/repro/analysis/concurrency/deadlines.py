@@ -1,0 +1,114 @@
+"""Deadline-propagation check: TAB607.
+
+Two-phase and cross-file: phase one indexes every function/method that
+declares a ``deadline`` parameter; phase two flags call sites where a
+function that *itself* received a deadline calls an indexed callee
+without forwarding one. Only callers holding a deadline are checked —
+an edge function creating work with no budget is a policy choice, but
+*dropping* a budget someone above already allocated is always a bug
+(the paper's dashboard latency target dies silently).
+
+Forwarding is satisfied by a ``deadline=…`` or ``deadline_seconds=…``
+keyword, or by passing the ``deadline`` name positionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.concurrency import codes
+from repro.analysis.concurrency.model import (
+    ModuleModel,
+    dotted_name,
+    enclosing_function,
+)
+from repro.diagnostics import Diagnostic
+
+_DEADLINE_PARAM = "deadline"
+_FORWARD_KEYWORDS = {"deadline", "deadline_seconds"}
+
+
+def _diag(
+    model: ModuleModel, node: ast.AST, message: str
+) -> Optional[Diagnostic]:
+    if model.suppressed("TAB607", node.lineno):
+        return None
+    entry = codes.info("TAB607")
+    return Diagnostic(
+        code="TAB607",
+        severity=entry.severity,
+        message=message,
+        span=model.span(node),
+        hint=entry.hint,
+        source=model.text,
+        filename=model.filename,
+    )
+
+
+def _declares_deadline(function: ast.AST) -> bool:
+    args = getattr(function, "args", None)
+    if args is None:
+        return False
+    names = [a.arg for a in args.args + args.kwonlyargs]
+    return _DEADLINE_PARAM in names
+
+
+def deadline_index(models: List[ModuleModel]) -> Set[str]:
+    """Names of every function that accepts a ``deadline`` parameter."""
+    index: Set[str] = set()
+    for model in models:
+        for node in ast.walk(model.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _declares_deadline(node):
+                    index.add(node.name)
+    return index
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    return name.split(".")[-1]
+
+
+def _forwards_deadline(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg in _FORWARD_KEYWORDS:
+            return True
+        if kw.arg is None:  # **kwargs forwarding: assume it carries it
+            return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == _DEADLINE_PARAM:
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == _DEADLINE_PARAM:
+            return True
+    return False
+
+
+def check_dropped_deadlines(
+    model: ModuleModel, index: Set[str]
+) -> List[Diagnostic]:
+    findings: List[Diagnostic] = []
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        if callee is None or callee not in index:
+            continue
+        caller = enclosing_function(model, node)
+        if caller is None or not _declares_deadline(caller):
+            continue
+        if callee == getattr(caller, "name", None) and _forwards_deadline(node):
+            continue
+        if _forwards_deadline(node):
+            continue
+        diag = _diag(
+            model, node,
+            f"`{getattr(caller, 'name', '<fn>')}` holds a deadline but "
+            f"calls deadline-aware `{callee}` without forwarding it — "
+            "the subtree below this call runs unbounded",
+        )
+        if diag is not None:
+            findings.append(diag)
+    return findings

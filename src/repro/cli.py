@@ -12,7 +12,9 @@ Usage (``python -m repro.cli <command>``):
 - ``bench cube`` / ``bench query`` / ``bench serving`` — reproducible
   benchmarks emitting machine-readable ``BENCH_*.json`` documents;
 - ``sql`` — execute SQL statements against a CSV-backed session;
-- ``lint`` — run the static analyzer over SQL files or inline text.
+- ``lint`` — run the static analyzer over SQL files or inline text;
+- ``check`` — run the concurrency/resource-lifecycle static analyzer
+  (TAB600-range) over this repo's Python sources.
 """
 
 from __future__ import annotations
@@ -278,6 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on warnings too, not just errors",
     )
     lint.set_defaults(handler=cmd_lint)
+
+    check = commands.add_parser(
+        "check",
+        help="statically analyze this repo's Python sources for concurrency "
+        "and resource-lifecycle bugs (the TAB600-range checks)",
+    )
+    check.add_argument(
+        "targets",
+        nargs="+",
+        help="Python files or directories (directories are scanned for *.py)",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    check.set_defaults(handler=cmd_check)
     return parser
 
 
@@ -352,7 +371,8 @@ def _parse_where(text: str) -> Dict[str, object]:
 def cmd_query(args) -> int:
     from repro.engine.schema import ColumnType
 
-    document = json.loads(open(args.cube).read())
+    with open(args.cube) as handle:
+        document = json.load(handle)
     attrs = document.get("cubed_attrs", [])
     table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
     registry = _registry_with_declaration(args.loss_sql)
@@ -372,7 +392,8 @@ def cmd_serve(args) -> int:
     from repro.serving import ServingConfig, ServingGateway
     from repro.serving.http import serve_http
 
-    document = json.loads(open(args.cube).read())
+    with open(args.cube) as handle:
+        document = json.load(handle)
     attrs = document.get("cubed_attrs", [])
     table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
     registry = _registry_with_declaration(args.loss_sql)
@@ -398,7 +419,8 @@ def cmd_serve(args) -> int:
 
 
 def cmd_info(args) -> int:
-    document = json.loads(open(args.cube).read())
+    with open(args.cube) as handle:
+        document = json.load(handle)
     samples = document["sample_table"]
     sample_tuples = sum(payload["num_rows"] for payload in samples.values())
     print(f"cube file:        {args.cube}")
@@ -578,6 +600,27 @@ def cmd_lint(args) -> int:
         print()
     print(total.summary())
     failing = total.error_count > 0 or (args.strict and total.warning_count > 0)
+    return 1 if failing else 0
+
+
+def cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.concurrency import check_paths
+
+    paths: List[Path] = []
+    for target in args.targets:
+        path = Path(target)
+        if not path.exists():
+            print(f"error: no such file or directory: {target}", file=sys.stderr)
+            return 1
+        paths.append(path)
+    result = check_paths(paths)
+    for diagnostic in result.diagnostics:
+        print(diagnostic.render())
+        print()
+    print(result.summary())
+    failing = result.error_count > 0 or (args.strict and result.warning_count > 0)
     return 1 if failing else 0
 
 

@@ -11,13 +11,13 @@ sample table).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.global_sample import GlobalSample
+from repro.sanitizer import create_lock, guarded_by
 from repro.engine.column import Column
 from repro.engine.cube import CellKey, format_cell
 from repro.engine.schema import ColumnType
@@ -51,18 +51,20 @@ class SamplingCubeStore:
     ):
         self.attrs = tuple(attrs)
         self.global_sample = global_sample
-        self._cell_to_sample_id = dict(cell_to_sample_id)
-        self._samples = dict(samples)
-        self._known_cells = set(known_cells)
-        self._degraded_cells: Dict[CellKey, str] = dict(degraded_cells or {})
-        self._next_sample_id = max(self._samples, default=-1) + 1
+        self._cell_to_sample_id = dict(cell_to_sample_id)  # guard-writes: _swap_lock
+        self._samples = dict(samples)  # guard-writes: _swap_lock
+        self._known_cells = set(known_cells)  # guard-writes: _swap_lock
+        self._degraded_cells: Dict[CellKey, str] = dict(degraded_cells or {})  # guard-writes: _swap_lock
+        self._next_sample_id = max(self._samples, default=-1) + 1  # guard-writes: _swap_lock
         # Swap guard: every mutation of the cell→sample pointers or the
         # sample table happens under this lock and bumps the generation,
         # so a reader that raced a swap (pointer resolved, sample gone)
         # can distinguish "concurrent maintenance moved it" (generation
         # advanced → re-resolve) from "genuinely dangling" (degrade).
-        self._swap_lock = threading.RLock()
-        self._generation = 0
+        # Readers are deliberately lock-free (stale-pointer retry
+        # protocol), hence guard-writes rather than guard above.
+        self._swap_lock = create_lock("cube_store._swap_lock", rlock=True)
+        self._generation = 0  # guard-writes: _swap_lock
 
     @property
     def generation(self) -> int:
@@ -240,6 +242,7 @@ class SamplingCubeStore:
             if old is not None:
                 self._collect_if_orphaned(old)
 
+    @guarded_by("_swap_lock")
     def _collect_if_orphaned(self, sample_id: int) -> None:
         if sample_id not in self._cell_to_sample_id.values():
             self._samples.pop(sample_id, None)

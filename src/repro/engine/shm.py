@@ -40,9 +40,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import sanitizer
 from repro.engine.column import Column
 from repro.engine.schema import ColumnType
 from repro.engine.table import Table
+from repro.resilience.faults import fault_point, register_fault_point
+
+FP_ATTACH_VIEWS = register_fault_point(
+    "shm.attach.views",
+    "segment opened by name, zero-copy views not yet constructed (a "
+    "worker dying here must not leak its mapping; the coordinator's "
+    "unlink must still destroy the segment)",
+)
 
 #: Byte alignment for each array inside the segment. 64 keeps every
 #: view cache-line aligned whatever dtype precedes it.
@@ -101,9 +110,10 @@ class SharedBundle:
     a worker pool is running against it.
     """
 
-    def __init__(self, shm: shared_memory.SharedMemory, descriptor):
+    def __init__(self, shm: shared_memory.SharedMemory, descriptor: object):
         self._shm = shm
         self.descriptor = descriptor
+        sanitizer.note_shm_created(shm.name, origin="SharedBundle")
 
     @property
     def nbytes(self) -> int:
@@ -130,6 +140,7 @@ class SharedBundle:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already destroyed
             pass
+        sanitizer.note_shm_unlinked(self._shm.name)
 
     def __enter__(self) -> "SharedBundle":
         return self
@@ -161,6 +172,7 @@ class AttachedSegment:
         self._shm = shm
         if untrack:
             _untrack(shm)
+        sanitizer.note_shm_attached(self, shm.name)
 
     @property
     def buf(self):
@@ -171,6 +183,7 @@ class AttachedSegment:
             self._shm.close()
         except (OSError, BufferError):  # pragma: no cover - teardown race
             pass
+        sanitizer.note_shm_detached(self)
 
 
 def _untrack(shm: shared_memory.SharedMemory) -> None:
@@ -222,10 +235,19 @@ def attach_arrays(
     segment = AttachedSegment(
         shared_memory.SharedMemory(name=descriptor.shm_name), untrack=untrack
     )
-    views = {
-        spec.name: _view(segment.buf, spec.dtype, spec.shape, spec.offset)
-        for spec in descriptor.arrays
-    }
+    # A worker dying between open and view construction must release
+    # its mapping: a stranded attach would keep the segment's pages
+    # pinned past the coordinator's unlink (close here is what lets the
+    # kernel actually reclaim the name when the coordinator destroys it).
+    try:
+        fault_point(FP_ATTACH_VIEWS)
+        views = {
+            spec.name: _view(segment.buf, spec.dtype, spec.shape, spec.offset)
+            for spec in descriptor.arrays
+        }
+    except BaseException:
+        segment.close()
+        raise
     return views, segment
 
 
@@ -274,13 +296,20 @@ def attach_table(
     segment = AttachedSegment(
         shared_memory.SharedMemory(name=descriptor.shm_name), untrack=untrack
     )
-    columns = [
-        Column(
-            spec.name,
-            ColumnType(spec.ctype),
-            _view(segment.buf, spec.dtype, spec.shape, spec.offset),
-            spec.dictionary,
-        )
-        for spec in descriptor.columns
-    ]
+    # Same mid-attach discipline as attach_arrays: never strand the
+    # mapping if view construction dies.
+    try:
+        fault_point(FP_ATTACH_VIEWS)
+        columns = [
+            Column(
+                spec.name,
+                ColumnType(spec.ctype),
+                _view(segment.buf, spec.dtype, spec.shape, spec.offset),
+                spec.dictionary,
+            )
+            for spec in descriptor.columns
+        ]
+    except BaseException:
+        segment.close()
+        raise
     return Table(columns), segment

@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
+from repro import sanitizer
 from repro.errors import DeadlineExceeded
 
 __all__ = ["Deadline", "DeadlineExceeded"]
@@ -23,7 +24,7 @@ __all__ = ["Deadline", "DeadlineExceeded"]
 class Deadline:
     """An absolute expiry instant on a monotonic clock."""
 
-    __slots__ = ("expires_at", "_clock", "_started")
+    __slots__ = ("expires_at", "_clock", "_started", "_sanbox", "__weakref__")
 
     def __init__(
         self,
@@ -34,6 +35,15 @@ class Deadline:
         self.expires_at = expires_at
         self._clock = clock
         self._started = clock() if started is None else started
+        # Sanitizer accounting: a deadline that dies without ever being
+        # consulted was dropped on the floor by some call path. The box
+        # is None in production mode (zero overhead beyond this check).
+        self._sanbox = sanitizer.track_deadline(self) if sanitizer.is_enabled() else None
+
+    def _touch(self) -> None:
+        box = self._sanbox
+        if box is not None:
+            box[0] = True
 
     @classmethod
     def after(
@@ -45,6 +55,7 @@ class Deadline:
 
     def remaining(self) -> float:
         """Seconds of budget left (never negative)."""
+        self._touch()
         return max(0.0, self.expires_at - self._clock())
 
     def elapsed(self) -> float:
@@ -53,6 +64,7 @@ class Deadline:
 
     @property
     def expired(self) -> bool:
+        self._touch()
         return self._clock() >= self.expires_at
 
     def check(self, doing: str) -> None:

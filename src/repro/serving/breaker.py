@@ -25,11 +25,12 @@ breaker across its worker pool).
 from __future__ import annotations
 
 import enum
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict
+
+from repro.sanitizer import create_lock, guarded_by
 
 
 class BreakerState(enum.Enum):
@@ -82,16 +83,16 @@ class CircuitBreaker:
         self,
         config: BreakerConfig = BreakerConfig(),
         clock: Callable[[], float] = time.monotonic,
-    ):
+    ) -> None:
         self.config = config
         self._clock = clock
-        self._lock = threading.Lock()
-        self._state = BreakerState.CLOSED
-        self._outcomes: Deque[bool] = deque(maxlen=config.window)
-        self._opened_at = 0.0
-        self._probe_in_flight = False
-        self._opens = 0
-        self._rejected = 0
+        self._lock = create_lock("breaker._lock")
+        self._state = BreakerState.CLOSED  # guard: _lock
+        self._outcomes: Deque[bool] = deque(maxlen=config.window)  # guard: _lock
+        self._opened_at = 0.0  # guard: _lock
+        self._probe_in_flight = False  # guard: _lock
+        self._opens = 0  # guard: _lock
+        self._rejected = 0  # guard: _lock
 
     # -- raw-policy protocol -------------------------------------------
     def allow(self) -> bool:
@@ -163,6 +164,7 @@ class CircuitBreaker:
             }
 
     # -- internal ------------------------------------------------------
+    @guarded_by("_lock")
     def _trip(self) -> None:
         self._state = BreakerState.OPEN
         self._opened_at = self._clock()

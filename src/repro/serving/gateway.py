@@ -39,14 +39,17 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Union
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.core.tabula import GuaranteeStatus, QueryResult, Tabula
 from repro.engine.table import Table
 from repro.errors import DeadlineExceeded, TabulaError
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import fault_point, register_fault_point
+from repro.sanitizer import create_lock
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
+
+WhereClause = Mapping[str, object]
 
 FP_EXECUTE = register_fault_point(
     "serve.request.execute",
@@ -101,7 +104,7 @@ class ServingConfig:
     stats_window: int = 1024
     min_service_seconds: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.queue_depth < 1:
@@ -153,7 +156,12 @@ class ReloadResult:
 class _Request:
     __slots__ = ("where", "deadline", "future", "batch")
 
-    def __init__(self, where, deadline: Optional[Deadline], batch: bool = False):
+    def __init__(
+        self,
+        where: Union[WhereClause, List[WhereClause]],
+        deadline: Optional[Deadline],
+        batch: bool = False,
+    ) -> None:
         self.where = where  # one WHERE clause, or a list of them when batch
         self.deadline = deadline
         self.batch = batch
@@ -183,25 +191,27 @@ class ServingGateway:
         tabula: Tabula,
         config: Optional[ServingConfig] = None,
         cube_path: Union[str, Path, None] = None,
-        registry=None,
-    ):
+        registry: Optional[Any] = None,
+    ) -> None:
         self.config = config or ServingConfig()
         self.breaker = CircuitBreaker(self.config.breaker)
         self._registry = registry
-        self._snapshot = CubeSnapshot(
+        # Swapped atomically under the reload lock; readers pin a
+        # reference without locking (immutable snapshot generations).
+        self._snapshot = CubeSnapshot(  # guard-writes: _reload_lock
             generation=1,
             tabula=tabula,
             path=str(cube_path) if cube_path is not None else None,
         )
-        self._queue: "queue.Queue" = queue.Queue(maxsize=self.config.queue_depth)
-        self._stats_lock = threading.Lock()
-        self._counters: Dict[str, int] = {o.value: 0 for o in ServingOutcome}
-        self._errors = 0
-        self._requests_total = 0
-        self._latencies: Deque[float] = deque(maxlen=self.config.stats_window)
-        self._reloads = {"attempted": 0, "succeeded": 0, "failed": 0}
-        self._last_reload_error = ""
-        self._reload_lock = threading.Lock()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=self.config.queue_depth)
+        self._stats_lock = create_lock("gateway._stats_lock")
+        self._counters: Dict[str, int] = {o.value: 0 for o in ServingOutcome}  # guard: _stats_lock
+        self._errors = 0  # guard: _stats_lock
+        self._requests_total = 0  # guard: _stats_lock
+        self._latencies: Deque[float] = deque(maxlen=self.config.stats_window)  # guard: _stats_lock
+        self._reloads = {"attempted": 0, "succeeded": 0, "failed": 0}  # guard: _stats_lock
+        self._last_reload_error = ""  # guard: _stats_lock
+        self._reload_lock = create_lock("gateway._reload_lock")
         self._closed = False
         self._workers: List[threading.Thread] = []
         for i in range(self.config.workers):
@@ -216,7 +226,7 @@ class ServingGateway:
         cls,
         path: Union[str, Path],
         table: Table,
-        registry=None,
+        registry: Optional[Any] = None,
         config: Optional[ServingConfig] = None,
     ) -> "ServingGateway":
         """Boot a gateway from a persisted cube (restart recovery path)."""
@@ -230,7 +240,7 @@ class ServingGateway:
     # ------------------------------------------------------------------
     def query(
         self,
-        where,
+        where: WhereClause,
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
     ) -> ServingResponse:
@@ -289,7 +299,7 @@ class ServingGateway:
 
     def query_many(
         self,
-        wheres,
+        wheres: Iterable[WhereClause],
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
     ) -> List[ServingResponse]:
@@ -328,21 +338,19 @@ class ServingGateway:
                 f"admission queue full ({self.config.queue_depth} waiting); "
                 f"batch of {len(wheres)} shed"
             )
-            return [self._disposed(ServingOutcome.SHED, started, detail) for _ in wheres]
+            return self._disposed_batch(ServingOutcome.SHED, started, detail, len(wheres))
         timeout = deadline.remaining() if deadline is not None else None
         try:
             results, generation = request.future.result(timeout=timeout)
         except FutureTimeout:
             detail = "deadline expired while queued or executing"
-            return [
-                self._disposed(ServingOutcome.DEADLINE_EXCEEDED, started, detail)
-                for _ in wheres
-            ]
+            return self._disposed_batch(
+                ServingOutcome.DEADLINE_EXCEEDED, started, detail, len(wheres)
+            )
         except DeadlineExceeded as exc:
-            return [
-                self._disposed(ServingOutcome.DEADLINE_EXCEEDED, started, str(exc))
-                for _ in wheres
-            ]
+            return self._disposed_batch(
+                ServingOutcome.DEADLINE_EXCEEDED, started, str(exc), len(wheres)
+            )
         except Exception:
             with self._stats_lock:
                 self._errors += 1
@@ -378,20 +386,38 @@ class ServingGateway:
     def _disposed(
         self, outcome: ServingOutcome, started: float, detail: str
     ) -> ServingResponse:
+        return self._disposed_batch(outcome, started, detail, 1)[0]
+
+    def _disposed_batch(
+        self, outcome: ServingOutcome, started: float, detail: str, count: int
+    ) -> List[ServingResponse]:
+        """Disposition ``count`` unanswered requests as one atomic unit.
+
+        The whole batch is counted under a single stats-lock
+        acquisition: a concurrent ``stats()`` reader sees either none
+        or all of a shed batch, never a torn prefix — per-item
+        increments let a reader observe ``shed`` counts that no
+        admission decision ever produced, which breaks the serving
+        bench's accounting gate.
+        """
         elapsed = time.perf_counter() - started
         with self._stats_lock:
-            self._counters[outcome.value] += 1
-            self._requests_total += 1
-        return ServingResponse(
-            outcome=outcome,
-            guarantee=GuaranteeStatus.VOID,
-            source="",
-            sample=None,
-            cell=None,
-            generation=self._snapshot.generation,
-            elapsed_seconds=elapsed,
-            detail=detail,
-        )
+            self._counters[outcome.value] += count
+            self._requests_total += count
+        generation = self._snapshot.generation
+        return [
+            ServingResponse(
+                outcome=outcome,
+                guarantee=GuaranteeStatus.VOID,
+                source="",
+                sample=None,
+                cell=None,
+                generation=generation,
+                elapsed_seconds=elapsed,
+                detail=detail,
+            )
+            for _ in range(count)
+        ]
 
     def _worker_loop(self) -> None:
         while True:

@@ -31,11 +31,11 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import TabulaError
-from repro.serving.gateway import ServingGateway, ServingOutcome
+from repro.serving.gateway import ServingGateway, ServingOutcome, ServingResponse
 
 _STATUS = {
     ServingOutcome.OK: 200,
@@ -48,9 +48,9 @@ _STATUS = {
 _RESERVED_PARAMS = ("deadline_seconds", "limit")
 
 
-def response_to_json(response, limit: int = 20) -> Dict[str, object]:
+def response_to_json(response: ServingResponse, limit: int = 20) -> Dict[str, object]:
     """Wire shape of one gateway response (rows capped at ``limit``)."""
-    rows: Optional[Dict[str, list]] = None
+    rows: Optional[Dict[str, List[object]]] = None
     num_rows = 0
     if response.sample is not None:
         num_rows = response.sample.num_rows
@@ -69,7 +69,9 @@ def response_to_json(response, limit: int = 20) -> Dict[str, object]:
     }
 
 
-def _parse_query_request(handler: "_GatewayHandler"):
+def _parse_query_request(
+    handler: "_GatewayHandler",
+) -> Tuple[Any, bool, Optional[float], int]:
     """(where_or_batch, is_batch, deadline_seconds, limit) from either verb."""
     if handler.command == "POST":
         length = int(handler.headers.get("Content-Length") or 0)
@@ -100,11 +102,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------
-    def log_message(self, fmt, *args):  # pragma: no cover - noise control
+    def log_message(self, fmt: str, *args: object) -> None:  # pragma: no cover - noise control
         if not self.quiet:
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload: dict, retry_after: Optional[int] = None):
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        retry_after: Optional[int] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -115,7 +122,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     # -- routes --------------------------------------------------------
-    def do_GET(self):
+    def do_GET(self) -> None:
         route = urlsplit(self.path).path
         if route == "/healthz":
             ok = self.gateway.healthy
@@ -130,7 +137,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no route {route!r}"})
 
-    def do_POST(self):
+    def do_POST(self) -> None:
         route = urlsplit(self.path).path
         if route == "/query":
             self._handle_query()
@@ -139,7 +146,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": f"no route {route!r}"})
 
-    def _handle_query(self):
+    def _handle_query(self) -> None:
         try:
             where, is_batch, deadline_seconds, limit = _parse_query_request(self)
         except (ValueError, json.JSONDecodeError) as exc:
@@ -176,7 +183,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             retry_after=1 if response.outcome is ServingOutcome.SHED else None,
         )
 
-    def _handle_reload(self):
+    def _handle_reload(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         try:
             body = json.loads(self.rfile.read(length) or b"{}")

@@ -1,0 +1,5 @@
+"""TAB600 fixed: the same function, syntactically valid."""
+
+
+def broken():
+    return 1

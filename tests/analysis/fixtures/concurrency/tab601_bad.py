@@ -1,0 +1,22 @@
+"""TAB601: guarded state touched outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guard: _lock
+        self._items = []  # guard-writes: _lock
+
+    def bump(self):
+        self._count += 1  # write to guard: state, no lock
+
+    def peek(self):
+        return self._count  # read of guard: state, no lock
+
+    def push(self, item):
+        self._items.append(item)  # mutation of guard-writes state, no lock
+
+    def drain(self):
+        return list(self._items)  # lock-free READ of guard-writes state: fine

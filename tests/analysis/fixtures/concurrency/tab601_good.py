@@ -1,0 +1,32 @@
+"""TAB601 fixed: every guarded access under the lock (or @guarded_by)."""
+
+import threading
+
+from repro.sanitizer import guarded_by
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guard: _lock
+        self._items = []  # guard-writes: _lock
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+    def push(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._bump_locked()
+
+    @guarded_by("_lock")
+    def _bump_locked(self):
+        self._count += 1
+
+    def drain(self):
+        return list(self._items)  # lock-free READ of guard-writes state: fine

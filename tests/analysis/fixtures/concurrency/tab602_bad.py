@@ -1,0 +1,19 @@
+"""TAB602: two locks acquired in both orders — a latent deadlock."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock_accounts = threading.Lock()
+        self._lock_audit = threading.Lock()
+
+    def deposit(self):
+        with self._lock_accounts:
+            with self._lock_audit:
+                pass
+
+    def audit(self):
+        with self._lock_audit:
+            with self._lock_accounts:  # reversed order
+                pass

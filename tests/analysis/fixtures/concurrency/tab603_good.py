@@ -1,0 +1,15 @@
+"""TAB603 fixed: do the bookkeeping under the lock, block outside it."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    def wait_tick(self):
+        with self._lock:
+            self._pending += 1
+        time.sleep(0.05)

@@ -1,0 +1,9 @@
+"""TAB604: a named shared-memory segment created and abandoned."""
+
+from multiprocessing import shared_memory
+
+
+def stage(payload):
+    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+    shm.buf[: len(payload)] = payload
+    print(shm.name)

@@ -1,0 +1,13 @@
+"""TAB604 fixed: close + unlink in a finally block."""
+
+from multiprocessing import shared_memory
+
+
+def stage(payload):
+    shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+    try:
+        shm.buf[: len(payload)] = payload
+        print(shm.name)
+    finally:
+        shm.close()
+        shm.unlink()

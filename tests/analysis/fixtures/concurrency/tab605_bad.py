@@ -1,0 +1,7 @@
+"""TAB605: open() whose handle nothing ever closes."""
+
+import json
+
+
+def load_config(path):
+    return json.loads(open(path).read())

@@ -1,0 +1,8 @@
+"""TAB605 fixed: the handle lives exactly as long as the with block."""
+
+import json
+
+
+def load_config(path):
+    with open(path) as handle:
+        return json.load(handle)

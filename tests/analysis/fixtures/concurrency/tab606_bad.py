@@ -1,0 +1,9 @@
+"""TAB606: os.replace publishing bytes that were never fsync'd."""
+
+import os
+
+
+def publish(tmp_path, final_path):
+    with open(tmp_path, "w") as handle:
+        handle.write("payload")
+    os.replace(tmp_path, final_path)

@@ -1,0 +1,11 @@
+"""TAB606 fixed: flush + fsync before the rename publishes the file."""
+
+import os
+
+
+def publish(tmp_path, final_path):
+    with open(tmp_path, "w") as handle:
+        handle.write("payload")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, final_path)

@@ -1,0 +1,9 @@
+"""TAB607: a deadline received and then dropped at the call site."""
+
+
+def fetch_rows(table, deadline=None):
+    return list(table)
+
+
+def answer(where, table, deadline=None):
+    return fetch_rows(table)

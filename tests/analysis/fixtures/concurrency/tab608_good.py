@@ -1,0 +1,13 @@
+"""TAB608 fixed: workers get plain data; the parent aggregates results."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _double(task):
+    return task * 2
+
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_double, task) for task in tasks]
+    return [future.result() for future in futures]

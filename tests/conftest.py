@@ -5,9 +5,41 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import sanitizer
 from repro.core.loss import HeatmapLoss, HistogramLoss, MeanLoss, RegressionLoss
 from repro.data import generate_nyctaxi
 from repro.engine.table import Table
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run the whole session under the runtime concurrency sanitizer "
+        "(same as REPRO_SANITIZE=1) and fail it on recorded violations",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_session(request: pytest.FixtureRequest):
+    """Session-wide sanitizer harness (``--sanitize`` / REPRO_SANITIZE=1).
+
+    Enables sanitize mode before the first test, lets the whole suite
+    run (violations are recorded, never raised inline), and fails the
+    session at teardown if anything was recorded — lock-order
+    inversions, blocking calls under locks, leaked shm segments,
+    dropped deadlines.
+    """
+    if not (request.config.getoption("--sanitize") or sanitizer.is_enabled()):
+        yield
+        return
+    sanitizer.reset()
+    sanitizer.enable()
+    yield
+    snapshot = sanitizer.report()
+    sanitizer.disable()
+    sanitizer.assert_clean(snapshot)
 
 
 @pytest.fixture(scope="session")

@@ -140,3 +140,83 @@ class TestConfigValidation:
     def test_bad_config_rejected(self, kwargs):
         with pytest.raises(ValueError):
             BreakerConfig(**kwargs)
+
+
+class TestHalfOpenConcurrentProbes:
+    """The half-open probe token under real thread contention.
+
+    The protocol: after the cooldown, exactly ONE caller may probe; all
+    concurrent racers must be rejected until the probe reports back. A
+    bug here either hammers a struggling backend with N probes or
+    deadlocks the rung behind a token nobody holds.
+    """
+
+    ROUNDS = 100
+    RACERS = 4
+
+    def _tripped_breaker(self, clock):
+        breaker = make_breaker(clock, min_calls=2, window=4)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def _race_allow(self, breaker):
+        import threading
+
+        barrier = threading.Barrier(self.RACERS)
+        outcomes = []
+
+        def racer():
+            barrier.wait()
+            outcomes.append(breaker.allow())
+
+        threads = [threading.Thread(target=racer) for _ in range(self.RACERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    def test_exactly_one_probe_across_racing_threads(self, clock):
+        for _ in range(self.ROUNDS):
+            breaker = self._tripped_breaker(clock)
+            clock.advance(breaker.config.cooldown_seconds + 0.1)
+            outcomes = self._race_allow(breaker)
+            assert sum(outcomes) == 1, f"{sum(outcomes)} probes escaped"
+            assert len(outcomes) == self.RACERS
+
+    def test_losers_are_counted_as_rejected(self, clock):
+        breaker = self._tripped_breaker(clock)
+        clock.advance(breaker.config.cooldown_seconds + 0.1)
+        self._race_allow(breaker)
+        assert breaker.snapshot()["rejected_total"] == self.RACERS - 1
+
+    def test_probe_success_closes_and_reopens_the_gate(self, clock):
+        for _ in range(self.ROUNDS // 10):
+            breaker = self._tripped_breaker(clock)
+            clock.advance(breaker.config.cooldown_seconds + 0.1)
+            assert sum(self._race_allow(breaker)) == 1
+            breaker.record_success()
+            assert breaker.state is BreakerState.CLOSED
+            # A closed breaker admits every racer.
+            assert sum(self._race_allow(breaker)) == self.RACERS
+
+    def test_probe_failure_reopens_and_rearms_single_token(self, clock):
+        breaker = self._tripped_breaker(clock)
+        clock.advance(breaker.config.cooldown_seconds + 0.1)
+        assert sum(self._race_allow(breaker)) == 1
+        breaker.record_failure()  # probe came back bad
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()  # cooldown restarted
+        clock.advance(breaker.config.cooldown_seconds + 0.1)
+        # Next half-open round hands out exactly one token again.
+        assert sum(self._race_allow(breaker)) == 1
+
+    def test_token_not_released_by_unrelated_allow_calls(self, clock):
+        breaker = self._tripped_breaker(clock)
+        clock.advance(breaker.config.cooldown_seconds + 0.1)
+        assert breaker.allow()  # the probe is out
+        for _ in range(10):
+            assert not breaker.allow()  # nobody else gets in, ever
+        assert breaker.state is BreakerState.HALF_OPEN

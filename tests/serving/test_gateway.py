@@ -501,3 +501,85 @@ class TestBatchedQueries:
         gateway.close()
         with pytest.raises(TabulaError):
             gateway.query_many([{}])
+
+
+class TestBatchDispositionConsistency:
+    """Shed/timeout batches must mutate the stats counters atomically.
+
+    ``query_many`` used to disposition a rejected batch one response at
+    a time — N separate ``_stats_lock`` acquisitions — so a concurrent
+    ``stats()`` reader could observe a *torn* batch: a shed count that
+    no admission decision ever produced. ``_disposed_batch`` counts the
+    whole batch under one lock acquisition; this test races a stats
+    sampler against shedding batches and asserts every observed value
+    is a whole number of batches.
+    """
+
+    BATCH = 8
+    ROUNDS = 30
+
+    def test_shed_batches_are_never_observed_torn(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula, config=ServingConfig(workers=1, queue_depth=1)
+        )
+        observed = []
+        stop = threading.Event()
+
+        def sampler():
+            while not stop.is_set():
+                observed.append(gateway.stats()["outcomes"]["shed"])
+
+        try:
+            with stalled_workers(count=1) as (release, handle):
+                blocked = threading.Thread(target=gateway.query, args=(where,))
+                blocked.start()
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                filler = threading.Thread(target=gateway.query, args=(where,))
+                filler.start()
+                assert wait_until(lambda: gateway._queue.qsize() == 1)
+
+                sampling = threading.Thread(target=sampler)
+                sampling.start()
+                for _ in range(self.ROUNDS):
+                    responses = gateway.query_many([where] * self.BATCH)
+                    assert len(responses) == self.BATCH
+                    assert all(
+                        r.outcome is ServingOutcome.SHED for r in responses
+                    )
+                stop.set()
+                sampling.join(timeout=5)
+                release.set()
+                blocked.join(timeout=5)
+                filler.join(timeout=5)
+            assert observed, "stats sampler never ran"
+            torn = [value for value in observed if value % self.BATCH != 0]
+            assert torn == [], f"torn batch counts observed: {torn[:10]}"
+            assert gateway.stats()["outcomes"]["shed"] == self.ROUNDS * self.BATCH
+        finally:
+            gateway.close()
+
+    def test_disposed_batch_counts_requests_total_once(self, rides_tiny):
+        tabula = build_tabula(rides_tiny)
+        _, where = iceberg_query(tabula)
+        gateway = ServingGateway(
+            tabula, config=ServingConfig(workers=1, queue_depth=1)
+        )
+        try:
+            with stalled_workers(count=1) as (release, handle):
+                blocked = threading.Thread(target=gateway.query, args=(where,))
+                blocked.start()
+                assert wait_until(lambda: handle.hits(FP_EXECUTE) >= 1)
+                filler = threading.Thread(target=gateway.query, args=(where,))
+                filler.start()
+                assert wait_until(lambda: gateway._queue.qsize() == 1)
+                before = gateway.stats()["requests_total"]
+                responses = gateway.query_many([where] * 5)
+                assert [r.outcome for r in responses] == [ServingOutcome.SHED] * 5
+                assert gateway.stats()["requests_total"] == before + 5
+                release.set()
+                blocked.join(timeout=5)
+                filler.join(timeout=5)
+        finally:
+            gateway.close()
