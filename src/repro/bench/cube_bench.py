@@ -40,7 +40,14 @@ from repro.engine.cube import CubeCells
 #: v3 (additive): ``bench cube`` gained per-stage ``execution`` audit
 #: records and the ``speedup_gate`` block; ``bench query`` gained the
 #: ``batch`` section (``--batch``). Every earlier field keeps its name.
-SCHEMA_VERSION = 3
+#: v4 (additive): ``bench serving`` phase ``breaker`` blocks gained
+#: per-phase deltas (``phase_opens``/``phase_rejected`` — the cumulative
+#: ``opens_total``/``rejected_total`` stay); new ``sharded`` section
+#: (``--shards N``): single-shard vs N-shard throughput, a chaos phase
+#: that SIGKILLs a worker under load, per-shard worker stats and router
+#: breaker deltas, and a ``recovery`` record with the supervisor's
+#: restart outcome. Every earlier field keeps its name.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -382,6 +389,7 @@ def bench_serving(
     min_service_seconds: float = 0.002,
     deadline_seconds: Optional[float] = None,
     workload_seed: int = 0,
+    shards: int = 0,
 ) -> Dict[str, object]:
     """Benchmark the serving gateway in a steady and an overloaded regime.
 
@@ -399,6 +407,15 @@ def bench_serving(
     descriptive metric here — ``check_serving_doc`` gates the accounting
     invariants (every request disposed exactly once, outcomes well
     formed), never the timing- and scheduler-dependent rate itself.
+
+    With ``shards >= 1`` the document gains a ``sharded`` section: the
+    same workload driven through the fault-tolerant sharded tier — one
+    single-shard cluster as the baseline, an N-shard cluster for the
+    scaling phase, then a chaos phase that SIGKILLs one worker mid-load
+    and a recovery record proving the supervisor restarted it back to
+    CERTIFIED answers. The ≥1.5x scaling gate follows the
+    ``speedup_gate`` convention: recorded but not enforced on <2-core
+    machines (process parallelism cannot show wall-clock speedup there).
     """
     from repro.serving.breaker import BreakerConfig
     from repro.serving.gateway import ServingConfig, ServingGateway
@@ -412,6 +429,7 @@ def bench_serving(
 
     def run_phase(config: ServingConfig, phase_clients: int) -> Dict[str, object]:
         gateway = ServingGateway(tabula, config=config)
+        breaker_before = gateway.breaker.snapshot()
         outcomes: Dict[str, int] = {}
         served_latencies: List[float] = []
         lock = threading.Lock()
@@ -458,7 +476,7 @@ def bench_serving(
             "shed_rate": outcomes.get("shed", 0) / len(workload) if workload else 0.0,
             "throughput_rps": len(workload) / wall if wall > 0 else 0.0,
             "latency_seconds": _latency_stats(served_latencies),
-            "breaker": stats["breaker"],
+            "breaker": _breaker_delta(breaker_before, stats["breaker"]),
         }
 
     steady = run_phase(
@@ -478,13 +496,314 @@ def bench_serving(
         ),
         phase_clients=clients,
     )
-    return {
+    document: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "bench": "serving",
         "settings": settings.as_dict(),
         "environment": _environment(),
         "deadline_seconds": deadline_seconds,
         "phases": {"steady": steady, "overload": overload},
+    }
+    if shards >= 1:
+        document["sharded"] = _bench_sharded(
+            settings=settings,
+            tabula=tabula,
+            table=table,
+            workload=list(workload),
+            shards=shards,
+            clients=clients,
+            min_service_seconds=max(min_service_seconds, 0.005),
+        )
+    return document
+
+
+def _breaker_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-phase breaker activity: cumulative snapshot + in-phase deltas.
+
+    The cumulative ``opens_total``/``rejected_total`` counters survive
+    across phases sharing a breaker, which used to make per-phase
+    reports read as all-zero (or as the *previous* phase's trips); the
+    ``phase_*`` keys subtract the phase-start snapshot so each phase
+    reports its own activity. Additive: all v3 keys keep their meaning.
+    """
+    merged: Dict[str, object] = dict(after)
+    merged["phase_opens"] = int(after.get("opens_total", 0)) - int(
+        before.get("opens_total", 0)
+    )
+    merged["phase_rejected"] = int(after.get("rejected_total", 0)) - int(
+        before.get("rejected_total", 0)
+    )
+    return merged
+
+
+def _bench_sharded(
+    settings: BenchSettings,
+    tabula: Tabula,
+    table,
+    workload: List[Dict[str, object]],
+    shards: int,
+    clients: int,
+    min_service_seconds: float,
+) -> Dict[str, object]:
+    """The sharded-tier phases: scaling, chaos (SIGKILL), recovery."""
+    import os
+    import signal
+    import sys
+    import tempfile
+
+    from repro.core.persistence import load_cube, save_cube
+    from repro.engine.io import read_csv, write_csv
+    from repro.engine.schema import ColumnType
+    from repro.serving.placement import Placement, shard_transform
+    from repro.serving.router import RouterConfig, ShardRouter
+    from repro.serving.supervisor import (
+        ShardSupervisor,
+        SupervisorConfig,
+        default_worker_factory,
+    )
+
+    workdir = tempfile.mkdtemp(prefix="bench_serving_sharded_")
+    csv_path = os.path.join(workdir, "rides.csv")
+    cube_path = os.path.join(workdir, "cube.json")
+    write_csv(table, csv_path)
+    save_cube(tabula, cube_path)
+    # Workers re-read the CSV themselves; the router's fallback slice
+    # must use the same CATEGORY-typed re-read for identical cells.
+    served_table = read_csv(
+        csv_path, types={a: ColumnType.CATEGORY for a in settings.attrs}
+    )
+
+    def boot(num_shards: int) -> ShardRouter:
+        placement = Placement(num_shards)
+
+        def worker_argv(shard: int) -> List[str]:
+            return [
+                sys.executable, "-m", "repro.serving.shard_worker",
+                "--cube", cube_path, "--table", csv_path,
+                "--shard", str(shard), "--num-shards", str(num_shards),
+                "--workers", "2", "--queue-depth", str(max(64, len(workload))),
+                "--min-service-seconds", str(min_service_seconds),
+            ]
+
+        supervisor = ShardSupervisor(
+            default_worker_factory(worker_argv),
+            num_shards,
+            config=SupervisorConfig(
+                heartbeat_interval_seconds=0.2,
+                heartbeat_timeout_seconds=0.5,
+                liveness_misses=3,
+                backoff_base_seconds=0.1,
+                backoff_cap_seconds=1.0,
+            ),
+        )
+        supervisor.start()
+        fallback = shard_transform(placement, None)(load_cube(cube_path, served_table))
+        return ShardRouter(
+            supervisor,
+            placement,
+            fallback,
+            cube_path=cube_path,
+            config=RouterConfig(wire_row_limit=8),
+        )
+
+    def drive(
+        router: ShardRouter,
+        phase_clients: int,
+        kill_shard: Optional[int] = None,
+    ) -> Dict[str, object]:
+        breakers_before = {
+            shard: router.breaker_state(shard)
+            for shard in range(router.placement.num_shards)
+        }
+        stats_before = router.stats()
+        outcomes: Dict[str, int] = {}
+        guarantees: Dict[str, int] = {}
+        latencies: List[float] = []
+        errors: List[str] = []
+        lock = threading.Lock()
+        cursor = {"next": 0}
+        kill_at = len(workload) // 4
+        killed = {"pid": None}
+
+        def client() -> None:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(workload):
+                        return
+                    cursor["next"] = index + 1
+                if kill_shard is not None and index == kill_at:
+                    pid = router.supervisor.health()[kill_shard]["pid"]
+                    if pid is not None:
+                        os.kill(pid, signal.SIGKILL)
+                        with lock:
+                            killed["pid"] = pid
+                try:
+                    response = router.query(workload[index], deadline_seconds=10.0)
+                except Exception as exc:  # the never-500 contract: record, gate
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                with lock:
+                    outcomes[response.outcome.value] = (
+                        outcomes.get(response.outcome.value, 0) + 1
+                    )
+                    guarantees[response.guarantee.value] = (
+                        guarantees.get(response.guarantee.value, 0) + 1
+                    )
+                    if response.answered:
+                        latencies.append(response.elapsed_seconds)
+
+        threads = [threading.Thread(target=client) for _ in range(phase_clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats_after = router.stats()
+        rpc_delta = {
+            key: int(stats_after["rpc"][key]) - int(stats_before["rpc"][key])
+            for key in stats_after["rpc"]
+        }
+        record: Dict[str, object] = {
+            "clients": phase_clients,
+            "offered": len(workload),
+            "outcomes": outcomes,
+            "guarantees": guarantees,
+            "served": sum(v for k, v in outcomes.items() if k != "shed"),
+            "shed": outcomes.get("shed", 0),
+            "shed_rate": outcomes.get("shed", 0) / len(workload) if workload else 0.0,
+            "downgraded": guarantees.get("downgraded", 0),
+            "errors": errors,
+            "throughput_rps": len(workload) / wall if wall > 0 else 0.0,
+            "latency_seconds": _latency_stats(latencies),
+            "rpc": rpc_delta,
+            "router_breakers": {
+                str(shard): {
+                    "before": breakers_before[shard].value,
+                    "after": router.breaker_state(shard).value,
+                }
+                for shard in range(router.placement.num_shards)
+            },
+        }
+        if kill_shard is not None:
+            record["killed_shard"] = kill_shard
+            record["killed_pid"] = killed["pid"]
+        return record
+
+    single = boot(1)
+    try:
+        single_phase = drive(single, phase_clients=clients)
+    finally:
+        single.close()
+
+    cluster = boot(shards)
+    try:
+        steady_phase = drive(cluster, phase_clients=clients)
+        # Chaos: SIGKILL the owner of the most-loaded shard mid-run.
+        placement = cluster.placement
+        cells = list(tabula.store._cell_to_sample_id)
+        spread = placement.spread(cells)
+        victim = max(spread, key=lambda shard: spread[shard])
+        chaos_phase = drive(cluster, phase_clients=clients, kill_shard=victim)
+        recovery = _await_recovery(cluster, victim, cells, settings)
+        per_shard = cluster.shard_stats()
+        shard_health = cluster.shard_health()
+    finally:
+        cluster.close()
+
+    speedup = (
+        steady_phase["throughput_rps"] / single_phase["throughput_rps"]
+        if single_phase["throughput_rps"]
+        else 0.0
+    )
+    gate = _scaling_gate(shards)
+    return {
+        "shards": shards,
+        "min_service_seconds": min_service_seconds,
+        "phases": {
+            "single_shard": single_phase,
+            "sharded_steady": steady_phase,
+            "chaos": chaos_phase,
+        },
+        "speedup_vs_single_shard": speedup,
+        "scaling_gate": gate,
+        "recovery": recovery,
+        "per_shard_stats": per_shard,
+        "shard_health": shard_health,
+    }
+
+
+def _await_recovery(
+    router, victim: int, cells: List[tuple], settings: BenchSettings
+) -> Dict[str, object]:
+    """Wait for the supervisor to restart the killed shard and for its
+    cells to answer CERTIFIED again (the chaos criterion's second half)."""
+    from repro.serving.supervisor import WorkerState
+
+    started = time.perf_counter()
+    deadline = started + 60.0
+    while time.perf_counter() < deadline:
+        if router.supervisor.state_of(victim) is WorkerState.UP:
+            break
+        time.sleep(0.1)
+    victim_cells = [c for c in cells if router.placement.shard_of(c) == victim]
+    probe_cells = victim_cells[:3]
+    recovered = False
+    while time.perf_counter() < deadline:
+        if not probe_cells:
+            # The victim owned no iceberg cells (tiny cube): recovery is
+            # just the supervisor reporting it UP again.
+            recovered = router.supervisor.state_of(victim) is WorkerState.UP
+            break
+        responses = [
+            router.query(
+                {a: v for a, v in zip(settings.attrs, cell) if v is not None},
+                deadline_seconds=10.0,
+            )
+            for cell in probe_cells
+        ]
+        if all(r.guarantee is GuaranteeStatus.CERTIFIED for r in responses):
+            recovered = True
+            break
+        time.sleep(0.2)
+    return {
+        "recovered": recovered,
+        "recovery_seconds": time.perf_counter() - started,
+        "victim_shard": victim,
+        "victim_iceberg_cells": len(victim_cells),
+        "probed_cells": len(probe_cells),
+        "restarts_total": router.supervisor.health()[victim]["restarts_total"],
+    }
+
+
+def _scaling_gate(shards: int) -> Dict[str, object]:
+    """``speedup_gate`` convention for the sharded tier (≥1.5x over 1 shard)."""
+    import multiprocessing
+
+    cpu_count = multiprocessing.cpu_count()
+    if shards < 2:
+        return {
+            "enforced": False,
+            "cpu_count": cpu_count,
+            "required_speedup": 1.5,
+            "reason": f"shards={shards} < 2: no scaling to gate",
+        }
+    if cpu_count < 2:
+        return {
+            "enforced": False,
+            "cpu_count": cpu_count,
+            "required_speedup": 1.5,
+            "reason": f"cpu_count={cpu_count} < 2: speedup unobservable on this machine",
+        }
+    return {
+        "enforced": True,
+        "cpu_count": cpu_count,
+        "required_speedup": 1.5,
+        "reason": "",
     }
 
 
@@ -576,6 +895,62 @@ def check_serving_doc(doc: Dict[str, object]) -> List[str]:
             failures.append(f"{name}: shed count inconsistent with outcomes")
         if phase.get("served", 0) + phase.get("shed", 0) != disposed:
             failures.append(f"{name}: served + shed != disposed")
+    sharded = doc.get("sharded")
+    if sharded:
+        failures.extend(_check_sharded_section(sharded))
+    return failures
+
+
+def _check_sharded_section(sharded: Dict[str, object]) -> List[str]:
+    """Gate the sharded tier's chaos criterion and (where live) scaling.
+
+    Gated everywhere: per-phase accounting, chaos phase raised zero
+    exceptions (the never-500 contract), every chaos guarantee is a
+    valid status, the killed shard recovered to CERTIFIED answers.
+    Gated only when ``scaling_gate.enforced``: N-shard throughput is
+    >= 1.5x the single-shard baseline.
+    """
+    valid_outcomes = {"ok", "degraded", "shed", "deadline_exceeded", "circuit_open"}
+    valid_guarantees = {"certified", "downgraded", "void"}
+    failures: List[str] = []
+    for name, phase in sharded.get("phases", {}).items():
+        label = f"sharded/{name}"
+        outcomes = phase.get("outcomes", {})
+        unknown = set(outcomes) - valid_outcomes
+        if unknown:
+            failures.append(f"{label}: unknown outcome(s) {sorted(unknown)}")
+        guarantees = phase.get("guarantees", {})
+        bad = set(guarantees) - valid_guarantees
+        if bad:
+            failures.append(f"{label}: unknown guarantee(s) {sorted(bad)}")
+        disposed = sum(outcomes.values()) + len(phase.get("errors", []))
+        if disposed != phase.get("offered"):
+            failures.append(
+                f"{label}: {phase.get('offered')} requests offered but "
+                f"{disposed} disposed — requests lost or double-counted"
+            )
+        if phase.get("errors"):
+            failures.append(
+                f"{label}: {len(phase['errors'])} request(s) raised instead of "
+                f"degrading (first: {phase['errors'][0]}) — never-500 contract broken"
+            )
+    chaos = sharded.get("phases", {}).get("chaos", {})
+    if chaos and chaos.get("killed_pid") is None:
+        failures.append("sharded/chaos: no worker was actually killed")
+    recovery = sharded.get("recovery", {})
+    if not recovery.get("recovered"):
+        failures.append(
+            f"sharded/recovery: shard {recovery.get('victim_shard')} did not "
+            f"return to CERTIFIED answers within the recovery window"
+        )
+    gate = sharded.get("scaling_gate", {})
+    speedup = sharded.get("speedup_vs_single_shard", 0.0)
+    if gate.get("enforced") and speedup < gate.get("required_speedup", 1.5):
+        failures.append(
+            f"sharded: speedup_vs_single_shard={speedup:.3f} < "
+            f"{gate.get('required_speedup', 1.5)} on a "
+            f"{gate.get('cpu_count')}-core machine — sharding is a regression"
+        )
     return failures
 
 

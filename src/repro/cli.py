@@ -137,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         "and smoke tests only; keep 0 in production)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="N > 0 boots the fault-tolerant sharded tier: N supervised "
+        "shard-worker processes behind a health-checked router that "
+        "degrades to the replicated global sample when a shard is down "
+        "(0 = single-process gateway)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
     serve.set_defaults(handler=cmd_serve)
@@ -250,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_serving.add_argument(
         "--deadline", type=float, default=None, help="per-request deadline in seconds"
+    )
+    bench_serving.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="N > 0 adds sharded-tier phases: single-shard vs N-shard "
+        "throughput plus a chaos phase that SIGKILLs a worker under load "
+        "and measures degradation + recovery",
     )
     bench_serving.add_argument("--out", default="BENCH_serving.json")
     bench_serving.add_argument(
@@ -392,6 +409,8 @@ def cmd_serve(args) -> int:
     from repro.serving import ServingConfig, ServingGateway
     from repro.serving.http import serve_http
 
+    if getattr(args, "shards", 0) and args.shards > 0:
+        return _serve_sharded(args)
     with open(args.cube) as handle:
         document = json.load(handle)
     attrs = document.get("cubed_attrs", [])
@@ -415,6 +434,56 @@ def cmd_serve(args) -> int:
     )
     print("routes: POST/GET /query, GET /healthz /readyz /stats, POST /reload")
     serve_http(gateway, host=args.host, port=args.port, quiet=args.quiet)
+    return 0
+
+
+def _serve_sharded(args) -> int:
+    """``repro serve --shards N``: supervised workers behind the router."""
+    from repro.core.persistence import load_cube
+    from repro.engine.schema import ColumnType
+    from repro.serving.http import serve_http
+    from repro.serving.placement import Placement, shard_transform
+    from repro.serving.router import RouterConfig, ShardRouter
+    from repro.serving.supervisor import ShardSupervisor, default_worker_factory
+
+    with open(args.cube) as handle:
+        document = json.load(handle)
+    attrs = document.get("cubed_attrs", [])
+    table = read_csv(args.table, types={a: ColumnType.CATEGORY for a in attrs})
+    registry = _registry_with_declaration(args.loss_sql)
+    placement = Placement(args.shards)
+
+    def worker_argv(shard: int) -> list:
+        argv = [
+            sys.executable, "-m", "repro.serving.shard_worker",
+            "--cube", args.cube, "--table", args.table,
+            "--shard", str(shard), "--num-shards", str(args.shards),
+            "--workers", str(args.workers), "--queue-depth", str(args.queue_depth),
+            "--min-service-seconds", str(args.min_service_seconds),
+        ]
+        if args.deadline is not None:
+            argv += ["--deadline", str(args.deadline)]
+        if args.loss_sql:
+            argv += ["--loss-sql", args.loss_sql]
+        return argv
+
+    supervisor = ShardSupervisor(default_worker_factory(worker_argv), args.shards)
+    supervisor.start()
+    up = supervisor.up_shards()
+    fallback = shard_transform(placement, None)(
+        load_cube(args.cube, table, registry=registry)
+    )
+    router = ShardRouter(
+        supervisor, placement, fallback, cube_path=args.cube, registry=registry
+    )
+    print(
+        f"serving {args.cube} on http://{args.host}:{args.port} with "
+        f"{len(up)}/{args.shards} shard workers up "
+        f"(per-worker: workers={args.workers}, queue={args.queue_depth}; "
+        f"failed shards degrade to the replicated global sample)"
+    )
+    print("routes: POST/GET /query, GET /healthz /readyz /stats, POST /reload")
+    serve_http(router, host=args.host, port=args.port, quiet=args.quiet)
     return 0
 
 
@@ -544,6 +613,7 @@ def cmd_bench_serving(args) -> int:
         clients=args.clients,
         num_queries=args.queries,
         deadline_seconds=args.deadline,
+        shards=args.shards,
     )
     write_bench_doc(doc, args.out)
     overload = doc["phases"]["overload"]
@@ -554,6 +624,20 @@ def cmd_bench_serving(args) -> int:
         f"p99 {format_seconds(overload['latency_seconds']['p99'])}, "
         f"{overload['throughput_rps']:.0f} req/s"
     )
+    sharded = doc.get("sharded")
+    if sharded:
+        gate = sharded["scaling_gate"]
+        chaos = sharded["phases"]["chaos"]
+        recovery = sharded["recovery"]
+        print(
+            f"sharded: {sharded['shards']} shards "
+            f"{sharded['speedup_vs_single_shard']:.2f}x vs 1 shard "
+            f"({'gated' if gate['enforced'] else 'gate skipped: ' + gate['reason']}); "
+            f"chaos killed shard {chaos['killed_shard']}: "
+            f"{chaos['downgraded']} downgraded / {chaos['offered']} offered, "
+            f"{len(chaos['errors'])} errors, recovered="
+            f"{recovery['recovered']} in {recovery['recovery_seconds']:.1f}s"
+        )
     if args.check:
         failures = check_serving_doc(doc)
         for failure in failures:

@@ -12,7 +12,7 @@ sample table).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,13 @@ from repro.engine.column import Column
 from repro.engine.cube import CellKey, format_cell
 from repro.engine.schema import ColumnType
 from repro.engine.table import Table
+
+
+def _foreign_cell_reason(owner: int) -> str:
+    return (
+        f"cell owned by shard {owner}; this shard holds only the "
+        "replicated global sample for it"
+    )
 
 
 @dataclass(frozen=True)
@@ -175,6 +182,55 @@ class SamplingCubeStore:
             self._cell_to_sample_id[cell] = sample_id
             self._degraded_cells.pop(cell, None)
             self._known_cells.add(cell)
+
+    # ------------------------------------------------------------------
+    # Shard slicing (the sharded serving tier's per-worker store)
+    # ------------------------------------------------------------------
+    def shard_slice(
+        self, owner_of: Callable[[CellKey], int], shard_id: Optional[int]
+    ) -> "SamplingCubeStore":
+        """A new store holding only the iceberg samples this shard owns.
+
+        ``owner_of`` is the placement function (cell → shard id).  The
+        slice keeps the cube-table rows and sample bytes of owned cells
+        only, but retains full knowledge of the cube: the global sample
+        (shared by reference — it is replicated to every worker anyway),
+        the complete known-cell set, and the *existence* of every
+        foreign iceberg cell, recorded as degraded with a reason naming
+        its owning shard.  A query landing on the wrong shard (replica
+        failover) therefore still answers — from the global sample, with
+        ``GuaranteeStatus.DOWNGRADED`` — instead of lying with a
+        CERTIFIED global answer or raising.
+
+        ``shard_id=None`` produces the router's own slice: it owns
+        nothing, so every iceberg cell degrades to the global sample
+        (the universal last rung when all workers are unreachable).
+        """
+        with self._swap_lock:
+            owned = {
+                cell: sid
+                for cell, sid in self._cell_to_sample_id.items()
+                if owner_of(cell) == shard_id
+            }
+            kept_ids = set(owned.values())
+            samples = {sid: tbl for sid, tbl in self._samples.items() if sid in kept_ids}
+            degraded: Dict[CellKey, str] = {}
+            for cell, reason in self._degraded_cells.items():
+                if owner_of(cell) == shard_id:
+                    degraded[cell] = reason
+                else:
+                    degraded[cell] = _foreign_cell_reason(owner_of(cell))
+            for cell in self._cell_to_sample_id:
+                if cell not in owned:
+                    degraded[cell] = _foreign_cell_reason(owner_of(cell))
+            return SamplingCubeStore(
+                attrs=self.attrs,
+                global_sample=self.global_sample,
+                cell_to_sample_id=owned,
+                samples=samples,
+                known_cells=frozenset(self._known_cells),
+                degraded_cells=degraded,
+            )
 
     # ------------------------------------------------------------------
     # Introspection

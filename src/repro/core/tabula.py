@@ -953,6 +953,17 @@ class Tabula:
             )
         return self._store
 
+    def cell_for(self, where: Union[Predicate, Mapping[str, object], None]) -> CellKey:
+        """Resolve (and validate) the cube cell a WHERE clause addresses.
+
+        Public for the serving router, which must place a request on a
+        shard — :meth:`Placement.shard_of(cell) <repro.serving.placement.Placement.shard_of>`
+        — before any store lookup happens.  Raises
+        :class:`~repro.errors.InvalidQueryError` exactly as a query
+        would, so the router can reject bad requests without an RPC.
+        """
+        return self._cell_for(where)
+
     def _cell_for(self, where: Union[Predicate, Mapping[str, object], None]) -> CellKey:
         if where is None:
             equalities: Mapping[str, object] = {}

@@ -18,7 +18,13 @@ Fault kinds:
 - :class:`IOFault` — raises :class:`InjectedIOError` (an ``OSError``
   subclass, simulating EIO/ENOSPC-style failures that code is expected
   to surface or recover from);
-- :class:`SlowIO` — sleeps at the hit, then continues (latency probe).
+- :class:`SlowIO` — sleeps at the hit, then continues (latency probe);
+- :class:`Hang` — from the Nth hit *onward*, every hit stalls: a
+  persistently wedged component. One-shot ``SlowIO`` cannot model this
+  under concurrency — while one thread serves its sleep, other threads
+  sail through the point and a health check alternates miss/ok instead
+  of missing consecutively, which is exactly the false negative that
+  hides a hung worker from liveness detection.
 
 Every instrumented site registers its point at import time via
 :func:`register_fault_point`, so tests can *enumerate* the registry and
@@ -29,10 +35,12 @@ counts, same trip.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 
 class InjectedCrash(BaseException):
@@ -121,6 +129,19 @@ class SlowIO(FaultSpec):
     sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
 
 
+@dataclass(frozen=True)
+class Hang(FaultSpec):
+    """Stall every hit from the ``at``-th onward (a wedged component).
+
+    Unlike one-shot :class:`SlowIO`, concurrent hits all stall, so a
+    health endpoint instrumented with the point misses *consecutively*
+    — the condition liveness detection actually fires on.
+    """
+
+    seconds: float = 3600.0
+    sleep: Callable[[float], None] = field(default=time.sleep, compare=False)
+
+
 class _Armed:
     """One armed fault: hit counting plus one-shot trip bookkeeping."""
 
@@ -133,6 +154,11 @@ class _Armed:
         if name != self.spec.point:
             return
         self.hits += 1
+        if isinstance(self.spec, Hang):
+            if self.hits >= self.spec.at:
+                self.tripped = True
+                self.spec.sleep(self.spec.seconds)
+            return
         if self.tripped or self.hits != self.spec.at:
             return
         self.tripped = True
@@ -197,3 +223,77 @@ def inject(*specs: FaultSpec) -> Iterator[InjectionHandle]:
     finally:
         for a in armed:
             _ACTIVE.remove(a)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process arming (the sharded serving tier's chaos harness)
+# ---------------------------------------------------------------------------
+#: Environment variable a subprocess entrypoint reads via :func:`arm_from_env`.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+def encode_fault_specs(specs: Sequence[FaultSpec]) -> str:
+    """Serialize specs for handing to a subprocess via ``REPRO_FAULTS``.
+
+    ``inject`` is process-local; chaos tests that need a fault to trip
+    *inside a shard worker* put this string in the worker's environment
+    and the worker entrypoint arms it at startup with
+    :func:`arm_from_env`.  Custom ``SlowIO.sleep`` callables do not
+    cross the process boundary (the worker uses ``time.sleep``).
+    """
+    encoded = []
+    for spec in specs:
+        document: Dict[str, object] = {"point": spec.point, "at": spec.at}
+        if isinstance(spec, IOFault):
+            document["kind"] = "io"
+            document["message"] = spec.message
+        elif isinstance(spec, SlowIO):
+            document["kind"] = "slow"
+            document["seconds"] = spec.seconds
+        elif isinstance(spec, Hang):
+            document["kind"] = "hang"
+            document["seconds"] = spec.seconds
+        elif isinstance(spec, CrashPoint):
+            document["kind"] = "crash"
+        else:
+            raise ValueError(f"cannot encode fault spec of type {type(spec).__name__}")
+        encoded.append(document)
+    return json.dumps(encoded, separators=(",", ":"))
+
+
+def arm_from_env(env_var: str = FAULTS_ENV_VAR) -> int:
+    """Arm faults from ``env_var`` for the life of the process.
+
+    Called by subprocess entrypoints (the shard worker) *after* their
+    imports, so every instrumented module has registered its points.
+    Returns the number of faults armed (0 when the variable is unset).
+    Unknown points and malformed specs are errors, matching
+    :func:`inject` — a typo'd chaos test must fail loudly, not silently
+    never trip.
+    """
+    text = os.environ.get(env_var, "").strip()
+    if not text:
+        return 0
+    specs: List[FaultSpec] = []
+    for document in json.loads(text):
+        kind = document.get("kind")
+        point = str(document["point"])
+        at = int(document.get("at", 1))
+        if kind == "crash":
+            specs.append(CrashPoint(point, at=at))
+        elif kind == "io":
+            specs.append(IOFault(point, at=at, message=str(document.get("message", "injected I/O fault"))))
+        elif kind == "slow":
+            specs.append(SlowIO(point, at=at, seconds=float(document.get("seconds", 0.01))))
+        elif kind == "hang":
+            specs.append(Hang(point, at=at, seconds=float(document.get("seconds", 3600.0))))
+        else:
+            raise ValueError(f"unknown fault kind {kind!r} in {env_var}")
+    for spec in specs:
+        if spec.point not in _REGISTRY:
+            raise ValueError(
+                f"unknown fault point {spec.point!r} in {env_var}; registered "
+                f"points: {', '.join(registered_fault_points()) or '(none)'}"
+            )
+    _ACTIVE.extend(_Armed(spec) for spec in specs)
+    return len(specs)

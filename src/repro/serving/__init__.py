@@ -6,6 +6,15 @@ shedding, per-request deadlines, a circuit breaker on the raw-table
 fallback, hot cube reload — exposed as a Python API
 (:class:`ServingGateway`), a stdlib HTTP endpoint
 (:func:`~repro.serving.http.serve_http`) and the ``repro serve`` CLI.
+
+On top of the single-process gateway sits the fault-tolerant *sharded
+tier* (``repro serve --shards N``): :class:`Placement` consistent-hashes
+cube cells across N supervised shard-worker processes
+(:class:`ShardSupervisor` handles death/hang detection, exponential
+backoff restarts and crash-loop parking), and :class:`ShardRouter`
+fronts them with per-shard circuit breakers, retries, hedging, replica
+failover and a final degradation rung — the locally replicated global
+sample — so a worker kill yields ``DOWNGRADED`` answers, never a 500.
 """
 
 from repro.resilience.deadline import Deadline
@@ -18,6 +27,14 @@ from repro.serving.gateway import (
     ServingOutcome,
     ServingResponse,
 )
+from repro.serving.placement import Placement, shard_transform
+from repro.serving.router import RouterConfig, ShardRouter
+from repro.serving.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    WorkerState,
+    default_worker_factory,
+)
 
 __all__ = [
     "BreakerConfig",
@@ -25,9 +42,17 @@ __all__ = [
     "CircuitBreaker",
     "CubeSnapshot",
     "Deadline",
+    "Placement",
     "ReloadResult",
+    "RouterConfig",
     "ServingConfig",
     "ServingGateway",
     "ServingOutcome",
     "ServingResponse",
+    "ShardRouter",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "WorkerState",
+    "default_worker_factory",
+    "shard_transform",
 ]

@@ -39,7 +39,7 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Union
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.core.tabula import GuaranteeStatus, QueryResult, Tabula
 from repro.engine.table import Table
@@ -192,10 +192,18 @@ class ServingGateway:
         config: Optional[ServingConfig] = None,
         cube_path: Union[str, Path, None] = None,
         registry: Optional[Any] = None,
+        transform: Optional[Callable[[Tabula], Tabula]] = None,
     ) -> None:
         self.config = config or ServingConfig()
         self.breaker = CircuitBreaker(self.config.breaker)
         self._registry = registry
+        # Applied to every (re)loaded cube before it starts serving —
+        # the sharded tier slices the store to this worker's cells here
+        # (see repro.serving.placement.shard_transform), and hot reload
+        # re-applies it so a swapped-in cube is re-sliced too.
+        self._transform = transform
+        if transform is not None:
+            tabula = transform(tabula)
         # Swapped atomically under the reload lock; readers pin a
         # reference without locking (immutable snapshot generations).
         self._snapshot = CubeSnapshot(  # guard-writes: _reload_lock
@@ -228,12 +236,15 @@ class ServingGateway:
         table: Table,
         registry: Optional[Any] = None,
         config: Optional[ServingConfig] = None,
+        transform: Optional[Callable[[Tabula], Tabula]] = None,
     ) -> "ServingGateway":
         """Boot a gateway from a persisted cube (restart recovery path)."""
         from repro.core.persistence import load_cube
 
         tabula = load_cube(path, table, registry=registry)
-        return cls(tabula, config=config, cube_path=path, registry=registry)
+        return cls(
+            tabula, config=config, cube_path=path, registry=registry, transform=transform
+        )
 
     # ------------------------------------------------------------------
     # Request path
@@ -481,6 +492,8 @@ class ServingGateway:
                 )
             try:
                 tabula = load_cube(target, self._snapshot.tabula.table, registry=self._registry)
+                if self._transform is not None:
+                    tabula = self._transform(tabula)
             except (PersistenceError, TabulaError) as exc:
                 return self._reload_failed(target, f"load failed: {exc}")
             fault_point(FP_RELOAD_SWAP)

@@ -30,12 +30,13 @@ dashboard still renders; ``SHED`` is 503 with ``Retry-After``;
 from __future__ import annotations
 
 import json
+import random
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Protocol, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.errors import TabulaError
-from repro.serving.gateway import ServingGateway, ServingOutcome, ServingResponse
+from repro.serving.gateway import ReloadResult, ServingOutcome, ServingResponse
 
 _STATUS = {
     ServingOutcome.OK: 200,
@@ -46,6 +47,50 @@ _STATUS = {
 }
 
 _RESERVED_PARAMS = ("deadline_seconds", "limit")
+
+#: SHED ``Retry-After`` is drawn uniformly from [_RETRY_AFTER_MIN,
+#: _RETRY_AFTER_MIN + _RETRY_AFTER_SPAN) seconds.  A fixed value would
+#: re-synchronize every shed dashboard client onto the same second and
+#: re-stampede the queue; the jitter spreads the retry wave.
+_RETRY_AFTER_MIN = 1
+_RETRY_AFTER_SPAN = 3
+
+
+def _retry_after() -> int:
+    return _RETRY_AFTER_MIN + random.randrange(_RETRY_AFTER_SPAN)
+
+
+class ServingBackend(Protocol):
+    """What the HTTP surface needs from a gateway-shaped object.
+
+    Satisfied structurally by both :class:`ServingGateway` (one process,
+    one cube) and :class:`~repro.serving.router.ShardRouter` (the
+    sharded tier) — ``repro serve`` binds whichever the flags built.
+    """
+
+    @property
+    def healthy(self) -> bool: ...
+
+    @property
+    def ready(self) -> bool: ...
+
+    def query(
+        self,
+        where: Mapping[str, object],
+        deadline_seconds: Optional[float] = None,
+    ) -> ServingResponse: ...
+
+    def query_many(
+        self,
+        wheres: List[Mapping[str, object]],
+        deadline_seconds: Optional[float] = None,
+    ) -> List[ServingResponse]: ...
+
+    def stats(self) -> Dict[str, Any]: ...
+
+    def reload(self, path: Optional[str] = None) -> ReloadResult: ...
+
+    def close(self) -> None: ...
 
 
 def response_to_json(response: ServingResponse, limit: int = 20) -> Dict[str, object]:
@@ -97,7 +142,7 @@ def _parse_query_request(
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
-    gateway: ServingGateway  # bound by make_server
+    gateway: ServingBackend  # bound by make_server
     quiet = True
     protocol_version = "HTTP/1.1"
 
@@ -129,13 +174,32 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send_json(200 if ok else 503, {"ok": ok})
         elif route == "/readyz":
             ok = self.gateway.ready
-            self._send_json(200 if ok else 503, {"ok": ok})
+            payload: Dict[str, object] = {"ok": ok}
+            shards = self._shard_health()
+            if shards is not None:
+                payload["shards"] = shards
+            self._send_json(200 if ok else 503, payload)
         elif route == "/stats":
-            self._send_json(200, self.gateway.stats())
+            # A ShardRouter already embeds "shards" in stats(); for any
+            # other sharded backend, merge its health view in here too.
+            stats = self.gateway.stats()
+            if "shards" not in stats:
+                shards = self._shard_health()
+                if shards is not None:
+                    stats["shards"] = shards
+            self._send_json(200, stats)
         elif route == "/query":
             self._handle_query()
         else:
             self._send_json(404, {"error": f"no route {route!r}"})
+
+    def _shard_health(self) -> Optional[Dict[str, object]]:
+        """Per-shard health when the backend is sharded (duck-typed)."""
+        prober = getattr(self.gateway, "shard_health", None)
+        if prober is None:
+            return None
+        shards = prober()
+        return shards if isinstance(shards, dict) else None
 
     def do_POST(self) -> None:
         route = urlsplit(self.path).path
@@ -165,7 +229,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if is_batch:
             outcomes = {r.outcome for r in responses}
             if responses and outcomes == {ServingOutcome.SHED}:
-                status, retry_after = 503, 1
+                status, retry_after = 503, _retry_after()
             elif responses and outcomes == {ServingOutcome.DEADLINE_EXCEEDED}:
                 status, retry_after = 504, None
             else:
@@ -180,7 +244,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self._send_json(
             status,
             response_to_json(response, limit=limit),
-            retry_after=1 if response.outcome is ServingOutcome.SHED else None,
+            retry_after=_retry_after() if response.outcome is ServingOutcome.SHED else None,
         )
 
     def _handle_reload(self) -> None:
@@ -207,7 +271,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    gateway: ServingGateway,
+    gateway: ServingBackend,
     host: str = "127.0.0.1",
     port: int = 8787,
     quiet: bool = True,
@@ -227,7 +291,7 @@ def make_server(
 
 
 def serve_http(
-    gateway: ServingGateway,
+    gateway: ServingBackend,
     host: str = "127.0.0.1",
     port: int = 8787,
     quiet: bool = False,

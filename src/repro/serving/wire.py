@@ -1,0 +1,141 @@
+"""Length-prefixed JSON framing for the router↔shard-worker protocol.
+
+Frames are a 4-byte big-endian length followed by a UTF-8 JSON object.
+The format is deliberately boring: both ends are Python, messages are
+small (queries, health probes, truncated sample payloads), and a typed
+frame protocol keeps the failure modes crisp — a half-written frame or
+an oversized length reads as a :class:`WireError` (a
+``ConnectionError`` subclass), which the router's retry/failover path
+treats exactly like a dropped connection.
+
+Tables and :class:`~repro.serving.gateway.ServingResponse` objects get
+explicit codecs here so the worker can truncate sample payloads at the
+wire (``row_limit``) without touching gateway semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.tabula import GuaranteeStatus
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+from repro.serving.gateway import ServingOutcome, ServingResponse
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "recv_message",
+    "response_from_wire",
+    "response_to_wire",
+    "send_message",
+    "table_from_wire",
+    "table_to_wire",
+]
+
+#: Upper bound on one frame; a length above this is a protocol error,
+#: not a huge allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A malformed or oversized frame on the shard wire."""
+
+
+def send_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    """Frame ``message`` as length-prefixed JSON and send it whole."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read one frame; raises ``ConnectionError`` on EOF mid-frame."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    payload = _recv_exact(sock, length)
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from None
+    if not isinstance(document, dict):
+        raise WireError(f"frame is not a JSON object: {type(document).__name__}")
+    return document
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"shard connection closed with {remaining} of {count} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Table / response codecs
+# ----------------------------------------------------------------------
+def table_to_wire(
+    table: Optional[Table], row_limit: Optional[int] = None
+) -> Optional[Dict[str, Any]]:
+    """Encode a table (optionally truncated to ``row_limit`` rows)."""
+    if table is None:
+        return None
+    total_rows = table.num_rows
+    if row_limit is not None and total_rows > row_limit:
+        table = table.head(row_limit)
+    return {
+        "columns": table.to_pydict(),
+        "types": {name: table.column(name).ctype.value for name in table.column_names},
+        "total_rows": total_rows,
+    }
+
+
+def table_from_wire(document: Optional[Mapping[str, Any]]) -> Optional[Table]:
+    if document is None:
+        return None
+    types = {name: ColumnType(value) for name, value in document["types"].items()}
+    return Table.from_pydict(document["columns"], types=types)
+
+
+def response_to_wire(
+    response: ServingResponse, row_limit: Optional[int] = None
+) -> Dict[str, Any]:
+    cell: Any = response.cell
+    return {
+        "outcome": response.outcome.value,
+        "guarantee": response.guarantee.value,
+        "source": response.source,
+        "sample": table_to_wire(response.sample, row_limit=row_limit),
+        "cell": list(cell) if isinstance(cell, tuple) else cell,
+        "generation": response.generation,
+        "elapsed_seconds": response.elapsed_seconds,
+        "detail": response.detail,
+    }
+
+
+def response_from_wire(document: Mapping[str, Any]) -> ServingResponse:
+    cell = document.get("cell")
+    return ServingResponse(
+        outcome=ServingOutcome(document["outcome"]),
+        guarantee=GuaranteeStatus(document["guarantee"]),
+        source=str(document.get("source", "")),
+        sample=table_from_wire(document.get("sample")),
+        cell=tuple(cell) if isinstance(cell, list) else None,
+        generation=int(document.get("generation", 0)),
+        elapsed_seconds=float(document.get("elapsed_seconds", 0.0)),
+        detail=str(document.get("detail", "")),
+    )

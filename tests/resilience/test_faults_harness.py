@@ -1,14 +1,21 @@
 """Unit tests for the deterministic fault-injection harness itself."""
 
+import json
+
 import pytest
 
+from repro.resilience import faults
 from repro.resilience.faults import (
+    FAULTS_ENV_VAR,
     CrashPoint,
     FaultSpec,
+    Hang,
     InjectedCrash,
     InjectedIOError,
     IOFault,
     SlowIO,
+    arm_from_env,
+    encode_fault_specs,
     fault_point,
     inject,
     register_fault_point,
@@ -119,3 +126,59 @@ class TestInjection:
             with pytest.raises(InjectedCrash):
                 fault_point(POINT)
             assert handle.tripped(POINT) and handle.tripped(OTHER)
+
+    def test_hang_stalls_every_hit_from_at_onward(self):
+        """Unlike one-shot SlowIO, Hang keeps stalling — the property
+        liveness detection needs to see *consecutive* probe misses."""
+        slept = []
+        with inject(Hang(POINT, at=2, seconds=7.0, sleep=slept.append)) as handle:
+            fault_point(POINT)  # below 'at': passes through
+            assert slept == []
+            fault_point(POINT)
+            fault_point(POINT)
+            fault_point(POINT)
+            assert handle.tripped(POINT)
+        assert slept == [7.0, 7.0, 7.0]
+
+
+class TestCrossProcessEncoding:
+    def test_encode_roundtrips_every_kind_through_env(self, monkeypatch):
+        specs = [
+            CrashPoint(POINT, at=2),
+            IOFault(POINT, at=1, message="disk full"),
+            SlowIO(OTHER, at=3, seconds=0.25),
+            Hang(OTHER, at=4, seconds=9.0),
+        ]
+        encoded = encode_fault_specs(specs)
+        kinds = [doc["kind"] for doc in json.loads(encoded)]
+        assert kinds == ["crash", "io", "slow", "hang"]
+        monkeypatch.setenv(FAULTS_ENV_VAR, encoded)
+        before = len(faults._ACTIVE)
+        try:
+            assert arm_from_env() == 4
+            armed = [a.spec for a in faults._ACTIVE[before:]]
+            # sleep callables don't cross the boundary; compare fields.
+            assert armed[0] == CrashPoint(POINT, at=2)
+            assert armed[1] == IOFault(POINT, at=1, message="disk full")
+            assert (armed[2].point, armed[2].at, armed[2].seconds) == (OTHER, 3, 0.25)
+            assert isinstance(armed[3], Hang)
+            assert (armed[3].point, armed[3].at, armed[3].seconds) == (OTHER, 4, 9.0)
+        finally:
+            del faults._ACTIVE[before:]
+
+    def test_unknown_kind_and_unknown_point_are_loud(self, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR, json.dumps([{"point": POINT, "kind": "gremlin"}])
+        )
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            arm_from_env()
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps([{"point": "test.harness.typo", "kind": "crash"}]),
+        )
+        with pytest.raises(ValueError, match="unknown fault point"):
+            arm_from_env()
+
+    def test_unset_env_arms_nothing(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert arm_from_env() == 0

@@ -199,7 +199,73 @@ class TestSheddingOverHTTP:
             assert body["outcome"] == "shed"
             assert body["guarantee"] == "VOID"
             assert body["rows"] is None
-            assert retry_after == "1"
+            # Jittered to spread the retry stampede: uniform over 1..3.
+            assert retry_after in {"1", "2", "3"}
+
+
+class TestRetryAfterJitter:
+    def test_values_are_jittered_over_the_documented_window(self):
+        from repro.serving.http import (
+            _RETRY_AFTER_MIN,
+            _RETRY_AFTER_SPAN,
+            _retry_after,
+        )
+
+        observed = {_retry_after() for _ in range(200)}
+        low, high = _RETRY_AFTER_MIN, _RETRY_AFTER_MIN + _RETRY_AFTER_SPAN - 1
+        assert observed <= set(range(low, high + 1))
+        # 200 draws over a 3-value window: all values appear (p ~ 1).
+        assert len(observed) > 1, "Retry-After is not jittered"
+
+
+class TestShardedBackendPassthrough:
+    """/stats and /readyz surface per-shard health when the backend is
+    sharded (duck-typed via ``shard_health``) — a router-shaped fake
+    stands in so the HTTP layer is tested without booting workers."""
+
+    @pytest.fixture()
+    def sharded_served(self, served):
+        base, gateway = served
+        health = {
+            "0": {"state": "up", "restarts_total": 0, "router_breaker": "closed"},
+            "1": {"state": "backoff", "restarts_total": 2, "router_breaker": "open"},
+        }
+
+        class RouterShaped:
+            def __getattr__(self, name):
+                return getattr(gateway, name)
+
+            def shard_health(self):
+                return dict(health)
+
+        server = make_server(RouterShaped(), port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{server.server_address[1]}", health
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_stats_includes_per_shard_health(self, sharded_served):
+        base, health = sharded_served
+        status, stats = get_json(f"{base}/stats")
+        assert status == 200
+        assert stats["shards"] == health
+
+    def test_readyz_includes_per_shard_health(self, sharded_served):
+        base, health = sharded_served
+        status, body = get_json(f"{base}/readyz")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["shards"] == health
+
+    def test_plain_gateway_has_no_shards_key(self, served):
+        base, _ = served
+        _, stats = get_json(f"{base}/stats")
+        _, ready = get_json(f"{base}/readyz")
+        assert "shards" not in stats
+        assert "shards" not in ready
 
 
 class TestReloadRoute:
@@ -323,7 +389,7 @@ class TestBatchedQueryRoute:
                     with pytest.raises(urllib.error.HTTPError) as excinfo:
                         urllib.request.urlopen(request, timeout=10)
                     assert excinfo.value.code == 503
-                    assert excinfo.value.headers.get("Retry-After") == "1"
+                    assert excinfo.value.headers.get("Retry-After") in {"1", "2", "3"}
                     body = json.load(excinfo.value)
                     assert len(body["results"]) == 4
                     assert all(r["outcome"] == "shed" for r in body["results"])

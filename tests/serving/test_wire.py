@@ -1,0 +1,143 @@
+"""The length-prefixed JSON shard protocol: framing, codecs, failure modes.
+
+Every malformed input must surface as :class:`WireError` (a
+``ConnectionError``), because that is the exception family the router's
+retry/failover ladder treats as "this shard cannot answer" — a framing
+bug that raised anything else would escape the ladder as a 500.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core.tabula import GuaranteeStatus
+from repro.engine.schema import ColumnType
+from repro.engine.table import Table
+from repro.serving import wire
+from repro.serving.gateway import ServingOutcome, ServingResponse
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        left, right = pair
+        wire.send_message(left, {"op": "query", "where": {"a": "1"}})
+        assert wire.recv_message(right) == {"op": "query", "where": {"a": "1"}}
+
+    def test_multiple_frames_in_sequence(self, pair):
+        left, right = pair
+        for index in range(5):
+            wire.send_message(left, {"seq": index})
+        assert [wire.recv_message(right)["seq"] for _ in range(5)] == list(range(5))
+
+    def test_large_frame_crosses_in_chunks(self, pair):
+        left, right = pair
+        message = {"blob": "x" * 500_000}
+        sender = threading.Thread(target=wire.send_message, args=(left, message))
+        sender.start()
+        received = wire.recv_message(right)
+        sender.join()
+        assert received == message
+
+    def test_oversized_length_is_wire_error_not_allocation(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", wire.MAX_FRAME_BYTES + 1))
+        with pytest.raises(wire.WireError):
+            wire.recv_message(right)
+
+    def test_eof_mid_frame_is_connection_error(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b'{"partial":')
+        left.close()
+        with pytest.raises(ConnectionError):
+            wire.recv_message(right)
+
+    def test_non_object_json_is_wire_error(self, pair):
+        left, right = pair
+        payload = b"[1, 2, 3]"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(wire.WireError):
+            wire.recv_message(right)
+
+    def test_undecodable_payload_is_wire_error(self, pair):
+        left, right = pair
+        payload = b"\xff\xfe not json"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(wire.WireError):
+            wire.recv_message(right)
+
+    def test_wire_error_is_connection_error(self):
+        # The router's ladder catches ConnectionError/OSError; WireError
+        # must stay inside that family.
+        assert issubclass(wire.WireError, ConnectionError)
+
+
+def _table():
+    return Table.from_pydict(
+        {"payment": ["credit", "cash", "credit", "dispute"], "fare": [5.0, 3.5, 9.0, 1.0]},
+        types={"payment": ColumnType.CATEGORY},
+    )
+
+
+class TestTableCodec:
+    def test_roundtrip_preserves_types_and_values(self):
+        table = _table()
+        decoded = wire.table_from_wire(wire.table_to_wire(table))
+        assert decoded.to_pydict() == table.to_pydict()
+        assert decoded.column("payment").ctype is ColumnType.CATEGORY
+
+    def test_row_limit_truncates_but_reports_total(self):
+        doc = wire.table_to_wire(_table(), row_limit=2)
+        assert doc["total_rows"] == 4
+        assert len(doc["columns"]["fare"]) == 2
+
+    def test_none_passes_through(self):
+        assert wire.table_to_wire(None) is None
+        assert wire.table_from_wire(None) is None
+
+
+class TestResponseCodec:
+    def test_roundtrip_preserves_enums_cell_and_detail(self):
+        response = ServingResponse(
+            outcome=ServingOutcome.DEGRADED,
+            guarantee=GuaranteeStatus.DOWNGRADED,
+            source="global",
+            sample=_table(),
+            cell=("credit", None),
+            generation=3,
+            elapsed_seconds=0.25,
+            detail="cell owned by shard 1",
+        )
+        decoded = wire.response_from_wire(wire.response_to_wire(response))
+        assert decoded.outcome is ServingOutcome.DEGRADED
+        assert decoded.guarantee is GuaranteeStatus.DOWNGRADED
+        assert decoded.source == "global"
+        assert decoded.cell == ("credit", None)
+        assert decoded.generation == 3
+        assert decoded.detail == "cell owned by shard 1"
+        assert decoded.sample.to_pydict() == _table().to_pydict()
+
+    def test_roundtrip_without_sample(self):
+        response = ServingResponse(
+            outcome=ServingOutcome.DEADLINE_EXCEEDED,
+            guarantee=GuaranteeStatus.VOID,
+            source="",
+            sample=None,
+            cell=None,
+            generation=1,
+            elapsed_seconds=0.0,
+            detail="deadline expired",
+        )
+        decoded = wire.response_from_wire(wire.response_to_wire(response))
+        assert decoded.outcome is ServingOutcome.DEADLINE_EXCEEDED
+        assert decoded.sample is None
+        assert decoded.cell is None
