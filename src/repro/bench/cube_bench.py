@@ -47,7 +47,16 @@ from repro.engine.cube import CubeCells
 #: that SIGKILLs a worker under load, per-shard worker stats and router
 #: breaker deltas, and a ``recovery`` record with the supervisor's
 #: restart outcome. Every earlier field keeps its name.
-SCHEMA_VERSION = 4
+#: v5 (additive): ``bench serving`` gained a ``workload`` field
+#: (``"cells"`` — the v4 behaviour and still the default — or
+#: ``"viewport"``) and, for viewport runs, a ``viewport`` section: the
+#: zoom-level session workload driven with per-query geometries, a
+#: brute-force spatial oracle replay (``oracle_mismatches``), a
+#: row-containment audit (``rows_outside_viewport``), a guarantee audit
+#: (``certified_violations`` — a CERTIFIED answer whose sample was
+#: strictly narrowed by the viewport), and per-zoom latency stats.
+#: Every earlier field keeps its name.
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -390,6 +399,7 @@ def bench_serving(
     deadline_seconds: Optional[float] = None,
     workload_seed: int = 0,
     shards: int = 0,
+    workload: str = "cells",
 ) -> Dict[str, object]:
     """Benchmark the serving gateway in a steady and an overloaded regime.
 
@@ -416,16 +426,37 @@ def bench_serving(
     CERTIFIED answers. The ≥1.5x scaling gate follows the
     ``speedup_gate`` convention: recorded but not enforced on <2-core
     machines (process parallelism cannot show wall-clock speedup there).
+
+    With ``workload="viewport"`` the same two phases run over a
+    zoom-level-aware viewport session workload — every request carries a
+    bbox geometry — and the document gains a ``viewport`` section whose
+    oracle replay ``--check`` gates on (see :func:`check_serving_doc`).
     """
     from repro.serving.breaker import BreakerConfig
     from repro.serving.gateway import ServingConfig, ServingGateway
 
+    if workload not in ("cells", "viewport"):
+        raise ValueError(f"unknown serving workload: {workload!r}")
     settings = settings or BenchSettings()
     table = generate_nyctaxi(num_rows=settings.num_rows, seed=settings.seed)
     tabula, _, _ = _build(table, settings, workers=1)
-    workload = generate_workload(
-        table, settings.attrs, num_queries=num_queries, seed=workload_seed
-    )
+    geometries: Optional[List[Dict[str, object]]] = None
+    viewport_workload = None
+    if workload == "viewport":
+        from repro.data.workload import generate_viewport_workload
+
+        viewport_workload = generate_viewport_workload(
+            table, settings.attrs, num_queries=num_queries, seed=workload_seed
+        )
+        queries = [dict(q) for q in viewport_workload.queries]
+        geometries = [dict(g) for g in viewport_workload.geometries]
+    else:
+        queries = [
+            dict(q)
+            for q in generate_workload(
+                table, settings.attrs, num_queries=num_queries, seed=workload_seed
+            )
+        ]
 
     def run_phase(config: ServingConfig, phase_clients: int) -> Dict[str, object]:
         gateway = ServingGateway(tabula, config=config)
@@ -439,11 +470,13 @@ def bench_serving(
             while True:
                 with lock:
                     index = cursor["next"]
-                    if index >= len(workload):
+                    if index >= len(queries):
                         return
                     cursor["next"] = index + 1
                 response = gateway.query(
-                    workload[index], deadline_seconds=deadline_seconds
+                    queries[index],
+                    deadline_seconds=deadline_seconds,
+                    geometry=geometries[index] if geometries is not None else None,
                 )
                 with lock:
                     outcomes[response.outcome.value] = (
@@ -469,12 +502,12 @@ def bench_serving(
             "workers": config.workers,
             "queue_depth": config.queue_depth,
             "min_service_seconds": config.min_service_seconds,
-            "offered": len(workload),
+            "offered": len(queries),
             "outcomes": outcomes,
             "served": served,
             "shed": outcomes.get("shed", 0),
-            "shed_rate": outcomes.get("shed", 0) / len(workload) if workload else 0.0,
-            "throughput_rps": len(workload) / wall if wall > 0 else 0.0,
+            "shed_rate": outcomes.get("shed", 0) / len(queries) if queries else 0.0,
+            "throughput_rps": len(queries) / wall if wall > 0 else 0.0,
             "latency_seconds": _latency_stats(served_latencies),
             "breaker": _breaker_delta(breaker_before, stats["breaker"]),
         }
@@ -482,7 +515,7 @@ def bench_serving(
     steady = run_phase(
         ServingConfig(
             workers=max(workers, 4),
-            queue_depth=max(queue_depth, len(workload)),
+            queue_depth=max(queue_depth, len(queries)),
             breaker=BreakerConfig(),
         ),
         phase_clients=min(clients, max(workers, 4)),
@@ -502,19 +535,134 @@ def bench_serving(
         "settings": settings.as_dict(),
         "environment": _environment(),
         "deadline_seconds": deadline_seconds,
+        "workload": workload,
         "phases": {"steady": steady, "overload": overload},
     }
+    if viewport_workload is not None:
+        document["viewport"] = _bench_viewport(tabula, viewport_workload)
     if shards >= 1:
         document["sharded"] = _bench_sharded(
             settings=settings,
             tabula=tabula,
             table=table,
-            workload=list(workload),
+            workload=queries,
             shards=shards,
             clients=clients,
             min_service_seconds=max(min_service_seconds, 0.005),
         )
     return document
+
+
+def _bench_viewport(tabula: Tabula, viewport_workload) -> Dict[str, object]:
+    """The viewport oracle phase: drive, then refute against brute force.
+
+    A well-provisioned single-worker gateway (deep queue, no service
+    floor, no deadline) answers every viewport request, so the answers
+    are rung-deterministic; each is then replayed against a brute-force
+    oracle — the *unfiltered* answer for the same cell with the geometry
+    applied by plain point-in-shape arithmetic, no spatial index — and
+    three audits are recorded:
+
+    - ``oracle_mismatches`` — index-filtered rows differ from the
+      brute-force rows (the tentpole equivalence fact);
+    - ``rows_outside_viewport`` — an answer contains a row outside its
+      own geometry (containment must hold regardless of rung);
+    - ``certified_violations`` — a CERTIFIED sampled answer whose rows
+      were strictly narrowed by the viewport (the θ-certificate does
+      not cover a spatially narrowed estimator, so this must downgrade).
+
+    All three are ``--check``-gated at zero.  Per-zoom latency stats
+    ride along for the trajectory (not gated).
+    """
+    from repro.core import spatial
+    from repro.serving.gateway import ServingConfig, ServingGateway
+
+    queries = [dict(q) for q in viewport_workload.queries]
+    geometries = [spatial.parse_geometry(g) for g in viewport_workload.geometries]
+    zooms = list(viewport_workload.zooms)
+
+    responses: List = [None] * len(queries)
+    gateway = ServingGateway(
+        tabula,
+        config=ServingConfig(workers=1, queue_depth=max(64, len(queries))),
+    )
+    started = time.perf_counter()
+    with gateway:
+        for index, (query, geom) in enumerate(zip(queries, geometries)):
+            responses[index] = gateway.query(query, geometry=geom)
+    wall = time.perf_counter() - started
+
+    outcomes: Dict[str, int] = {}
+    guarantees: Dict[str, int] = {}
+    sources: Dict[str, int] = {}
+    oracle_mismatches: List[str] = []
+    rows_outside: List[str] = []
+    certified_violations: List[str] = []
+    by_zoom: Dict[int, List[float]] = {}
+    filtered_answers = 0
+
+    for index, response in enumerate(responses):
+        geom = geometries[index]
+        outcomes[response.outcome.value] = outcomes.get(response.outcome.value, 0) + 1
+        guarantees[response.guarantee.value] = (
+            guarantees.get(response.guarantee.value, 0) + 1
+        )
+        sources[response.source] = sources.get(response.source, 0) + 1
+        by_zoom.setdefault(zooms[index], []).append(response.elapsed_seconds)
+        if response.sample is None:
+            continue
+        # Containment: every returned row lies inside its own viewport.
+        inside = spatial.oracle_rows(response.sample, geom)
+        if len(inside) != response.sample.num_rows:
+            rows_outside.append(
+                f"query {index}: {response.sample.num_rows - len(inside)} of "
+                f"{response.sample.num_rows} rows outside {geom.to_dict()}"
+            )
+        # Equivalence: replay the unfiltered rung through the brute-force
+        # oracle (filter_table without an index) and compare rows.
+        base = tabula.query(queries[index])
+        if base.sample is None or base.source != response.source:
+            continue  # different rung answered; no comparable baseline
+        expected, covers = spatial.filter_table(base.sample, geom)
+        if expected.to_pydict() != response.sample.to_pydict():
+            oracle_mismatches.append(
+                f"query {index}: index-filtered answer differs from "
+                f"brute-force oracle ({response.sample.num_rows} vs "
+                f"{expected.num_rows} rows, source={response.source})"
+            )
+        if not covers:
+            filtered_answers += 1
+            if (
+                response.guarantee is GuaranteeStatus.CERTIFIED
+                and response.source in ("local", "global", "representative")
+            ):
+                certified_violations.append(
+                    f"query {index}: CERTIFIED {response.source} answer was "
+                    f"strictly narrowed ({base.sample.num_rows} -> "
+                    f"{expected.num_rows} rows) without a downgrade"
+                )
+
+    zoom_stats = {
+        str(zoom): {"count": len(latencies), **_latency_stats(latencies)}
+        for zoom, latencies in sorted(by_zoom.items())
+    }
+    return {
+        "offered": len(queries),
+        "disposed": sum(outcomes.values()),
+        "outcomes": outcomes,
+        "guarantees": guarantees,
+        "sources": sources,
+        "spatial_filtered_answers": sum(
+            1 for r in responses if r is not None and r.spatial_filtered
+        ),
+        "strict_subset_answers": filtered_answers,
+        "oracle_mismatches": oracle_mismatches,
+        "rows_outside_viewport": rows_outside,
+        "certified_violations": certified_violations,
+        "throughput_rps": len(queries) / wall if wall > 0 else 0.0,
+        "latency_by_zoom": zoom_stats,
+        "zoom_range": [min(zooms), max(zooms)] if zooms else [0, 0],
+    }
 
 
 def _breaker_delta(
@@ -895,9 +1043,37 @@ def check_serving_doc(doc: Dict[str, object]) -> List[str]:
             failures.append(f"{name}: shed count inconsistent with outcomes")
         if phase.get("served", 0) + phase.get("shed", 0) != disposed:
             failures.append(f"{name}: served + shed != disposed")
+    viewport = doc.get("viewport")
+    if viewport:
+        failures.extend(_check_viewport_section(viewport))
     sharded = doc.get("sharded")
     if sharded:
         failures.extend(_check_sharded_section(sharded))
+    return failures
+
+
+def _check_viewport_section(viewport: Dict[str, object]) -> List[str]:
+    """Gate the viewport oracle phase: the three audits must be empty.
+
+    Timings (throughput, per-zoom latencies) are trajectory data, never
+    gated; the oracle facts must hold on any hardware.
+    """
+    failures: List[str] = []
+    if viewport.get("disposed") != viewport.get("offered"):
+        failures.append(
+            f"viewport: {viewport.get('offered')} requests offered but "
+            f"{viewport.get('disposed')} disposed — requests lost or double-counted"
+        )
+    for key in ("oracle_mismatches", "rows_outside_viewport", "certified_violations"):
+        problems = viewport.get(key) or []
+        if problems:
+            failures.append(
+                f"viewport: {len(problems)} {key} (first: {problems[0]})"
+            )
+    valid_guarantees = {"certified", "downgraded", "void"}
+    bad = set(viewport.get("guarantees", {})) - valid_guarantees
+    if bad:
+        failures.append(f"viewport: unknown guarantee(s) {sorted(bad)}")
     return failures
 
 

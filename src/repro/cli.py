@@ -268,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
         "throughput plus a chaos phase that SIGKILLs a worker under load "
         "and measures degradation + recovery",
     )
+    bench_serving.add_argument(
+        "--workload",
+        choices=("cells", "viewport"),
+        default="cells",
+        help="'cells' drives random cube-cell queries (default); 'viewport' "
+        "drives zoom-level map sessions with per-query bbox geometries and "
+        "adds an oracle-replayed 'viewport' section to the document",
+    )
     bench_serving.add_argument("--out", default="BENCH_serving.json")
     bench_serving.add_argument(
         "--check",
@@ -614,6 +622,7 @@ def cmd_bench_serving(args) -> int:
         num_queries=args.queries,
         deadline_seconds=args.deadline,
         shards=args.shards,
+        workload=args.workload,
     )
     write_bench_doc(doc, args.out)
     overload = doc["phases"]["overload"]
@@ -624,6 +633,17 @@ def cmd_bench_serving(args) -> int:
         f"p99 {format_seconds(overload['latency_seconds']['p99'])}, "
         f"{overload['throughput_rps']:.0f} req/s"
     )
+    viewport = doc.get("viewport")
+    if viewport:
+        zmin, zmax = viewport["zoom_range"]
+        print(
+            f"viewport: {viewport['offered']} requests over zooms {zmin}..{zmax}, "
+            f"{viewport['spatial_filtered_answers']} spatially filtered "
+            f"({viewport['strict_subset_answers']} strict subsets), "
+            f"{len(viewport['oracle_mismatches'])} oracle mismatches, "
+            f"{len(viewport['rows_outside_viewport'])} containment breaks, "
+            f"{len(viewport['certified_violations'])} certified violations"
+        )
     sharded = doc.get("sharded")
     if sharded:
         gate = sharded["scaling_gate"]

@@ -1,0 +1,599 @@
+"""Spatial predicates and per-sample spatial indexes (viewport queries).
+
+The paper's dashboards are *geospatial*: a map client pans and zooms,
+and every viewport is a spatial range filter over the pickup location
+(``pickup_x``/``pickup_y``, normalized to [0, 1]) layered on top of the
+categorical cube cell the widget is bound to. This module supplies:
+
+- **geometries** — bbox, radius and convex-polygon predicates with an
+  exact vectorized point-in-geometry test (:meth:`Geometry.mask`). The
+  brute-force mask over all rows is the *oracle*: every index backend
+  must return exactly the rows the mask selects.
+- **indexes** — a uniform grid (:class:`GridIndex`, the default: bin
+  rows once, prune whole bins per query) and a kd-tree option
+  (:class:`KDTreeIndex`, riding the same optional-scipy machinery as
+  the loss functions' nearest-neighbor path). Both backends prune to a
+  candidate superset and then apply the exact mask, so index-backed
+  answers are *identical* to the linear scan by construction — the
+  property the hypothesis oracle suite pins down.
+
+Answer-identity depends on one invariant: ``mask ⊆ bounds`` — no point
+outside :meth:`Geometry.bounds` may satisfy the mask, because indexes
+prune candidates by bounds before masking. Bbox and radius satisfy it
+arithmetically; the polygon mask intersects with its own bounding box
+explicitly so that degenerate (collinear) polygons cannot accept
+points on the carrier line beyond the hull.
+
+Guarantee semantics under spatial filtering live in
+:mod:`repro.core.tabula`: a θ-certified sample stays CERTIFIED only
+when the geometry retains *every* sample row (the certified estimator
+is unchanged); any strict subset is an honest ``DOWNGRADED``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.engine.table import Table
+from repro.errors import InvalidQueryError
+
+__all__ = [
+    "SPATIAL_X",
+    "SPATIAL_Y",
+    "TAB701_MALFORMED_GEOMETRY",
+    "TAB702_NOT_SPATIAL",
+    "BBox",
+    "ConvexPolygon",
+    "GeometryError",
+    "Geometry",
+    "GridIndex",
+    "KDTreeIndex",
+    "Radius",
+    "available_backends",
+    "build_index",
+    "filter_table",
+    "geometry_rows",
+    "has_spatial_columns",
+    "kdtree_available",
+    "oracle_rows",
+    "parse_geometry",
+    "resolve_backend",
+]
+
+#: The spatial columns viewport queries filter on (NYC-taxi layout).
+SPATIAL_X = "pickup_x"
+SPATIAL_Y = "pickup_y"
+
+# TAB7xx — spatial / HTTP request error codes (docs/architecture.md).
+TAB701_MALFORMED_GEOMETRY = "TAB701"
+TAB702_NOT_SPATIAL = "TAB702"
+
+
+class GeometryError(InvalidQueryError):
+    """A geometry spec is malformed, or the table is not spatial.
+
+    Subclasses :class:`~repro.errors.InvalidQueryError` so every layer
+    that maps invalid queries to typed 400s (gateway, router, HTTP)
+    handles geometry errors the same way. ``code`` is the TAB7xx class.
+    """
+
+    def __init__(self, message: str, *, code: str = TAB701_MALFORMED_GEOMETRY):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# Geometries
+# ---------------------------------------------------------------------------
+
+
+class Geometry:
+    """A spatial predicate over (x, y) points.
+
+    Contract: :meth:`mask` is the exact membership test (the oracle);
+    :meth:`bounds` is a bounding box with ``mask ⊆ bounds`` — indexes
+    prune by bounds, then re-apply the exact mask to candidates.
+    """
+
+    kind = ""
+
+    def mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)``; may be inverted (empty bbox)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+def _finite(value: Any, name: str) -> float:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise GeometryError(f"geometry field {name!r} is not a number: {value!r}") from None
+    if not math.isfinite(number):
+        raise GeometryError(f"geometry field {name!r} must be finite, got {number!r}")
+    return number
+
+
+@dataclass(frozen=True)
+class BBox(Geometry):
+    """Axis-aligned box; all four edges inclusive.
+
+    Degenerate boxes are meaningful: zero area (``xmin == xmax``)
+    selects points exactly on the line, inverted corners
+    (``xmin > xmax``) select nothing — no corner normalization, so the
+    index and the oracle cannot disagree about intent.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    kind = "bbox"
+
+    def mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return (xs >= self.xmin) & (xs <= self.xmax) & (ys >= self.ymin) & (ys <= self.ymax)
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "bbox",
+            "xmin": self.xmin,
+            "ymin": self.ymin,
+            "xmax": self.xmax,
+            "ymax": self.ymax,
+        }
+
+
+@dataclass(frozen=True)
+class Radius(Geometry):
+    """Closed disk: distance to ``(x, y)`` at most ``radius`` (≥ 0).
+
+    ``radius == 0`` selects points exactly at the center.
+    """
+
+    x: float
+    y: float
+    radius: float
+
+    kind = "radius"
+
+    def mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        dx = xs - self.x
+        dy = ys - self.y
+        return dx * dx + dy * dy <= self.radius * self.radius
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        return (self.x - self.radius, self.y - self.radius,
+                self.x + self.radius, self.y + self.radius)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "radius", "x": self.x, "y": self.y, "radius": self.radius}
+
+
+@dataclass(frozen=True)
+class ConvexPolygon(Geometry):
+    """Convex polygon (≥ 3 vertices), boundary inclusive.
+
+    Vertices are normalized to counter-clockwise order at construction;
+    collinear (zero-cross) vertices are allowed, mixed turn directions
+    are rejected. Membership is the half-plane test against every edge
+    *intersected with the vertex bounding box* — the explicit bounds
+    term is what keeps fully-collinear (zero-area) polygons from
+    accepting points on the carrier line outside the hull, preserving
+    ``mask ⊆ bounds``.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    kind = "polygon"
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 3:
+            raise GeometryError(
+                f"polygon needs at least 3 vertices, got {len(self.points)}"
+            )
+        crosses = self._edge_crosses(self.points)
+        if (crosses > 0).any() and (crosses < 0).any():
+            raise GeometryError("polygon is not convex (mixed turn directions)")
+        if crosses.sum() < 0:  # clockwise: normalize to counter-clockwise
+            object.__setattr__(self, "points", tuple(reversed(self.points)))
+
+    @staticmethod
+    def _edge_crosses(points: Sequence[Tuple[float, float]]) -> np.ndarray:
+        arr = np.asarray(points, dtype=float)
+        nxt = np.roll(arr, -1, axis=0)
+        after = np.roll(arr, -2, axis=0)
+        first = nxt - arr
+        second = after - nxt
+        return first[:, 0] * second[:, 1] - first[:, 1] * second[:, 0]
+
+    def mask(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xmin, ymin, xmax, ymax = self.bounds()
+        inside = (xs >= xmin) & (xs <= xmax) & (ys >= ymin) & (ys <= ymax)
+        arr = np.asarray(self.points, dtype=float)
+        nxt = np.roll(arr, -1, axis=0)
+        for (x1, y1), (x2, y2) in zip(arr, nxt):
+            inside &= (x2 - x1) * (ys - y1) - (y2 - y1) * (xs - x1) >= 0.0
+        return inside
+
+    def bounds(self) -> Tuple[float, float, float, float]:
+        arr = np.asarray(self.points, dtype=float)
+        return (
+            float(arr[:, 0].min()),
+            float(arr[:, 1].min()),
+            float(arr[:, 0].max()),
+            float(arr[:, 1].max()),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "polygon", "points": [[x, y] for x, y in self.points]}
+
+
+GeometrySpec = Union[str, Mapping[str, Any], Geometry]
+
+
+def parse_geometry(spec: GeometrySpec) -> Geometry:
+    """Validate a geometry spec into a :class:`Geometry`.
+
+    Accepts (feature-service style):
+
+    - the compact bbox string ``"xmin,ymin,xmax,ymax"``;
+    - ``{"type": "bbox", "xmin": ..., "ymin": ..., "xmax": ..., "ymax": ...}``
+      (``type`` optional when the four corner keys are present);
+    - ``{"type": "radius", "x": ..., "y": ..., "radius": ...}``;
+    - ``{"type": "polygon", "points": [[x, y], ...]}`` (convex);
+    - an already-parsed :class:`Geometry` (returned as-is).
+
+    Raises :class:`GeometryError` (TAB701) for anything else.
+    """
+    if isinstance(spec, Geometry):
+        return spec
+    if isinstance(spec, str):
+        parts = spec.split(",")
+        if len(parts) != 4:
+            raise GeometryError(
+                f"bbox string must be 'xmin,ymin,xmax,ymax', got {spec!r}"
+            )
+        xmin, ymin, xmax, ymax = (_finite(p, "bbox") for p in parts)
+        return BBox(xmin, ymin, xmax, ymax)
+    if isinstance(spec, Mapping):
+        kind = spec.get("type")
+        if kind is None:
+            if {"xmin", "ymin", "xmax", "ymax"} <= set(spec):
+                kind = "bbox"
+            else:
+                raise GeometryError(
+                    f"geometry object needs a 'type' (bbox/radius/polygon) or "
+                    f"bbox corner keys; got keys {sorted(map(str, spec))}"
+                )
+        if kind == "bbox":
+            return BBox(
+                _finite(spec.get("xmin"), "xmin"),
+                _finite(spec.get("ymin"), "ymin"),
+                _finite(spec.get("xmax"), "xmax"),
+                _finite(spec.get("ymax"), "ymax"),
+            )
+        if kind == "radius":
+            radius = _finite(spec.get("radius"), "radius")
+            if radius < 0:
+                raise GeometryError(f"radius must be >= 0, got {radius}")
+            return Radius(_finite(spec.get("x"), "x"), _finite(spec.get("y"), "y"), radius)
+        if kind == "polygon":
+            points = spec.get("points")
+            if not isinstance(points, (list, tuple)):
+                raise GeometryError("polygon needs a 'points' list of [x, y] pairs")
+            parsed = []
+            for point in points:
+                if not isinstance(point, (list, tuple)) or len(point) != 2:
+                    raise GeometryError(
+                        f"polygon points must be [x, y] pairs, got {point!r}"
+                    )
+                parsed.append((_finite(point[0], "x"), _finite(point[1], "y")))
+            return ConvexPolygon(tuple(parsed))
+        raise GeometryError(f"unknown geometry type {kind!r} (bbox/radius/polygon)")
+    raise GeometryError(
+        f"geometry must be a bbox string, an object, or a Geometry; got "
+        f"{type(spec).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Index backends
+# ---------------------------------------------------------------------------
+
+
+def _padded(
+    bounds: Tuple[float, float, float, float]
+) -> Tuple[float, float, float, float]:
+    """Expand pruning bounds by a float-fuzz epsilon.
+
+    ``mask ⊆ bounds`` holds in real arithmetic; squaring/rounding at
+    the exact boundary can violate it by an ulp. Padding the *pruning*
+    box (never the mask) keeps every backend answer-identical to the
+    linear scan: a superset of candidates is always safe, the exact
+    mask decides.
+    """
+    xmin, ymin, xmax, ymax = bounds
+    pad = 1e-9 * (1.0 + max(abs(xmin), abs(xmax), abs(ymin), abs(ymax)))
+    return (xmin - pad, ymin - pad, xmax + pad, ymax + pad)
+
+
+class SpatialIndex:
+    """Index over one sample's points; ``query`` returns oracle rows."""
+
+    backend = ""
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        self._xs = np.asarray(xs, dtype=float)
+        self._ys = np.asarray(ys, dtype=float)
+
+    @property
+    def num_points(self) -> int:
+        return int(self._xs.size)
+
+    def query(self, geometry: Geometry) -> np.ndarray:
+        """Sorted row indices whose points satisfy ``geometry``."""
+        candidates = self._candidates(_padded(geometry.bounds()))
+        if candidates.size == 0:
+            return candidates
+        keep = geometry.mask(self._xs[candidates], self._ys[candidates])
+        rows = candidates[keep]
+        rows.sort()
+        return rows
+
+    def _candidates(self, bounds: Tuple[float, float, float, float]) -> np.ndarray:
+        raise NotImplementedError
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-serializable construction record (persistence section)."""
+        return {"kind": self.backend, "num_points": self.num_points}
+
+
+class GridIndex(SpatialIndex):
+    """Uniform grid over the sample's own extent (CSR row buckets).
+
+    Rows are binned once into a ``resolution × resolution`` grid; a
+    query turns its bounds into a bin range, gathers the bucketed rows
+    (the candidate superset) and re-applies the exact mask. Binning is
+    a pure function of the point coordinates and the resolution, so a
+    persisted assignment can be cross-checked against a recomputation.
+    """
+
+    backend = "grid"
+
+    def __init__(
+        self, xs: np.ndarray, ys: np.ndarray, resolution: Optional[int] = None
+    ):
+        super().__init__(xs, ys)
+        n = self.num_points
+        if resolution is None:
+            # ~4 points per occupied bin on uniform data; at least 1.
+            resolution = max(1, int(math.ceil(math.sqrt(max(n, 1) / 4.0))))
+        if resolution < 1:
+            raise ValueError(f"grid resolution must be >= 1, got {resolution}")
+        self.resolution = int(resolution)
+        if n:
+            self._x0 = float(self._xs.min())
+            self._y0 = float(self._ys.min())
+            self._span_x = float(self._xs.max()) - self._x0 or 1.0
+            self._span_y = float(self._ys.max()) - self._y0 or 1.0
+        else:
+            self._x0 = self._y0 = 0.0
+            self._span_x = self._span_y = 1.0
+        cells = self._bin(self._xs, self._ys)
+        self._order = np.argsort(cells, kind="stable").astype(np.int64)
+        self._sorted_cells = cells[self._order]
+        self._cell_of_row = cells
+
+    def _bin(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        r = self.resolution
+        ix = np.clip(((xs - self._x0) / self._span_x * r).astype(np.int64), 0, r - 1)
+        iy = np.clip(((ys - self._y0) / self._span_y * r).astype(np.int64), 0, r - 1)
+        return ix * r + iy
+
+    def _candidates(self, bounds: Tuple[float, float, float, float]) -> np.ndarray:
+        xmin, ymin, xmax, ymax = bounds
+        if xmin > xmax or ymin > ymax or self.num_points == 0:
+            return np.empty(0, dtype=np.int64)
+        r = self.resolution
+
+        def bin_of(value: float, origin: float, span: float) -> int:
+            return int(np.clip(int((value - origin) / span * r), 0, r - 1))
+
+        bx0 = bin_of(xmin, self._x0, self._span_x)
+        bx1 = bin_of(xmax, self._x0, self._span_x)
+        by0 = bin_of(ymin, self._y0, self._span_y)
+        by1 = bin_of(ymax, self._y0, self._span_y)
+        pieces = []
+        for bx in range(bx0, bx1 + 1):
+            lo = np.searchsorted(self._sorted_cells, bx * r + by0, side="left")
+            hi = np.searchsorted(self._sorted_cells, bx * r + by1, side="right")
+            if hi > lo:
+                pieces.append(self._order[lo:hi])
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "kind": "grid",
+            "num_points": self.num_points,
+            "resolution": self.resolution,
+            "cells": self._cell_of_row.tolist(),
+        }
+
+
+def kdtree_available() -> bool:
+    """Whether the optional scipy kd-tree backend can be built."""
+    from repro.core.loss.base import _KDTree
+
+    return _KDTree is not None
+
+
+class KDTreeIndex(SpatialIndex):
+    """kd-tree backend over the loss functions' optional scipy tree.
+
+    Candidates are the points inside the circumscribed circle of the
+    query bounds (with a float-fuzz epsilon so boundary points are
+    never pruned); the exact mask then decides, so answers are
+    identical to the grid backend and the linear scan.
+    """
+
+    backend = "kdtree"
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray):
+        from repro.core.loss.base import _KDTree
+
+        if _KDTree is None:  # pragma: no cover - gated by resolve_backend
+            raise RuntimeError("scipy is not available; use the grid backend")
+        super().__init__(xs, ys)
+        self._tree = (
+            _KDTree(np.column_stack([self._xs, self._ys])) if self.num_points else None
+        )
+
+    def _candidates(self, bounds: Tuple[float, float, float, float]) -> np.ndarray:
+        xmin, ymin, xmax, ymax = bounds
+        if xmin > xmax or ymin > ymax or self._tree is None:
+            return np.empty(0, dtype=np.int64)
+        cx = (xmin + xmax) / 2.0
+        cy = (ymin + ymax) / 2.0
+        radius = math.hypot(xmax - cx, ymax - cy)
+        radius = radius * (1.0 + 1e-9) + 1e-12
+        found = self._tree.query_ball_point([cx, cy], radius)
+        return np.asarray(found, dtype=np.int64)
+
+
+def available_backends() -> Tuple[str, ...]:
+    return ("grid", "kdtree") if kdtree_available() else ("grid",)
+
+
+def resolve_backend(name: str) -> str:
+    """The backend actually used for ``name`` (kd-tree needs scipy).
+
+    An unavailable kd-tree quietly resolves to ``grid`` — a cube built
+    where scipy exists must still load where it does not.
+    """
+    if name not in ("grid", "kdtree"):
+        raise ValueError(f"unknown spatial backend {name!r} (grid/kdtree)")
+    if name == "kdtree" and not kdtree_available():
+        return "grid"
+    return name
+
+
+def build_index(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    backend: str = "grid",
+    resolution: Optional[int] = None,
+) -> SpatialIndex:
+    backend = resolve_backend(backend)
+    if backend == "kdtree":
+        return KDTreeIndex(xs, ys)
+    return GridIndex(xs, ys, resolution=resolution)
+
+
+def index_from_state(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    state: Mapping[str, Any],
+    resolution_default: Optional[int] = None,
+) -> SpatialIndex:
+    """Rebuild an index from its persisted construction record.
+
+    The record is *verified* against the sample it claims to index —
+    point count and (for the grid) the full row→bin assignment must
+    match a recomputation. Any inconsistency raises ``ValueError``; the
+    caller then rebuilds from scratch (the index is derived data, so a
+    corrupt section is recoverable, never fatal).
+    """
+    kind = state.get("kind")
+    if kind not in ("grid", "kdtree"):
+        raise ValueError(f"unknown spatial index kind {kind!r}")
+    if int(state.get("num_points", -1)) != len(xs):
+        raise ValueError(
+            f"spatial index records {state.get('num_points')} points, "
+            f"sample has {len(xs)}"
+        )
+    if kind == "kdtree":
+        if not kdtree_available():
+            raise ValueError("kd-tree index recorded but scipy is unavailable")
+        return KDTreeIndex(xs, ys)
+    index = GridIndex(xs, ys, resolution=int(state.get("resolution", 0)) or None)
+    recorded = np.asarray(state.get("cells", []), dtype=np.int64)
+    if recorded.size != index.num_points or not np.array_equal(
+        recorded, index._cell_of_row
+    ):
+        raise ValueError("persisted grid assignment does not match the sample")
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Table plumbing
+# ---------------------------------------------------------------------------
+
+
+def has_spatial_columns(table: Table) -> bool:
+    return SPATIAL_X in table.column_names and SPATIAL_Y in table.column_names
+
+
+def table_points(table: Table) -> Tuple[np.ndarray, np.ndarray]:
+    if not has_spatial_columns(table):
+        raise GeometryError(
+            f"table has no spatial columns ({SPATIAL_X!r}, {SPATIAL_Y!r}); "
+            "geometry filters need both",
+            code=TAB702_NOT_SPATIAL,
+        )
+    return (
+        np.asarray(table.column(SPATIAL_X).data, dtype=float),
+        np.asarray(table.column(SPATIAL_Y).data, dtype=float),
+    )
+
+
+def oracle_rows(table: Table, geometry: Geometry) -> np.ndarray:
+    """Brute-force linear scan: the ground truth every index must match."""
+    xs, ys = table_points(table)
+    return np.nonzero(geometry.mask(xs, ys))[0]
+
+
+def geometry_rows(
+    table: Table, geometry: Geometry, index: Optional[SpatialIndex] = None
+) -> np.ndarray:
+    """Rows of ``table`` inside ``geometry``, index-backed when one fits.
+
+    An index is used only when it indexes exactly this many points —
+    anything else (stale registry entry after concurrent maintenance,
+    missing index) falls back to the oracle scan, which is always
+    correct.
+    """
+    if index is not None and index.num_points == table.num_rows:
+        return index.query(geometry)
+    return oracle_rows(table, geometry)
+
+
+def filter_table(
+    table: Table, geometry: Geometry, index: Optional[SpatialIndex] = None
+) -> Tuple[Table, bool]:
+    """``(filtered, covers_all)`` — the spatially filtered sample.
+
+    ``covers_all`` is True when the geometry retains every row; the
+    table is then returned as-is (same object), which is what lets a
+    θ-certified answer stay CERTIFIED — the certified estimator is
+    untouched.
+    """
+    if table.num_rows == 0:
+        return table, True
+    rows = geometry_rows(table, geometry, index=index)
+    if rows.size == table.num_rows:
+        return table, True
+    return table.take(rows), False

@@ -20,7 +20,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core import costmodel
+from repro.core import costmodel, spatial
 from repro.core.cube_store import MemoryBreakdown, SamplingCubeStore
 from repro.core.dryrun import DryRunResult, dry_run
 from repro.core.global_sample import (
@@ -96,6 +96,12 @@ class TabulaConfig:
             swap before concluding the store is damaged. The default of
             1 suffices for a single writer; raise it when several
             maintenance writers share the instance.
+        spatial_backend: index backend for geometry (viewport) queries —
+            ``"grid"`` (uniform grid, always available) or ``"kdtree"``
+            (scipy-backed; silently resolves to the grid when scipy is
+            absent so a cube built with scipy still loads without it).
+        spatial_resolution: grid cells per axis; ``None`` auto-sizes
+            from the sample size.
     """
 
     cubed_attrs: Tuple[str, ...]
@@ -112,8 +118,15 @@ class TabulaConfig:
     degraded_rebind: bool = True
     degraded_fallback: str = "global"
     stale_pointer_retries: int = 1
+    spatial_backend: str = "grid"
+    spatial_resolution: Optional[int] = None
 
     def __post_init__(self):
+        if self.spatial_backend not in ("grid", "kdtree"):
+            raise ValueError(
+                f"spatial_backend must be 'grid' or 'kdtree', got "
+                f"{self.spatial_backend!r}"
+            )
         if self.degraded_fallback not in ("global", "raw"):
             raise ValueError(
                 f"degraded_fallback must be 'global' or 'raw', got "
@@ -199,6 +212,9 @@ class QueryResult:
     caller-supplied policy (e.g. the serving gateway's circuit breaker)
     refused it — the serving layer reports such answers as
     ``CIRCUIT_OPEN`` rather than plain ``DEGRADED``.
+    ``spatial_filtered`` records that a geometry predicate was applied
+    to the returned sample (viewport queries); an answer that could not
+    honor a requested filter never sets it silently — it raises instead.
     """
 
     sample: Table
@@ -208,6 +224,14 @@ class QueryResult:
     guarantee: GuaranteeStatus = GuaranteeStatus.CERTIFIED
     detail: str = ""
     raw_blocked: bool = False
+    spatial_filtered: bool = False
+
+
+#: Why a spatially filtered certified sample loses its certificate.
+_SPATIAL_DETAIL = (
+    "spatial filter selects a strict subset of the certified sample; "
+    "the θ-certificate does not cover the filtered estimator"
+)
 
 
 def _cartesian_queries(sets: Mapping[str, list]):
@@ -350,6 +374,7 @@ class Tabula:
             samples=samples,
             known_cells=dry.known_cells,
         )
+        self._store.build_spatial_indexes(cfg.spatial_backend, cfg.spatial_resolution)
         self._dry = dry
         self._real = real
         self._report = InitializationReport(
@@ -480,6 +505,13 @@ class Tabula:
                 f"store attrs {store.attrs} do not match config "
                 f"{self.config.cubed_attrs}"
             )
+        if store.spatial_backend is None:
+            # Persistence restores (or rebuilds) indexes itself; any
+            # other external store gets them built here so geometry
+            # queries work the same on adopted cubes.
+            store.build_spatial_indexes(
+                self.config.spatial_backend, self.config.spatial_resolution
+            )
         self._store = store
 
     # ------------------------------------------------------------------
@@ -490,6 +522,7 @@ class Tabula:
         where: Union[Predicate, Mapping[str, object], None],
         deadline: Optional[Deadline] = None,
         raw_policy=None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> QueryResult:
         """Answer one dashboard interaction from the materialized cube.
 
@@ -509,22 +542,39 @@ class Tabula:
                 serving gateway passes its circuit breaker). When
                 ``allow()`` is false the raw rung is skipped and the
                 result carries ``raw_blocked=True``.
+            geometry: optional spatial predicate (viewport) applied to
+                the answer rows — a :class:`~repro.core.spatial.Geometry`,
+                a bbox string ``"xmin,ymin,xmax,ymax"`` or a geometry
+                dict (:func:`~repro.core.spatial.parse_geometry`). The
+                answer keeps its :class:`GuaranteeStatus` only when the
+                geometry retains every row of the certified sample (or
+                the answer is exact); a strict subset downgrades —
+                the θ-certificate does not cover filtered estimators.
 
         Raises:
             CubeNotInitializedError: before :meth:`initialize`.
             InvalidQueryError: when the WHERE clause is not a pure
-                equality conjunction over the cubed attributes.
+                equality conjunction over the cubed attributes, the
+                geometry is malformed (TAB701) or the table carries no
+                spatial columns (TAB702).
             DeadlineExceeded: the deadline expired and no fallback rung
                 could answer within it.
         """
         store = self._require_store()
+        geom: Optional[spatial.Geometry] = None
+        if geometry is not None:
+            geom = spatial.parse_geometry(geometry)
+            self._require_spatial()
         if isinstance(where, Predicate):
             flattened = conjunction_to_equalities(where)
             if flattened is None:
                 sets = conjunction_to_equality_sets(where)
                 if sets is not None:
                     return self.query_union(
-                        _cartesian_queries(sets), deadline=deadline, raw_policy=raw_policy
+                        _cartesian_queries(sets),
+                        deadline=deadline,
+                        raw_policy=raw_policy,
+                        geometry=geom,
                     )
         started = time.perf_counter()
         if deadline is not None:
@@ -555,27 +605,55 @@ class Tabula:
                 sample_id = refreshed
                 sample = store.sample_for_id(refreshed)
             if sample is not None:
+                if geom is None:
+                    return QueryResult(
+                        sample=sample,
+                        source="local",
+                        cell=cell,
+                        data_system_seconds=time.perf_counter() - started,
+                        guarantee=GuaranteeStatus.CERTIFIED,
+                    )
+                filtered, covers = store.spatial_filter(
+                    sample, geom, sample_id=sample_id
+                )
                 return QueryResult(
-                    sample=sample,
+                    sample=filtered,
                     source="local",
                     cell=cell,
                     data_system_seconds=time.perf_counter() - started,
-                    guarantee=GuaranteeStatus.CERTIFIED,
+                    guarantee=(
+                        GuaranteeStatus.CERTIFIED if covers else GuaranteeStatus.DOWNGRADED
+                    ),
+                    detail="" if covers else _SPATIAL_DETAIL,
+                    spatial_filtered=True,
                 )
             # Dangling sample id (corruption survivor): degrade rather
             # than raise — the dashboard still gets an honest answer.
             store.mark_degraded(cell, f"sample {sample_id} is missing from the store")
         if store.is_degraded(cell):
             return self._degraded_answer(
-                cell, started, deadline=deadline, raw_policy=raw_policy
+                cell, started, deadline=deadline, raw_policy=raw_policy, geometry=geom
             )
         if store.is_known_cell(cell):
+            if geom is None:
+                return QueryResult(
+                    sample=store.global_sample.table,
+                    source="global",
+                    cell=cell,
+                    data_system_seconds=time.perf_counter() - started,
+                    guarantee=GuaranteeStatus.CERTIFIED,
+                )
+            filtered, covers = store.filtered_global(geom)
             return QueryResult(
-                sample=store.global_sample.table,
+                sample=filtered,
                 source="global",
                 cell=cell,
                 data_system_seconds=time.perf_counter() - started,
-                guarantee=GuaranteeStatus.CERTIFIED,
+                guarantee=(
+                    GuaranteeStatus.CERTIFIED if covers else GuaranteeStatus.DOWNGRADED
+                ),
+                detail="" if covers else _SPATIAL_DETAIL,
+                spatial_filtered=True,
             )
         return QueryResult(
             sample=Table.empty_like(self.table),
@@ -583,6 +661,7 @@ class Tabula:
             cell=cell,
             data_system_seconds=time.perf_counter() - started,
             guarantee=GuaranteeStatus.CERTIFIED,
+            spatial_filtered=geom is not None,
         )
 
     def query_many(
@@ -590,6 +669,7 @@ class Tabula:
         wheres: Sequence[Union[Predicate, Mapping[str, object], None]],
         deadline: Optional[Deadline] = None,
         raw_policy=None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> List[QueryResult]:
         """Answer a batch of dashboard interactions in one cube pass.
 
@@ -606,9 +686,19 @@ class Tabula:
         raced concurrent maintenance — fall back to the full
         :meth:`query` path item by item, so every retry/downgrade
         behavior is inherited unchanged.
+
+        ``geometry`` is one spatial predicate shared by the whole batch
+        (the viewport all cells are fetched for): local samples filter
+        inside the store's single lock pass, the filtered global sample
+        is computed once per batch, and every item inherits the same
+        guarantee semantics as :meth:`query`.
         """
         store = self._require_store()
         cfg = self.config
+        geom: Optional[spatial.Geometry] = None
+        if geometry is not None:
+            geom = spatial.parse_geometry(geometry)
+            self._require_spatial()
         wheres = list(wheres)
         if deadline is not None:
             deadline.check("before the cube lookup")
@@ -642,8 +732,9 @@ class Tabula:
                 cells[i] = validated_cell(where)
 
         fast = [i for i in range(len(wheres)) if cells[i] is not None]
-        resolved = store.resolve_many([cells[i] for i in fast])
+        resolved = store.resolve_many([cells[i] for i in fast], geometry=geom)
         empty_sample: Optional[Table] = None
+        filtered_global: Optional[Tuple[Table, bool]] = None
         for i, (kind, sample) in zip(fast, resolved):
             elapsed = time.perf_counter() - started
             if kind == "local":
@@ -653,15 +744,44 @@ class Tabula:
                     cell=cells[i],
                     data_system_seconds=elapsed,
                     guarantee=GuaranteeStatus.CERTIFIED,
+                    spatial_filtered=geom is not None,
                 )
-            elif kind == "global":
+            elif kind == "local_filtered":
                 results[i] = QueryResult(
-                    sample=store.global_sample.table,
-                    source="global",
+                    sample=sample,
+                    source="local",
                     cell=cells[i],
                     data_system_seconds=elapsed,
-                    guarantee=GuaranteeStatus.CERTIFIED,
+                    guarantee=GuaranteeStatus.DOWNGRADED,
+                    detail=_SPATIAL_DETAIL,
+                    spatial_filtered=True,
                 )
+            elif kind == "global":
+                if geom is None:
+                    results[i] = QueryResult(
+                        sample=store.global_sample.table,
+                        source="global",
+                        cell=cells[i],
+                        data_system_seconds=elapsed,
+                        guarantee=GuaranteeStatus.CERTIFIED,
+                    )
+                else:
+                    if filtered_global is None:
+                        filtered_global = store.filtered_global(geom)
+                    filtered, covers = filtered_global
+                    results[i] = QueryResult(
+                        sample=filtered,
+                        source="global",
+                        cell=cells[i],
+                        data_system_seconds=elapsed,
+                        guarantee=(
+                            GuaranteeStatus.CERTIFIED
+                            if covers
+                            else GuaranteeStatus.DOWNGRADED
+                        ),
+                        detail="" if covers else _SPATIAL_DETAIL,
+                        spatial_filtered=True,
+                    )
             elif kind == "empty":
                 if empty_sample is None:
                     empty_sample = Table.empty_like(self.table)
@@ -671,12 +791,15 @@ class Tabula:
                     cell=cells[i],
                     data_system_seconds=elapsed,
                     guarantee=GuaranteeStatus.CERTIFIED,
+                    spatial_filtered=geom is not None,
                 )
             else:  # "degraded" or "stale": the per-query protocol owns it
                 slow.append(i)
 
         for i in slow:
-            results[i] = self.query(wheres[i], deadline=deadline, raw_policy=raw_policy)
+            results[i] = self.query(
+                wheres[i], deadline=deadline, raw_policy=raw_policy, geometry=geom
+            )
         return results
 
     def _degraded_answer(
@@ -685,6 +808,7 @@ class Tabula:
         started: float,
         deadline: Optional[Deadline] = None,
         raw_policy=None,
+        geometry: Optional[spatial.Geometry] = None,
     ) -> QueryResult:
         """The fallback ladder for a cell whose certified sample is gone.
 
@@ -719,13 +843,33 @@ class Tabula:
                     for sid, sample in store.sample_table_entries():
                         if cfg.loss.loss(cell_values, cfg.loss.extract(sample)) <= cfg.threshold:
                             store.reassign(cell, sid)
+                            detail = f"rebound to re-verified sample {sid} after: {reason}"
+                            if geometry is None:
+                                return QueryResult(
+                                    sample=sample,
+                                    source="representative",
+                                    cell=cell,
+                                    data_system_seconds=time.perf_counter() - started,
+                                    guarantee=GuaranteeStatus.CERTIFIED,
+                                    detail=detail,
+                                )
+                            filtered, covers = store.spatial_filter(
+                                sample, geometry, sample_id=sid
+                            )
+                            if not covers:
+                                detail += "; " + _SPATIAL_DETAIL
                             return QueryResult(
-                                sample=sample,
+                                sample=filtered,
                                 source="representative",
                                 cell=cell,
                                 data_system_seconds=time.perf_counter() - started,
-                                guarantee=GuaranteeStatus.CERTIFIED,
-                                detail=f"rebound to re-verified sample {sid} after: {reason}",
+                                guarantee=(
+                                    GuaranteeStatus.CERTIFIED
+                                    if covers
+                                    else GuaranteeStatus.DOWNGRADED
+                                ),
+                                detail=detail,
+                                spatial_filtered=True,
                             )
         rungs = ("global", "raw") if cfg.degraded_fallback == "global" else ("raw", "global")
         for rung in rungs:
@@ -733,14 +877,18 @@ class Tabula:
                 detail = f"θ-certificate void for this cell: {reason}"
                 if details:
                     detail += "; " + "; ".join(details)
+                answer = store.global_sample.table
+                if geometry is not None:
+                    answer, _ = store.filtered_global(geometry)
                 return QueryResult(
-                    sample=store.global_sample.table,
+                    sample=answer,
                     source="global",
                     cell=cell,
                     data_system_seconds=time.perf_counter() - started,
                     guarantee=GuaranteeStatus.DOWNGRADED,
                     detail=detail,
                     raw_blocked=raw_blocked,
+                    spatial_filtered=geometry is not None,
                 )
             if rung == "raw" and self.table.num_rows:
                 if raw_policy is not None and not raw_policy.allow():
@@ -768,6 +916,10 @@ class Tabula:
                     continue
                 if raw_policy is not None:
                     raw_policy.record_success()
+                if geometry is not None:
+                    # An exact filter of an exact answer is still exact:
+                    # the raw rung keeps CERTIFIED under any geometry.
+                    raw, _ = spatial.filter_table(raw, geometry)
                 return QueryResult(
                     sample=raw,
                     source="raw",
@@ -775,6 +927,7 @@ class Tabula:
                     data_system_seconds=time.perf_counter() - started,
                     guarantee=GuaranteeStatus.CERTIFIED,
                     detail=f"exact raw-scan fallback after: {reason}",
+                    spatial_filtered=geometry is not None,
                 )
         if deadline_cut:
             raise DeadlineExceeded(
@@ -793,6 +946,7 @@ class Tabula:
             guarantee=GuaranteeStatus.VOID,
             detail=detail,
             raw_blocked=raw_blocked,
+            spatial_filtered=geometry is not None,
         )
 
     def query_union(
@@ -800,6 +954,7 @@ class Tabula:
         cell_queries,
         deadline: Optional[Deadline] = None,
         raw_policy=None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> QueryResult:
         """Answer a query covering several cube cells at once (extension).
 
@@ -824,8 +979,12 @@ class Tabula:
         statuses = []
         details = []
         raw_blocked = False
+        spatial_filtered = False
         for query in cell_queries:
-            result = self.query(query, deadline=deadline, raw_policy=raw_policy)
+            result = self.query(
+                query, deadline=deadline, raw_policy=raw_policy, geometry=geometry
+            )
+            spatial_filtered = spatial_filtered or result.spatial_filtered
             cells.append(result.cell)
             statuses.append(result.guarantee)
             raw_blocked = raw_blocked or result.raw_blocked
@@ -849,6 +1008,7 @@ class Tabula:
             guarantee=GuaranteeStatus.worst(statuses),
             detail="; ".join(details),
             raw_blocked=raw_blocked,
+            spatial_filtered=spatial_filtered,
         )
 
     def explain(self, where: Union[Predicate, Mapping[str, object], None]) -> Dict[str, object]:
@@ -943,6 +1103,20 @@ class Tabula:
 
     def memory_breakdown(self) -> MemoryBreakdown:
         return self._require_store().memory_breakdown()
+
+    def _require_spatial(self) -> None:
+        """Geometry queries need the spatial columns in the raw table."""
+        missing = [
+            c
+            for c in (spatial.SPATIAL_X, spatial.SPATIAL_Y)
+            if c not in self.table.column_names
+        ]
+        if missing:
+            raise spatial.GeometryError(
+                f"table has no spatial columns {missing}; geometry queries "
+                f"require {spatial.SPATIAL_X!r} and {spatial.SPATIAL_Y!r}",
+                code=spatial.TAB702_NOT_SPATIAL,
+            )
 
     # ------------------------------------------------------------------
     def _require_store(self) -> SamplingCubeStore:

@@ -116,6 +116,108 @@ def generate_workload(
     return QueryWorkload(attrs=attrs, queries=tuple(queries))
 
 
+@dataclass(frozen=True)
+class ViewportWorkload:
+    """A fixed list of (cell query, viewport bbox) dashboard requests.
+
+    Models map-dashboard sessions: each session anchors on a random data
+    point, then pans and zooms around it for a few steps.  ``zooms[i]``
+    records the zoom level of query ``i`` (0 = whole extent), so bench
+    reports can break latency down by zoom.
+    """
+
+    attrs: Tuple[str, ...]
+    queries: Tuple[Dict[str, object], ...]
+    geometries: Tuple[Dict[str, object], ...]
+    zooms: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(zip(self.queries, self.geometries))
+
+
+def generate_viewport_workload(
+    table: Table,
+    attrs: Sequence[str],
+    num_queries: int = 100,
+    seed: int = 0,
+    session_length: int = 8,
+    min_zoom: int = 0,
+    max_zoom: int = 4,
+    base_extent: float = 1.0,
+) -> ViewportWorkload:
+    """Zoom-level-aware viewport sessions over the spatial columns.
+
+    Each session starts centred on a random data point at a random zoom
+    level; every step either pans (jitter proportional to the current
+    viewport size) or zooms in/out one level.  The viewport at zoom
+    ``z`` is a square bbox of side ``base_extent / 2**z``, clipped to
+    [0, base_extent].  Cell predicates are drawn the same way as
+    :func:`generate_workload` so the spatial filter composes with a
+    non-empty cell population.
+    """
+    from repro.core import spatial
+
+    attrs = tuple(attrs)
+    table.schema.require(attrs)
+    if not spatial.has_spatial_columns(table):
+        raise ValueError(
+            f"table has no spatial columns "
+            f"({spatial.SPATIAL_X!r}/{spatial.SPATIAL_Y!r}) for a viewport workload"
+        )
+    if not (0 <= min_zoom <= max_zoom):
+        raise ValueError(f"need 0 <= min_zoom <= max_zoom, got {min_zoom}..{max_zoom}")
+    rng = np.random.default_rng(seed)
+    gsets = grouping_sets(attrs)
+    columns = {a: table.column(a) for a in attrs}
+    xs, ys = spatial.table_points(table)
+
+    def draw_cell() -> Dict[str, object]:
+        gset = gsets[rng.integers(len(gsets))]
+        row = int(rng.integers(table.num_rows))
+        return {a: columns[a].value_at(row) for a in gset}
+
+    queries: List[Dict[str, object]] = []
+    geometries: List[Dict[str, object]] = []
+    zooms: List[int] = []
+    while len(queries) < num_queries:
+        # New session: anchor the viewport on a real data point so the
+        # first frame is never empty, at a random starting zoom.
+        anchor = int(rng.integers(table.num_rows))
+        cx, cy = float(xs[anchor]), float(ys[anchor])
+        zoom = int(rng.integers(min_zoom, max_zoom + 1))
+        cell = draw_cell()
+        steps = min(session_length, num_queries - len(queries))
+        for _ in range(steps):
+            half = base_extent / (2.0**zoom) / 2.0
+            geometries.append(
+                {
+                    "type": "bbox",
+                    "xmin": max(0.0, cx - half),
+                    "ymin": max(0.0, cy - half),
+                    "xmax": min(base_extent, cx + half),
+                    "ymax": min(base_extent, cy + half),
+                }
+            )
+            queries.append(dict(cell))
+            zooms.append(zoom)
+            if rng.random() < 0.3:
+                # Zoom in or out one level, staying in range.
+                zoom = min(max_zoom, max(min_zoom, zoom + int(rng.choice((-1, 1)))))
+            else:
+                # Pan: jitter proportional to the current viewport size.
+                cx = float(np.clip(cx + rng.normal(0.0, half), 0.0, base_extent))
+                cy = float(np.clip(cy + rng.normal(0.0, half), 0.0, base_extent))
+    return ViewportWorkload(
+        attrs=attrs,
+        queries=tuple(queries),
+        geometries=tuple(geometries),
+        zooms=tuple(zooms),
+    )
+
+
 def _distinct_cell_budget(table: Table, attrs: Tuple[str, ...]) -> int:
     """A loose upper bound on distinct cells, to stop dedup on tiny data."""
     budget = 1

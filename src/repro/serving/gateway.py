@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Union
 
+from repro.core import spatial
 from repro.core.tabula import GuaranteeStatus, QueryResult, Tabula
 from repro.engine.table import Table
 from repro.errors import DeadlineExceeded, TabulaError
@@ -132,6 +133,7 @@ class ServingResponse:
     generation: int
     elapsed_seconds: float
     detail: str = ""
+    spatial_filtered: bool = False
 
     @property
     def answered(self) -> bool:
@@ -154,17 +156,19 @@ class ReloadResult:
 
 
 class _Request:
-    __slots__ = ("where", "deadline", "future", "batch")
+    __slots__ = ("where", "deadline", "future", "batch", "geometry")
 
     def __init__(
         self,
         where: Union[WhereClause, List[WhereClause]],
         deadline: Optional[Deadline],
         batch: bool = False,
+        geometry: Optional[spatial.Geometry] = None,
     ) -> None:
         self.where = where  # one WHERE clause, or a list of them when batch
         self.deadline = deadline
         self.batch = batch
+        self.geometry = geometry  # parsed before admission (shared by a batch)
         self.future: Future = Future()
 
 
@@ -254,6 +258,7 @@ class ServingGateway:
         where: WhereClause,
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> ServingResponse:
         """Admit, execute and disposition one dashboard request.
 
@@ -261,12 +266,18 @@ class ServingGateway:
         immediately and an expired budget abandons the slot (the worker
         double-checks the deadline before doing any work).
 
+        ``geometry`` is parsed *before* admission, so a malformed
+        viewport raises TAB701 without occupying a queue slot or
+        polluting the error counters — it is a client mistake, not a
+        serving failure.
+
         Raises:
             TabulaError: the gateway is closed, or the request itself is
                 invalid (``InvalidQueryError`` from the query path).
         """
         if self._closed:
             raise TabulaError("serving gateway is closed")
+        geom = spatial.parse_geometry(geometry) if geometry is not None else None
         started = time.perf_counter()
         if deadline is None:
             seconds = (
@@ -276,7 +287,7 @@ class ServingGateway:
             )
             if seconds is not None:
                 deadline = Deadline.after(seconds)
-        request = _Request(where, deadline)
+        request = _Request(where, deadline, geometry=geom)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -313,6 +324,7 @@ class ServingGateway:
         wheres: Iterable[WhereClause],
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> List[ServingResponse]:
         """Admit and execute a batch of requests as one unit of work.
 
@@ -326,9 +338,13 @@ class ServingGateway:
 
         Returns one :class:`ServingResponse` per input, in order.
         Counters treat the batch as ``len(wheres)`` requests.
+
+        ``geometry`` is one viewport shared by the whole batch, parsed
+        before admission (malformed → TAB701 without counter impact).
         """
         if self._closed:
             raise TabulaError("serving gateway is closed")
+        geom = spatial.parse_geometry(geometry) if geometry is not None else None
         wheres = list(wheres)
         if not wheres:
             return []
@@ -341,7 +357,7 @@ class ServingGateway:
             )
             if seconds is not None:
                 deadline = Deadline.after(seconds)
-        request = _Request(wheres, deadline, batch=True)
+        request = _Request(wheres, deadline, batch=True, geometry=geom)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -392,6 +408,7 @@ class ServingGateway:
             generation=generation,
             elapsed_seconds=elapsed,
             detail=result.detail,
+            spatial_filtered=result.spatial_filtered,
         )
 
     def _disposed(
@@ -447,12 +464,14 @@ class ServingGateway:
                         request.where,
                         deadline=request.deadline,
                         raw_policy=self.breaker,
+                        geometry=request.geometry,
                     )
                 else:
                     result = snapshot.tabula.query(
                         request.where,
                         deadline=request.deadline,
                         raw_policy=self.breaker,
+                        geometry=request.geometry,
                     )
             except Exception as exc:
                 request.future.set_exception(exc)

@@ -9,12 +9,21 @@ Routes:
 
 - ``POST /query`` — body ``{"where": {...}, "deadline_seconds": 0.05,
   "limit": 20}``; also reachable as ``GET /query?attr=value&...`` with
-  reserved params ``deadline_seconds`` / ``limit`` (dashboards and
-  smoke tests can curl it). Batched form: ``{"queries": [{...}, ...]}``
-  (a list of WHERE objects) answers the whole viewport in one request →
-  ``{"results": [...]}``; the batch is 200 unless every item was shed
-  (503) or deadline-expired (504), since a dashboard can render the
-  answered tiles either way.
+  reserved params ``deadline_seconds`` / ``limit`` / ``geometry`` /
+  ``f`` (dashboards and smoke tests can curl it). Batched form:
+  ``{"queries": [{...}, ...]}`` (a list of WHERE objects) answers the
+  whole viewport in one request → ``{"results": [...]}``; the batch is
+  200 unless every item was shed (503) or deadline-expired (504), since
+  a dashboard can render the answered tiles either way. Viewport
+  (feature-service-style) form: ``GET /query?geometry=0.1,0.1,0.5,0.5
+  &f=json`` — ``geometry`` is a bbox string or a JSON geometry object
+  (bbox / radius / polygon), applied to the answer rows; on POST it is
+  a top-level key shared by the whole batch.
+
+Error bodies are typed: 400s carry ``{"error": ..., "code": "TABxxx"}``
+— TAB711 for a malformed request (bad JSON body, bad reserved param),
+TAB701/TAB702 for geometry failures, TAB712 for any other invalid query
+(e.g. unknown attributes).
 - ``GET /healthz`` — liveness (200 while the process accepts work).
 - ``GET /readyz`` — readiness (cube snapshot loaded, workers alive).
 - ``GET /stats`` — counters, breaker state, latency percentiles.
@@ -46,7 +55,12 @@ _STATUS = {
     ServingOutcome.DEADLINE_EXCEEDED: 504,
 }
 
-_RESERVED_PARAMS = ("deadline_seconds", "limit")
+_RESERVED_PARAMS = ("deadline_seconds", "limit", "geometry", "f")
+
+# TAB71x — HTTP request error codes.  Geometry failures keep their core
+# codes (TAB701 malformed geometry, TAB702 table not spatial).
+TAB711_MALFORMED_REQUEST = "TAB711"
+TAB712_INVALID_QUERY = "TAB712"
 
 #: SHED ``Retry-After`` is drawn uniformly from [_RETRY_AFTER_MIN,
 #: _RETRY_AFTER_MIN + _RETRY_AFTER_SPAN) seconds.  A fixed value would
@@ -78,12 +92,14 @@ class ServingBackend(Protocol):
         self,
         where: Mapping[str, object],
         deadline_seconds: Optional[float] = None,
+        geometry: Optional[Any] = None,
     ) -> ServingResponse: ...
 
     def query_many(
         self,
         wheres: List[Mapping[str, object]],
         deadline_seconds: Optional[float] = None,
+        geometry: Optional[Any] = None,
     ) -> List[ServingResponse]: ...
 
     def stats(self) -> Dict[str, Any]: ...
@@ -111,13 +127,14 @@ def response_to_json(response: ServingResponse, limit: int = 20) -> Dict[str, ob
         "detail": response.detail,
         "num_rows": num_rows,
         "rows": rows,
+        "spatial_filtered": response.spatial_filtered,
     }
 
 
 def _parse_query_request(
     handler: "_GatewayHandler",
-) -> Tuple[Any, bool, Optional[float], int]:
-    """(where_or_batch, is_batch, deadline_seconds, limit) from either verb."""
+) -> Tuple[Any, bool, Optional[float], int, Optional[Any]]:
+    """(where_or_batch, is_batch, deadline_seconds, limit, geometry)."""
     if handler.command == "POST":
         length = int(handler.headers.get("Content-Length") or 0)
         body = json.loads(handler.rfile.read(length) or b"{}")
@@ -125,20 +142,39 @@ def _parse_query_request(
             raise ValueError("body must be a JSON object")
         deadline = body.get("deadline_seconds")
         limit = int(body.get("limit", 20))
+        geometry = body.get("geometry")  # shared by the whole batch
         if "queries" in body:
             queries = body["queries"]
             if not isinstance(queries, list) or not all(
                 isinstance(q, dict) for q in queries
             ):
                 raise ValueError("'queries' must be a list of 'where' objects")
-            return queries, True, deadline, limit
+            return queries, True, deadline, limit, geometry
         if not isinstance(body.get("where", {}), dict):
             raise ValueError("body must be a JSON object with a 'where' object")
-        return body.get("where", {}), False, deadline, limit
+        return body.get("where", {}), False, deadline, limit, geometry
     params = dict(parse_qsl(urlsplit(handler.path).query))
-    deadline = params.pop("deadline_seconds", None)
-    limit = int(params.pop("limit", 20))
-    return params, False, (float(deadline) if deadline is not None else None), limit
+    reserved = {name: params.pop(name, None) for name in _RESERVED_PARAMS}
+    deadline = reserved["deadline_seconds"]
+    limit = int(reserved["limit"] or 20)
+    geometry = _parse_geometry_param(reserved["geometry"])
+    fmt = reserved["f"]
+    if fmt is not None and fmt != "json":
+        raise ValueError(f"unsupported response format f={fmt!r} (only 'json')")
+    return params, False, (float(deadline) if deadline is not None else None), limit, geometry
+
+
+def _parse_geometry_param(value: Optional[str]) -> Optional[Any]:
+    """Decode the GET ``geometry`` param: bbox string or JSON object."""
+    if value is None:
+        return None
+    text = value.strip()
+    if text.startswith("{"):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"geometry param is not valid JSON: {exc}") from None
+    return text  # "xmin,ymin,xmax,ymax" — parsed by the geometry layer
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -212,19 +248,35 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self) -> None:
         try:
-            where, is_batch, deadline_seconds, limit = _parse_query_request(self)
+            where, is_batch, deadline_seconds, limit, geometry = _parse_query_request(
+                self
+            )
         except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"malformed request: {exc}"})
+            self._send_json(
+                400,
+                {
+                    "error": f"malformed request: {exc}",
+                    "code": TAB711_MALFORMED_REQUEST,
+                },
+            )
             return
         try:
             if is_batch:
                 responses = self.gateway.query_many(
-                    where, deadline_seconds=deadline_seconds
+                    where, deadline_seconds=deadline_seconds, geometry=geometry
                 )
             else:
-                response = self.gateway.query(where, deadline_seconds=deadline_seconds)
+                response = self.gateway.query(
+                    where, deadline_seconds=deadline_seconds, geometry=geometry
+                )
         except TabulaError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(
+                400,
+                {
+                    "error": str(exc),
+                    "code": getattr(exc, "code", "") or TAB712_INVALID_QUERY,
+                },
+            )
             return
         if is_batch:
             outcomes = {r.outcome for r in responses}
@@ -252,12 +304,24 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         try:
             body = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as exc:
-            self._send_json(400, {"error": f"malformed request: {exc}"})
+            self._send_json(
+                400,
+                {
+                    "error": f"malformed request: {exc}",
+                    "code": TAB711_MALFORMED_REQUEST,
+                },
+            )
             return
         try:
             result = self.gateway.reload(body.get("path"))
         except TabulaError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(
+                400,
+                {
+                    "error": str(exc),
+                    "code": getattr(exc, "code", "") or TAB712_INVALID_QUERY,
+                },
+            )
             return
         self._send_json(
             200 if result.ok else 409,

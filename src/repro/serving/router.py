@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from repro.core import spatial
 from repro.core.tabula import GuaranteeStatus, Tabula
 from repro.errors import DeadlineExceeded, TabulaError
 from repro.resilience.deadline import Deadline
@@ -184,17 +185,20 @@ class ShardRouter:
         where: WhereClause,
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> ServingResponse:
         """Route one request down the owner → replica → local ladder.
 
-        Raises only for caller bugs (closed router, invalid query —
-        mapped to HTTP 400 upstream).  Worker death, partitions and open
+        Raises only for caller bugs (closed router, invalid query or
+        malformed geometry — mapped to HTTP 400 upstream; geometry is
+        parsed *before* any RPC).  Worker death, partitions and open
         breakers all come back as typed responses; there is no failure
         mode that surfaces as an unhandled exception / HTTP 500 while
         the local fallback rung exists.
         """
         if self._closed:
             raise TabulaError("shard router is closed")
+        geom = spatial.parse_geometry(geometry) if geometry is not None else None
         started = time.perf_counter()
         if deadline is None and deadline_seconds is not None:
             deadline = Deadline.after(deadline_seconds)
@@ -205,6 +209,8 @@ class ShardRouter:
             "where": _plain_where(where),
             "row_limit": self.config.wire_row_limit,
         }
+        if geom is not None:
+            payload["geometry"] = geom.to_dict()
         notes: List[str] = []
 
         reply, owner_reason = self._call_shard(owner, payload, deadline=deadline, hedge=True)
@@ -227,7 +233,7 @@ class ShardRouter:
                     response.detail = _join_detail(response.detail, notes)
                     return self._finish(response, started)
 
-        response = self._local_answer(where, deadline, notes, owner_reason)
+        response = self._local_answer(where, deadline, notes, owner_reason, geometry=geom)
         return self._finish(response, started)
 
     def query_many(
@@ -235,14 +241,18 @@ class ShardRouter:
         wheres: Iterable[WhereClause],
         deadline_seconds: Optional[float] = None,
         deadline: Optional[Deadline] = None,
+        geometry: Optional[spatial.GeometrySpec] = None,
     ) -> List[ServingResponse]:
         """Batch routing: group by owner shard, one RPC per group.
 
         A group whose shard cannot answer degrades to the local fallback
         *per group*, so one dead shard never poisons the whole batch.
+        ``geometry`` is one viewport shared by every item (parsed before
+        any RPC; malformed → 400 upstream).
         """
         if self._closed:
             raise TabulaError("shard router is closed")
+        geom = spatial.parse_geometry(geometry) if geometry is not None else None
         batch = [dict(w) for w in wheres]
         if not batch:
             return []
@@ -260,6 +270,8 @@ class ShardRouter:
                 "wheres": [_plain_where(batch[i]) for i in indices],
                 "row_limit": self.config.wire_row_limit,
             }
+            if geom is not None:
+                payload["geometry"] = geom.to_dict()
             reply, reason = self._call_shard(shard, payload, deadline=deadline)
             documents = reply.get("responses") if reply is not None and reply.get("ok") else None
             if isinstance(documents, list) and len(documents) == len(indices):
@@ -271,7 +283,7 @@ class ShardRouter:
                     group_notes.append(f"shard {shard}: {reply.get('error')}")
                 for index in indices:
                     results[index] = self._local_answer(
-                        batch[index], deadline, list(group_notes), reason
+                        batch[index], deadline, list(group_notes), reason, geometry=geom
                     )
         finished: List[ServingResponse] = []
         for maybe in results:
@@ -517,17 +529,21 @@ class ShardRouter:
         deadline: Optional[Deadline],
         notes: List[str],
         owner_reason: str,
+        geometry: Optional[spatial.Geometry] = None,
     ) -> ServingResponse:
         """The last rung: the router's own global-sample slice.
 
         The fallback store owns no cells, so an iceberg cell answers
         DOWNGRADED-global by construction — monotone degradation is a
-        property of the store, not of this code path.
+        property of the store, not of this code path.  The geometry is
+        passed through so a foreign-cell DOWNGRADED answer carries the
+        *spatially filtered* global sample — a viewport query through
+        this rung must never silently ignore its filter.
         """
         self._count_rpc("fallback_local")
         circuit_open = owner_reason == _REASON_BREAKER
         try:
-            result = self._fallback.query(dict(where), deadline=deadline)
+            result = self._fallback.query(dict(where), deadline=deadline, geometry=geometry)
         except DeadlineExceeded as exc:
             return ServingResponse(
                 outcome=ServingOutcome.DEADLINE_EXCEEDED,
@@ -558,6 +574,7 @@ class ShardRouter:
             generation=self._generation,
             elapsed_seconds=0.0,
             detail=_join_detail(result.detail, notes),
+            spatial_filtered=result.spatial_filtered,
         )
 
     def _finish(self, response: ServingResponse, started: float) -> ServingResponse:

@@ -151,7 +151,9 @@ class ShardWorker:
             fault_point(FP_HANDLE)
             deadline = _deadline_from(request)
             response = self._gateway.query(
-                dict(request.get("where") or {}), deadline=deadline
+                dict(request.get("where") or {}),
+                deadline=deadline,
+                geometry=request.get("geometry"),
             )
             limit = _row_limit(request)
             return {"ok": True, "response": wire.response_to_wire(response, row_limit=limit)}
@@ -159,7 +161,9 @@ class ShardWorker:
             fault_point(FP_HANDLE)
             deadline = _deadline_from(request)
             wheres = [dict(w) for w in request.get("wheres") or []]
-            responses = self._gateway.query_many(wheres, deadline=deadline)
+            responses = self._gateway.query_many(
+                wheres, deadline=deadline, geometry=request.get("geometry")
+            )
             limit = _row_limit(request)
             return {
                 "ok": True,

@@ -124,6 +124,7 @@ def response_to_wire(
         "generation": response.generation,
         "elapsed_seconds": response.elapsed_seconds,
         "detail": response.detail,
+        "spatial_filtered": response.spatial_filtered,
     }
 
 
@@ -138,4 +139,5 @@ def response_from_wire(document: Mapping[str, Any]) -> ServingResponse:
         generation=int(document.get("generation", 0)),
         elapsed_seconds=float(document.get("elapsed_seconds", 0.0)),
         detail=str(document.get("detail", "")),
+        spatial_filtered=bool(document.get("spatial_filtered", False)),
     )

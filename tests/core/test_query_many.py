@@ -116,10 +116,10 @@ class TestEquivalence:
         real_resolve = store.resolve_many
         real_for_id = store.sample_for_id
 
-        def stale_resolve(cells):
+        def stale_resolve(cells, geometry=None):
             return [
                 ("stale", None) if c == cell else kind_sample
-                for c, kind_sample in zip(cells, real_resolve(cells))
+                for c, kind_sample in zip(cells, real_resolve(cells, geometry=geometry))
             ]
 
         monkeypatch.setattr(store, "resolve_many", stale_resolve)

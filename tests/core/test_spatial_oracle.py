@@ -1,0 +1,195 @@
+"""Property-based spatial oracle suite (``-m spatial``).
+
+Every index backend must return *exactly* the rows the brute-force
+mask selects — including the adversarial corners an index is most
+likely to get wrong:
+
+- degenerate bboxes: zero area (a line, a point) and inverted corners
+  (selects nothing — no silent normalization);
+- points exactly on geometry boundaries (edges, circle rims, polygon
+  edges), where pruning by an ulp loses rows;
+- radius ≈ 0 (down to exactly 0: only the center matches);
+- collinear-vertex polygons, including fully collinear (zero-area)
+  hulls whose carrier line must not leak points beyond the hull;
+- grid vs kd-tree answer identity under all of the above.
+
+Run explicitly (kept out of the default fast tier)::
+
+    python -m pytest -m spatial -q
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import spatial
+from repro.core.spatial import BBox, ConvexPolygon, Radius, build_index
+
+pytestmark = pytest.mark.spatial
+
+# Coordinates from a coarse lattice plus continuous values: the lattice
+# makes exact boundary coincidences (point == bbox edge) likely instead
+# of measure-zero.
+LATTICE = st.sampled_from([round(v * 0.125, 3) for v in range(-8, 17)])
+CONTINUOUS = st.floats(
+    min_value=-1.0, max_value=2.0, allow_nan=False, allow_infinity=False, width=32
+)
+COORD = st.one_of(LATTICE, CONTINUOUS)
+
+POINTS = st.lists(st.tuples(COORD, COORD), min_size=0, max_size=120)
+
+BBOXES = st.builds(BBox, COORD, COORD, COORD, COORD)  # inverted/degenerate included
+
+RADII = st.builds(
+    Radius,
+    COORD,
+    COORD,
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),  # radius ≈ 0
+        st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    ),
+)
+
+
+@st.composite
+def convex_polygons(draw):
+    """Convex polygons via angle-sorted points on an ellipse, plus
+    degenerate fully-collinear hulls."""
+    if draw(st.booleans()):
+        # Collinear: n points on a segment (zero-area hull).
+        x0, y0 = draw(LATTICE), draw(LATTICE)
+        dx, dy = draw(LATTICE), draw(LATTICE)
+        ts = sorted(draw(st.lists(LATTICE, min_size=3, max_size=5)))
+        return ConvexPolygon(tuple((x0 + t * dx, y0 + t * dy) for t in ts))
+    cx, cy = draw(CONTINUOUS), draw(CONTINUOUS)
+    rx = draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    ry = draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+    n = draw(st.integers(min_value=3, max_value=8))
+    angles = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=6.28, allow_nan=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            )
+        )
+    )
+    return ConvexPolygon(
+        tuple((cx + rx * np.cos(a), cy + ry * np.sin(a)) for a in angles)
+    )
+
+
+GEOMETRIES = st.one_of(BBOXES, RADII, convex_polygons())
+
+
+def with_boundary_points(points, geometry):
+    """Adversarially append points exactly on the geometry's boundary."""
+    extra = []
+    if isinstance(geometry, BBox):
+        extra = [
+            (geometry.xmin, geometry.ymin),
+            (geometry.xmax, geometry.ymax),
+            (geometry.xmin, geometry.ymax),
+            ((geometry.xmin + geometry.xmax) / 2.0, geometry.ymin),
+        ]
+    elif isinstance(geometry, Radius):
+        extra = [
+            (geometry.x, geometry.y),
+            (geometry.x + geometry.radius, geometry.y),
+            (geometry.x, geometry.y - geometry.radius),
+        ]
+    elif isinstance(geometry, ConvexPolygon):
+        extra = list(geometry.points)
+    return list(points) + extra
+
+
+def assert_index_matches_oracle(points, geometry, backend):
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    expected = np.nonzero(geometry.mask(xs, ys))[0]
+    index = build_index(xs, ys, backend=backend)
+    got = index.query(geometry)
+    assert got.tolist() == expected.tolist(), (
+        f"{backend} disagrees with oracle for {geometry!r}: "
+        f"index={got.tolist()} oracle={expected.tolist()}"
+    )
+
+
+class TestIndexEqualsOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(points=POINTS, geometry=GEOMETRIES)
+    def test_grid_matches_oracle(self, points, geometry):
+        points = with_boundary_points(points, geometry)
+        assert_index_matches_oracle(points, geometry, "grid")
+
+    @settings(max_examples=200, deadline=None)
+    @given(points=POINTS, geometry=GEOMETRIES)
+    def test_kdtree_matches_oracle(self, points, geometry):
+        if not spatial.kdtree_available():
+            pytest.skip("scipy unavailable: no kd-tree backend")
+        points = with_boundary_points(points, geometry)
+        assert_index_matches_oracle(points, geometry, "kdtree")
+
+    @settings(max_examples=150, deadline=None)
+    @given(points=POINTS, geometry=GEOMETRIES)
+    def test_grid_and_kdtree_identical(self, points, geometry):
+        if not spatial.kdtree_available():
+            pytest.skip("scipy unavailable: no kd-tree backend")
+        points = with_boundary_points(points, geometry)
+        xs = np.array([p[0] for p in points], dtype=float)
+        ys = np.array([p[1] for p in points], dtype=float)
+        grid = build_index(xs, ys, backend="grid").query(geometry)
+        kdtree = build_index(xs, ys, backend="kdtree").query(geometry)
+        assert grid.tolist() == kdtree.tolist()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        points=POINTS,
+        x=COORD,
+        y=COORD,
+        resolution=st.integers(min_value=1, max_value=40),
+    )
+    def test_degenerate_bboxes_any_resolution(self, points, x, y, resolution):
+        """Zero-area and inverted boxes, across grid resolutions."""
+        for geometry in (
+            BBox(x, -2.0, x, 2.0),  # vertical line
+            BBox(-2.0, y, 2.0, y),  # horizontal line
+            BBox(x, y, x, y),  # single point
+            BBox(x + 1.0, y, x, y + 1.0),  # inverted x: empty
+        ):
+            pts = with_boundary_points(points, geometry)
+            xs = np.array([p[0] for p in pts], dtype=float)
+            ys = np.array([p[1] for p in pts], dtype=float)
+            expected = np.nonzero(geometry.mask(xs, ys))[0]
+            index = build_index(xs, ys, backend="grid", resolution=resolution)
+            assert index.query(geometry).tolist() == expected.tolist()
+
+    @settings(max_examples=100, deadline=None)
+    @given(points=POINTS, geometry=GEOMETRIES)
+    def test_state_round_trip_preserves_answers(self, points, geometry):
+        points = with_boundary_points(points, geometry)
+        xs = np.array([p[0] for p in points], dtype=float)
+        ys = np.array([p[1] for p in points], dtype=float)
+        index = build_index(xs, ys, backend="grid")
+        restored = spatial.index_from_state(xs, ys, index.state())
+        assert restored.query(geometry).tolist() == index.query(geometry).tolist()
+
+
+class TestMaskBoundsInvariant:
+    """``mask ⊆ bounds`` is what makes prune-then-mask exact."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(points=POINTS, geometry=GEOMETRIES)
+    def test_no_accepted_point_outside_bounds(self, points, geometry):
+        points = with_boundary_points(points, geometry)
+        if not points:
+            return
+        xs = np.array([p[0] for p in points], dtype=float)
+        ys = np.array([p[1] for p in points], dtype=float)
+        accepted = geometry.mask(xs, ys)
+        xmin, ymin, xmax, ymax = geometry.bounds()
+        inside_bounds = (xs >= xmin) & (xs <= xmax) & (ys >= ymin) & (ys <= ymax)
+        assert not (accepted & ~inside_bounds).any()

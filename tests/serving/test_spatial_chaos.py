@@ -1,0 +1,93 @@
+"""Viewport queries under worker loss (``-m spatial``).
+
+A real two-shard cluster serves a zoom-level viewport session workload
+while one worker is SIGKILLed mid-run. The invariants:
+
+- **zero untyped failures** — every request returns a typed
+  ``ServingResponse``; nothing raises through the router;
+- **no oracle-refuted CERTIFIED answer** — any CERTIFIED viewport
+  answer must agree with a single-node ground-truth replay: only rows
+  inside the viewport, and the same rung answering CERTIFIED when the
+  filter strictly narrows the sample would be a guarantee-semantics
+  breach;
+- the supervisor restarts the victim and the cluster drains the whole
+  workload.
+
+Runs in the sanitized fault job (``REPRO_SANITIZE=1 -m spatial``).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import spatial
+from repro.core.tabula import GuaranteeStatus
+from repro.data.workload import generate_viewport_workload
+from repro.serving.supervisor import WorkerState
+
+from tests.serving.conftest import CLUSTER_ATTRS, boot_cluster
+
+pytestmark = pytest.mark.spatial
+
+
+def test_viewport_load_survives_worker_kill(cluster_cube, rides_tiny):
+    cube_path, csv_path, tabula = cluster_cube
+    workload = generate_viewport_workload(
+        rides_tiny, CLUSTER_ATTRS, num_queries=60, seed=3
+    )
+    router = boot_cluster(cube_path, csv_path, num_shards=2)
+    errors = []
+    answers = []
+    try:
+        kill_at = len(workload.queries) // 3
+        victim = 0
+        for index, (where, geometry) in enumerate(workload):
+            if index == kill_at:
+                pid = router.supervisor.health()[victim]["pid"]
+                assert pid is not None
+                os.kill(pid, signal.SIGKILL)
+            try:
+                response = router.query(
+                    dict(where), deadline_seconds=10.0, geometry=geometry
+                )
+            except Exception as exc:  # noqa: BLE001 - the invariant under test
+                errors.append(f"query {index}: {type(exc).__name__}: {exc}")
+                continue
+            answers.append((index, dict(where), geometry, response))
+
+        # 1. Zero untyped failures: the never-500 contract holds while a
+        # worker dies mid-workload.
+        assert errors == []
+        assert len(answers) == len(workload.queries)
+
+        # 2. No oracle-refuted CERTIFIED answer. Ground truth is a
+        # single-node replay against the builder's own tabula.
+        for index, where, geometry, response in answers:
+            geom = spatial.parse_geometry(geometry)
+            if response.sample is not None and response.sample.num_rows:
+                xs, ys = spatial.table_points(response.sample)
+                assert geom.mask(xs, ys).all(), (
+                    f"query {index}: answer leaked rows outside the viewport"
+                )
+            if response.guarantee is not GuaranteeStatus.CERTIFIED:
+                continue
+            truth = tabula.query(dict(where), geometry=geom)
+            if truth.source == response.source:
+                assert truth.guarantee is GuaranteeStatus.CERTIFIED, (
+                    f"query {index}: cluster answered CERTIFIED from "
+                    f"{response.source!r} but ground truth downgrades "
+                    f"({truth.detail})"
+                )
+
+        # 3. The supervisor replaced the killed worker.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if router.supervisor.state_of(victim) is WorkerState.UP:
+                break
+            time.sleep(0.1)
+        assert router.supervisor.state_of(victim) is WorkerState.UP
+        assert router.supervisor.health()[victim]["restarts_total"] >= 1
+    finally:
+        router.close()
