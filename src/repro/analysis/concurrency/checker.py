@@ -28,6 +28,7 @@ from repro.analysis.concurrency.resources import (
     check_replace_without_fsync,
     check_shm_lifecycle,
 )
+from repro.analysis.concurrency.threads import check_thread_lifecycle
 from repro.diagnostics import Diagnostic, Severity, Span, sort_diagnostics
 
 
@@ -123,6 +124,7 @@ def _check_models(sources: List[Tuple[str, str]]) -> CheckResult:
         result.diagnostics.extend(check_file_handles(model))
         result.diagnostics.extend(check_replace_without_fsync(model))
         result.diagnostics.extend(check_fork_safety(model))
+        result.diagnostics.extend(check_thread_lifecycle(model))
     result.diagnostics.extend(graph.diagnostics())
 
     index = deadline_index(models)

@@ -85,6 +85,16 @@ CODES: Dict[str, CodeInfo] = dict(
             "fsync the temp file (and ideally the directory) before "
             "os.replace; see repro.resilience.atomic",
         ),
+        _info(
+            "TAB609", Severity.WARNING, "unjoined-background-thread",
+            "A thread stored on `self` is started but no method of the "
+            "class ever joins it (a zero-positional-arg `.join()` call) "
+            "— close/stop can return while the worker thread still "
+            "mutates shared state.",
+            "join the thread in the class's close/stop path "
+            "(`thread.join(timeout=...)` — keyword timeout, so the call "
+            "is recognizably a thread join, not str.join)",
+        ),
         # -- deadline propagation ----------------------------------------
         _info(
             "TAB607", Severity.WARNING, "dropped-deadline",

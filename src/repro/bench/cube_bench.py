@@ -56,7 +56,13 @@ from repro.engine.cube import CubeCells
 #: (``certified_violations`` — a CERTIFIED answer whose sample was
 #: strictly narrowed by the viewport), and per-zoom latency stats.
 #: Every earlier field keeps its name.
-SCHEMA_VERSION = 5
+#: v6 (additive): new ``bench ingest`` document
+#: (:mod:`repro.bench.ingest_bench` → ``BENCH_ingest.json``): streaming
+#: ingest under concurrent queries — idle vs under-ingest query latency,
+#: durable throughput, backpressure/accounting counters, watermark
+#: catch-up, and a ``recovery`` section whose WAL-replay digest must
+#: equal the live cube's. Every earlier document keeps every field.
+SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)

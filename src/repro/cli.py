@@ -8,9 +8,14 @@ Usage (``python -m repro.cli <command>``):
 - ``info`` — summarize a saved cube;
 - ``cube verify`` — audit a saved cube's checksums and version;
 - ``serve`` — run the concurrent dashboard gateway over HTTP (bounded
-  admission queue, deadlines, circuit-broken fallback, hot reload);
-- ``bench cube`` / ``bench query`` / ``bench serving`` — reproducible
-  benchmarks emitting machine-readable ``BENCH_*.json`` documents;
+  admission queue, deadlines, circuit-broken fallback, hot reload;
+  ``--ingest DIR`` adds crash-safe streaming ingest with progressive
+  answers);
+- ``ingest`` — stream a CSV into a running ``serve --ingest`` server,
+  honoring typed backpressure;
+- ``bench cube`` / ``bench query`` / ``bench serving`` /
+  ``bench ingest`` — reproducible benchmarks emitting machine-readable
+  ``BENCH_*.json`` documents;
 - ``sql`` — execute SQL statements against a CSV-backed session;
 - ``lint`` — run the static analyzer over SQL files or inline text;
 - ``check`` — run the concurrency/resource-lifecycle static analyzer
@@ -22,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from repro.bench.metrics import format_bytes, format_seconds
@@ -146,9 +152,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = single-process gateway)",
     )
     serve.add_argument(
+        "--ingest",
+        metavar="DIR",
+        help="enable crash-safe streaming ingest: WAL + maintenance journal "
+        "live in DIR (replayed on restart), POST /ingest accepts rows, "
+        "answers carry staleness, /query?progressive=1 streams refinements. "
+        "With --shards each worker keeps its own logs in DIR",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress per-request access logs"
     )
     serve.set_defaults(handler=cmd_serve)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream rows from a CSV into a running `repro serve --ingest` "
+        "server, honoring typed backpressure (Retry-After)",
+    )
+    ingest.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8787")
+    ingest.add_argument("--table", required=True, help="CSV file with the rows to append")
+    ingest.add_argument(
+        "--batch-rows", type=int, default=200, help="rows per POST /ingest micro-batch"
+    )
+    ingest.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="idempotency-key base (batch i submits seed+i); re-running the "
+        "same CSV with the same base deduplicates instead of double-appending",
+    )
+    ingest.add_argument(
+        "--max-retries",
+        type=int,
+        default=50,
+        help="bounded backpressure retries per batch before giving up",
+    )
+    ingest.set_defaults(handler=cmd_ingest)
 
     info = commands.add_parser("info", help="summarize a saved cube")
     info.add_argument("--cube", required=True)
@@ -284,6 +323,54 @@ def build_parser() -> argparse.ArgumentParser:
         "lost/double-counted, malformed outcomes); rates are never gated",
     )
     bench_serving.set_defaults(handler=cmd_bench_serving)
+    bench_ingest = bench_commands.add_parser(
+        "ingest",
+        help="drive the streaming-ingest pipeline under concurrent queries; "
+        "records throughput, backpressure accounting and a WAL-replay "
+        "recovery digest check",
+    )
+    bench_ingest.add_argument("--rows", type=int, default=20_000)
+    bench_ingest.add_argument("--seed", type=int, default=0)
+    bench_ingest.add_argument("--theta", type=float, default=0.05)
+    bench_ingest.add_argument(
+        "--attrs", default="payment_type,rate_code,passenger_count"
+    )
+    bench_ingest.add_argument("--loss", default="mean_loss")
+    bench_ingest.add_argument("--target", default="fare_amount")
+    bench_ingest.add_argument(
+        "--batches", type=int, default=30, help="micro-batches to stream in"
+    )
+    bench_ingest.add_argument(
+        "--batch-rows", type=int, default=50, help="rows per micro-batch"
+    )
+    bench_ingest.add_argument(
+        "--writers", type=int, default=2, help="concurrent submit threads"
+    )
+    bench_ingest.add_argument(
+        "--query-clients",
+        type=int,
+        default=2,
+        help="concurrent query threads reading the cube during ingest",
+    )
+    bench_ingest.add_argument(
+        "--queries", type=int, default=80, help="distinct workload queries"
+    )
+    bench_ingest.add_argument(
+        "--maintain-delay",
+        type=float,
+        default=0.0,
+        help="artificial per-batch maintainer delay (backpressure/staleness "
+        "drills only; keep 0 for throughput numbers)",
+    )
+    bench_ingest.add_argument("--out", default="BENCH_ingest.json")
+    bench_ingest.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if robustness invariants break (submission "
+        "accounting, untyped failures, queue bound, watermark catch-up, "
+        "recovery digest); rates are never gated",
+    )
+    bench_ingest.set_defaults(handler=cmd_bench_ingest)
 
     sql = commands.add_parser("sql", help="run SQL statements against a CSV table")
     sql.add_argument("--table", required=True, help="CSV file registered as its basename")
@@ -435,13 +522,42 @@ def cmd_serve(args) -> int:
             min_service_seconds=args.min_service_seconds,
         ),
     )
+    ingestor = None
+    if getattr(args, "ingest", None):
+        from pathlib import Path
+
+        from repro.ingest import StreamIngestor, recover_ingest
+
+        ingest_dir = Path(args.ingest)
+        ingest_dir.mkdir(parents=True, exist_ok=True)
+        wal_path = ingest_dir / "ingest.wal"
+        journal_path = ingest_dir / "maintenance.journal"
+        # A disk-restored cube lacks the dry-run statistics the append
+        # planner needs; re-initialize before replaying the logs.
+        gateway.tabula.initialize()
+        recovery = recover_ingest(gateway.tabula, wal_path, journal_path)
+        ingestor = StreamIngestor(gateway.tabula, wal_path, journal_path)
+        gateway.attach_ingestor(ingestor)
+        print(
+            f"ingest logs in {ingest_dir}: recovered "
+            f"{recovery.reapplied_batches} batch(es), finished "
+            f"{recovery.replayed_plans} plan(s), skipped "
+            f"{recovery.skipped_batches} committed"
+        )
     print(
         f"serving {args.cube} on http://{args.host}:{args.port} "
         f"(workers={args.workers}, queue={args.queue_depth}, "
         f"deadline={args.deadline if args.deadline is not None else 'none'})"
     )
-    print("routes: POST/GET /query, GET /healthz /readyz /stats, POST /reload")
-    serve_http(gateway, host=args.host, port=args.port, quiet=args.quiet)
+    routes = "routes: POST/GET /query, GET /healthz /readyz /stats, POST /reload"
+    if ingestor is not None:
+        routes += ", POST /ingest, GET /query?...&progressive=1 (SSE)"
+    print(routes)
+    try:
+        serve_http(gateway, host=args.host, port=args.port, quiet=args.quiet)
+    finally:
+        if ingestor is not None:
+            ingestor.close()
     return 0
 
 
@@ -473,6 +589,8 @@ def _serve_sharded(args) -> int:
             argv += ["--deadline", str(args.deadline)]
         if args.loss_sql:
             argv += ["--loss-sql", args.loss_sql]
+        if getattr(args, "ingest", None):
+            argv += ["--ingest-dir", args.ingest]
         return argv
 
     supervisor = ShardSupervisor(default_worker_factory(worker_argv), args.shards)
@@ -664,6 +782,101 @@ def cmd_bench_serving(args) -> int:
             print(f"invariant drift: {failure}", file=sys.stderr)
         if failures:
             return 1
+    return 0
+
+
+def cmd_bench_ingest(args) -> int:
+    from repro.bench.cube_bench import write_bench_doc
+    from repro.bench.ingest_bench import bench_ingest, check_ingest_doc
+
+    doc = bench_ingest(
+        _bench_settings(args),
+        batches=args.batches,
+        batch_rows=args.batch_rows,
+        writers=args.writers,
+        query_clients=args.query_clients,
+        num_queries=args.queries,
+        maintain_delay_seconds=args.maintain_delay,
+    )
+    write_bench_doc(doc, args.out)
+    ingest = doc["ingest"]
+    recovery = doc["recovery"]
+    gate = doc["latency_gate"]
+    print(
+        f"wrote {args.out}: {ingest['rows_ingested']} rows in "
+        f"{format_seconds(ingest['submit_wall_seconds'])} "
+        f"({ingest['durable_rows_per_second']:.0f} rows/s durable), "
+        f"{ingest['backpressure_retries']} backpressure retries, "
+        f"applied caught up in {format_seconds(ingest['applied_catchup_seconds'])}, "
+        f"max staleness {ingest['max_staleness_batches']} batch(es)"
+    )
+    print(
+        f"query p99 idle {format_seconds(doc['idle']['latency_seconds']['p99'])} vs "
+        f"under ingest {format_seconds(ingest['latency_seconds']['p99'])} "
+        f"({'gated' if gate['enforced'] else 'gate skipped: ' + gate['reason']}); "
+        f"recovery digests {'equal' if recovery['digests_equal'] else 'DIFFER'}"
+    )
+    if args.check:
+        failures = check_ingest_doc(doc)
+        for failure in failures:
+            print(f"invariant drift: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """Stream a CSV into a running ``serve --ingest`` server over HTTP."""
+    import urllib.error
+    import urllib.request
+
+    table = read_csv(args.table)
+    url = args.url.rstrip("/") + "/ingest"
+    total = table.num_rows
+    sent = 0
+    batch_index = 0
+    while sent < total:
+        rows = table.slice(sent, min(sent + args.batch_rows, total))
+        body = {"rows": rows.to_pydict(), "wait_durable": True}
+        if args.seed is not None:
+            body["seed"] = args.seed + batch_index
+        payload = json.dumps(body).encode("utf-8")
+        attempts = 0
+        while True:
+            request = urllib.request.Request(
+                url, data=payload, headers={"Content-Type": "application/json"}
+            )
+            try:
+                with urllib.request.urlopen(request) as response:
+                    document = json.load(response)
+                break
+            except urllib.error.HTTPError as exc:
+                document = json.loads(exc.read().decode("utf-8") or "{}")
+                retry_after = exc.headers.get("Retry-After")
+                if exc.code == 503 and retry_after and attempts < args.max_retries:
+                    attempts += 1
+                    time.sleep(
+                        float(document.get("retry_after_seconds", retry_after))
+                    )
+                    continue
+                print(
+                    f"batch {batch_index}: HTTP {exc.code} "
+                    f"{document.get('outcome', '')} {document.get('detail', '')}",
+                    file=sys.stderr,
+                )
+                return 1
+            except urllib.error.URLError as exc:
+                print(f"cannot reach {url}: {exc.reason}", file=sys.stderr)
+                return 1
+        sent += rows.num_rows
+        batch_index += 1
+        marks = document.get("watermarks", {})
+        print(
+            f"batch {batch_index}: {rows.num_rows} rows durable "
+            f"(seq {document.get('seq')}, {sent}/{total} sent, "
+            f"retries {attempts}, applied_seq {marks.get('applied_seq', '?')})"
+        )
+    print(f"ingested {sent} rows in {batch_index} batch(es)")
     return 0
 
 

@@ -145,6 +145,16 @@ def _batch_id(seed: int, delta: Table) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
 
 
+def batch_id_for(seed: int, delta: Table) -> str:
+    """Public content-hash id of one (seed, delta) batch.
+
+    The streaming-ingest recovery path uses this to ask the journal
+    "is this WAL batch already committed?" *without* paying for a full
+    :func:`plan_append` on a batch that will be skipped anyway.
+    """
+    return _batch_id(seed, delta)
+
+
 def plan_append(tabula: Tabula, new_rows: Table, seed: int = 0) -> MaintenancePlan:
     """Compute the full maintenance plan for ``new_rows`` — pure.
 
@@ -374,7 +384,21 @@ def recover_journal(tabula: Tabula, journal: MaintenanceJournal) -> List[Mainten
     to exactly the cube an uninterrupted :func:`append_rows` would have
     produced, whether the crash hit before, during, or after the
     original apply.
+
+    Interior journal damage is *reported, never swallowed*: a plan whose
+    batch id is journaled but whose payload fails its CRC (or any bad
+    frame with durable records after it) raises a typed
+    :class:`~repro.resilience.journal.JournalCorruptionError` (TAB509)
+    naming the offending segment path — replaying a truncated prefix
+    could silently drop a committed batch or half of one. A torn final
+    line (the normal residue of a crash mid-append) still truncates
+    benignly.
+
+    Raises:
+        JournalCorruptionError: the journal file is damaged beyond a
+            torn tail; nothing is replayed.
     """
+    journal.check_readable()
     reports: List[MaintenanceReport] = []
     with tabula.write_lock:
         for batch_id, payload in journal.uncommitted_plans():

@@ -1,0 +1,170 @@
+"""Background iceberg promotion/demotion as loss estimates drift.
+
+Incremental maintenance (:func:`repro.core.maintenance.plan_append`)
+decides each affected cell's fate from *merged sufficient statistics* —
+the algebraic estimate that makes appends cheap. The estimate is
+faithful but not exact: after many merges the stats-derived loss can
+drift from the loss computed directly on the raw data, so a cell can
+sit materialized when the global sample would now serve it within θ
+(wasted memory) or sit unmaterialized when its true loss crossed θ
+(a guarantee served only by the re-check on the next append that
+happens to touch it).
+
+The drift sweep closes that gap in the background: each cycle takes a
+bounded slice of known cells (round-robin cursor, so every cell is
+eventually revisited), recomputes the **exact** loss of serving each
+from the global sample, and emits the same
+:class:`~repro.core.maintenance.CellDecision` post-states the append
+planner uses — demote when exact loss ≤ θ, retain when the assigned
+sample still satisfies θ, resample otherwise. Applying through
+:func:`~repro.core.maintenance.apply_plan` (with an empty delta) keeps
+the sweep idempotent and convergent; it deliberately runs *unjournaled*
+because every individual decision preserves the cube invariant on its
+own — a crash mid-sweep leaves a cube that is still θ-valid cell by
+cell, just less tidy, and the next sweep converges it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.maintenance import (
+    CellDecision,
+    MaintenancePlan,
+    _cell_population,
+    apply_plan,
+)
+from repro.core.sampling import sample_with_pool
+from repro.core.tabula import Tabula
+
+
+@dataclass(frozen=True)
+class DriftSweepReport:
+    """What one bounded drift cycle did."""
+
+    examined_cells: int
+    demoted_cells: int
+    promoted_cells: int
+    repaired_cells: int
+    retained_cells: int
+    next_cursor: int
+
+
+def plan_drift_sweep(
+    tabula: Tabula, seed: int, max_cells: int = 16, cursor: int = 0
+) -> Tuple[MaintenancePlan, int]:
+    """Plan one bounded promotion/demotion cycle — pure.
+
+    The caller must hold ``tabula.write_lock`` across plan *and* apply
+    (the stream ingestor's maintainer thread does); the plan's empty
+    delta makes :func:`apply_plan` a pure per-cell certificate refresh.
+    Returns the plan plus the advanced round-robin cursor.
+    """
+    store = tabula.store
+    dry = tabula._dry
+    config = tabula.config
+    loss = config.loss
+    known = sorted(dry.known_cells, key=repr) if dry is not None else []
+    decisions: List[CellDecision] = []
+    if not known or max_cells < 1:
+        empty = tabula.table.head(0)
+        plan = MaintenancePlan(
+            batch_id=f"drift:{seed}",
+            base_rows=tabula.table.num_rows,
+            delta=empty,
+            seed=seed,
+            decisions=decisions,
+        )
+        return plan, cursor
+    start = cursor % len(known)
+    picked = [known[(start + i) % len(known)] for i in range(min(max_cells, len(known)))]
+    next_cursor = (start + len(picked)) % len(known)
+    rng = np.random.default_rng(seed)
+    sample_values = loss.extract(store.global_sample.table)
+    table_values = loss.extract(tabula.table)
+    attrs = config.cubed_attrs
+    for cell in picked:
+        cell_rows = _cell_population(tabula.table, attrs, cell)
+        if cell_rows.size == 0:
+            continue
+        cell_data = table_values[cell_rows]
+        exact_loss = float(loss.loss(cell_data, sample_values))
+        materialized = store.sample_id_of(cell) is not None
+        stats = dry.cell_stats.get(cell)
+        if stats is None:
+            stats = loss.stats(cell_data, sample_values)
+        if exact_loss <= config.threshold:
+            if materialized:
+                decisions.append(
+                    CellDecision(cell, "demote", stats, exact_loss, False, True)
+                )
+            continue
+        assigned = store.lookup(cell)
+        if assigned is not None and (
+            float(loss.loss(cell_data, loss.extract(assigned))) <= config.threshold
+        ):
+            decisions.append(
+                CellDecision(cell, "retain", stats, exact_loss, False, materialized)
+            )
+            continue
+        result = sample_with_pool(
+            loss,
+            cell_data,
+            config.threshold,
+            rng,
+            pool_size=config.pool_size,
+            lazy=config.lazy_sampling,
+        )
+        decisions.append(
+            CellDecision(
+                cell,
+                "resample",
+                stats,
+                exact_loss,
+                False,
+                materialized,
+                sample_indices=tuple(int(i) for i in cell_rows[result.indices]),
+            )
+        )
+    plan = MaintenancePlan(
+        batch_id=f"drift:{seed}",
+        base_rows=tabula.table.num_rows,
+        delta=tabula.table.head(0),
+        seed=seed,
+        decisions=decisions,
+    )
+    return plan, next_cursor
+
+
+def run_drift_sweep(
+    tabula: Tabula, seed: int, max_cells: int = 16, cursor: int = 0
+) -> DriftSweepReport:
+    """Plan and apply one drift cycle atomically against other writers."""
+    with tabula.write_lock:
+        plan, next_cursor = plan_drift_sweep(
+            tabula, seed, max_cells=max_cells, cursor=cursor
+        )
+        if plan.decisions:
+            apply_plan(tabula, plan)
+    demoted = promoted = repaired = retained = 0
+    for decision in plan.decisions:
+        if decision.action == "demote":
+            demoted += 1
+        elif decision.action == "retain":
+            retained += 1
+        elif decision.action == "resample":
+            if decision.was_materialized:
+                repaired += 1
+            else:
+                promoted += 1
+    return DriftSweepReport(
+        examined_cells=len(plan.decisions),
+        demoted_cells=demoted,
+        promoted_cells=promoted,
+        repaired_cells=repaired,
+        retained_cells=retained,
+        next_cursor=next_cursor,
+    )

@@ -1,0 +1,149 @@
+"""Progressive query answers over a lagging ingest pipeline.
+
+InfiniViz's motivating UX: answer *now* from the sample, then refine as
+better data arrives. Here the refinement axis is ingest freshness — the
+first frame is the sample-rung answer from the currently served
+snapshot, and follow-up frames re-answer as the background maintainer
+folds durable batches in (``applied_seq`` climbing toward
+``durable_seq``). Each frame carries the watermark pair plus the
+staleness it was answered at, so a dashboard can render "answer as of
+batch N, catching up".
+
+Guarantee transitions are **monotone by construction**: the stream
+tracks the best :class:`~repro.core.tabula.GuaranteeStatus` rank it has
+emitted and suppresses any re-answer that would regress it (counted in
+``suppressed_regressions``, never silently dropped) — a consumer never
+observes CERTIFIED followed by DOWNGRADED within one stream. The final
+frame is the fresh non-progressive answer whenever that answer honors
+monotonicity, which in the normal catching-up scenario it does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.serving.gateway import ServingGateway, ServingResponse
+
+WhereClause = Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ProgressiveFrame:
+    """One answer in a progressive stream.
+
+    ``kind`` is ``"initial"`` (the immediate sample-rung answer),
+    ``"refine"`` (a re-answer after the maintainer advanced), or
+    ``"final"`` (the stream's last word — the non-progressive answer,
+    monotone-clamped).
+    """
+
+    index: int
+    kind: str
+    response: ServingResponse
+    durable_seq: int
+    applied_seq: int
+    staleness_batches: int
+    suppressed_regressions: int = 0
+
+    @property
+    def is_final(self) -> bool:
+        return self.kind == "final"
+
+
+def _watermarks(ingestor: Optional[Any]) -> tuple:
+    if ingestor is None:
+        return 0, 0, 0
+    marks = ingestor.watermarks()
+    staleness = ingestor.staleness_batches()
+    return int(marks["durable_seq"]), int(marks["applied_seq"]), int(staleness)
+
+
+def progressive_query(
+    gateway: ServingGateway,
+    where: WhereClause,
+    deadline_seconds: Optional[float] = None,
+    geometry: Optional[object] = None,
+    max_frames: int = 8,
+    poll_seconds: float = 0.01,
+    max_wait_seconds: float = 10.0,
+    ingestor: Optional[Any] = None,
+) -> Iterator[ProgressiveFrame]:
+    """Stream progressively fresher answers for one query.
+
+    Yields the immediate answer first, then one refinement per
+    maintainer advance while the pipeline is catching up (bounded by
+    ``max_frames`` and ``max_wait_seconds``), then a final frame equal
+    to the non-progressive answer (unless emitting it would regress the
+    guarantee, in which case the best answer seen is re-emitted and the
+    regression is counted). Without an attached ingestor the stream
+    degenerates to initial + final, both answered from the current
+    snapshot.
+    """
+    if max_frames < 2:
+        raise ValueError(f"max_frames must be >= 2, got {max_frames}")
+    ingestor = ingestor if ingestor is not None else getattr(gateway, "ingestor", None)
+    suppressed = 0
+    durable, applied, staleness = _watermarks(ingestor)
+    response = gateway.query(
+        where, deadline_seconds=deadline_seconds, geometry=geometry
+    )
+    best_rank = response.guarantee.rank
+    last_emitted = response
+    index = 0
+    yield ProgressiveFrame(
+        index=index,
+        kind="initial",
+        response=response,
+        durable_seq=durable,
+        applied_seq=applied,
+        staleness_batches=staleness,
+    )
+    index += 1
+    budget = time.monotonic() + max_wait_seconds
+    last_applied = applied
+    if ingestor is not None:
+        # Leave room for the final frame: refinements stop one short.
+        while index < max_frames - 1 and time.monotonic() < budget:
+            durable, applied, staleness = _watermarks(ingestor)
+            if staleness <= 0 and applied >= durable:
+                break  # caught up; the final frame says the last word
+            if applied > last_applied:
+                last_applied = applied
+                response = gateway.query(
+                    where, deadline_seconds=deadline_seconds, geometry=geometry
+                )
+                if response.guarantee.rank <= best_rank:
+                    best_rank = response.guarantee.rank
+                    last_emitted = response
+                    yield ProgressiveFrame(
+                        index=index,
+                        kind="refine",
+                        response=response,
+                        durable_seq=durable,
+                        applied_seq=applied,
+                        staleness_batches=staleness,
+                        suppressed_regressions=suppressed,
+                    )
+                    index += 1
+                else:
+                    suppressed += 1
+            else:
+                time.sleep(poll_seconds)
+    durable, applied, staleness = _watermarks(ingestor)
+    final = gateway.query(where, deadline_seconds=deadline_seconds, geometry=geometry)
+    if final.guarantee.rank > best_rank:
+        # Emitting would regress the guarantee mid-stream; re-emit the
+        # best answer seen and record the clamp.
+        suppressed += 1
+        final = last_emitted
+    yield ProgressiveFrame(
+        index=index,
+        kind="final",
+        response=final,
+        durable_seq=durable,
+        applied_seq=applied,
+        staleness_batches=staleness,
+        suppressed_regressions=suppressed,
+    )

@@ -1,0 +1,147 @@
+"""The ingest write-ahead log: durable micro-batches, group-commit fsync.
+
+The streaming pipeline's durability story has two logs with distinct
+jobs:
+
+- **this WAL** records every accepted micro-batch (its ``seq``, its
+  client-stable ``seed`` and its rows) *before* any maintenance work
+  starts. A group of batches is written with a **single** fsync
+  (:meth:`IngestWAL.append_batches` rides
+  :meth:`~repro.resilience.journal.AppendOnlyLog.append_many`), which is
+  what lets many concurrent ``submit()`` callers share one disk sync —
+  the classic group commit;
+- the existing :class:`~repro.resilience.journal.MaintenanceJournal`
+  records the *plan/commit* protocol per batch, giving exactly-once
+  apply via content-hashed batch ids.
+
+Recovery replays this WAL in seq order through
+``append_rows(seed=<stored seed>)``; committed batch ids make the
+replay exactly-once whether the crash hit before, during, or after the
+original apply.
+
+Both logs share the CRC-framed JSONL format, so a torn tail truncates
+benignly while interior corruption surfaces as a typed
+:class:`~repro.resilience.journal.JournalCorruptionError` (TAB509).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine.table import Table
+from repro.resilience.faults import fault_point, register_fault_point
+from repro.resilience.journal import (
+    AppendOnlyLog,
+    JournalCorruptionError,
+    LogCorruption,
+)
+
+FP_WAL_WRITE = register_fault_point(
+    "ingest.wal.write",
+    "micro-batch group serialized, nothing written to the ingest WAL yet",
+)
+FP_WAL_DURABLE = register_fault_point(
+    "ingest.wal.durable",
+    "micro-batch group written+fsynced, durable watermark not yet published",
+)
+
+
+@dataclass(frozen=True)
+class WalBatch:
+    """One durable micro-batch as recorded in the ingest WAL."""
+
+    seq: int
+    seed: int
+    rows: Table
+
+
+@dataclass(frozen=True)
+class WalReadResult:
+    """Durable batches plus any damage classification from the log."""
+
+    batches: Tuple[WalBatch, ...]
+    dropped_lines: int
+    corruptions: Tuple[LogCorruption, ...]
+    #: Row count of the cube's raw table when this WAL was opened —
+    #: the anchor recovery uses to locate a restored snapshot along the
+    #: deterministic batch-boundary sequence. ``None`` for a WAL that
+    #: predates the open record (or is empty).
+    base_rows: Optional[int] = None
+
+    @property
+    def max_seq(self) -> int:
+        """Highest durable sequence number (0 when the WAL is empty)."""
+        return max((b.seq for b in self.batches), default=0)
+
+
+class IngestWAL:
+    """CRC-framed, group-committed log of accepted ingest batches."""
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True):
+        self.path = Path(path)
+        self._log = AppendOnlyLog(path, fsync=fsync)
+
+    def write_open(self, base_rows: int) -> None:
+        """Record the pre-ingest base row count (first record, once)."""
+        self._log.append({"kind": "open", "base_rows": int(base_rows)})
+
+    def append_batches(self, batches: Sequence[WalBatch]) -> None:
+        """Durably record a group of batches with one fsync.
+
+        A crash mid-call leaves a durable *prefix* of the group plus at
+        most one torn line; nothing after the tear was ever
+        acknowledged as durable, so truncating it on read is the
+        contract.
+        """
+        if not batches:
+            return
+        from repro.core.persistence import table_to_json
+
+        records = [
+            {
+                "kind": "batch",
+                "seq": batch.seq,
+                "seed": batch.seed,
+                "rows": table_to_json(batch.rows),
+            }
+            for batch in batches
+        ]
+        fault_point(FP_WAL_WRITE)
+        self._log.append_many(records)
+        fault_point(FP_WAL_DURABLE)
+
+    def read_batches(self) -> WalReadResult:
+        """Every durable batch in append (= seq) order."""
+        from repro.core.persistence import table_from_json
+
+        result = self._log.read()
+        batches: List[WalBatch] = []
+        base_rows = None
+        for record in result.records:
+            kind = record.get("kind")
+            if kind == "open" and base_rows is None:
+                base_rows = int(record["base_rows"])
+                continue
+            if kind != "batch":
+                continue
+            batches.append(
+                WalBatch(
+                    seq=int(record["seq"]),
+                    seed=int(record["seed"]),
+                    rows=table_from_json(record["rows"]),
+                )
+            )
+        return WalReadResult(
+            batches=tuple(batches),
+            dropped_lines=result.dropped_lines,
+            corruptions=result.corruptions,
+            base_rows=base_rows,
+        )
+
+    def check_readable(self) -> None:
+        """Raise typed TAB509 on interior damage (torn tails pass)."""
+        damaged = self._log.read().interior_corruptions
+        if damaged:
+            raise JournalCorruptionError(self.path, damaged)

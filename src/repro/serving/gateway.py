@@ -134,6 +134,11 @@ class ServingResponse:
     elapsed_seconds: float
     detail: str = ""
     spatial_filtered: bool = False
+    #: Durable-but-unapplied ingest batches at answer time (0 = fully
+    #: fresh, or no ingest pipeline attached). A lagging maintainer
+    #: keeps serving the pre-append snapshot; this makes the staleness
+    #: visible per response instead of silent.
+    staleness_batches: int = 0
 
     @property
     def answered(self) -> bool:
@@ -224,6 +229,10 @@ class ServingGateway:
         self._reloads = {"attempted": 0, "succeeded": 0, "failed": 0}  # guard: _stats_lock
         self._last_reload_error = ""  # guard: _stats_lock
         self._reload_lock = create_lock("gateway._reload_lock")
+        # Bound once at setup (attach_ingestor) before serving starts;
+        # read-only afterwards, so responses can stamp ingest staleness
+        # without any lock.
+        self.ingestor: Optional[Any] = None
         self._closed = False
         self._workers: List[threading.Thread] = []
         for i in range(self.config.workers):
@@ -395,6 +404,12 @@ class ServingGateway:
         else:
             outcome = ServingOutcome.DEGRADED
         elapsed = time.perf_counter() - started
+        # Stamped before taking the stats lock: staleness_batches()
+        # takes the ingestor's own state lock and must not nest inside
+        # _stats_lock.
+        staleness = (
+            self.ingestor.staleness_batches() if self.ingestor is not None else 0
+        )
         with self._stats_lock:
             self._counters[outcome.value] += 1
             self._requests_total += 1
@@ -409,6 +424,7 @@ class ServingGateway:
             elapsed_seconds=elapsed,
             detail=result.detail,
             spatial_filtered=result.spatial_filtered,
+            staleness_batches=staleness,
         )
 
     def _disposed(
@@ -540,6 +556,20 @@ class ServingGateway:
         )
 
     # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def attach_ingestor(self, ingestor: Any) -> None:
+        """Bind a :class:`~repro.ingest.stream.StreamIngestor`.
+
+        Once attached, every answered response is stamped with the
+        pipeline's current ``staleness_batches`` and :meth:`stats`
+        grows an ``ingest`` block (watermarks + counters). Attach
+        during setup, before traffic — the reference is read without a
+        lock on the hot path.
+        """
+        self.ingestor = ingestor
+
+    # ------------------------------------------------------------------
     # Introspection & lifecycle
     # ------------------------------------------------------------------
     @property
@@ -587,6 +617,9 @@ class ServingGateway:
                 "latency_seconds": _percentiles(latencies),
             }
         )
+        if self.ingestor is not None:
+            # Outside _stats_lock: the ingestor takes its own state lock.
+            stats["ingest"] = self.ingestor.stats()
         return stats
 
     def close(self, timeout: float = 5.0) -> None:

@@ -24,9 +24,27 @@ Error bodies are typed: 400s carry ``{"error": ..., "code": "TABxxx"}``
 — TAB711 for a malformed request (bad JSON body, bad reserved param),
 TAB701/TAB702 for geometry failures, TAB712 for any other invalid query
 (e.g. unknown attributes).
+Progressive variant: ``/query`` with ``progressive=1`` (GET param or
+POST body key) answers as a Server-Sent-Events stream — the immediate
+sample-rung answer first, refinement frames while the ingest maintainer
+catches up, and a final frame equal to the non-progressive answer;
+guarantee transitions are monotone (see
+:mod:`repro.ingest.progressive`).
+
+- ``POST /ingest`` — body ``{"rows": {col: [...]}, "seed": 7}`` feeds
+  the attached streaming-ingest pipeline. 200 when accepted (body
+  carries ``seq`` and whether it is fsync-durable yet); 503 with a
+  ``Retry-After`` header on typed backpressure (the bounded queue is
+  full — nothing was buffered); 503 without ``Retry-After`` when the
+  pipeline is closed or failed. 400/TAB713 when the backend has no
+  ingest pipeline attached.
 - ``GET /healthz`` — liveness (200 while the process accepts work).
-- ``GET /readyz`` — readiness (cube snapshot loaded, workers alive).
-- ``GET /stats`` — counters, breaker state, latency percentiles.
+- ``GET /readyz`` — readiness (cube snapshot loaded, workers alive);
+  with an attached ingest pipeline the body carries its watermarks
+  (``durable_seq`` / ``applied_seq``) and health.
+- ``GET /stats`` — counters, breaker state, latency percentiles; plus
+  the ``ingest`` block (watermarks, queue bounds, counters) when a
+  pipeline is attached.
 - ``POST /reload`` — hot-swap the cube file (body ``{"path": ...}``
   optional); a corrupt replacement rolls back and reports 409.
 
@@ -55,12 +73,13 @@ _STATUS = {
     ServingOutcome.DEADLINE_EXCEEDED: 504,
 }
 
-_RESERVED_PARAMS = ("deadline_seconds", "limit", "geometry", "f")
+_RESERVED_PARAMS = ("deadline_seconds", "limit", "geometry", "f", "progressive")
 
 # TAB71x — HTTP request error codes.  Geometry failures keep their core
 # codes (TAB701 malformed geometry, TAB702 table not spatial).
 TAB711_MALFORMED_REQUEST = "TAB711"
 TAB712_INVALID_QUERY = "TAB712"
+TAB713_INGEST_UNAVAILABLE = "TAB713"
 
 #: SHED ``Retry-After`` is drawn uniformly from [_RETRY_AFTER_MIN,
 #: _RETRY_AFTER_MIN + _RETRY_AFTER_SPAN) seconds.  A fixed value would
@@ -128,13 +147,41 @@ def response_to_json(response: ServingResponse, limit: int = 20) -> Dict[str, ob
         "num_rows": num_rows,
         "rows": rows,
         "spatial_filtered": response.spatial_filtered,
+        "staleness_batches": response.staleness_batches,
     }
+
+
+def _rows_from_json(columns: Dict[str, list], backend: Any) -> Any:
+    """Build an ingest batch table typed to match the served schema.
+
+    Column order follows the served table's schema when the names
+    match, so a JSON object (unordered by nature) never fails the
+    pipeline's ordered-schema check on ordering alone; a genuinely
+    wrong column *set* is left as-is for ``submit`` to reject with its
+    typed error.
+    """
+    from repro.engine.table import Table
+
+    tabula = getattr(backend, "tabula", None)
+    names = list(columns)
+    types = None
+    if tabula is not None:
+        schema_names = list(tabula.table.column_names)
+        if set(names) == set(schema_names):
+            names = schema_names
+        types = {
+            name: tabula.table.column(name).ctype
+            for name in names
+            if name in tabula.table.column_names
+        }
+    return Table.from_pydict({name: columns[name] for name in names}, types=types)
 
 
 def _parse_query_request(
     handler: "_GatewayHandler",
-) -> Tuple[Any, bool, Optional[float], int, Optional[Any]]:
-    """(where_or_batch, is_batch, deadline_seconds, limit, geometry)."""
+) -> Tuple[Any, bool, Optional[float], int, Optional[Any], bool]:
+    """(where_or_batch, is_batch, deadline_seconds, limit, geometry,
+    progressive)."""
     if handler.command == "POST":
         length = int(handler.headers.get("Content-Length") or 0)
         body = json.loads(handler.rfile.read(length) or b"{}")
@@ -143,16 +190,19 @@ def _parse_query_request(
         deadline = body.get("deadline_seconds")
         limit = int(body.get("limit", 20))
         geometry = body.get("geometry")  # shared by the whole batch
+        progressive = bool(body.get("progressive", False))
         if "queries" in body:
             queries = body["queries"]
             if not isinstance(queries, list) or not all(
                 isinstance(q, dict) for q in queries
             ):
                 raise ValueError("'queries' must be a list of 'where' objects")
-            return queries, True, deadline, limit, geometry
+            if progressive:
+                raise ValueError("progressive mode takes a single 'where', not 'queries'")
+            return queries, True, deadline, limit, geometry, False
         if not isinstance(body.get("where", {}), dict):
             raise ValueError("body must be a JSON object with a 'where' object")
-        return body.get("where", {}), False, deadline, limit, geometry
+        return body.get("where", {}), False, deadline, limit, geometry, progressive
     params = dict(parse_qsl(urlsplit(handler.path).query))
     reserved = {name: params.pop(name, None) for name in _RESERVED_PARAMS}
     deadline = reserved["deadline_seconds"]
@@ -161,7 +211,15 @@ def _parse_query_request(
     fmt = reserved["f"]
     if fmt is not None and fmt != "json":
         raise ValueError(f"unsupported response format f={fmt!r} (only 'json')")
-    return params, False, (float(deadline) if deadline is not None else None), limit, geometry
+    progressive = (reserved["progressive"] or "").lower() in ("1", "true", "yes")
+    return (
+        params,
+        False,
+        (float(deadline) if deadline is not None else None),
+        limit,
+        geometry,
+        progressive,
+    )
 
 
 def _parse_geometry_param(value: Optional[str]) -> Optional[Any]:
@@ -214,6 +272,16 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             shards = self._shard_health()
             if shards is not None:
                 payload["shards"] = shards
+            ingestor = getattr(self.gateway, "ingestor", None)
+            if ingestor is not None:
+                # Readiness is *serving* readiness: a lagging maintainer
+                # does not fail the probe (answers stay servable from
+                # the pre-append snapshot), but the watermarks make the
+                # lag observable to operators and load balancers.
+                payload["ingest"] = {
+                    "healthy": ingestor.healthy,
+                    "watermarks": ingestor.watermarks(),
+                }
             self._send_json(200 if ok else 503, payload)
         elif route == "/stats":
             # A ShardRouter already embeds "shards" in stats(); for any
@@ -241,6 +309,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         route = urlsplit(self.path).path
         if route == "/query":
             self._handle_query()
+        elif route == "/ingest":
+            self._handle_ingest()
         elif route == "/reload":
             self._handle_reload()
         else:
@@ -248,9 +318,14 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self) -> None:
         try:
-            where, is_batch, deadline_seconds, limit, geometry = _parse_query_request(
-                self
-            )
+            (
+                where,
+                is_batch,
+                deadline_seconds,
+                limit,
+                geometry,
+                progressive,
+            ) = _parse_query_request(self)
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(
                 400,
@@ -259,6 +334,9 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                     "code": TAB711_MALFORMED_REQUEST,
                 },
             )
+            return
+        if progressive:
+            self._handle_progressive(where, deadline_seconds, limit, geometry)
             return
         try:
             if is_batch:
@@ -298,6 +376,134 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             response_to_json(response, limit=limit),
             retry_after=_retry_after() if response.outcome is ServingOutcome.SHED else None,
         )
+
+    def _handle_progressive(
+        self,
+        where: Mapping[str, object],
+        deadline_seconds: Optional[float],
+        limit: int,
+        geometry: Optional[Any],
+    ) -> None:
+        """Stream one query's answers as Server-Sent Events.
+
+        The first frame is pulled *before* any bytes go out, so an
+        invalid query is still a clean 400; after that the stream is
+        committed and ends with the ``final`` frame (the connection
+        closes — SSE has no trailer to carry an HTTP status).
+        """
+        from repro.ingest.progressive import progressive_query
+
+        frames = progressive_query(
+            self.gateway,
+            where,
+            deadline_seconds=deadline_seconds,
+            geometry=geometry,
+            ingestor=getattr(self.gateway, "ingestor", None),
+        )
+        try:
+            first = next(frames)
+        except TabulaError as exc:
+            self._send_json(
+                400,
+                {
+                    "error": str(exc),
+                    "code": getattr(exc, "code", "") or TAB712_INVALID_QUERY,
+                },
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self._write_sse_frame(first, limit)
+            for frame in frames:
+                self._write_sse_frame(frame, limit)
+        except (ConnectionError, OSError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    def _write_sse_frame(self, frame: Any, limit: int) -> None:
+        document = {
+            "index": frame.index,
+            "kind": frame.kind,
+            "durable_seq": frame.durable_seq,
+            "applied_seq": frame.applied_seq,
+            "staleness_batches": frame.staleness_batches,
+            "suppressed_regressions": frame.suppressed_regressions,
+            "response": response_to_json(frame.response, limit=limit),
+        }
+        payload = json.dumps(document)
+        self.wfile.write(f"event: frame\ndata: {payload}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+    def _handle_ingest(self) -> None:
+        ingestor = getattr(self.gateway, "ingestor", None)
+        if ingestor is None:
+            self._send_json(
+                400,
+                {
+                    "error": "this backend has no streaming-ingest pipeline "
+                    "attached (start with --ingest)",
+                    "code": TAB713_INGEST_UNAVAILABLE,
+                },
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict) or not isinstance(body.get("rows"), dict):
+                raise ValueError("body must be {'rows': {column: [values...]}}")
+            rows = _rows_from_json(body["rows"], self.gateway)
+            seed = body.get("seed")
+            if seed is not None:
+                seed = int(seed)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(
+                400,
+                {
+                    "error": f"malformed request: {exc}",
+                    "code": TAB711_MALFORMED_REQUEST,
+                },
+            )
+            return
+        try:
+            result = ingestor.submit(
+                rows,
+                seed=seed,
+                wait_durable=bool(body.get("wait_durable", True)),
+                timeout=float(body.get("timeout", 5.0)),
+            )
+        except TabulaError as exc:
+            self._send_json(
+                400,
+                {
+                    "error": str(exc),
+                    "code": getattr(exc, "code", "") or TAB712_INVALID_QUERY,
+                },
+            )
+            return
+        payload = {
+            "outcome": result.outcome.value,
+            "seq": result.seq,
+            "durable": result.durable,
+            "queued_rows": result.queued_rows,
+            "retry_after_seconds": result.retry_after_seconds,
+            "detail": result.detail,
+        }
+        if result.accepted:
+            payload["watermarks"] = ingestor.watermarks()
+            self._send_json(200, payload)
+        elif result.outcome.value == "backpressure":
+            # Typed backpressure: Retry-After is integral per RFC; the
+            # body carries the precise hint.
+            self._send_json(
+                503,
+                payload,
+                retry_after=max(1, int(result.retry_after_seconds + 0.999)),
+            )
+        else:  # closed / failed pipeline — retrying here cannot help
+            self._send_json(503, payload)
 
     def _handle_reload(self) -> None:
         length = int(self.headers.get("Content-Length") or 0)

@@ -327,6 +327,46 @@ class ShardRouter:
                 collected[str(shard)] = {"unavailable": reason or _REASON_UNREACHABLE}
         return collected
 
+    def ingest_watermarks(self, timeout: float = 2.0) -> Dict[str, Any]:
+        """Ingest watermark fan-in across ingest-enabled workers.
+
+        Each worker runs its own pipeline with an independent sequence
+        space, so the fleet view is the per-shard watermark dicts plus
+        the *worst* staleness — the number a dashboard should render as
+        "how far behind is the freshest possible answer". Unreachable
+        shards and shards without an ingest pipeline are reported as
+        such, never silently dropped. Not folded into :meth:`stats`
+        (which must stay RPC-free on the request path) — callers that
+        want fleet freshness ask for it explicitly.
+        """
+        shards: Dict[str, Any] = {}
+        worst = 0
+        enabled = 0
+        for shard, stats in self.shard_stats(timeout=timeout).items():
+            ingest = stats.get("ingest") if isinstance(stats, dict) else None
+            if not isinstance(ingest, dict):
+                reason = (
+                    stats.get("unavailable", "no ingest pipeline")
+                    if isinstance(stats, dict)
+                    else "unavailable"
+                )
+                shards[shard] = {"enabled": False, "detail": reason}
+                continue
+            enabled += 1
+            marks = dict(ingest.get("watermarks", {}))
+            staleness = int(marks.get("lag_batches", 0))
+            shards[shard] = {
+                "enabled": True,
+                "watermarks": marks,
+                "failure": ingest.get("failure", ""),
+            }
+            worst = max(worst, staleness)
+        return {
+            "shards": shards,
+            "ingest_enabled_shards": enabled,
+            "max_staleness_batches": worst,
+        }
+
     def reload(self, path: Union[str, Path, None] = None) -> ReloadResult:
         """Fan a hot reload out to every UP worker, then re-slice locally.
 

@@ -29,11 +29,17 @@ import os
 import socket
 import sys
 import threading
-from typing import Any, Dict, Mapping, Optional
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
 
+from repro.core.maintenance import append_rows
+from repro.core.tabula import Tabula
 from repro.engine.io import read_csv
 from repro.engine.schema import ColumnType
+from repro.engine.table import Table
 from repro.errors import TabulaError
+from repro.ingest.stream import recover_ingest
+from repro.ingest.wal import IngestWAL, WalBatch
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import (
     InjectedCrash,
@@ -41,11 +47,12 @@ from repro.resilience.faults import (
     fault_point,
     register_fault_point,
 )
+from repro.resilience.journal import MaintenanceJournal
 from repro.serving import wire
 from repro.serving.gateway import ServingConfig, ServingGateway
 from repro.serving.placement import Placement, shard_transform
 
-__all__ = ["FP_HANDLE", "FP_HEALTH", "ShardWorker", "main"]
+__all__ = ["FP_HANDLE", "FP_HEALTH", "ShardWorker", "WorkerIngest", "main"]
 
 FP_HANDLE = register_fault_point(
     "shard.worker.handle",
@@ -63,6 +70,66 @@ FP_HEALTH = register_fault_point(
 CRASH_EXIT_CODE = 17
 
 
+class WorkerIngest:
+    """Synchronous WAL→journal ingest for one shard worker.
+
+    Deliberately *not* the background-threaded
+    :class:`~repro.ingest.stream.StreamIngestor`: the apply runs on the
+    connection-handler thread, so an :class:`InjectedCrash` at any
+    maintenance fault point propagates into the handler's crash path
+    and takes the whole process down with ``os._exit`` — exactly the
+    kill-mid-``append_rows`` a chaos test simulates. Crash safety is
+    the same contract either way: the batch is WAL-durable before the
+    apply starts, and the supervisor-restarted worker replays it via
+    :func:`~repro.ingest.stream.recover_ingest` before serving again.
+    """
+
+    def __init__(
+        self,
+        tabula: Tabula,
+        wal_path: Union[str, Path],
+        journal_path: Union[str, Path],
+    ) -> None:
+        self.tabula = tabula
+        self.wal = IngestWAL(wal_path)
+        self.journal = MaintenanceJournal(journal_path)
+        if Path(wal_path).exists():
+            self._seq = self.wal.read_batches().max_seq
+        else:
+            self.wal.write_open(tabula.table.num_rows)
+            self._seq = 0
+        # A plain lock on purpose (same policy as tabula.write_lock):
+        # the WAL fsync *must* happen inside it so WAL order matches
+        # apply order, and the runtime sanitizer only audits
+        # create_lock-managed locks for blocking calls.
+        self._lock = threading.Lock()
+
+    def ingest(self, rows: Table, seed: Optional[int] = None) -> int:
+        """Durably log then journal-apply one batch; returns its seq."""
+        with self._lock:
+            self._seq += 1
+            batch = WalBatch(
+                seq=self._seq, seed=self._seq if seed is None else seed, rows=rows
+            )
+            self.wal.append_batches([batch])
+            append_rows(self.tabula, rows, seed=batch.seed, journal=self.journal)
+            return batch.seq
+
+    def watermarks(self) -> Dict[str, int]:
+        """Shape-compatible with StreamIngestor.watermarks (no lag: the
+        apply is synchronous, so durable == applied here)."""
+        with self._lock:
+            seq = self._seq
+        return {
+            "submitted_seq": seq,
+            "durable_seq": seq,
+            "applied_seq": seq,
+            "lag_batches": 0,
+            "queued_batches": 0,
+            "queued_rows": 0,
+        }
+
+
 class ShardWorker:
     """Socket server fronting one shard's gateway (thread per connection)."""
 
@@ -73,10 +140,12 @@ class ShardWorker:
         num_shards: int,
         host: str = "127.0.0.1",
         port: int = 0,
+        ingest: Optional[WorkerIngest] = None,
     ) -> None:
         self._gateway = gateway
         self.shard_id = shard_id
         self.num_shards = num_shards
+        self._ingest = ingest
         self._listener = socket.create_server((host, port))
         self.port = int(self._listener.getsockname()[1])
         self._closed = threading.Event()
@@ -183,8 +252,31 @@ class ShardWorker:
                 "generation": self._gateway.generation,
                 "breaker": self._gateway.breaker.snapshot(),
             }
+        if op == "ingest":
+            fault_point(FP_HANDLE)
+            if self._ingest is None:
+                return {
+                    "ok": False,
+                    "kind": "invalid",
+                    "error": "this worker was started without --ingest-dir",
+                }
+            rows = wire.table_from_wire(request.get("rows"))
+            if rows is None or rows.num_rows == 0:
+                return {"ok": True, "shard": self.shard_id, "seq": 0, "rows": 0}
+            seed = request.get("seed")
+            seq = self._ingest.ingest(rows, None if seed is None else int(seed))
+            return {
+                "ok": True,
+                "shard": self.shard_id,
+                "seq": seq,
+                "rows": rows.num_rows,
+                "watermarks": self._ingest.watermarks(),
+            }
         if op == "stats":
-            return {"ok": True, "shard": self.shard_id, "stats": self._gateway.stats()}
+            stats = self._gateway.stats()
+            if self._ingest is not None and "ingest" not in stats:
+                stats["ingest"] = {"watermarks": self._ingest.watermarks(), "failure": ""}
+            return {"ok": True, "shard": self.shard_id, "stats": stats}
         if op == "reload":
             result = self._gateway.reload(request.get("path"))
             return {
@@ -229,20 +321,49 @@ def build_worker(args: argparse.Namespace) -> ShardWorker:
 
         registry = _registry_with_declaration(args.loss_sql)
     placement = Placement(args.num_shards, vnodes=args.vnodes)
-    gateway = ServingGateway.from_cube_file(
-        args.cube,
-        table,
-        registry=registry,
-        config=ServingConfig(
-            workers=args.workers,
-            queue_depth=args.queue_depth,
-            default_deadline_seconds=args.deadline,
-            min_service_seconds=args.min_service_seconds,
-        ),
-        transform=shard_transform(placement, args.shard),
+    serving_config = ServingConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_seconds=args.deadline,
+        min_service_seconds=args.min_service_seconds,
     )
+    ingest: Optional[WorkerIngest] = None
+    if getattr(args, "ingest_dir", None):
+        from repro.core.persistence import load_cube
+
+        ingest_dir = Path(args.ingest_dir)
+        ingest_dir.mkdir(parents=True, exist_ok=True)
+        wal_path = ingest_dir / f"shard{args.shard}.wal"
+        journal_path = ingest_dir / f"shard{args.shard}.journal"
+        tabula = load_cube(args.cube, table, registry=registry)
+        # A disk-restored cube has no dry-run statistics, which the
+        # ingest plan/apply path needs; rebuild them (and the store)
+        # before replaying any crash-orphaned WAL batches.
+        tabula.initialize()
+        recover_ingest(tabula, wal_path, journal_path)
+        gateway = ServingGateway(
+            tabula,
+            config=serving_config,
+            cube_path=args.cube,
+            registry=registry,
+            transform=shard_transform(placement, args.shard),
+        )
+        ingest = WorkerIngest(gateway.tabula, wal_path, journal_path)
+    else:
+        gateway = ServingGateway.from_cube_file(
+            args.cube,
+            table,
+            registry=registry,
+            config=serving_config,
+            transform=shard_transform(placement, args.shard),
+        )
     return ShardWorker(
-        gateway, args.shard, args.num_shards, host=args.host, port=args.port
+        gateway,
+        args.shard,
+        args.num_shards,
+        host=args.host,
+        port=args.port,
+        ingest=ingest,
     )
 
 
@@ -263,6 +384,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--deadline", type=float, default=None)
     parser.add_argument("--min-service-seconds", type=float, default=0.0)
     parser.add_argument("--loss-sql", default=None)
+    parser.add_argument(
+        "--ingest-dir",
+        default=None,
+        help="directory for this shard's ingest WAL + maintenance journal; "
+        "enables the 'ingest' wire op (and WAL replay on restart)",
+    )
     args = parser.parse_args(argv)
 
     # Arm after imports so every instrumented module has registered its

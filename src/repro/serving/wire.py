@@ -125,6 +125,7 @@ def response_to_wire(
         "elapsed_seconds": response.elapsed_seconds,
         "detail": response.detail,
         "spatial_filtered": response.spatial_filtered,
+        "staleness_batches": response.staleness_batches,
     }
 
 
@@ -140,4 +141,5 @@ def response_from_wire(document: Mapping[str, Any]) -> ServingResponse:
         elapsed_seconds=float(document.get("elapsed_seconds", 0.0)),
         detail=str(document.get("detail", "")),
         spatial_filtered=bool(document.get("spatial_filtered", False)),
+        staleness_batches=int(document.get("staleness_batches", 0)),
     )

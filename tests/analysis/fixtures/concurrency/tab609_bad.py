@@ -1,0 +1,34 @@
+"""TAB609 bad: class-owned worker threads started but never joined.
+
+Modeled on a streaming-ingest pipeline: a WAL writer thread assigned
+to ``self`` and a pool worker appended to a ``self`` list, both
+started — and a ``close`` that flips a flag and returns while the
+workers may still be mid-append.
+"""
+
+import threading
+
+
+class LeakyIngestor:
+    def __init__(self):
+        self._closed = False
+        self._writer = threading.Thread(target=self._writer_loop, daemon=True)
+        self._writer.start()
+        self._workers = []
+        for _ in range(2):
+            worker = threading.Thread(target=self._apply_loop, daemon=True)
+            self._workers.append(worker)
+            worker.start()
+
+    def _writer_loop(self):
+        while not self._closed:
+            pass
+
+    def _apply_loop(self):
+        while not self._closed:
+            pass
+
+    def close(self):
+        # BUG: returns immediately; the writer and workers may still be
+        # mutating shared state after "close" completes.
+        self._closed = True

@@ -1,0 +1,34 @@
+"""TAB609 good: every class-owned thread is joined on close.
+
+Same pipeline shape as the bad fixture; ``close`` now joins the
+writer and every pool worker (keyword timeout, the recognizable
+thread-join form) before returning.
+"""
+
+import threading
+
+
+class DrainedIngestor:
+    def __init__(self):
+        self._closed = False
+        self._writer = threading.Thread(target=self._writer_loop, daemon=True)
+        self._writer.start()
+        self._workers = []
+        for _ in range(2):
+            worker = threading.Thread(target=self._apply_loop, daemon=True)
+            self._workers.append(worker)
+            worker.start()
+
+    def _writer_loop(self):
+        while not self._closed:
+            pass
+
+    def _apply_loop(self):
+        while not self._closed:
+            pass
+
+    def close(self, timeout=5.0):
+        self._closed = True
+        self._writer.join(timeout=timeout)
+        for worker in self._workers:
+            worker.join(timeout=timeout)

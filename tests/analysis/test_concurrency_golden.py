@@ -30,6 +30,7 @@ CASES = {
     "TAB606": ("tab606_bad.py", "tab606_good.py"),
     "TAB607": ("tab607_bad.py", "tab607_good.py"),
     "TAB608": ("tab608_bad.py", "tab608_good.py"),
+    "TAB609": ("tab609_bad.py", "tab609_good.py"),
 }
 
 
@@ -110,7 +111,7 @@ def test_strict_severity_split():
     assert info("TAB601").severity == Severity.ERROR
     assert info("TAB602").severity == Severity.ERROR
     assert info("TAB608").severity == Severity.ERROR
-    for code in ("TAB603", "TAB604", "TAB605", "TAB606", "TAB607"):
+    for code in ("TAB603", "TAB604", "TAB605", "TAB606", "TAB607", "TAB609"):
         assert info(code).severity == Severity.WARNING
 
 

@@ -1,0 +1,134 @@
+"""TAB609 over the streaming-ingest package and its lifecycle idioms.
+
+The golden pair in ``test_concurrency_golden.py`` proves the code
+fires/stays silent on fixtures; this file pins the check to the code
+it was built for: ``src/repro/ingest/`` owns two background threads
+(WAL writer, maintainer) and must stay analyzer-clean, while each
+degenerate variant of its lifecycle — forgetting the join, joining
+only one of two threads, start without storing — lands exactly where
+the catalog says.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import check_paths, check_source, info
+from repro.diagnostics import Severity
+
+INGEST_SRC = Path(__file__).parent.parent.parent / "src" / "repro" / "ingest"
+
+
+PIPELINE_TEMPLATE = '''
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._stop = False
+        self._writer = threading.Thread(target=self._writer_loop, daemon=True)
+        self._writer.start()
+        self._maintainer = threading.Thread(target=self._apply_loop, daemon=True)
+        self._maintainer.start()
+
+    def _writer_loop(self):
+        while not self._stop:
+            pass
+
+    def _apply_loop(self):
+        while not self._stop:
+            pass
+
+    def close(self, timeout=5.0):
+        self._stop = True
+{close_body}
+'''
+
+
+def check(source):
+    return [d for d in check_source(source, "x.py").diagnostics if d.code == "TAB609"]
+
+
+class TestIngestPackageIsClean:
+    def test_ingest_sources_pass_strict(self):
+        """The pipeline this check was modeled on passes it."""
+        result = check_paths([INGEST_SRC])
+        assert result.files >= 3  # __init__, stream, wal at minimum
+        assert result.error_count == 0 and result.warning_count == 0, [
+            (d.code, d.filename, d.message) for d in result.diagnostics
+        ]
+        assert not [d for d in result.diagnostics if d.code == "TAB609"]
+
+
+class TestLifecycleVariants:
+    def test_forgotten_join_fires_once_per_thread(self):
+        source = PIPELINE_TEMPLATE.format(close_body="        return None")
+        fired = check(source)
+        assert len(fired) == 2
+        assert {("_writer" in d.message, "_maintainer" in d.message) for d in fired} == {
+            (True, False),
+            (False, True),
+        }
+        assert all(d.severity == Severity.WARNING for d in fired)
+
+    def test_joining_both_threads_is_silent(self):
+        source = PIPELINE_TEMPLATE.format(
+            close_body=(
+                "        self._writer.join(timeout=timeout)\n"
+                "        self._maintainer.join(timeout=timeout)"
+            )
+        )
+        assert check(source) == []
+
+    def test_loop_join_over_a_tuple_is_silent(self):
+        """The exact idiom StreamIngestor.close uses."""
+        source = PIPELINE_TEMPLATE.format(
+            close_body=(
+                "        for thread in (self._writer, self._maintainer):\n"
+                "            thread.join(timeout=timeout)"
+            )
+        )
+        assert check(source) == []
+
+    def test_str_join_is_not_thread_join_evidence(self):
+        """A positional-argument join (str.join) must not satisfy the
+        lifecycle requirement."""
+        source = PIPELINE_TEMPLATE.format(
+            close_body='        return ",".join(["a", "b"])'
+        )
+        assert len(check(source)) == 2
+
+    def test_fire_and_forget_without_self_storage_is_out_of_scope(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "def serve(server):\n"
+            "    thread = threading.Thread(target=server.serve_forever, daemon=True)\n"
+            "    thread.start()\n"
+            "    return server\n"
+        )
+        assert check(source) == []
+
+    def test_unstarted_stored_thread_is_silent(self):
+        source = (
+            "import threading\n"
+            "\n"
+            "class Prepared:\n"
+            "    def __init__(self):\n"
+            "        self._worker = threading.Thread(target=print, daemon=True)\n"
+        )
+        assert check(source) == []
+
+    def test_noqa_suppresses(self):
+        source = PIPELINE_TEMPLATE.format(close_body="        return None")
+        suppressed = source.replace(
+            "self._writer = threading.Thread(target=self._writer_loop, daemon=True)",
+            "self._writer = threading.Thread(target=self._writer_loop, daemon=True)  # noqa: TAB609",
+        )
+        fired = check(suppressed)
+        assert len(fired) == 1 and "_maintainer" in fired[0].message
+
+    def test_catalog_entry(self):
+        entry = info("TAB609")
+        assert entry.severity == Severity.WARNING
+        assert entry.title == "unjoined-background-thread"

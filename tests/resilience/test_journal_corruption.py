@@ -1,0 +1,136 @@
+"""Interior journal corruption is reported (TAB509), never swallowed.
+
+Satellite of the streaming-ingest PR: ``recover_journal`` used to ride
+on ``AppendOnlyLog.read``'s stop-at-first-bad-line behaviour, which
+treats *every* unreadable line as a benign torn tail. A frame whose
+JSON parses but whose CRC fails is not a torn write — torn writes
+truncate the JSON — and a bad line with durable records after it cannot
+be a crash tail either. Both must surface as a typed error carrying the
+segment path so an operator restores from a replica instead of silently
+replaying a truncated prefix.
+"""
+
+import json
+
+import pytest
+
+from repro.core.loss import MeanLoss
+from repro.core.maintenance import append_rows, recover_journal
+from repro.core.tabula import Tabula, TabulaConfig
+from repro.data import generate_nyctaxi
+from repro.resilience.faults import CrashPoint, InjectedCrash, inject
+from repro.resilience.journal import (
+    TAB509_JOURNAL_CORRUPT,
+    AppendOnlyLog,
+    JournalCorruptionError,
+    MaintenanceJournal,
+)
+
+ATTRS = ("passenger_count", "payment_type")
+
+
+def build(table):
+    tabula = Tabula(
+        table,
+        TabulaConfig(cubed_attrs=ATTRS, threshold=0.1, loss=MeanLoss("fare_amount")),
+    )
+    tabula.initialize()
+    return tabula
+
+
+def _flip_payload_crc(path, line_index):
+    """Damage the payload of one frame while keeping its JSON parseable."""
+    lines = path.read_text().splitlines(keepends=True)
+    frame = json.loads(lines[line_index])
+    frame["crc"] = (frame["crc"] + 1) & 0xFFFFFFFF
+    lines[line_index] = json.dumps(frame) + "\n"
+    path.write_text("".join(lines))
+
+
+class TestAppendOnlyLogClassification:
+    def test_torn_tail_truncates_benignly(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"batch_id": "a"})
+        log.append({"batch_id": "b"})
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": 123, "rec": {"batch_')  # torn mid-write
+        result = log.read()
+        assert [r["batch_id"] for r in result.records] == ["a", "b"]
+        assert result.dropped_lines == 1
+        assert len(result.corruptions) == 1
+        assert result.corruptions[0].kind == "torn_tail"
+        assert result.interior_corruptions == ()
+
+    def test_crc_mismatch_is_interior_even_at_the_tail(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"batch_id": "a"})
+        log.append({"batch_id": "poisoned", "payload": {"x": 1}})
+        _flip_payload_crc(log.path, 1)
+        result = log.read()
+        assert [r["batch_id"] for r in result.records] == ["a"]
+        (corruption,) = result.interior_corruptions
+        assert corruption.kind == "interior"
+        assert corruption.line_number == 2
+        assert corruption.batch_id == "poisoned"
+
+    def test_bad_line_with_durable_successors_is_interior(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append({"batch_id": "a"})
+        log.append({"batch_id": "b"})
+        log.append({"batch_id": "c"})
+        lines = log.path.read_text().splitlines(keepends=True)
+        lines[1] = "not json at all\n"
+        log.path.write_text("".join(lines))
+        result = log.read()
+        assert [r["batch_id"] for r in result.records] == ["a"]
+        (corruption,) = result.interior_corruptions
+        assert corruption.kind == "interior"
+        assert corruption.line_number == 2
+
+    def test_append_many_single_group_is_readable(self, tmp_path):
+        log = AppendOnlyLog(tmp_path / "log.jsonl")
+        log.append_many([{"seq": i} for i in range(5)])
+        result = log.read()
+        assert [r["seq"] for r in result.records] == list(range(5))
+        assert result.corruptions == ()
+
+
+class TestRecoverJournalReportsCorruption:
+    @pytest.fixture()
+    def crashed_journal(self, rides_tiny, tmp_path):
+        """A journal holding one uncommitted plan (crash before commit)."""
+        journal = MaintenanceJournal(tmp_path / "wal.jsonl")
+        delta = generate_nyctaxi(num_rows=150, seed=7)
+        with inject(CrashPoint("maintain.commit")):
+            with pytest.raises(InjectedCrash):
+                append_rows(build(rides_tiny), delta, seed=3, journal=journal)
+        return journal
+
+    @pytest.mark.faults
+    def test_corrupt_plan_payload_raises_typed_error(
+        self, rides_tiny, crashed_journal
+    ):
+        _flip_payload_crc(crashed_journal.path, 0)
+        tabula = build(rides_tiny)
+        before = tabula.store.content_digest()
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            recover_journal(tabula, crashed_journal)
+        err = excinfo.value
+        assert err.code == TAB509_JOURNAL_CORRUPT
+        assert err.path == str(crashed_journal.path)
+        assert err.line_number == 1
+        assert err.batch_id  # recovered from the parsed frame
+        assert str(crashed_journal.path) in str(err)
+        # Nothing was replayed over the damage.
+        assert tabula.store.content_digest() == before
+
+    @pytest.mark.faults
+    def test_torn_tail_still_recovers(self, rides_tiny, crashed_journal):
+        with open(crashed_journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": 1, "rec"')  # crash residue after the plan
+        tabula = build(rides_tiny)
+        reports = recover_journal(tabula, crashed_journal)
+        assert len(reports) == 1
+
+    def test_check_readable_passes_on_clean_journal(self, crashed_journal):
+        crashed_journal.check_readable()  # must not raise

@@ -83,6 +83,7 @@ def boot_cluster(
     supervisor_config=None,
     router_config=None,
     env_extra=None,
+    extra_argv=None,
 ):
     """A started :class:`ShardRouter` over ``num_shards`` real workers."""
     placement = Placement(num_shards)
@@ -93,7 +94,7 @@ def boot_cluster(
             "--cube", cube_path, "--table", csv_path,
             "--shard", str(shard), "--num-shards", str(num_shards),
             "--workers", "2", "--queue-depth", "64",
-        ]
+        ] + list(extra_argv or [])
 
     supervisor = ShardSupervisor(
         default_worker_factory(

@@ -228,7 +228,7 @@ class TestBench:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema_version"] == 5
+        assert doc["schema_version"] == 6
         assert doc["digests_equal"] is True
         assert doc["serial"]["phases"]["dry_run_seconds"] >= 0
         assert doc["parallel"]["invariants"]["loss_bound_ok"] is True
@@ -287,7 +287,7 @@ class TestBenchServing:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert doc["schema_version"] == 5
+        assert doc["schema_version"] == 6
         assert doc["bench"] == "serving"
         assert set(doc["phases"]) == {"steady", "overload"}
         overload = doc["phases"]["overload"]
